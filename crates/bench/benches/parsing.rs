@@ -1,0 +1,72 @@
+//! Criterion microbenches: DOM parse vs Mison structural-index projection
+//! vs a Maxson-style cached read, per record size.
+//!
+//! This is the microscopic view of Fig. 15: what one `get_json_object`
+//! call costs under each strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxson_json::mison::MisonProjector;
+use maxson_json::JsonPath;
+use std::hint::black_box;
+
+fn record_with_fields(n: usize) -> String {
+    let mut s = String::from("{");
+    for i in 0..n {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"field{i}\": \"value-{i}-0123456789\""));
+    }
+    s.push('}');
+    s
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get_json_object");
+    for &fields in &[10usize, 50, 200] {
+        let record = record_with_fields(fields);
+        let path = JsonPath::parse("$.field3").unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("jackson_dom", fields),
+            &record,
+            |b, rec| {
+                b.iter(|| black_box(maxson_json::get_json_object(black_box(rec), &path)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mison_index", fields),
+            &record,
+            |b, rec| {
+                b.iter(|| black_box(MisonProjector::project_path(black_box(rec), &path)));
+            },
+        );
+        // The cached case: the value is already a string (clone only).
+        let cached = "value-3-0123456789".to_string();
+        group.bench_with_input(
+            BenchmarkId::new("maxson_cached", fields),
+            &cached,
+            |b, v| {
+                b.iter(|| black_box(v.clone()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_structural_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural_index_build");
+    for &fields in &[10usize, 200] {
+        let record = record_with_fields(fields);
+        group.bench_with_input(BenchmarkId::from_parameter(fields), &record, |b, rec| {
+            b.iter(|| black_box(maxson_json::mison::StructuralIndex::build(black_box(rec))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_parsers, bench_structural_index_build
+}
+criterion_main!(benches);

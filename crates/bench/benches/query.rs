@@ -1,0 +1,106 @@
+//! Criterion microbenches for end-to-end query execution: the same JSON
+//! query with and without the Maxson cache (the per-query view of Fig. 11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxson::mpjp::PredictorKind;
+use maxson::{MaxsonPipeline, PipelineConfig};
+use maxson_engine::session::Session;
+use maxson_storage::file::WriteOptions;
+use maxson_storage::{Cell, ColumnType, Field, Schema};
+use maxson_trace::model::RecurrenceClass;
+use maxson_trace::{JsonPathLocation, QueryRecord};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const SQL: &str = "select get_json_object(payload, '$.a') as a, \
+                   get_json_object(payload, '$.b') as b from db.t \
+                   where get_json_object(payload, '$.a') > 1500";
+
+fn setup(cache: bool) -> (Session, PathBuf) {
+    let root = std::env::temp_dir().join(format!(
+        "maxson-qbench-{}-{}",
+        std::process::id(),
+        cache
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let mut session = Session::open(&root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let table = session
+        .catalog_mut()
+        .create_table("db", "t", schema, 0)
+        .unwrap();
+    let rows: Vec<Vec<Cell>> = (0..2_000i64)
+        .map(|i| {
+            vec![
+                Cell::Int(i),
+                Cell::Str(format!(r#"{{"a": {i}, "b": "value-{i}", "c": [1,2,3]}}"#)),
+            ]
+        })
+        .collect();
+    table
+        .append_file(
+            &rows,
+            WriteOptions {
+                row_group_size: 200,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+    if cache {
+        let paths = ["$.a", "$.b"];
+        let history: Vec<QueryRecord> = (0..14u32)
+            .flat_map(|day| {
+                (0..2u32).map(move |user| QueryRecord {
+                    query_id: u64::from(day * 2 + user),
+                    user_id: user,
+                    day,
+                    hour: 9,
+                    recurrence: RecurrenceClass::Daily,
+                    paths: paths
+                        .iter()
+                        .map(|p| JsonPathLocation::new("db", "t", "payload", *p))
+                        .collect(),
+                })
+            })
+            .collect();
+        let mut pipeline = MaxsonPipeline::new(
+            &root,
+            PipelineConfig {
+                predictor: PredictorKind::RepeatYesterday,
+                ..Default::default()
+            },
+        );
+        pipeline.observe(history.iter());
+        pipeline
+            .run_midnight_cycle(&mut session, &history, 13, 100)
+            .unwrap();
+    }
+    (session, root)
+}
+
+fn bench_query(c: &mut Criterion) {
+    let (plain, root_a) = setup(false);
+    let (cached, root_b) = setup(true);
+    let mut group = c.benchmark_group("json_filter_query");
+    group.bench_function("spark_jackson", |b| {
+        b.iter(|| black_box(plain.execute(SQL).unwrap().rows.len()));
+    });
+    group.bench_function("maxson_cached", |b| {
+        b.iter(|| black_box(cached.execute(SQL).unwrap().rows.len()));
+    });
+    group.finish();
+    std::fs::remove_dir_all(root_a).ok();
+    std::fs::remove_dir_all(root_b).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_query
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion microbenches for the Norc storage substrate: write, full
+//! scan, and SARG-pruned scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxson_storage::file::{write_rows, NorcFile, WriteOptions};
+use maxson_storage::{Cell, CmpOp, ColumnType, Field, Schema, SearchArgument};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap()
+}
+
+fn rows(n: usize) -> Vec<Vec<Cell>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Cell::Int(i as i64),
+                Cell::Str(format!("{{\"a\": {i}, \"b\": \"text-{i}\"}}")),
+            ]
+        })
+        .collect()
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("maxson-criterion");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}.norc", std::process::id()))
+}
+
+fn bench_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("norc_write");
+    for &n in &[1_000usize, 10_000] {
+        let data = rows(n);
+        let path = temp_path(&format!("write-{n}"));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                black_box(
+                    write_rows(&path, schema(), data, WriteOptions::default()).unwrap(),
+                )
+            });
+        });
+        std::fs::remove_file(&path).ok();
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let n = 10_000usize;
+    let path = temp_path("scan");
+    write_rows(
+        &path,
+        schema(),
+        &rows(n),
+        WriteOptions {
+            row_group_size: 1_000,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let file = NorcFile::open(&path).unwrap();
+
+    let mut group = c.benchmark_group("norc_scan");
+    group.bench_function("full_scan", |b| {
+        b.iter(|| black_box(file.read_columns(&[0, 1], None).unwrap()));
+    });
+    group.bench_function("sarg_pruned_scan", |b| {
+        // id >= 9000 keeps only the last of ten row groups.
+        let sarg = SearchArgument::new().with(0, CmpOp::GtEq, Cell::Int(9_000));
+        b.iter(|| {
+            let keep = sarg.keep_array(file.row_groups());
+            black_box(file.read_columns(&[0, 1], Some(&keep)).unwrap())
+        });
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_write, bench_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Ablation — full nightly repopulation vs incremental refresh.
+//!
+//! The paper repopulates the whole cache every midnight. Because the
+//! warehouse is append-only (§II-B), a cacher can instead parse only the
+//! part files that arrived since the last cycle. This ablation grows a
+//! table day by day and compares the cost of the two strategies, plus the
+//! (identical) query results they serve.
+
+use maxson::cacher::JsonPathCacher;
+use maxson::mpjp::MpjpCandidate;
+use maxson::score::score_candidates;
+use maxson_bench::{Report, Series};
+use maxson_storage::file::WriteOptions;
+use maxson_storage::{Catalog, Cell, ColumnType, Field, Schema};
+use maxson_trace::model::RecurrenceClass;
+use maxson_trace::{JsonPathLocation, QueryRecord};
+
+fn rows(from: i64, n: i64) -> Vec<Vec<Cell>> {
+    (from..from + n)
+        .map(|i| {
+            vec![
+                Cell::Int(i),
+                Cell::Str(format!(
+                    r#"{{"a": {i}, "b": "value-{i}", "c": [1,2,3], "pad": "{}"}}"#,
+                    "x".repeat(64)
+                )),
+            ]
+        })
+        .collect()
+}
+
+fn loc(path: &str) -> JsonPathLocation {
+    JsonPathLocation::new("db", "t", "payload", path)
+}
+
+fn main() {
+    let rows_per_day: i64 = 5_000;
+    let days = 5u32;
+
+    let mut report = Report::new(
+        "ablation_incremental",
+        "Cache population cost per day: full repopulation vs incremental refresh (seconds)",
+    );
+    report.note("With an append-only warehouse, incremental refresh parses only the new files; full repopulation re-parses the whole table every night.");
+
+    let mut full_series = Series::new("full repopulation");
+    let mut incr_series = Series::new("incremental refresh");
+
+    for strategy in ["full", "incremental"] {
+        let root = std::env::temp_dir().join(format!(
+            "maxson-ablation-incr-{}-{strategy}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut catalog = Catalog::open(&root).expect("open warehouse");
+        let schema = Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("payload", ColumnType::Utf8),
+        ])
+        .expect("schema");
+        catalog.create_table("db", "t", schema, 0).expect("create");
+        let history = vec![QueryRecord {
+            query_id: 0,
+            user_id: 0,
+            day: 0,
+            hour: 0,
+            recurrence: RecurrenceClass::Daily,
+            paths: vec![loc("$.a"), loc("$.b")],
+        }];
+        let cacher = JsonPathCacher::new(u64::MAX);
+        let mut registry = None;
+        for day in 0..days {
+            // Daily data load.
+            catalog
+                .table_mut("db", "t")
+                .expect("table")
+                .append_file(
+                    &rows(i64::from(day) * rows_per_day, rows_per_day),
+                    WriteOptions {
+                        row_group_size: 1_000,
+                        ..Default::default()
+                    },
+                    u64::from(day) * 10 + 5,
+                )
+                .expect("append");
+            // Midnight population.
+            let start = std::time::Instant::now();
+            match registry.as_mut().filter(|_| strategy == "incremental") {
+                Some(reg) => {
+                    let r = cacher
+                        .refresh_incremental(&mut catalog, reg, u64::from(day) * 10 + 9)
+                        .expect("refresh");
+                    assert!(r.needs_full.is_empty());
+                }
+                None => {
+                    let cands = vec![
+                        MpjpCandidate { location: loc("$.a"), target_day: day + 1 },
+                        MpjpCandidate { location: loc("$.b"), target_day: day + 1 },
+                    ];
+                    let ranked = score_candidates(&catalog, &cands, &history).expect("score");
+                    let (reg, _) = cacher
+                        .populate(&mut catalog, &ranked, u64::from(day) * 10 + 9)
+                        .expect("populate");
+                    registry = Some(reg);
+                }
+            }
+            let took = start.elapsed().as_secs_f64();
+            println!(
+                "{strategy:>12} day {day}: population {took:.4}s ({} rows in table)",
+                (i64::from(day) + 1) * rows_per_day
+            );
+            if strategy == "full" {
+                full_series.push(format!("day {day}"), took);
+            } else {
+                incr_series.push(format!("day {day}"), took);
+            }
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+    report.add(full_series);
+    report.add(incr_series);
+    report.emit();
+}

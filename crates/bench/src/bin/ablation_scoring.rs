@@ -1,0 +1,84 @@
+//! Ablation — which factor of `Score = A·R·O` does the work?
+//!
+//! Runs the Fig. 11 budget sweep with each scoring variant: the full
+//! product, each factor alone, and random order. The paper motivates all
+//! three factors (§IV-B); this ablation quantifies their individual
+//! contribution under tight budgets.
+
+use maxson::mpjp::{predict_mpjps, PredictorKind, TrainedPredictor};
+use maxson::score::score_candidates;
+use maxson::{MaxsonPipeline, PipelineConfig, ScoringStrategy};
+use maxson_bench::workload::workload_history;
+use maxson_bench::{load_tables, run_query_avg, Report, Series};
+use maxson_predictor::features::FeatureConfig;
+use maxson_trace::JsonPathCollector;
+
+fn main() {
+    let queries = load_tables();
+    let runs = 2;
+
+    // Full footprint, reused from fig11's method.
+    let full_bytes: u64 = {
+        let session = maxson_bench::fresh_session();
+        let history = workload_history(&queries, 14);
+        let mut collector = JsonPathCollector::new();
+        collector.observe_all(history.iter());
+        let features = FeatureConfig::default();
+        let predictor =
+            TrainedPredictor::train(PredictorKind::RepeatYesterday, &collector, &features);
+        let candidates = predict_mpjps(&collector, &predictor, 13, &features);
+        score_candidates(session.catalog(), &candidates, &history)
+            .expect("score")
+            .iter()
+            .map(|s| s.estimated_bytes)
+            .sum()
+    };
+
+    let strategies = [
+        ("full A*R*O", ScoringStrategy::Full),
+        ("A only", ScoringStrategy::AccelerationOnly),
+        ("R only", ScoringStrategy::RelevanceOnly),
+        ("O only", ScoringStrategy::OccurrenceOnly),
+        ("random", ScoringStrategy::Random),
+    ];
+
+    let mut report = Report::new(
+        "ablation_scoring",
+        "Total Q1..Q10 time per scoring variant (seconds)",
+    );
+    report.note("Expectation: the full product dominates or ties the single-factor variants at constrained budgets; random is worst.");
+
+    for (label, strategy) in strategies {
+        let mut series = Series::new(label);
+        for (blabel, frac) in [("25%", 0.25f64), ("50%", 0.5)] {
+            let budget = (full_bytes as f64 * frac).ceil() as u64 + 1;
+            let mut session = maxson_bench::fresh_session();
+            let history = workload_history(&queries, 14);
+            let mut pipeline = MaxsonPipeline::new(
+                maxson_bench::bench_root(),
+                PipelineConfig {
+                    budget_bytes: budget,
+                    predictor: PredictorKind::RepeatYesterday,
+                    scoring: strategy,
+                    ..Default::default()
+                },
+            );
+            pipeline.observe(history.iter());
+            let cycle = pipeline
+                .run_midnight_cycle(&mut session, &history, 13, 100)
+                .expect("cycle");
+            let mut total = 0.0;
+            for q in &queries {
+                let (t, _) = run_query_avg(&session, &q.sql, runs);
+                total += t.as_secs_f64();
+            }
+            println!(
+                "{label:>12} @ {blabel}: {total:.3}s ({} paths cached)",
+                cycle.cache.cached.len()
+            );
+            series.push(blabel, total);
+        }
+        report.add(series);
+    }
+    report.emit();
+}

@@ -1,0 +1,102 @@
+//! Fig. 11 + Table V — query acceleration under cache-size budgets, and
+//! the cached-JSONPath counts per query.
+//!
+//! The paper runs the ten Table II queries under 100/200/300/400 GB cache
+//! budgets, choosing MPJPs either by the scoring function or at random,
+//! plus a no-cache baseline. Findings: bigger budgets are faster; scoring
+//! beats random at every constrained budget; at the full budget (400 GB,
+//! which fits every MPJP) they converge. Table V lists how many of each
+//! query's JSONPaths are cached at each budget.
+//!
+//! Our budgets are scaled to fractions of the total parsed-value footprint
+//! (¼, ½, ¾, full), preserving the structure of the sweep.
+
+use maxson::mpjp::{predict_mpjps, PredictorKind, TrainedPredictor};
+use maxson::score::score_candidates;
+use maxson_bench::workload::{session_for, workload_history};
+use maxson_bench::{load_tables, run_query_avg, Report, Series};
+use maxson_predictor::features::FeatureConfig;
+use maxson_trace::JsonPathCollector;
+
+fn main() {
+    let queries = load_tables();
+    let runs = 2;
+
+    // Determine the full-cache footprint: run the scoring pass once with
+    // everything admitted and add up the estimates.
+    let full_bytes: u64 = {
+        let session = maxson_bench::fresh_session();
+        let history = workload_history(&queries, 14);
+        let mut collector = JsonPathCollector::new();
+        collector.observe_all(history.iter());
+        let features = FeatureConfig::default();
+        let predictor = TrainedPredictor::train(PredictorKind::RepeatYesterday, &collector, &features);
+        let candidates = predict_mpjps(&collector, &predictor, 13, &features);
+        let ranked = score_candidates(session.catalog(), &candidates, &history)
+            .expect("score candidates");
+        ranked.iter().map(|s| s.estimated_bytes).sum()
+    };
+    println!("full MPJP footprint: {full_bytes} bytes");
+
+    let mut report = Report::new(
+        "fig11",
+        "Total execution time of Q1..Q10 under cache budgets (seconds)",
+    );
+    report.note("Paper: larger cache => faster; scoring beats random selection under every constrained budget; equal at the full (400GB) budget; no-cache is slowest. Budgets here are fractions of the full parsed-value footprint.");
+
+    let mut no_cache = Series::new("no cache");
+    let mut scored = Series::new("scoring");
+    let mut random = Series::new("random");
+    let mut tablev = Report::new("table05", "Cached JSONPath count per query per budget");
+    tablev.note("Paper Table V: at the full budget every MPJP is cached; the scoring strategy caches whole queries' path sets first.");
+
+    // Baseline: no cache.
+    {
+        let session = maxson_bench::fresh_session();
+        let mut total = 0.0;
+        for q in &queries {
+            let (t, _) = run_query_avg(&session, &q.sql, runs);
+            total += t.as_secs_f64();
+        }
+        for label in ["25%", "50%", "75%", "100%"] {
+            no_cache.push(label, total);
+        }
+    }
+
+    for (label, frac) in [("25%", 0.25f64), ("50%", 0.5), ("75%", 0.75), ("100%", 1.0)] {
+        let budget = (full_bytes as f64 * frac).ceil() as u64 + 1;
+        for use_scoring in [true, false] {
+            let (session, cached) =
+                session_for(maxson_bench::SystemKind::Maxson, &queries, budget, use_scoring);
+            let mut total = 0.0;
+            let mut per_query_cached = Series::new(format!(
+                "{}@{label}",
+                if use_scoring { "scoring" } else { "random" }
+            ));
+            for q in &queries {
+                let (t, _) = run_query_avg(&session, &q.sql, runs);
+                total += t.as_secs_f64();
+                let n = maxson_bench::workload::cached_path_count(q, &cached);
+                per_query_cached.push(q.name.clone(), n as f64);
+            }
+            println!(
+                "budget {label} ({budget} B), {}: total {:.3}s, {} paths cached",
+                if use_scoring { "scoring" } else { "random" },
+                total,
+                cached.len()
+            );
+            if use_scoring {
+                scored.push(label, total);
+            } else {
+                random.push(label, total);
+            }
+            tablev.add(per_query_cached);
+        }
+    }
+
+    report.add(no_cache);
+    report.add(scored);
+    report.add(random);
+    report.emit();
+    tablev.emit();
+}

@@ -1,0 +1,59 @@
+//! Fig. 12 — Read/Parse/Compute breakdown and input-size reduction for Q2
+//! and Q9, Spark vs Maxson.
+//!
+//! The paper breaks the runtime of Q2 and Q9 into Read, Parse, and Compute:
+//! Maxson eliminates the Parse slice entirely by reading cached values, and
+//! because both queries filter on JSON properties, its predicate pushdown
+//! into the cache table also shrinks the input size.
+
+use maxson_bench::workload::session_for;
+use maxson_bench::{load_tables, run_query_avg, Report, Series, SystemKind};
+
+fn main() {
+    let queries = load_tables();
+    let picks: Vec<_> = queries
+        .iter()
+        .filter(|q| q.name == "Q2" || q.name == "Q9")
+        .collect();
+
+    let mut report = Report::new(
+        "fig12",
+        "Q2/Q9 phase breakdown (seconds) and input bytes, Spark vs Maxson",
+    );
+    report.note("Paper: Maxson removes the Parse phase and reads far less input (JSON predicates push down into the cache table).");
+
+    let mut read_s = Series::new("read");
+    let mut parse_s = Series::new("parse");
+    let mut compute_s = Series::new("compute");
+    let mut input_s = Series::new("input bytes");
+
+    for q in &picks {
+        // Spark baseline.
+        let spark = maxson_bench::fresh_session();
+        let (_, sm) = run_query_avg(&spark, &q.sql, 2);
+        // Maxson with a full-budget cache.
+        let (maxson, _cached) = session_for(SystemKind::Maxson, &queries, u64::MAX, true);
+        let (_, mm) = run_query_avg(&maxson, &q.sql, 2);
+
+        for (label, m) in [(format!("{} Spark", q.name), &sm), (format!("{} Maxson", q.name), &mm)] {
+            read_s.push(label.clone(), m.read.as_secs_f64());
+            parse_s.push(label.clone(), m.parse.as_secs_f64());
+            compute_s.push(label.clone(), m.compute().as_secs_f64());
+            input_s.push(label, m.bytes_read as f64);
+        }
+        println!(
+            "{}: Spark parse {:.4}s / {} B input; Maxson parse {:.4}s / {} B input (rg skipped {})",
+            q.name,
+            sm.parse.as_secs_f64(),
+            sm.bytes_read,
+            mm.parse.as_secs_f64(),
+            mm.bytes_read,
+            mm.row_groups_skipped
+        );
+    }
+    report.add(read_s);
+    report.add(parse_s);
+    report.add(compute_s);
+    report.add(input_s);
+    report.emit();
+}

@@ -1,0 +1,63 @@
+//! Table III — predictor model comparison.
+//!
+//! The paper compares LR, SVM, MLPClassifier, and LSTM+CRF on predicting
+//! next-day MPJPs from the trace statistics, tuning each for the best F1.
+//! The static models have precision near 1.0 but low recall (0.40–0.69);
+//! LSTM+CRF reaches F1 ≈ 0.95. We train all models from scratch on the
+//! synthesized trace and report the same three columns.
+
+use maxson_bench::{Report, Series};
+use maxson_predictor::crf::LstmCrf;
+use maxson_predictor::features::FeatureConfig;
+use maxson_predictor::linear::{LinearConfig, LinearModel, Loss};
+use maxson_predictor::lstm::LstmConfig;
+use maxson_predictor::mlp::{MlpClassifier, MlpConfig};
+use maxson_predictor::{build_dataset, evaluate, MpjpModel};
+use maxson_trace::{JsonPathCollector, SynthConfig, TraceSynthesizer};
+
+fn main() {
+    let trace = TraceSynthesizer::new(SynthConfig::default()).generate();
+    let mut collector = JsonPathCollector::new();
+    collector.observe_all(trace.queries.iter());
+    let dataset = build_dataset(&collector, FeatureConfig::default());
+    let split = dataset.split();
+    println!(
+        "dataset: {} examples ({} train / {} val / {} test), {:.1}% positive",
+        dataset.examples.len(),
+        split.train.len(),
+        split.validation.len(),
+        split.test.len(),
+        dataset.positive_fraction() * 100.0
+    );
+
+    let mut report = Report::new("table03", "Predictor comparison (precision / recall / F1 on test split)");
+    report.note("Paper: LR P=1.0 R=0.397 F1=0.568; SVM P=1.0 R=0.559 F1=0.717; MLP P=0.994 R=0.694 F1=0.817; LSTM+CRF P=0.985 R=0.912 F1=0.947.");
+
+    let mut precision = Series::new("precision");
+    let mut recall = Series::new("recall");
+    let mut f1 = Series::new("f1");
+
+    let mut record = |name: &str, m: maxson_predictor::Metrics| {
+        println!("{name:>14}: P={:.3} R={:.3} F1={:.3}", m.precision(), m.recall(), m.f1());
+        precision.push(name, m.precision());
+        recall.push(name, m.recall());
+        f1.push(name, m.f1());
+    };
+
+    let lr = LinearModel::train(&split.train, Loss::Logistic, LinearConfig::default());
+    record(lr.name(), evaluate(&lr, &split.test));
+
+    let svm = LinearModel::train(&split.train, Loss::Hinge, LinearConfig::default());
+    record(svm.name(), evaluate(&svm, &split.test));
+
+    let mlp = MlpClassifier::train(&split.train, MlpConfig::default());
+    record(mlp.name(), evaluate(&mlp, &split.test));
+
+    let hybrid = LstmCrf::train(&split.train, LstmConfig::default());
+    record(hybrid.name(), evaluate(&hybrid, &split.test));
+
+    report.add(precision);
+    report.add(recall);
+    report.add(f1);
+    report.emit();
+}

@@ -1,0 +1,149 @@
+//! NoBench-style JSON document generation.
+//!
+//! NoBench documents mix stable scalar attributes, dynamically-typed
+//! attributes, sparse attributes (present in a small fraction of records),
+//! a nested array, and a nested object. This generator reproduces that
+//! structural mix, which is what drives full-parse cost in the paper's
+//! Fig. 3 study.
+
+use maxson_json::{to_string, JsonValue};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic NoBench-like record generator.
+#[derive(Debug)]
+pub struct NobenchGenerator {
+    rng: SmallRng,
+    /// How many of the 100 sparse attribute slots each record samples.
+    sparse_per_record: usize,
+}
+
+impl NobenchGenerator {
+    /// Create a generator with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        NobenchGenerator {
+            rng: SmallRng::seed_from_u64(seed),
+            sparse_per_record: 2,
+        }
+    }
+
+    /// Generate record number `i` as a [`JsonValue`].
+    pub fn record(&mut self, i: u64) -> JsonValue {
+        let mut fields: Vec<(String, JsonValue)> = Vec::with_capacity(12);
+        fields.push(("str1".into(), JsonValue::from(format!("str-{i}"))));
+        fields.push((
+            "str2".into(),
+            JsonValue::from(format!("group-{}", i % 100)),
+        ));
+        fields.push(("num".into(), JsonValue::from(i as i64)));
+        fields.push(("bool".into(), JsonValue::from(i.is_multiple_of(2))));
+        // Dynamically typed attributes: alternate string/number.
+        let dyn1: JsonValue = if i.is_multiple_of(3) {
+            JsonValue::from(i as i64)
+        } else {
+            JsonValue::from(format!("dyn-{i}"))
+        };
+        fields.push(("dyn1".into(), dyn1));
+        fields.push((
+            "dyn2".into(),
+            if i.is_multiple_of(5) {
+                JsonValue::from((i as f64) / 7.0)
+            } else {
+                JsonValue::from(format!("{i}"))
+            },
+        ));
+        // Nested array of strings.
+        let arr_len = 2 + (i % 4) as usize;
+        fields.push((
+            "nested_arr".into(),
+            JsonValue::Array(
+                (0..arr_len)
+                    .map(|k| JsonValue::from(format!("item-{i}-{k}")))
+                    .collect(),
+            ),
+        ));
+        // Nested object.
+        fields.push((
+            "nested_obj".into(),
+            JsonValue::Object(vec![
+                ("str".into(), JsonValue::from(format!("nested-{i}"))),
+                ("num".into(), JsonValue::from((i * 31 % 1000) as i64)),
+            ]),
+        ));
+        // Sparse attributes: each record carries a few of 100 possible.
+        for _ in 0..self.sparse_per_record {
+            let slot: u32 = self.rng.gen_range(0..100);
+            fields.push((
+                format!("sparse_{slot:03}"),
+                JsonValue::from(format!("sparse-val-{slot}")),
+            ));
+        }
+        JsonValue::Object(fields)
+    }
+
+    /// Generate record `i` as serialized JSON text.
+    pub fn record_text(&mut self, i: u64) -> String {
+        to_string(&self.record(i))
+    }
+
+    /// Generate `n` serialized records.
+    pub fn records(&mut self, n: u64) -> Vec<String> {
+        (0..n).map(|i| self.record_text(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxson_json::parse;
+
+    #[test]
+    fn records_are_valid_json_with_expected_fields() {
+        let mut g = NobenchGenerator::new(42);
+        for i in 0..50 {
+            let text = g.record_text(i);
+            let doc = parse(&text).unwrap();
+            assert!(doc.get("str1").is_some());
+            assert!(doc.get("num").unwrap().as_i64().is_some());
+            assert!(doc.get("nested_obj").unwrap().get("str").is_some());
+            assert!(!doc.get("nested_arr").unwrap().as_array().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = NobenchGenerator::new(7).records(20);
+        let b = NobenchGenerator::new(7).records(20);
+        assert_eq!(a, b);
+        let c = NobenchGenerator::new(8).records(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sparse_attributes_vary_across_records() {
+        let mut g = NobenchGenerator::new(1);
+        let docs: Vec<_> = (0..30).map(|i| g.record(i)).collect();
+        let mut sparse_names = std::collections::BTreeSet::new();
+        for d in &docs {
+            for (k, _) in d.as_object().unwrap() {
+                if k.starts_with("sparse_") {
+                    sparse_names.insert(k.clone());
+                }
+            }
+        }
+        assert!(
+            sparse_names.len() > 10,
+            "expected varied sparse slots, got {}",
+            sparse_names.len()
+        );
+    }
+
+    #[test]
+    fn dynamic_fields_change_type() {
+        let mut g = NobenchGenerator::new(1);
+        let d0 = g.record(0); // i%3==0 -> number
+        let d1 = g.record(1); // -> string
+        assert!(d0.get("dyn1").unwrap().as_i64().is_some());
+        assert!(d1.get("dyn1").unwrap().as_str().is_some());
+    }
+}

@@ -1,0 +1,92 @@
+//! Engine error type.
+
+use std::fmt;
+
+use maxson_storage::StorageError;
+
+/// Result alias used throughout `maxson-engine`.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors raised while parsing, planning, or executing a query.
+#[derive(Debug)]
+pub enum EngineError {
+    /// SQL text failed to tokenize or parse.
+    Parse {
+        /// Description of the problem.
+        message: String,
+        /// Approximate character offset in the SQL text.
+        offset: usize,
+    },
+    /// Name resolution or semantic validation failed.
+    Plan {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A runtime failure during execution.
+    Exec {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The storage layer failed.
+    Storage(StorageError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse { message, offset } => {
+                write!(f, "SQL parse error at offset {offset}: {message}")
+            }
+            EngineError::Plan { message } => write!(f, "planning error: {message}"),
+            EngineError::Exec { message } => write!(f, "execution error: {message}"),
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl EngineError {
+    /// Convenience constructor for planning errors.
+    pub fn plan(message: impl Into<String>) -> Self {
+        EngineError::Plan {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for execution errors.
+    pub fn exec(message: impl Into<String>) -> Self {
+        EngineError::Exec {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = EngineError::Parse {
+            message: "unexpected token".into(),
+            offset: 12,
+        };
+        assert!(e.to_string().contains("offset 12"));
+        assert!(EngineError::plan("x").to_string().contains("planning"));
+        assert!(EngineError::exec("y").to_string().contains("execution"));
+    }
+}

@@ -1,0 +1,558 @@
+//! Volcano-style (materialized) plan execution.
+
+use std::collections::HashMap;
+
+use maxson_storage::Cell;
+
+use crate::error::{EngineError, Result};
+use crate::expr::{truthy, Expr, JsonParserKind};
+use crate::metrics::ExecMetrics;
+use crate::plan::LogicalPlan;
+use crate::sql::ast::AggFunc;
+
+/// Execute a plan to completion, returning the output rows.
+pub fn execute_plan(
+    plan: &LogicalPlan,
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+) -> Result<Vec<Vec<Cell>>> {
+    match plan {
+        LogicalPlan::Scan { provider } => provider.scan(metrics),
+        LogicalPlan::Filter { input, predicate } => {
+            let rows = execute_plan(input, parser, metrics)?;
+            let mut out = Vec::new();
+            for row in rows {
+                if truthy(&predicate.eval(&row, parser, metrics)?) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let rows = execute_plan(input, parser, metrics)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut projected = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    projected.push(e.eval(&row, parser, metrics)?);
+                }
+                out.push(projected);
+            }
+            Ok(out)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            ..
+        } => {
+            let rows = execute_plan(input, parser, metrics)?;
+            aggregate(rows, group_by, aggs, parser, metrics)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            ..
+        } => {
+            let left_rows = execute_plan(left, parser, metrics)?;
+            let right_rows = execute_plan(right, parser, metrics)?;
+            hash_join(left_rows, right_rows, left_key, right_key, parser, metrics)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let rows = execute_plan(input, parser, metrics)?;
+            sort_rows(rows, keys, parser, metrics)
+        }
+        LogicalPlan::Limit { input, n } => {
+            let mut rows = execute_plan(input, parser, metrics)?;
+            rows.truncate(*n);
+            Ok(rows)
+        }
+        LogicalPlan::Distinct { input } => {
+            let rows = execute_plan(input, parser, metrics)?;
+            let mut seen = std::collections::HashSet::new();
+            let mut out = Vec::new();
+            for row in rows {
+                let key: String = row
+                    .iter()
+                    .map(Cell::key_string)
+                    .collect::<Vec<_>>()
+                    .join("\u{1}");
+                if seen.insert(key) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Running state of one aggregate call.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    CountDistinct(std::collections::HashSet<String>),
+    Sum { sum: f64, any: bool, all_int: bool, isum: i64 },
+    Min(Option<Cell>),
+    Max(Option<Cell>),
+    Avg { sum: f64, n: i64 },
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::CountDistinct => AggState::CountDistinct(std::collections::HashSet::new()),
+            AggFunc::Sum => AggState::Sum {
+                sum: 0.0,
+                any: false,
+                all_int: true,
+                isum: 0,
+            },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, value: Option<&Cell>) {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(*) counts every row (value None); COUNT(expr) skips NULL.
+                match value {
+                    None => *n += 1,
+                    Some(c) if !c.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            AggState::CountDistinct(set) => {
+                if let Some(c) = value {
+                    if !c.is_null() {
+                        set.insert(c.key_string());
+                    }
+                }
+            }
+            AggState::Sum {
+                sum,
+                any,
+                all_int,
+                isum,
+            } => {
+                if let Some(c) = value {
+                    if let Some(f) = c.coerce_f64() {
+                        *sum += f;
+                        *any = true;
+                        match c {
+                            Cell::Int(i) => *isum = isum.wrapping_add(*i),
+                            _ => *all_int = false,
+                        }
+                    }
+                }
+            }
+            AggState::Min(cur) => {
+                if let Some(c) = value {
+                    if !c.is_null()
+                        && cur
+                            .as_ref()
+                            .is_none_or(|m| c.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+                    {
+                        *cur = Some(c.clone());
+                    }
+                }
+            }
+            AggState::Max(cur) => {
+                if let Some(c) = value {
+                    if !c.is_null()
+                        && cur
+                            .as_ref()
+                            .is_none_or(|m| c.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+                    {
+                        *cur = Some(c.clone());
+                    }
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if let Some(c) = value {
+                    if let Some(f) = c.coerce_f64() {
+                        *sum += f;
+                        *n += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Cell {
+        match self {
+            AggState::Count(n) => Cell::Int(n),
+            AggState::CountDistinct(set) => Cell::Int(set.len() as i64),
+            AggState::Sum {
+                sum,
+                any,
+                all_int,
+                isum,
+            } => {
+                if !any {
+                    Cell::Null
+                } else if all_int {
+                    Cell::Int(isum)
+                } else {
+                    Cell::Float(sum)
+                }
+            }
+            AggState::Min(c) | AggState::Max(c) => c.unwrap_or(Cell::Null),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Cell::Null
+                } else {
+                    Cell::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+fn aggregate(
+    rows: Vec<Vec<Cell>>,
+    group_by: &[Expr],
+    aggs: &[(AggFunc, Option<Expr>)],
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+) -> Result<Vec<Vec<Cell>>> {
+    // Global aggregate (no GROUP BY): exactly one output row.
+    if group_by.is_empty() {
+        let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
+        for row in &rows {
+            for (state, (_, arg)) in states.iter_mut().zip(aggs) {
+                match arg {
+                    None => state.update(None),
+                    Some(e) => {
+                        let v = e.eval(row, parser, metrics)?;
+                        state.update(Some(&v));
+                    }
+                }
+            }
+        }
+        return Ok(vec![states.into_iter().map(AggState::finish).collect()]);
+    }
+    // Hash grouping; remember first-seen order for deterministic output.
+    let mut groups: HashMap<String, (Vec<Cell>, Vec<AggState>)> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for row in &rows {
+        let mut keys = Vec::with_capacity(group_by.len());
+        let mut key_str = String::new();
+        for g in group_by {
+            let k = g.eval(row, parser, metrics)?;
+            key_str.push_str(&k.key_string());
+            key_str.push('\u{1}');
+            keys.push(k);
+        }
+        let entry = groups.entry(key_str.clone()).or_insert_with(|| {
+            order.push(key_str.clone());
+            (keys, aggs.iter().map(|(f, _)| AggState::new(*f)).collect())
+        });
+        for (state, (_, arg)) in entry.1.iter_mut().zip(aggs) {
+            match arg {
+                None => state.update(None),
+                Some(e) => {
+                    let v = e.eval(row, parser, metrics)?;
+                    state.update(Some(&v));
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let (keys, states) = groups
+            .remove(&key)
+            .expect("group key recorded in order list");
+        let mut row = keys;
+        row.extend(states.into_iter().map(AggState::finish));
+        out.push(row);
+    }
+    Ok(out)
+}
+
+fn hash_join(
+    left_rows: Vec<Vec<Cell>>,
+    right_rows: Vec<Vec<Cell>>,
+    left_key: &Expr,
+    right_key: &Expr,
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+) -> Result<Vec<Vec<Cell>>> {
+    // Build on the right side.
+    let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut right_keys = Vec::with_capacity(right_rows.len());
+    for (i, row) in right_rows.iter().enumerate() {
+        let k = right_key.eval(row, parser, metrics)?;
+        if !k.is_null() {
+            table.entry(k.key_string()).or_default().push(i);
+        }
+        right_keys.push(k);
+    }
+    let mut out = Vec::new();
+    for lrow in &left_rows {
+        let k = left_key.eval(lrow, parser, metrics)?;
+        if k.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&k.key_string()) {
+            for &ri in matches {
+                let mut combined = lrow.clone();
+                combined.extend(right_rows[ri].iter().cloned());
+                out.push(combined);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn sort_rows(
+    rows: Vec<Vec<Cell>>,
+    keys: &[(Expr, bool)],
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+) -> Result<Vec<Vec<Cell>>> {
+    // Precompute sort keys once per row (get_json_object keys are costly).
+    let mut keyed: Vec<(Vec<Cell>, Vec<Cell>)> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut ks = Vec::with_capacity(keys.len());
+        for (e, _) in keys {
+            ks.push(e.eval(&row, parser, metrics)?);
+        }
+        keyed.push((ks, row));
+    }
+    keyed.sort_by(|(ka, _), (kb, _)| {
+        for ((a, b), (_, asc)) in ka.iter().zip(kb).zip(keys) {
+            let ord = a.total_cmp(b);
+            let ord = if *asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(keyed.into_iter().map(|(_, row)| row).collect())
+}
+
+/// Evaluate a standalone expression list over rows (helper for tests).
+pub fn project_rows(
+    rows: &[Vec<Cell>],
+    exprs: &[Expr],
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+) -> Result<Vec<Vec<Cell>>> {
+    rows.iter()
+        .map(|row| {
+            exprs
+                .iter()
+                .map(|e| e.eval(row, parser, metrics))
+                .collect::<Result<Vec<Cell>>>()
+        })
+        .collect::<Result<Vec<_>>>()
+        .map_err(|e| EngineError::exec(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::ast::BinaryOp;
+
+    fn rows3() -> Vec<Vec<Cell>> {
+        vec![
+            vec![Cell::Str("a".into()), Cell::Int(1)],
+            vec![Cell::Str("b".into()), Cell::Int(2)],
+            vec![Cell::Str("a".into()), Cell::Int(3)],
+            vec![Cell::Str("c".into()), Cell::Null],
+        ]
+    }
+
+    fn m() -> ExecMetrics {
+        ExecMetrics::default()
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let aggs = vec![
+            (AggFunc::Count, None),
+            (AggFunc::Count, Some(Expr::Column(1))),
+            (AggFunc::Sum, Some(Expr::Column(1))),
+            (AggFunc::Min, Some(Expr::Column(1))),
+            (AggFunc::Max, Some(Expr::Column(1))),
+            (AggFunc::Avg, Some(Expr::Column(1))),
+        ];
+        let out = aggregate(rows3(), &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Cell::Int(4)); // COUNT(*)
+        assert_eq!(out[0][1], Cell::Int(3)); // COUNT(v) skips null
+        assert_eq!(out[0][2], Cell::Int(6)); // SUM
+        assert_eq!(out[0][3], Cell::Int(1)); // MIN
+        assert_eq!(out[0][4], Cell::Int(3)); // MAX
+        assert_eq!(out[0][5], Cell::Float(2.0)); // AVG
+    }
+
+    #[test]
+    fn empty_input_aggregates() {
+        let aggs = vec![
+            (AggFunc::Count, None),
+            (AggFunc::Sum, Some(Expr::Column(0))),
+            (AggFunc::Avg, Some(Expr::Column(0))),
+            (AggFunc::Min, Some(Expr::Column(0))),
+        ];
+        let out = aggregate(vec![], &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        assert_eq!(
+            out[0],
+            vec![Cell::Int(0), Cell::Null, Cell::Null, Cell::Null]
+        );
+    }
+
+    #[test]
+    fn grouped_aggregates_preserve_first_seen_order() {
+        let aggs = vec![(AggFunc::Count, None), (AggFunc::Sum, Some(Expr::Column(1)))];
+        let out = aggregate(
+            rows3(),
+            &[Expr::Column(0)],
+            &aggs,
+            JsonParserKind::Jackson,
+            &mut m(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], vec![Cell::Str("a".into()), Cell::Int(2), Cell::Int(4)]);
+        assert_eq!(out[1], vec![Cell::Str("b".into()), Cell::Int(1), Cell::Int(2)]);
+        assert_eq!(out[2], vec![Cell::Str("c".into()), Cell::Int(1), Cell::Null]);
+    }
+
+    #[test]
+    fn join_matches_and_skips_nulls() {
+        let left = vec![
+            vec![Cell::Int(1), Cell::Str("l1".into())],
+            vec![Cell::Int(2), Cell::Str("l2".into())],
+            vec![Cell::Null, Cell::Str("ln".into())],
+        ];
+        let right = vec![
+            vec![Cell::Int(2), Cell::Str("r2".into())],
+            vec![Cell::Int(2), Cell::Str("r2b".into())],
+            vec![Cell::Int(3), Cell::Str("r3".into())],
+            vec![Cell::Null, Cell::Str("rn".into())],
+        ];
+        let out = hash_join(
+            left,
+            right,
+            &Expr::Column(0),
+            &Expr::Column(0),
+            JsonParserKind::Jackson,
+            &mut m(),
+        )
+        .unwrap();
+        // Only key 2 matches, twice.
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 4);
+        assert_eq!(out[0][1], Cell::Str("l2".into()));
+        assert_eq!(out[1][3], Cell::Str("r2b".into()));
+    }
+
+    #[test]
+    fn join_keys_compare_numerically_across_types() {
+        let left = vec![vec![Cell::Int(2)]];
+        let right = vec![vec![Cell::Float(2.0)]];
+        let out = hash_join(
+            left,
+            right,
+            &Expr::Column(0),
+            &Expr::Column(0),
+            JsonParserKind::Jackson,
+            &mut m(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn sort_multi_key_with_direction() {
+        let rows = vec![
+            vec![Cell::Str("b".into()), Cell::Int(1)],
+            vec![Cell::Str("a".into()), Cell::Int(2)],
+            vec![Cell::Str("a".into()), Cell::Int(1)],
+        ];
+        let keys = vec![(Expr::Column(0), true), (Expr::Column(1), false)];
+        let out = sort_rows(rows, &keys, JsonParserKind::Jackson, &mut m()).unwrap();
+        assert_eq!(out[0], vec![Cell::Str("a".into()), Cell::Int(2)]);
+        assert_eq!(out[1], vec![Cell::Str("a".into()), Cell::Int(1)]);
+        assert_eq!(out[2], vec![Cell::Str("b".into()), Cell::Int(1)]);
+    }
+
+    #[test]
+    fn sort_nulls_first() {
+        let rows = vec![vec![Cell::Int(5)], vec![Cell::Null], vec![Cell::Int(1)]];
+        let out = sort_rows(
+            rows,
+            &[(Expr::Column(0), true)],
+            JsonParserKind::Jackson,
+            &mut m(),
+        )
+        .unwrap();
+        assert_eq!(out[0][0], Cell::Null);
+        assert_eq!(out[1][0], Cell::Int(1));
+    }
+
+    #[test]
+    fn sum_mixed_int_float_is_float() {
+        let rows = vec![vec![Cell::Int(1)], vec![Cell::Float(2.5)]];
+        let aggs = vec![(AggFunc::Sum, Some(Expr::Column(0)))];
+        let out = aggregate(rows, &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        assert_eq!(out[0][0], Cell::Float(3.5));
+    }
+
+    #[test]
+    fn sum_of_numeric_strings_coerces() {
+        // JSON-extracted values arrive as strings; SUM must still work.
+        let rows = vec![vec![Cell::Str("10".into())], vec![Cell::Str("5".into())]];
+        let aggs = vec![(AggFunc::Sum, Some(Expr::Column(0)))];
+        let out = aggregate(rows, &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        assert_eq!(out[0][0], Cell::Float(15.0));
+    }
+
+    #[test]
+    fn filter_and_limit_via_execute_plan() {
+        // Build a plan over a fake provider.
+        use crate::scan::ScanProvider;
+        use maxson_storage::{ColumnType, Field, Schema};
+
+        #[derive(Debug)]
+        struct Fixed(Schema, Vec<Vec<Cell>>);
+        impl ScanProvider for Fixed {
+            fn schema(&self) -> &Schema {
+                &self.0
+            }
+            fn scan(&self, _m: &mut ExecMetrics) -> crate::error::Result<Vec<Vec<Cell>>> {
+                Ok(self.1.clone())
+            }
+            fn label(&self) -> String {
+                "Fixed".into()
+            }
+        }
+        let schema = Schema::new(vec![Field::new("v", ColumnType::Int64)]).unwrap();
+        let rows: Vec<Vec<Cell>> = (0..10).map(|i| vec![Cell::Int(i)]).collect();
+        let plan = LogicalPlan::Limit {
+            n: 3,
+            input: Box::new(LogicalPlan::Filter {
+                predicate: Expr::Binary {
+                    left: Box::new(Expr::Column(0)),
+                    op: BinaryOp::GtEq,
+                    right: Box::new(Expr::Literal(Cell::Int(4))),
+                },
+                input: Box::new(LogicalPlan::Scan {
+                    provider: Box::new(Fixed(schema, rows)),
+                }),
+            }),
+        };
+        let out = execute_plan(&plan, JsonParserKind::Jackson, &mut m()).unwrap();
+        assert_eq!(
+            out,
+            vec![vec![Cell::Int(4)], vec![Cell::Int(5)], vec![Cell::Int(6)]]
+        );
+    }
+}

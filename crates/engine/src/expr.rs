@@ -1,0 +1,800 @@
+//! Physical (resolved) expressions and their evaluation.
+//!
+//! Physical expressions reference input columns by *index* into the
+//! operator's input schema. `GetJsonObject` is the expression where JSON
+//! parsing happens — its evaluation time is charged to
+//! [`ExecMetrics::parse`], which is how the engine reproduces the paper's
+//! parse-cost measurements. Maxson's Algorithm 1 rewrite replaces
+//! `GetJsonObject` nodes with plain `Column` references into cache-provided
+//! slots, making the parse cost vanish.
+
+use std::cmp::Ordering;
+use std::time::Instant;
+
+use maxson_json::mison::MisonProjector;
+use maxson_json::JsonPath;
+use maxson_storage::Cell;
+
+use crate::error::{EngineError, Result};
+use crate::metrics::ExecMetrics;
+use crate::sql::ast::{BinaryOp, ScalarFunc};
+
+/// How `get_json_object` parses records: the full-DOM "Jackson" baseline or
+/// the structural-index "Mison" projector (Fig. 15's parser axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JsonParserKind {
+    /// Full recursive-descent DOM parse (SparkSQL's default Jackson).
+    #[default]
+    Jackson,
+    /// Mison-style structural-index projection.
+    Mison,
+}
+
+/// A resolved physical expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Input column by index.
+    Column(usize),
+    /// Constant.
+    Literal(Cell),
+    /// `get_json_object(input_column, path)` — the parse hot spot.
+    GetJsonObject {
+        /// Input column holding the JSON string.
+        column: usize,
+        /// Compiled JSONPath.
+        path: JsonPath,
+    },
+    /// Binary operation with SQL NULL semantics.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical NOT (three-valued).
+    Not(Box<Expr>),
+    /// `IS NULL` / `IS NOT NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<Expr>,
+        /// `true` for IS NOT NULL.
+        negated: bool,
+    },
+    /// Inclusive range test.
+    Between {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `expr [NOT] IN (values...)` with SQL NULL semantics.
+    InList {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// List members.
+        items: Vec<Expr>,
+        /// `true` for NOT IN.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE 'pattern'` (`%` any run, `_` one char).
+    Like {
+        /// The tested expression.
+        expr: Box<Expr>,
+        /// Pattern text.
+        pattern: String,
+        /// `true` for NOT LIKE.
+        negated: bool,
+    },
+    /// A built-in scalar function.
+    Function {
+        /// Which function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Evaluate against one row. JSON parse time is charged to `metrics`.
+    pub fn eval(
+        &self,
+        row: &[Cell],
+        parser: JsonParserKind,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Cell> {
+        match self {
+            Expr::Column(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| EngineError::exec(format!("column index {i} out of range"))),
+            Expr::Literal(c) => Ok(c.clone()),
+            Expr::GetJsonObject { column, path } => {
+                let cell = row.get(*column).ok_or_else(|| {
+                    EngineError::exec(format!("column index {column} out of range"))
+                })?;
+                let Cell::Str(json) = cell else {
+                    return Ok(Cell::Null);
+                };
+                let start = Instant::now();
+                let extracted = match parser {
+                    JsonParserKind::Jackson => maxson_json::get_json_object(json, path),
+                    JsonParserKind::Mison => MisonProjector::project_path(json, path),
+                };
+                metrics.parse += start.elapsed();
+                metrics.parse_calls += 1;
+                Ok(extracted.map_or(Cell::Null, Cell::Str))
+            }
+            Expr::Binary { left, op, right } => {
+                let l = left.eval(row, parser, metrics)?;
+                let r = right.eval(row, parser, metrics)?;
+                eval_binary(&l, *op, &r)
+            }
+            Expr::Not(e) => match e.eval(row, parser, metrics)? {
+                Cell::Null => Ok(Cell::Null),
+                c => Ok(Cell::Bool(!truthy(&c))),
+            },
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(row, parser, metrics)?;
+                Ok(Cell::Bool(v.is_null() != *negated))
+            }
+            Expr::Between { expr, low, high } => {
+                let v = expr.eval(row, parser, metrics)?;
+                let lo = low.eval(row, parser, metrics)?;
+                let hi = high.eval(row, parser, metrics)?;
+                match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                    (Some(a), Some(b)) => {
+                        Ok(Cell::Bool(a != Ordering::Less && b != Ordering::Greater))
+                    }
+                    _ => Ok(Cell::Null),
+                }
+            }
+            Expr::Neg(e) => match e.eval(row, parser, metrics)? {
+                Cell::Null => Ok(Cell::Null),
+                Cell::Int(i) => Ok(Cell::Int(-i)),
+                Cell::Float(f) => Ok(Cell::Float(-f)),
+                c => match c.coerce_f64() {
+                    Some(f) => Ok(Cell::Float(-f)),
+                    None => Ok(Cell::Null),
+                },
+            },
+            Expr::InList {
+                expr,
+                items,
+                negated,
+            } => {
+                let v = expr.eval(row, parser, metrics)?;
+                if v.is_null() {
+                    return Ok(Cell::Null);
+                }
+                // SQL semantics: TRUE if any member equals; if none equals
+                // but a member is NULL, the result is NULL.
+                let mut saw_null = false;
+                let mut found = false;
+                for item in items {
+                    let m = item.eval(row, parser, metrics)?;
+                    if m.is_null() {
+                        saw_null = true;
+                        continue;
+                    }
+                    if v.sql_cmp(&m) == Some(std::cmp::Ordering::Equal) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(if found {
+                    Cell::Bool(!negated)
+                } else if saw_null {
+                    Cell::Null
+                } else {
+                    Cell::Bool(*negated)
+                })
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(row, parser, metrics)?;
+                if v.is_null() {
+                    return Ok(Cell::Null);
+                }
+                let text = v.render();
+                let m = like_match(&text, pattern);
+                Ok(Cell::Bool(m != *negated))
+            }
+            Expr::Function { func, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(a.eval(row, parser, metrics)?);
+                }
+                Ok(eval_scalar(*func, &values))
+            }
+        }
+    }
+
+    /// Walk the tree (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.walk(f),
+            Expr::IsNull { expr, .. } => expr.walk(f),
+            Expr::Between { expr, low, high } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::InList { expr, items, .. } => {
+                expr.walk(f);
+                for i in items {
+                    i.walk(f);
+                }
+            }
+            Expr::Like { expr, .. } => expr.walk(f),
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Column(_) | Expr::Literal(_) | Expr::GetJsonObject { .. } => {}
+        }
+    }
+
+    /// Rewrite the tree bottom-up: `f` maps each node after its children
+    /// were rewritten. This is the primitive Maxson's Algorithm 1 uses to
+    /// swap `GetJsonObject` nodes for cache-slot column references.
+    pub fn rewrite(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        let rewritten = match self {
+            Expr::Binary { left, op, right } => Expr::Binary {
+                left: Box::new(left.rewrite(f)),
+                op,
+                right: Box::new(right.rewrite(f)),
+            },
+            Expr::Not(e) => Expr::Not(Box::new(e.rewrite(f))),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.rewrite(f))),
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.rewrite(f)),
+                negated,
+            },
+            Expr::Between { expr, low, high } => Expr::Between {
+                expr: Box::new(expr.rewrite(f)),
+                low: Box::new(low.rewrite(f)),
+                high: Box::new(high.rewrite(f)),
+            },
+            Expr::InList {
+                expr,
+                items,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.rewrite(f)),
+                items: items.into_iter().map(|i| i.rewrite(f)).collect(),
+                negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.rewrite(f)),
+                pattern,
+                negated,
+            },
+            Expr::Function { func, args } => Expr::Function {
+                func,
+                args: args.into_iter().map(|a| a.rewrite(f)).collect(),
+            },
+            leaf => leaf,
+        };
+        f(rewritten)
+    }
+
+    /// Indexes of all input columns referenced by the tree.
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.walk(&mut |e| match e {
+            Expr::Column(i) => cols.push(*i),
+            Expr::GetJsonObject { column, .. } => cols.push(*column),
+            _ => {}
+        });
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+}
+
+/// SQL LIKE matching: `%` matches any run (including empty), `_` exactly
+/// one character. Case-sensitive, matching Hive's default.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                // Try every split point (including consuming nothing).
+                for k in 0..=t.len() {
+                    if rec(&t[k..], &p[1..]) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
+            Some(c) => t.first() == Some(c) && rec(&t[1..], &p[1..]),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+/// Evaluate a built-in scalar function with Hive-leaning semantics.
+fn eval_scalar(func: ScalarFunc, args: &[Cell]) -> Cell {
+    match func {
+        ScalarFunc::Length => match &args[0] {
+            Cell::Null => Cell::Null,
+            c => Cell::Int(c.render().chars().count() as i64),
+        },
+        ScalarFunc::Lower => match &args[0] {
+            Cell::Null => Cell::Null,
+            c => Cell::Str(c.render().to_lowercase()),
+        },
+        ScalarFunc::Upper => match &args[0] {
+            Cell::Null => Cell::Null,
+            c => Cell::Str(c.render().to_uppercase()),
+        },
+        ScalarFunc::Concat => {
+            let mut out = String::new();
+            for a in args {
+                if a.is_null() {
+                    return Cell::Null;
+                }
+                out.push_str(&a.render());
+            }
+            Cell::Str(out)
+        }
+        ScalarFunc::Coalesce => args
+            .iter()
+            .find(|a| !a.is_null())
+            .cloned()
+            .unwrap_or(Cell::Null),
+        ScalarFunc::Substr => {
+            if args[0].is_null() {
+                return Cell::Null;
+            }
+            let text = args[0].render();
+            let chars: Vec<char> = text.chars().collect();
+            let Some(start) = args[1].coerce_i64() else {
+                return Cell::Null;
+            };
+            // 1-based; negative counts from the end (Hive).
+            let begin = if start > 0 {
+                (start - 1) as usize
+            } else if start < 0 {
+                chars.len().saturating_sub(start.unsigned_abs() as usize)
+            } else {
+                0
+            };
+            let len = match args.get(2) {
+                Some(c) => match c.coerce_i64() {
+                    Some(l) if l >= 0 => l as usize,
+                    _ => return Cell::Null,
+                },
+                None => usize::MAX,
+            };
+            Cell::Str(chars.iter().skip(begin).take(len).collect())
+        }
+        ScalarFunc::Abs => match args[0].coerce_f64() {
+            None => Cell::Null,
+            Some(f) => match &args[0] {
+                Cell::Int(i) => Cell::Int(i.wrapping_abs()),
+                _ => Cell::Float(f.abs()),
+            },
+        },
+        ScalarFunc::Round => {
+            let Some(x) = args[0].coerce_f64() else {
+                return Cell::Null;
+            };
+            let digits = args
+                .get(1)
+                .and_then(Cell::coerce_i64)
+                .unwrap_or(0);
+            let factor = 10f64.powi(digits as i32);
+            let rounded = (x * factor).round() / factor;
+            if digits <= 0 {
+                Cell::Int(rounded as i64)
+            } else {
+                Cell::Float(rounded)
+            }
+        }
+    }
+}
+
+/// SQL truthiness: FALSE/NULL filter a row out; everything else passes.
+pub fn truthy(cell: &Cell) -> bool {
+    match cell {
+        Cell::Bool(b) => *b,
+        Cell::Null => false,
+        Cell::Int(i) => *i != 0,
+        Cell::Float(f) => *f != 0.0,
+        Cell::Str(s) => !s.is_empty(),
+    }
+}
+
+fn eval_binary(l: &Cell, op: BinaryOp, r: &Cell) -> Result<Cell> {
+    use BinaryOp::*;
+    match op {
+        And => Ok(match (l, r) {
+            // SQL three-valued logic.
+            (Cell::Null, x) | (x, Cell::Null) => {
+                if !x.is_null() && !truthy(x) {
+                    Cell::Bool(false)
+                } else {
+                    Cell::Null
+                }
+            }
+            (a, b) => Cell::Bool(truthy(a) && truthy(b)),
+        }),
+        Or => Ok(match (l, r) {
+            (Cell::Null, x) | (x, Cell::Null) => {
+                if !x.is_null() && truthy(x) {
+                    Cell::Bool(true)
+                } else {
+                    Cell::Null
+                }
+            }
+            (a, b) => Cell::Bool(truthy(a) || truthy(b)),
+        }),
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            let Some(ord) = l.sql_cmp(r) else {
+                return Ok(Cell::Null);
+            };
+            let b = match op {
+                Eq => ord == Ordering::Equal,
+                NotEq => ord != Ordering::Equal,
+                Lt => ord == Ordering::Less,
+                LtEq => ord != Ordering::Greater,
+                Gt => ord == Ordering::Greater,
+                GtEq => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Cell::Bool(b))
+        }
+        Add | Sub | Mul | Div | Mod => {
+            if l.is_null() || r.is_null() {
+                return Ok(Cell::Null);
+            }
+            // Integer arithmetic when both sides are exact ints (except Div).
+            if let (Cell::Int(a), Cell::Int(b)) = (l, r) {
+                return Ok(match op {
+                    Add => Cell::Int(a.wrapping_add(*b)),
+                    Sub => Cell::Int(a.wrapping_sub(*b)),
+                    Mul => Cell::Int(a.wrapping_mul(*b)),
+                    Div => {
+                        if *b == 0 {
+                            Cell::Null
+                        } else {
+                            Cell::Float(*a as f64 / *b as f64)
+                        }
+                    }
+                    Mod => {
+                        if *b == 0 {
+                            Cell::Null
+                        } else {
+                            Cell::Int(a % b)
+                        }
+                    }
+                    _ => unreachable!(),
+                });
+            }
+            let (Some(a), Some(b)) = (l.coerce_f64(), r.coerce_f64()) else {
+                return Ok(Cell::Null);
+            };
+            Ok(match op {
+                Add => Cell::Float(a + b),
+                Sub => Cell::Float(a - b),
+                Mul => Cell::Float(a * b),
+                Div => {
+                    if b == 0.0 {
+                        Cell::Null
+                    } else {
+                        Cell::Float(a / b)
+                    }
+                }
+                Mod => {
+                    if b == 0.0 {
+                        Cell::Null
+                    } else {
+                        Cell::Float(a % b)
+                    }
+                }
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(e: &Expr, row: &[Cell]) -> Cell {
+        let mut m = ExecMetrics::default();
+        e.eval(row, JsonParserKind::Jackson, &mut m).unwrap()
+    }
+
+    fn bin(l: Expr, op: BinaryOp, r: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(l),
+            op,
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let row = vec![Cell::Int(7), Cell::Str("x".into())];
+        assert_eq!(eval(&Expr::Column(1), &row), Cell::Str("x".into()));
+        assert_eq!(eval(&Expr::Literal(Cell::Int(3)), &row), Cell::Int(3));
+        let mut m = ExecMetrics::default();
+        assert!(Expr::Column(9)
+            .eval(&row, JsonParserKind::Jackson, &mut m)
+            .is_err());
+    }
+
+    #[test]
+    fn get_json_object_charges_parse_time() {
+        let row = vec![Cell::Str(r#"{"a": {"b": 42}}"#.into())];
+        let e = Expr::GetJsonObject {
+            column: 0,
+            path: JsonPath::parse("$.a.b").unwrap(),
+        };
+        let mut m = ExecMetrics::default();
+        for _ in 0..10 {
+            assert_eq!(
+                e.eval(&row, JsonParserKind::Jackson, &mut m).unwrap(),
+                Cell::Str("42".into())
+            );
+        }
+        assert_eq!(m.parse_calls, 10);
+        assert!(m.parse > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn both_parsers_agree() {
+        let row = vec![Cell::Str(r#"{"a": {"b": "v"}, "n": 5}"#.into())];
+        for path in ["$.a.b", "$.n", "$.missing"] {
+            let e = Expr::GetJsonObject {
+                column: 0,
+                path: JsonPath::parse(path).unwrap(),
+            };
+            let mut m = ExecMetrics::default();
+            let jackson = e.eval(&row, JsonParserKind::Jackson, &mut m).unwrap();
+            let mison = e.eval(&row, JsonParserKind::Mison, &mut m).unwrap();
+            assert_eq!(jackson, mison, "path {path}");
+        }
+    }
+
+    #[test]
+    fn json_on_null_or_non_string_is_null() {
+        let e = Expr::GetJsonObject {
+            column: 0,
+            path: JsonPath::parse("$.a").unwrap(),
+        };
+        assert_eq!(eval(&e, &[Cell::Null]), Cell::Null);
+        assert_eq!(eval(&e, &[Cell::Int(3)]), Cell::Null);
+    }
+
+    #[test]
+    fn comparisons_and_nulls() {
+        let lt = bin(Expr::Column(0), BinaryOp::Lt, Expr::Literal(Cell::Int(5)));
+        assert_eq!(eval(&lt, &[Cell::Int(3)]), Cell::Bool(true));
+        assert_eq!(eval(&lt, &[Cell::Int(7)]), Cell::Bool(false));
+        assert_eq!(eval(&lt, &[Cell::Null]), Cell::Null);
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = Expr::Literal(Cell::Bool(true));
+        let f = Expr::Literal(Cell::Bool(false));
+        let n = Expr::Literal(Cell::Null);
+        assert_eq!(eval(&bin(f.clone(), BinaryOp::And, n.clone()), &[]), Cell::Bool(false));
+        assert_eq!(eval(&bin(t.clone(), BinaryOp::And, n.clone()), &[]), Cell::Null);
+        assert_eq!(eval(&bin(t.clone(), BinaryOp::Or, n.clone()), &[]), Cell::Bool(true));
+        assert_eq!(eval(&bin(f.clone(), BinaryOp::Or, n.clone()), &[]), Cell::Null);
+        assert_eq!(eval(&Expr::Not(Box::new(n)), &[]), Cell::Null);
+        assert_eq!(eval(&Expr::Not(Box::new(t)), &[]), Cell::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let add = bin(Expr::Literal(Cell::Int(2)), BinaryOp::Add, Expr::Literal(Cell::Int(3)));
+        assert_eq!(eval(&add, &[]), Cell::Int(5));
+        let div = bin(Expr::Literal(Cell::Int(7)), BinaryOp::Div, Expr::Literal(Cell::Int(2)));
+        assert_eq!(eval(&div, &[]), Cell::Float(3.5));
+        let div0 = bin(Expr::Literal(Cell::Int(7)), BinaryOp::Div, Expr::Literal(Cell::Int(0)));
+        assert_eq!(eval(&div0, &[]), Cell::Null);
+        let mixed = bin(
+            Expr::Literal(Cell::Str("4".into())),
+            BinaryOp::Mul,
+            Expr::Literal(Cell::Float(2.5)),
+        );
+        assert_eq!(eval(&mixed, &[]), Cell::Float(10.0));
+        let bad = bin(
+            Expr::Literal(Cell::Str("abc".into())),
+            BinaryOp::Add,
+            Expr::Literal(Cell::Int(1)),
+        );
+        assert_eq!(eval(&bad, &[]), Cell::Null);
+    }
+
+    #[test]
+    fn between_inclusive() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::Column(0)),
+            low: Box::new(Expr::Literal(Cell::Int(2))),
+            high: Box::new(Expr::Literal(Cell::Int(4))),
+        };
+        assert_eq!(eval(&e, &[Cell::Int(2)]), Cell::Bool(true));
+        assert_eq!(eval(&e, &[Cell::Int(4)]), Cell::Bool(true));
+        assert_eq!(eval(&e, &[Cell::Int(5)]), Cell::Bool(false));
+        assert_eq!(eval(&e, &[Cell::Null]), Cell::Null);
+    }
+
+    #[test]
+    fn is_null_tests() {
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::Column(0)),
+            negated: false,
+        };
+        assert_eq!(eval(&e, &[Cell::Null]), Cell::Bool(true));
+        assert_eq!(eval(&e, &[Cell::Int(1)]), Cell::Bool(false));
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::Column(0)),
+            negated: true,
+        };
+        assert_eq!(eval(&e, &[Cell::Int(1)]), Cell::Bool(true));
+    }
+
+    #[test]
+    fn neg() {
+        assert_eq!(eval(&Expr::Neg(Box::new(Expr::Literal(Cell::Int(3)))), &[]), Cell::Int(-3));
+        assert_eq!(
+            eval(&Expr::Neg(Box::new(Expr::Literal(Cell::Str("2.5".into())))), &[]),
+            Cell::Float(-2.5)
+        );
+        assert_eq!(eval(&Expr::Neg(Box::new(Expr::Literal(Cell::Null))), &[]), Cell::Null);
+    }
+
+    #[test]
+    fn rewrite_replaces_nodes() {
+        let e = bin(
+            Expr::GetJsonObject {
+                column: 0,
+                path: JsonPath::parse("$.x").unwrap(),
+            },
+            BinaryOp::Gt,
+            Expr::Literal(Cell::Int(1)),
+        );
+        let rewritten = e.rewrite(&mut |node| match node {
+            Expr::GetJsonObject { .. } => Expr::Column(5),
+            other => other,
+        });
+        assert_eq!(
+            rewritten,
+            bin(Expr::Column(5), BinaryOp::Gt, Expr::Literal(Cell::Int(1)))
+        );
+    }
+
+    #[test]
+    fn referenced_columns_deduped() {
+        let e = bin(
+            Expr::Column(2),
+            BinaryOp::Add,
+            bin(
+                Expr::Column(0),
+                BinaryOp::Mul,
+                Expr::GetJsonObject {
+                    column: 2,
+                    path: JsonPath::parse("$.a").unwrap(),
+                },
+            ),
+        );
+        assert_eq!(e.referenced_columns(), vec![0, 2]);
+    }
+}
+
+#[cfg(test)]
+mod new_op_tests {
+    use super::*;
+
+    fn eval(e: &Expr, row: &[Cell]) -> Cell {
+        let mut m = ExecMetrics::default();
+        e.eval(row, JsonParserKind::Jackson, &mut m).unwrap()
+    }
+
+    fn in_list(expr: Expr, items: Vec<Cell>, negated: bool) -> Expr {
+        Expr::InList {
+            expr: Box::new(expr),
+            items: items.into_iter().map(Expr::Literal).collect(),
+            negated,
+        }
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let e = in_list(Expr::Column(0), vec![Cell::Int(1), Cell::Int(2)], false);
+        assert_eq!(eval(&e, &[Cell::Int(2)]), Cell::Bool(true));
+        assert_eq!(eval(&e, &[Cell::Int(3)]), Cell::Bool(false));
+        assert_eq!(eval(&e, &[Cell::Null]), Cell::Null);
+        // Numeric-string coercion matches the comparison semantics.
+        assert_eq!(eval(&e, &[Cell::Str("2".into())]), Cell::Bool(true));
+    }
+
+    #[test]
+    fn in_list_null_member_gives_null_on_miss() {
+        let e = in_list(
+            Expr::Column(0),
+            vec![Cell::Int(1), Cell::Null],
+            false,
+        );
+        assert_eq!(eval(&e, &[Cell::Int(1)]), Cell::Bool(true));
+        assert_eq!(eval(&e, &[Cell::Int(9)]), Cell::Null);
+        // NOT IN with a NULL member is never TRUE.
+        let e = in_list(Expr::Column(0), vec![Cell::Int(1), Cell::Null], true);
+        assert_eq!(eval(&e, &[Cell::Int(9)]), Cell::Null);
+        assert_eq!(eval(&e, &[Cell::Int(1)]), Cell::Bool(false));
+    }
+
+    #[test]
+    fn like_semantics() {
+        let like = |pat: &str, negated| Expr::Like {
+            expr: Box::new(Expr::Column(0)),
+            pattern: pat.to_string(),
+            negated,
+        };
+        assert_eq!(eval(&like("ba%", false), &[Cell::Str("banana".into())]), Cell::Bool(true));
+        assert_eq!(eval(&like("%na", false), &[Cell::Str("banana".into())]), Cell::Bool(true));
+        assert_eq!(eval(&like("b_n%", false), &[Cell::Str("banana".into())]), Cell::Bool(true));
+        assert_eq!(eval(&like("x%", false), &[Cell::Str("banana".into())]), Cell::Bool(false));
+        assert_eq!(eval(&like("x%", true), &[Cell::Str("banana".into())]), Cell::Bool(true));
+        assert_eq!(eval(&like("%", false), &[Cell::Null]), Cell::Null);
+        // Non-string values match against their rendering.
+        assert_eq!(eval(&like("12%", false), &[Cell::Int(123)]), Cell::Bool(true));
+    }
+
+    #[test]
+    fn like_match_edge_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%%%"));
+        assert!(like_match("a%b", "a%b")); // literal % in text matched by wildcard
+        assert!(like_match("héllo", "h_llo"));
+    }
+
+    #[test]
+    fn rewrite_recurses_into_new_variants() {
+        let e = Expr::InList {
+            expr: Box::new(Expr::Column(0)),
+            items: vec![Expr::Column(1)],
+            negated: false,
+        };
+        let shifted = e.rewrite(&mut |n| match n {
+            Expr::Column(i) => Expr::Column(i + 10),
+            other => other,
+        });
+        let Expr::InList { expr, items, .. } = shifted else {
+            panic!()
+        };
+        assert_eq!(*expr, Expr::Column(10));
+        assert_eq!(items[0], Expr::Column(11));
+    }
+}

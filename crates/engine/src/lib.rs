@@ -1,0 +1,46 @@
+//! A SparkSQL-like analytical query engine substrate.
+//!
+//! The paper implements Maxson *inside* SparkSQL: the plan rewriter
+//! (Algorithm 1) runs while SQL is compiled to a physical plan, and the
+//! value combiner (Algorithm 2) runs inside the table-scan phase. This crate
+//! rebuilds exactly the engine surface those mechanisms need:
+//!
+//! * [`sql`] — tokenizer, AST, and a recursive-descent parser for the SQL
+//!   subset the paper's workload uses (SELECT/WHERE/GROUP BY/ORDER BY/
+//!   LIMIT/JOIN plus `get_json_object`),
+//! * [`expr`] — a physical expression tree with SQL NULL semantics; the
+//!   `get_json_object` expression is where JSON parse time is burned and
+//!   metered,
+//! * [`plan`] — the logical plan with a [`scan::ScanProvider`]
+//!   extension point that Maxson's combined reader plugs into,
+//! * [`exec`] — volcano-style operators (scan, filter, project, hash
+//!   aggregate, hash join, sort, limit) over materialized row batches,
+//! * [`metrics`] — per-phase instrumentation (Read / Parse / Compute), the
+//!   measurement behind the paper's Fig. 3 and Fig. 12,
+//! * [`session`] — the user-facing entry point: a catalog plus
+//!   `execute(sql)` with pluggable plan rewriters.
+//!
+//! ```no_run
+//! use maxson_engine::session::Session;
+//!
+//! let mut session = Session::open("/tmp/warehouse").unwrap();
+//! let result = session
+//!     .execute("select get_json_object(logs, '$.item') as item from mydb.t limit 3")
+//!     .unwrap();
+//! println!("{}", result.to_display_string());
+//! ```
+
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod metrics;
+pub mod plan;
+pub mod scan;
+pub mod session;
+pub mod sql;
+
+pub use error::{EngineError, Result};
+pub use expr::Expr;
+pub use metrics::ExecMetrics;
+pub use plan::LogicalPlan;
+pub use session::{JsonParserKind, QueryResult, Session};

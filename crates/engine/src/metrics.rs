@@ -1,0 +1,138 @@
+//! Per-phase execution metrics.
+//!
+//! The paper's Fig. 3 and Fig. 12 break query time into **Read** (pulling
+//! bytes out of storage), **Parse** (JSON parsing inside
+//! `get_json_object`), and **Compute** (everything else). The executor
+//! threads one [`ExecMetrics`] through a query; the scan operator charges
+//! read time and bytes, the JSON expression charges parse time, and compute
+//! is derived as `total - read - parse`.
+
+use std::time::Duration;
+
+/// Counters accumulated during one query execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecMetrics {
+    /// Time spent reading/decoding storage.
+    pub read: Duration,
+    /// Time spent parsing JSON inside `get_json_object`.
+    pub parse: Duration,
+    /// Wall-clock for the whole execution (set by the session).
+    pub total: Duration,
+    /// Time spent generating/rewriting the plan (set by the session).
+    pub planning: Duration,
+    /// Rows scanned out of storage (after row-group skipping).
+    pub rows_scanned: u64,
+    /// Bytes of storage input actually decoded.
+    pub bytes_read: u64,
+    /// Number of `get_json_object` evaluations that ran a parser.
+    pub parse_calls: u64,
+    /// Number of JSON evaluations answered from a cache (Maxson hits).
+    pub cache_hits: u64,
+    /// Row groups skipped via SARG pushdown.
+    pub row_groups_skipped: u64,
+    /// Row groups read.
+    pub row_groups_read: u64,
+    /// Rows rejected by the Sparser-style raw prefilter before parsing.
+    pub prefilter_dropped: u64,
+}
+
+impl ExecMetrics {
+    /// Compute phase: total minus read and parse (clamped at zero).
+    pub fn compute(&self) -> Duration {
+        self.total.saturating_sub(self.read).saturating_sub(self.parse)
+    }
+
+    /// Fraction of total time spent parsing (0 when total is zero).
+    pub fn parse_fraction(&self) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.parse.as_secs_f64() / self.total.as_secs_f64()
+        }
+    }
+
+    /// Merge counters from another execution (e.g. both sides of a join).
+    pub fn absorb(&mut self, other: &ExecMetrics) {
+        self.read += other.read;
+        self.parse += other.parse;
+        self.rows_scanned += other.rows_scanned;
+        self.bytes_read += other.bytes_read;
+        self.parse_calls += other.parse_calls;
+        self.cache_hits += other.cache_hits;
+        self.row_groups_skipped += other.row_groups_skipped;
+        self.row_groups_read += other.row_groups_read;
+        self.prefilter_dropped += other.prefilter_dropped;
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "total={:?} read={:?} parse={:?} compute={:?} rows={} bytes={} parse_calls={} cache_hits={} rg_skipped={}/{}",
+            self.total,
+            self.read,
+            self.parse,
+            self.compute(),
+            self.rows_scanned,
+            self.bytes_read,
+            self.parse_calls,
+            self.cache_hits,
+            self.row_groups_skipped,
+            self.row_groups_skipped + self.row_groups_read,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_is_residual() {
+        let m = ExecMetrics {
+            total: Duration::from_millis(100),
+            read: Duration::from_millis(30),
+            parse: Duration::from_millis(50),
+            ..Default::default()
+        };
+        assert_eq!(m.compute(), Duration::from_millis(20));
+        assert!((m.parse_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_clamps_at_zero() {
+        let m = ExecMetrics {
+            total: Duration::from_millis(10),
+            read: Duration::from_millis(30),
+            ..Default::default()
+        };
+        assert_eq!(m.compute(), Duration::ZERO);
+        assert_eq!(ExecMetrics::default().parse_fraction(), 0.0);
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = ExecMetrics {
+            rows_scanned: 5,
+            parse_calls: 2,
+            ..Default::default()
+        };
+        let b = ExecMetrics {
+            rows_scanned: 7,
+            cache_hits: 3,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.rows_scanned, 12);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.parse_calls, 2);
+    }
+
+    #[test]
+    fn summary_mentions_fields() {
+        let m = ExecMetrics {
+            rows_scanned: 42,
+            ..Default::default()
+        };
+        assert!(m.summary().contains("rows=42"));
+    }
+}

@@ -1,0 +1,1145 @@
+//! The query session: catalog + planner + executor.
+//!
+//! [`Session::execute`] compiles SQL to a resolved plan and runs it. The
+//! compile step exposes the hook the paper's Algorithm 1 needs:
+//! a [`TableScanRewriter`] observes every table scan being planned —
+//! together with the `get_json_object` calls that will run over it and the
+//! query predicate — and may substitute its own [`ScanProvider`] whose
+//! output schema carries extra pre-parsed columns. JSONPath calls the
+//! rewriter claims are compiled to plain column references (the paper's
+//! *placeholders*) instead of parse expressions.
+
+use std::path::Path;
+use std::time::Instant;
+
+use maxson_json::JsonPath;
+use maxson_storage::{Catalog, Cell, CmpOp, ColumnType, Field, Schema, SearchArgument};
+
+use crate::error::{EngineError, Result};
+use crate::exec::execute_plan;
+use crate::expr::Expr;
+pub use crate::expr::JsonParserKind;
+use crate::metrics::ExecMetrics;
+use crate::plan::LogicalPlan;
+use crate::scan::{NorcScanProvider, ScanProvider};
+use crate::sql::ast::{
+    AggFunc, BinaryOp, SelectItem, SelectStatement, SqlExpr, TableRef,
+};
+use crate::sql::parse_select;
+
+/// Everything a [`TableScanRewriter`] gets to see about a scan being
+/// planned.
+#[derive(Debug)]
+pub struct ScanContext<'a> {
+    /// Database of the scanned table.
+    pub database: &'a str,
+    /// Name of the scanned table.
+    pub table: &'a str,
+    /// The raw table schema.
+    pub table_schema: &'a Schema,
+    /// Raw columns referenced as plain columns (must appear in the output).
+    pub raw_columns: &'a [String],
+    /// Deduplicated `get_json_object` calls over this table:
+    /// `(column_name, jsonpath_text)`.
+    pub json_calls: &'a [(String, String)],
+    /// The WHERE clause, for predicate-pushdown decisions.
+    pub predicate: Option<&'a SqlExpr>,
+}
+
+/// The rewriter's answer: a replacement provider plus the JSONPath calls it
+/// resolved to provider output columns.
+pub struct ScanRewrite {
+    /// The provider to scan instead of the default Norc reader. Its schema
+    /// must contain every `raw_column`, the JSON column of every call *not*
+    /// in `resolved_paths`, and one column per resolved path.
+    pub provider: Box<dyn ScanProvider>,
+    /// `(column_name, path_text) -> provider output column` for calls served
+    /// without parsing.
+    pub resolved_paths: Vec<((String, String), String)>,
+}
+
+/// Hook invoked for every table scan during planning (Algorithm 1's entry
+/// point). Returning `None` keeps the default scan.
+pub trait TableScanRewriter {
+    /// Human-readable name for plan display.
+    fn name(&self) -> &str;
+    /// Inspect the scan and optionally take it over.
+    fn rewrite_scan(&self, ctx: &ScanContext<'_>) -> Result<Option<ScanRewrite>>;
+}
+
+/// Result of executing one query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Cell>>,
+    /// Per-phase metrics.
+    pub metrics: ExecMetrics,
+    /// Rendered plan (EXPLAIN-style).
+    pub plan_display: String,
+}
+
+impl QueryResult {
+    /// Render as an aligned text table.
+    pub fn to_display_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let s = c.to_string();
+                        if let Some(w) = widths.get_mut(i) {
+                            *w = (*w).max(s.len());
+                        }
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, name) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{name:<w$}  ", w = widths[i]));
+        }
+        out.push('\n');
+        for row in rendered {
+            for (i, v) in row.iter().enumerate() {
+                out.push_str(&format!("{v:<w$}  ", w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A warehouse session.
+pub struct Session {
+    catalog: Catalog,
+    parser_kind: JsonParserKind,
+    rewriter: Option<Box<dyn TableScanRewriter>>,
+    /// Sparser-style raw prefiltering on JSON equality predicates.
+    prefilter_enabled: bool,
+}
+
+impl Session {
+    /// Open a session over a warehouse directory.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        Ok(Session {
+            catalog: Catalog::open(root.as_ref())?,
+            parser_kind: JsonParserKind::Jackson,
+            rewriter: None,
+            prefilter_enabled: false,
+        })
+    }
+
+    /// Enable/disable the Sparser-style raw prefilter: when a predicate
+    /// requires `get_json_object(col, path) = 'literal'`, records whose raw
+    /// bytes cannot contain the literal are dropped before parsing.
+    pub fn set_prefilter_enabled(&mut self, enabled: bool) {
+        self.prefilter_enabled = enabled;
+    }
+
+    /// Which JSON parser `get_json_object` uses (Fig. 15's axis).
+    pub fn set_parser_kind(&mut self, kind: JsonParserKind) {
+        self.parser_kind = kind;
+    }
+
+    /// Current JSON parser kind.
+    pub fn parser_kind(&self) -> JsonParserKind {
+        self.parser_kind
+    }
+
+    /// Install (or clear) the scan rewriter — Maxson plugs in here.
+    pub fn set_scan_rewriter(&mut self, rewriter: Option<Box<dyn TableScanRewriter>>) {
+        self.rewriter = rewriter;
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (for data loading).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Compile SQL into a plan without executing. Returns the plan and the
+    /// planning time — the measurement behind Fig. 13.
+    pub fn plan(&self, sql: &str) -> Result<(LogicalPlan, std::time::Duration, Vec<String>)> {
+        let start = Instant::now();
+        let stmt = parse_select(sql)?;
+        let (plan, names) = self.plan_statement(&stmt)?;
+        Ok((plan, start.elapsed(), names))
+    }
+
+    /// Execute a SELECT statement. A leading `EXPLAIN` keyword returns the
+    /// plan tree (one row per line) instead of executing.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let trimmed = sql.trim_start();
+        if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("explain") {
+            let (plan, planning, _) = self.plan(&trimmed[7..])?;
+            let metrics = ExecMetrics {
+                planning,
+                ..Default::default()
+            };
+            let display = plan.display();
+            return Ok(QueryResult {
+                columns: vec!["plan".to_string()],
+                rows: display
+                    .lines()
+                    .map(|l| vec![Cell::Str(l.to_string())])
+                    .collect(),
+                metrics,
+                plan_display: display,
+            });
+        }
+        let (plan, planning, names) = self.plan(sql)?;
+        let mut metrics = ExecMetrics {
+            planning,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let rows = execute_plan(&plan, self.parser_kind, &mut metrics)?;
+        metrics.total = start.elapsed();
+        Ok(QueryResult {
+            columns: names,
+            rows,
+            metrics,
+            plan_display: plan.display(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Planning
+    // ------------------------------------------------------------------
+
+    fn plan_statement(&self, stmt: &SelectStatement) -> Result<(LogicalPlan, Vec<String>)> {
+        // 1. Gather every expression in the query (for column analysis).
+        let mut all_exprs: Vec<&SqlExpr> = Vec::new();
+        let has_wildcard = stmt
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Wildcard));
+        for item in &stmt.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                all_exprs.push(expr);
+            }
+        }
+        if let Some(w) = &stmt.where_clause {
+            all_exprs.push(w);
+        }
+        if let Some(h) = &stmt.having {
+            all_exprs.push(h);
+        }
+        all_exprs.extend(stmt.group_by.iter());
+        all_exprs.extend(stmt.order_by.iter().map(|o| &o.expr));
+        if let Some(j) = &stmt.join {
+            all_exprs.push(&j.on_left);
+            all_exprs.push(&j.on_right);
+        }
+
+        // 2. Build the input plan (scan or join of two scans).
+        let (input, resolver) = match &stmt.join {
+            None => {
+                let (plan, res) =
+                    self.plan_table_scan(&stmt.from, &all_exprs, stmt.where_clause.as_ref(), None, has_wildcard)?;
+                (plan, res)
+            }
+            Some(join) => {
+                let left_alias = stmt.from.alias.clone();
+                let right_alias = join.table.alias.clone();
+                let (lplan, lres) = self.plan_table_scan(
+                    &stmt.from,
+                    &all_exprs,
+                    stmt.where_clause.as_ref(),
+                    left_alias.as_deref(),
+                    has_wildcard,
+                )?;
+                let (rplan, rres) = self.plan_table_scan(
+                    &join.table,
+                    &all_exprs,
+                    stmt.where_clause.as_ref(),
+                    right_alias.as_deref(),
+                    has_wildcard,
+                )?;
+                let resolver = lres.join(rres)?;
+                let left_key = resolver.compile(&join.on_left)?;
+                let right_shift = resolver.left_width();
+                // Right key compiles against the combined schema, then we
+                // shift it back to right-side indexes.
+                let right_key_combined = resolver.compile(&join.on_right)?;
+                let right_key = shift_columns(right_key_combined, right_shift)?;
+                let schema = resolver.schema.clone();
+                (
+                    LogicalPlan::Join {
+                        left: Box::new(lplan),
+                        right: Box::new(rplan),
+                        left_key,
+                        right_key,
+                        schema,
+                    },
+                    resolver,
+                )
+            }
+        };
+
+        // 3. WHERE.
+        let mut plan = input;
+        if let Some(w) = &stmt.where_clause {
+            let predicate = resolver.compile(w)?;
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+
+        // 4. Expand select items.
+        let mut select_exprs: Vec<(SqlExpr, String)> = Vec::new();
+        for (pos, item) in stmt.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for f in resolver.schema.fields() {
+                        select_exprs.push((
+                            SqlExpr::Column {
+                                qualifier: None,
+                                name: f.name.clone(),
+                            },
+                            f.name.clone(),
+                        ));
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let name = alias
+                        .clone()
+                        .unwrap_or_else(|| expr.default_name(pos));
+                    select_exprs.push((expr.clone(), name));
+                }
+            }
+        }
+
+        // 5. ORDER BY items that don't match an output alias become hidden
+        //    projected columns.
+        let mut order_keys: Vec<(usize, bool)> = Vec::new();
+        let mut hidden = 0usize;
+        for item in &stmt.order_by {
+            // By alias or identical expression.
+            let found = select_exprs.iter().position(|(e, name)| {
+                e == &item.expr
+                    || matches!(
+                        &item.expr,
+                        SqlExpr::Column { qualifier: None, name: n } if n == name
+                    )
+            });
+            let idx = match found {
+                Some(i) => i,
+                None => {
+                    select_exprs.push((item.expr.clone(), format!("__order{hidden}")));
+                    hidden += 1;
+                    select_exprs.len() - 1
+                }
+            };
+            order_keys.push((idx, item.asc));
+        }
+        let visible = select_exprs.len() - hidden;
+
+        let has_aggs = !stmt.group_by.is_empty()
+            || select_exprs.iter().any(|(e, _)| e.contains_aggregate())
+            || stmt.having.is_some();
+        if stmt.having.is_some() && stmt.group_by.is_empty() {
+            return Err(EngineError::plan(
+                "HAVING requires GROUP BY".to_string(),
+            ));
+        }
+
+        // 6. Aggregate + project, or plain project.
+        let out_names: Vec<String> = select_exprs[..visible]
+            .iter()
+            .map(|(_, n)| n.clone())
+            .collect();
+        if has_aggs {
+            // Group keys.
+            let group_compiled: Vec<Expr> = stmt
+                .group_by
+                .iter()
+                .map(|g| resolver.compile(g))
+                .collect::<Result<_>>()?;
+            // Collect aggregate calls across all select expressions (and
+            // HAVING, which may use aggregates not in the SELECT list).
+            let mut agg_calls: Vec<(AggFunc, Option<SqlExpr>)> = Vec::new();
+            for (e, _) in &select_exprs {
+                collect_aggs(e, &mut agg_calls);
+            }
+            if let Some(h) = &stmt.having {
+                collect_aggs(h, &mut agg_calls);
+            }
+            let compiled_aggs: Vec<(AggFunc, Option<Expr>)> = agg_calls
+                .iter()
+                .map(|(f, arg)| {
+                    Ok((
+                        *f,
+                        arg.as_ref().map(|a| resolver.compile(a)).transpose()?,
+                    ))
+                })
+                .collect::<Result<_>>()?;
+            // Aggregate output schema: keys then aggs (all dynamically typed
+            // as strings — the engine is value-typed at runtime).
+            let mut agg_fields: Vec<Field> = Vec::new();
+            for (i, _) in stmt.group_by.iter().enumerate() {
+                agg_fields.push(Field::new(format!("__key{i}"), ColumnType::Utf8));
+            }
+            for (i, _) in agg_calls.iter().enumerate() {
+                agg_fields.push(Field::new(format!("__agg{i}"), ColumnType::Utf8));
+            }
+            let agg_schema =
+                Schema::new(agg_fields).map_err(|e| EngineError::plan(e.to_string()))?;
+            plan = LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_by: group_compiled,
+                aggs: compiled_aggs,
+                schema: agg_schema.clone(),
+            };
+            // HAVING filters the aggregate output (keys then agg columns).
+            if let Some(h) = &stmt.having {
+                let predicate =
+                    compile_post_agg(h, &stmt.group_by, &agg_calls, nkeys_of(&stmt.group_by), &resolver)?;
+                plan = LogicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate,
+                };
+            }
+            // Post-aggregate projection: rewrite each select expression in
+            // terms of group keys / aggregate outputs.
+            let nkeys = stmt.group_by.len();
+            let mut post_exprs: Vec<(Expr, String)> = Vec::new();
+            for (e, name) in &select_exprs {
+                let compiled = compile_post_agg(e, &stmt.group_by, &agg_calls, nkeys, &resolver)?;
+                post_exprs.push((compiled, name.clone()));
+            }
+            let post_schema = Schema::new(
+                post_exprs
+                    .iter()
+                    .map(|(_, n)| Field::new(n.clone(), ColumnType::Utf8))
+                    .collect(),
+            )
+            .map_err(|e| EngineError::plan(e.to_string()))?;
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs: post_exprs,
+                schema: post_schema,
+            };
+        } else {
+            let compiled: Vec<(Expr, String)> = select_exprs
+                .iter()
+                .map(|(e, n)| Ok((resolver.compile(e)?, n.clone())))
+                .collect::<Result<_>>()?;
+            let schema = Schema::new(
+                compiled
+                    .iter()
+                    .map(|(_, n)| Field::new(n.clone(), ColumnType::Utf8))
+                    .collect(),
+            )
+            .map_err(|e| EngineError::plan(e.to_string()))?;
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs: compiled,
+                schema,
+            };
+        }
+
+        // 7. Sort over the projected output.
+        if !order_keys.is_empty() {
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys: order_keys
+                    .iter()
+                    .map(|&(i, asc)| (Expr::Column(i), asc))
+                    .collect(),
+            };
+        }
+
+        // 8. Strip hidden order-by columns.
+        if hidden > 0 {
+            let exprs: Vec<(Expr, String)> = out_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (Expr::Column(i), n.clone()))
+                .collect();
+            let schema = Schema::new(
+                out_names
+                    .iter()
+                    .map(|n| Field::new(n.clone(), ColumnType::Utf8))
+                    .collect(),
+            )
+            .map_err(|e| EngineError::plan(e.to_string()))?;
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs,
+                schema,
+            };
+        }
+
+        // 9. DISTINCT deduplicates the visible output columns.
+        if stmt.distinct {
+            plan = LogicalPlan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+
+        // 10. LIMIT.
+        if let Some(n) = stmt.limit {
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
+        }
+        Ok((plan, out_names))
+    }
+
+    /// Plan the scan of one table: analyse referenced columns and JSON
+    /// calls, offer the scan to the rewriter, otherwise build the default
+    /// Norc provider with SARG pushdown on raw columns.
+    fn plan_table_scan(
+        &self,
+        table_ref: &TableRef,
+        all_exprs: &[&SqlExpr],
+        predicate: Option<&SqlExpr>,
+        alias: Option<&str>,
+        include_all_columns: bool,
+    ) -> Result<(LogicalPlan, Resolver)> {
+        let table = self
+            .catalog
+            .table(&table_ref.database, &table_ref.table)?;
+        let schema = table.schema().clone();
+
+        // Which expressions belong to this table? With an alias, qualified
+        // references must match it; unqualified ones match if the column
+        // exists in this table.
+        let belongs = |qualifier: &Option<String>, name: &str| -> bool {
+            match (qualifier, alias) {
+                (Some(q), Some(a)) => q == a,
+                (Some(_), None) => false,
+                (None, _) => schema.index_of(name).is_some(),
+            }
+        };
+
+        let mut raw_columns: Vec<String> = Vec::new();
+        let mut json_calls: Vec<(String, String)> = Vec::new();
+        if include_all_columns {
+            // SELECT * — every table column is part of the output.
+            raw_columns.extend(schema.fields().iter().map(|f| f.name.clone()));
+        }
+        for e in all_exprs {
+            e.walk(&mut |node| match node {
+                SqlExpr::Column { qualifier, name } if belongs(qualifier, name)
+                    && !raw_columns.contains(name) => {
+                        raw_columns.push(name.clone());
+                    }
+                SqlExpr::GetJsonObject { column, path } => {
+                    if let SqlExpr::Column { qualifier, name } = column.as_ref() {
+                        if belongs(qualifier, name) {
+                            let call = (name.clone(), path.clone());
+                            if !json_calls.contains(&call) {
+                                json_calls.push(call);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            });
+        }
+        // A column referenced only inside get_json_object is not a raw
+        // output column... unless no rewriter resolves its calls. We first
+        // remove JSON-only columns, then add back the ones with unresolved
+        // calls after consulting the rewriter.
+        let json_only: Vec<String> = json_calls
+            .iter()
+            .map(|(c, _)| c.clone())
+            .filter(|c| !is_plain_column_ref(all_exprs, c, alias, &schema))
+            .collect();
+        raw_columns.retain(|c| !json_only.contains(c));
+
+        // Offer to the rewriter.
+        if let Some(rw) = &self.rewriter {
+            let ctx = ScanContext {
+                database: &table_ref.database,
+                table: &table_ref.table,
+                table_schema: &schema,
+                raw_columns: &raw_columns,
+                json_calls: &json_calls,
+                predicate,
+            };
+            if let Some(rewrite) = rw.rewrite_scan(&ctx)? {
+                let out_schema = rewrite.provider.schema().clone();
+                let resolver = Resolver {
+                    schema: out_schema,
+                    alias: alias.map(str::to_string),
+                    resolved_paths: rewrite.resolved_paths,
+                    left_fields: 0,
+                };
+                let plan = LogicalPlan::Scan {
+                    provider: rewrite.provider,
+                };
+                return Ok((plan, resolver));
+            }
+        }
+
+        // Default scan: raw columns plus JSON columns for every call.
+        let mut scan_columns = raw_columns.clone();
+        for (c, _) in &json_calls {
+            if !scan_columns.contains(c) {
+                scan_columns.push(c.clone());
+            }
+        }
+        // A query referencing no columns at all (e.g. `select count(*)`)
+        // still needs the row count: scan the narrowest column.
+        if scan_columns.is_empty() {
+            if let Some(f) = schema.fields().first() {
+                scan_columns.push(f.name.clone());
+            }
+        }
+        // Stable order: table schema order keeps plans deterministic.
+        scan_columns.sort_by_key(|c| schema.index_of(c));
+        let projection: Vec<usize> = scan_columns
+            .iter()
+            .map(|c| {
+                schema.index_of(c).ok_or_else(|| {
+                    EngineError::plan(format!(
+                        "column '{c}' not found in {}.{}",
+                        table_ref.database, table_ref.table
+                    ))
+                })
+            })
+            .collect::<Result<_>>()?;
+        let sarg = predicate.and_then(|p| extract_sarg(p, &schema, alias));
+        let mut provider = NorcScanProvider::new(table.clone(), projection, sarg)?;
+        if self.prefilter_enabled {
+            if let Some(p) = predicate {
+                // One filter per JSON column of this scan.
+                for (ci, field) in provider.schema().fields().iter().enumerate() {
+                    let needles = equality_needles(p, &field.name, alias);
+                    if !needles.is_empty() {
+                        provider = provider
+                            .with_prefilter(ci, maxson_json::RawFilter::new(needles));
+                        break; // one prefilter column is enough in practice
+                    }
+                }
+            }
+        }
+        let out_schema = provider.schema().clone();
+        Ok((
+            LogicalPlan::Scan {
+                provider: Box::new(provider),
+            },
+            Resolver {
+                schema: out_schema,
+                alias: alias.map(str::to_string),
+                resolved_paths: Vec::new(),
+                left_fields: 0,
+            },
+        ))
+    }
+}
+
+/// `true` when `column` appears as a plain (non-JSON-call) reference.
+fn is_plain_column_ref(
+    all_exprs: &[&SqlExpr],
+    column: &str,
+    alias: Option<&str>,
+    schema: &Schema,
+) -> bool {
+    let mut found = false;
+    for e in all_exprs {
+        walk_skipping_json_args(e, &mut |node| {
+            if let SqlExpr::Column { qualifier, name } = node {
+                let matches_alias = match (qualifier, alias) {
+                    (Some(q), Some(a)) => q == a,
+                    (Some(_), None) => false,
+                    (None, _) => schema.index_of(name).is_some(),
+                };
+                if matches_alias && name == column {
+                    found = true;
+                }
+            }
+        });
+    }
+    found
+}
+
+/// Walk an expression but do not descend into `get_json_object` column
+/// arguments (those are not raw column outputs).
+fn walk_skipping_json_args<'a>(e: &'a SqlExpr, f: &mut impl FnMut(&'a SqlExpr)) {
+    f(e);
+    match e {
+        SqlExpr::GetJsonObject { .. } => {}
+        SqlExpr::Binary { left, right, .. } => {
+            walk_skipping_json_args(left, f);
+            walk_skipping_json_args(right, f);
+        }
+        SqlExpr::Not(x) | SqlExpr::Neg(x) => walk_skipping_json_args(x, f),
+        SqlExpr::IsNull { expr, .. } => walk_skipping_json_args(expr, f),
+        SqlExpr::Between { expr, low, high } => {
+            walk_skipping_json_args(expr, f);
+            walk_skipping_json_args(low, f);
+            walk_skipping_json_args(high, f);
+        }
+        SqlExpr::Aggregate { arg, .. } => {
+            if let Some(a) = arg {
+                walk_skipping_json_args(a, f);
+            }
+        }
+        SqlExpr::InList { expr, items, .. } => {
+            walk_skipping_json_args(expr, f);
+            for i in items {
+                walk_skipping_json_args(i, f);
+            }
+        }
+        SqlExpr::Like { expr, .. } => walk_skipping_json_args(expr, f),
+        SqlExpr::Function { args, .. } => {
+            for a in args {
+                walk_skipping_json_args(a, f);
+            }
+        }
+        SqlExpr::Column { .. } | SqlExpr::Literal(_) => {}
+    }
+}
+
+/// Collect Sparser needles: string literals that the predicate's top-level
+/// AND-conjuncts require to appear in `json_column`'s raw text
+/// (`get_json_object(json_column, path) = 'literal'`).
+fn equality_needles(predicate: &SqlExpr, json_column: &str, alias: Option<&str>) -> Vec<String> {
+    fn walk_conjuncts<'a>(e: &'a SqlExpr, f: &mut impl FnMut(&'a SqlExpr)) {
+        if let SqlExpr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } = e
+        {
+            walk_conjuncts(left, f);
+            walk_conjuncts(right, f);
+        } else {
+            f(e);
+        }
+    }
+    let mut needles = Vec::new();
+    walk_conjuncts(predicate, &mut |conjunct| {
+        if let SqlExpr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = conjunct
+        {
+            let pairs = [(left, right), (right, left)];
+            for (call, lit) in pairs {
+                if let (
+                    SqlExpr::GetJsonObject { column, .. },
+                    SqlExpr::Literal(Cell::Str(value)),
+                ) = (call.as_ref(), lit.as_ref())
+                {
+                    if let SqlExpr::Column { qualifier, name } = column.as_ref() {
+                        if name == json_column && qualifier_matches(qualifier, alias) {
+                            if let Some(n) = maxson_json::RawFilter::equality_needle(value) {
+                                needles.push(n);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    });
+    needles
+}
+
+/// Extract a conjunction of `column op literal` leaves usable as a SARG on
+/// the raw table (JSON calls are *not* extracted here — that is Maxson's
+/// cache-side pushdown).
+fn extract_sarg(predicate: &SqlExpr, schema: &Schema, alias: Option<&str>) -> Option<SearchArgument> {
+    let mut sarg = SearchArgument::new();
+    collect_sarg_conjuncts(predicate, schema, alias, &mut sarg);
+    if sarg.is_empty() {
+        None
+    } else {
+        Some(sarg)
+    }
+}
+
+fn collect_sarg_conjuncts(
+    e: &SqlExpr,
+    schema: &Schema,
+    alias: Option<&str>,
+    sarg: &mut SearchArgument,
+) {
+    match e {
+        SqlExpr::Binary {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => {
+            collect_sarg_conjuncts(left, schema, alias, sarg);
+            collect_sarg_conjuncts(right, schema, alias, sarg);
+        }
+        SqlExpr::Binary { left, op, right } => {
+            let cmp = match op {
+                BinaryOp::Eq => CmpOp::Eq,
+                BinaryOp::NotEq => CmpOp::NotEq,
+                BinaryOp::Lt => CmpOp::Lt,
+                BinaryOp::LtEq => CmpOp::LtEq,
+                BinaryOp::Gt => CmpOp::Gt,
+                BinaryOp::GtEq => CmpOp::GtEq,
+                _ => return,
+            };
+            match (left.as_ref(), right.as_ref()) {
+                (SqlExpr::Column { qualifier, name }, SqlExpr::Literal(lit))
+                    if qualifier_matches(qualifier, alias) => {
+                        if let Some(idx) = schema.index_of(name) {
+                            *sarg = std::mem::take(sarg).with(idx, cmp, lit.clone());
+                        }
+                    }
+                (SqlExpr::Literal(lit), SqlExpr::Column { qualifier, name })
+                    if qualifier_matches(qualifier, alias) => {
+                        if let Some(idx) = schema.index_of(name) {
+                            let flipped = match cmp {
+                                CmpOp::Lt => CmpOp::Gt,
+                                CmpOp::LtEq => CmpOp::GtEq,
+                                CmpOp::Gt => CmpOp::Lt,
+                                CmpOp::GtEq => CmpOp::LtEq,
+                                other => other,
+                            };
+                            *sarg = std::mem::take(sarg).with(idx, flipped, lit.clone());
+                        }
+                    }
+                _ => {}
+            }
+        }
+        SqlExpr::Between { expr, low, high } => {
+            if let (SqlExpr::Column { qualifier, name }, SqlExpr::Literal(lo), SqlExpr::Literal(hi)) =
+                (expr.as_ref(), low.as_ref(), high.as_ref())
+            {
+                if qualifier_matches(qualifier, alias) {
+                    if let Some(idx) = schema.index_of(name) {
+                        *sarg = std::mem::take(sarg)
+                            .with(idx, CmpOp::GtEq, lo.clone())
+                            .with(idx, CmpOp::LtEq, hi.clone());
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn qualifier_matches(qualifier: &Option<String>, alias: Option<&str>) -> bool {
+    match (qualifier, alias) {
+        (None, _) => true,
+        (Some(q), Some(a)) => q == a,
+        (Some(_), None) => false,
+    }
+}
+
+/// Resolves SQL names to physical column indexes over a scan (or join)
+/// output schema, honouring rewriter-resolved JSONPath placeholders.
+#[derive(Debug)]
+struct Resolver {
+    schema: Schema,
+    alias: Option<String>,
+    /// `(column, path) -> output column name` from the scan rewrite.
+    resolved_paths: Vec<((String, String), String)>,
+    /// For joins: number of fields contributed by the left side.
+    left_fields: usize,
+}
+
+impl Resolver {
+    fn left_width(&self) -> usize {
+        if self.left_fields > 0 {
+            self.left_fields
+        } else {
+            self.schema.len()
+        }
+    }
+
+    /// Merge two single-table resolvers into a join resolver.
+    fn join(self, right: Resolver) -> Result<Resolver> {
+        let mut fields = Vec::new();
+        let prefix_l = self.alias.clone().unwrap_or_else(|| "l".into());
+        let prefix_r = right.alias.clone().unwrap_or_else(|| "r".into());
+        for f in self.schema.fields() {
+            fields.push(Field::new(format!("{prefix_l}.{}", f.name), f.ty));
+        }
+        for f in right.schema.fields() {
+            fields.push(Field::new(format!("{prefix_r}.{}", f.name), f.ty));
+        }
+        let left_fields = self.schema.len();
+        let mut resolved = Vec::new();
+        for ((c, p), out) in self.resolved_paths {
+            resolved.push(((format!("{prefix_l}.{c}"), p), format!("{prefix_l}.{out}")));
+        }
+        for ((c, p), out) in right.resolved_paths {
+            resolved.push(((format!("{prefix_r}.{c}"), p), format!("{prefix_r}.{out}")));
+        }
+        Ok(Resolver {
+            schema: Schema::new(fields).map_err(|e| EngineError::plan(e.to_string()))?,
+            alias: None,
+            resolved_paths: resolved,
+            left_fields,
+        })
+    }
+
+    /// Index of `[qualifier.]name` in the resolver's schema.
+    fn resolve_column(&self, qualifier: &Option<String>, name: &str) -> Result<usize> {
+        if self.left_fields > 0 {
+            // Join schema: names are "alias.column".
+            if let Some(q) = qualifier {
+                let qualified = format!("{q}.{name}");
+                return self.schema.index_of(&qualified).ok_or_else(|| {
+                    EngineError::plan(format!("unknown column '{qualified}'"))
+                });
+            }
+            // Unqualified in a join: unique suffix match.
+            let matches: Vec<usize> = self
+                .schema
+                .fields()
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.name.ends_with(&format!(".{name}")))
+                .map(|(i, _)| i)
+                .collect();
+            return match matches.as_slice() {
+                [one] => Ok(*one),
+                [] => Err(EngineError::plan(format!("unknown column '{name}'"))),
+                _ => Err(EngineError::plan(format!("ambiguous column '{name}'"))),
+            };
+        }
+        if let Some(q) = qualifier {
+            if self.alias.as_deref() != Some(q.as_str()) {
+                return Err(EngineError::plan(format!(
+                    "unknown table qualifier '{q}'"
+                )));
+            }
+        }
+        self.schema
+            .index_of(name)
+            .ok_or_else(|| EngineError::plan(format!("unknown column '{name}'")))
+    }
+
+    /// Look up a rewriter-resolved JSONPath placeholder column.
+    fn resolve_path(&self, qualifier: &Option<String>, column: &str, path: &str) -> Option<usize> {
+        let key_column = if self.left_fields > 0 {
+            let q = qualifier.as_deref()?;
+            format!("{q}.{column}")
+        } else {
+            column.to_string()
+        };
+        self.resolved_paths
+            .iter()
+            .find(|((c, p), _)| *c == key_column && p == path)
+            .and_then(|(_, out)| self.schema.index_of(out))
+    }
+
+    /// Compile an AST expression to a physical expression over this schema.
+    fn compile(&self, e: &SqlExpr) -> Result<Expr> {
+        Ok(match e {
+            SqlExpr::Column { qualifier, name } => {
+                Expr::Column(self.resolve_column(qualifier, name)?)
+            }
+            SqlExpr::Literal(c) => Expr::Literal(c.clone()),
+            SqlExpr::GetJsonObject { column, path } => {
+                let SqlExpr::Column { qualifier, name } = column.as_ref() else {
+                    return Err(EngineError::plan(
+                        "get_json_object requires a column argument".to_string(),
+                    ));
+                };
+                // Algorithm 1, line 15: cache hit -> placeholder (a plain
+                // column reference into the combined scan output).
+                if let Some(idx) = self.resolve_path(qualifier, name, path) {
+                    return Ok(Expr::Column(idx));
+                }
+                let compiled_path = JsonPath::parse(path)
+                    .map_err(|err| EngineError::plan(format!("bad JSONPath '{path}': {err}")))?;
+                Expr::GetJsonObject {
+                    column: self.resolve_column(qualifier, name)?,
+                    path: compiled_path,
+                }
+            }
+            SqlExpr::Binary { left, op, right } => Expr::Binary {
+                left: Box::new(self.compile(left)?),
+                op: *op,
+                right: Box::new(self.compile(right)?),
+            },
+            SqlExpr::Not(x) => Expr::Not(Box::new(self.compile(x)?)),
+            SqlExpr::Neg(x) => Expr::Neg(Box::new(self.compile(x)?)),
+            SqlExpr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(self.compile(expr)?),
+                negated: *negated,
+            },
+            SqlExpr::Between { expr, low, high } => Expr::Between {
+                expr: Box::new(self.compile(expr)?),
+                low: Box::new(self.compile(low)?),
+                high: Box::new(self.compile(high)?),
+            },
+            SqlExpr::InList {
+                expr,
+                items,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(self.compile(expr)?),
+                items: items
+                    .iter()
+                    .map(|i| self.compile(i))
+                    .collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            SqlExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(self.compile(expr)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            SqlExpr::Function { func, args } => Expr::Function {
+                func: *func,
+                args: args
+                    .iter()
+                    .map(|a| self.compile(a))
+                    .collect::<Result<_>>()?,
+            },
+            SqlExpr::Aggregate { .. } => {
+                return Err(EngineError::plan(
+                    "aggregate call in a non-aggregate position".to_string(),
+                ))
+            }
+        })
+    }
+}
+
+/// Shift all column references in an expression down by `offset` (used to
+/// re-base the join's right key from the combined schema to the right-side
+/// row).
+fn shift_columns(e: Expr, offset: usize) -> Result<Expr> {
+    let mut failed = false;
+    let shifted = e.rewrite(&mut |node| match node {
+        Expr::Column(i) => {
+            if i < offset {
+                failed = true;
+                Expr::Column(i)
+            } else {
+                Expr::Column(i - offset)
+            }
+        }
+        Expr::GetJsonObject { column, path } => {
+            if column < offset {
+                failed = true;
+                Expr::GetJsonObject { column, path }
+            } else {
+                Expr::GetJsonObject {
+                    column: column - offset,
+                    path,
+                }
+            }
+        }
+        other => other,
+    });
+    if failed {
+        Err(EngineError::plan(
+            "join ON right side references left table columns".to_string(),
+        ))
+    } else {
+        Ok(shifted)
+    }
+}
+
+fn nkeys_of(group_by: &[SqlExpr]) -> usize {
+    group_by.len()
+}
+
+/// Collect aggregate calls left-to-right (deduplicated structurally).
+fn collect_aggs(e: &SqlExpr, out: &mut Vec<(AggFunc, Option<SqlExpr>)>) {
+    e.walk(&mut |node| {
+        if let SqlExpr::Aggregate { func, arg } = node {
+            let call = (*func, arg.as_ref().map(|a| a.as_ref().clone()));
+            if !out.contains(&call) {
+                out.push(call);
+            }
+        }
+    });
+}
+
+/// Compile a select expression in the post-aggregate space: group-by
+/// expressions become key columns, aggregate calls become agg columns, and
+/// scalar operations compose on top.
+#[allow(clippy::only_used_in_recursion)]
+fn compile_post_agg(
+    e: &SqlExpr,
+    group_by: &[SqlExpr],
+    agg_calls: &[(AggFunc, Option<SqlExpr>)],
+    nkeys: usize,
+    resolver: &Resolver,
+) -> Result<Expr> {
+    if let Some(i) = group_by.iter().position(|g| g == e) {
+        return Ok(Expr::Column(i));
+    }
+    if let SqlExpr::Aggregate { func, arg } = e {
+        let call = (*func, arg.as_ref().map(|a| a.as_ref().clone()));
+        if let Some(j) = agg_calls.iter().position(|c| *c == call) {
+            return Ok(Expr::Column(nkeys + j));
+        }
+    }
+    match e {
+        SqlExpr::Binary { left, op, right } => Ok(Expr::Binary {
+            left: Box::new(compile_post_agg(left, group_by, agg_calls, nkeys, resolver)?),
+            op: *op,
+            right: Box::new(compile_post_agg(right, group_by, agg_calls, nkeys, resolver)?),
+        }),
+        SqlExpr::Not(x) => Ok(Expr::Not(Box::new(compile_post_agg(
+            x, group_by, agg_calls, nkeys, resolver,
+        )?))),
+        SqlExpr::Neg(x) => Ok(Expr::Neg(Box::new(compile_post_agg(
+            x, group_by, agg_calls, nkeys, resolver,
+        )?))),
+        SqlExpr::Literal(c) => Ok(Expr::Literal(c.clone())),
+        SqlExpr::IsNull { expr, negated } => Ok(Expr::IsNull {
+            expr: Box::new(compile_post_agg(expr, group_by, agg_calls, nkeys, resolver)?),
+            negated: *negated,
+        }),
+        SqlExpr::Between { expr, low, high } => Ok(Expr::Between {
+            expr: Box::new(compile_post_agg(expr, group_by, agg_calls, nkeys, resolver)?),
+            low: Box::new(compile_post_agg(low, group_by, agg_calls, nkeys, resolver)?),
+            high: Box::new(compile_post_agg(high, group_by, agg_calls, nkeys, resolver)?),
+        }),
+        SqlExpr::InList {
+            expr,
+            items,
+            negated,
+        } => Ok(Expr::InList {
+            expr: Box::new(compile_post_agg(expr, group_by, agg_calls, nkeys, resolver)?),
+            items: items
+                .iter()
+                .map(|i| compile_post_agg(i, group_by, agg_calls, nkeys, resolver))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        }),
+        SqlExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Ok(Expr::Like {
+            expr: Box::new(compile_post_agg(expr, group_by, agg_calls, nkeys, resolver)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        }),
+        SqlExpr::Function { func, args } => Ok(Expr::Function {
+            func: *func,
+            args: args
+                .iter()
+                .map(|a| compile_post_agg(a, group_by, agg_calls, nkeys, resolver))
+                .collect::<Result<_>>()?,
+        }),
+        other => Err(EngineError::plan(format!(
+            "expression {other:?} must appear in GROUP BY or inside an aggregate"
+        ))),
+    }
+}

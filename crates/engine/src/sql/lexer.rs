@@ -1,0 +1,280 @@
+//! SQL tokenizer.
+
+use crate::error::{EngineError, Result};
+
+/// Token kinds produced by [`tokenize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword or identifier (uppercased keywords are matched by the
+    /// parser; the original text is preserved).
+    Ident(String),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// One of `( ) , . * = < > <= >= <> != + - / %`
+    Symbol(&'static str),
+}
+
+/// One token plus its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Character offset in the SQL text.
+    pub offset: usize,
+}
+
+/// Tokenize SQL text. Comments (`-- ...`) are skipped.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(EngineError::Parse {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Copy one UTF-8 scalar.
+                            let rest = &sql[i..];
+                            let c = rest.chars().next().expect("in-bounds char");
+                            s.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(s),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &sql[start..i];
+                let kind = if is_float {
+                    TokenKind::FloatLit(text.parse().map_err(|_| EngineError::Parse {
+                        message: format!("bad float literal '{text}'"),
+                        offset: start,
+                    })?)
+                } else {
+                    TokenKind::IntLit(text.parse().map_err(|_| EngineError::Parse {
+                        message: format!("bad int literal '{text}'"),
+                        offset: start,
+                    })?)
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'`' => {
+                let start = i;
+                let quoted = b == b'`';
+                if quoted {
+                    i += 1;
+                    let qs = i;
+                    while i < bytes.len() && bytes[i] != b'`' {
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(EngineError::Parse {
+                            message: "unterminated quoted identifier".into(),
+                            offset: start,
+                        });
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(sql[qs..i].to_string()),
+                        offset: start,
+                    });
+                    i += 1;
+                } else {
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(sql[start..i].to_string()),
+                        offset: start,
+                    });
+                }
+            }
+            _ => {
+                let two: Option<&'static str> = match (b, bytes.get(i + 1)) {
+                    (b'<', Some(b'=')) => Some("<="),
+                    (b'>', Some(b'=')) => Some(">="),
+                    (b'<', Some(b'>')) => Some("<>"),
+                    (b'!', Some(b'=')) => Some("<>"),
+                    _ => None,
+                };
+                if let Some(sym) = two {
+                    tokens.push(Token {
+                        kind: TokenKind::Symbol(sym),
+                        offset: i,
+                    });
+                    i += 2;
+                    continue;
+                }
+                let one: &'static str = match b {
+                    b'(' => "(",
+                    b')' => ")",
+                    b',' => ",",
+                    b'.' => ".",
+                    b'*' => "*",
+                    b'=' => "=",
+                    b'<' => "<",
+                    b'>' => ">",
+                    b'+' => "+",
+                    b'-' => "-",
+                    b'/' => "/",
+                    b'%' => "%",
+                    _ => {
+                        return Err(EngineError::Parse {
+                            message: format!("unexpected character '{}'", b as char),
+                            offset: i,
+                        })
+                    }
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(one),
+                    offset: i,
+                });
+                i += 1;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("select a, 1 from t"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Symbol(","),
+                TokenKind::IntLit(1),
+                TokenKind::Ident("from".into()),
+                TokenKind::Ident("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s' '$.a.b'"),
+            vec![
+                TokenKind::StringLit("it's".into()),
+                TokenKind::StringLit("$.a.b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 2.5 1e3 7.25e-1"),
+            vec![
+                TokenKind::IntLit(42),
+                TokenKind::FloatLit(2.5),
+                TokenKind::FloatLit(1000.0),
+                TokenKind::FloatLit(0.725),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_comments() {
+        assert_eq!(
+            kinds("a >= 1 -- trailing\n<> != <"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Symbol(">="),
+                TokenKind::IntLit(1),
+                TokenKind::Symbol("<>"),
+                TokenKind::Symbol("<>"),
+                TokenKind::Symbol("<"),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            kinds("`weird name`"),
+            vec![TokenKind::Ident("weird name".into())]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("`unterminated").is_err());
+        assert!(tokenize("a ~ b").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+}

@@ -1,0 +1,11 @@
+//! SQL front end: tokenizer, AST, and parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    AggFunc, BinaryOp, OrderItem, SelectItem, SelectStatement, SqlExpr, TableRef,
+};
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::parse_select;

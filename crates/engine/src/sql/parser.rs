@@ -1,0 +1,713 @@
+//! Recursive-descent SQL parser for the warehouse query subset.
+
+use maxson_storage::Cell;
+
+use crate::error::{EngineError, Result};
+use crate::sql::ast::{
+    AggFunc, BinaryOp, JoinClause, OrderItem, ScalarFunc, SelectItem, SelectStatement, SqlExpr,
+    TableRef,
+};
+use crate::sql::lexer::{tokenize, Token, TokenKind};
+
+/// Parse a single `SELECT` statement.
+pub fn parse_select(sql: &str) -> Result<SelectStatement> {
+    let tokens = tokenize(sql)?;
+    let mut p = SqlParser { tokens, pos: 0 };
+    let stmt = p.select()?;
+    if p.pos < p.tokens.len() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct SqlParser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl SqlParser {
+    fn err(&self, message: impl Into<String>) -> EngineError {
+        EngineError::Parse {
+            message: message.into(),
+            offset: self.tokens.get(self.pos).map_or(0, |t| t.offset),
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn next(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume a keyword (case-insensitive identifier) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(TokenKind::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if let Some(TokenKind::Symbol(s)) = self.peek() {
+            if *s == sym {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{sym}'")))
+        }
+    }
+
+    /// `true` when the next identifier equals one of the reserved words that
+    /// terminate an expression list.
+    fn at_clause_boundary(&self) -> bool {
+        match self.peek() {
+            Some(TokenKind::Ident(s)) => matches!(
+                s.to_ascii_lowercase().as_str(),
+                "from" | "where" | "group" | "order" | "limit" | "join" | "on" | "as"
+                    | "and" | "or" | "asc" | "desc" | "inner" | "having" | "in" | "like"
+                    | "not" | "between" | "is"
+            ),
+            _ => false,
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStatement> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_sym("*") {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else if !self.at_clause_boundary() {
+                    // Bare alias: `expr name`.
+                    match self.peek() {
+                        Some(TokenKind::Ident(_)) => Some(self.ident()?),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_kw("from")?;
+        let from = self.table_ref()?;
+        let join = if self.eat_kw("join") || (self.eat_kw("inner") && self.eat_kw("join")) {
+            let table = self.table_ref()?;
+            self.expect_kw("on")?;
+            // Parse at additive precedence so the `=` separating the two
+            // join keys is not swallowed by the comparison rule.
+            let on_left = self.additive()?;
+            self.expect_sym("=")?;
+            let on_right = self.additive()?;
+            Some(JoinClause {
+                table,
+                on_left,
+                on_right,
+            })
+        } else {
+            None
+        };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push(OrderItem { expr, asc });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(TokenKind::IntLit(n)) if n >= 0 => Some(n as usize),
+                _ => return Err(self.err("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStatement {
+            distinct,
+            items,
+            from,
+            join,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let first = self.ident()?;
+        let (database, table) = if self.eat_sym(".") {
+            (first, self.ident()?)
+        } else {
+            ("default".to_string(), first)
+        };
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else if !self.at_clause_boundary() {
+            match self.peek() {
+                Some(TokenKind::Ident(_)) => Some(self.ident()?),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        Ok(TableRef {
+            database,
+            table,
+            alias,
+        })
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison/BETWEEN/IS < add < mul < unary.
+    fn expr(&mut self) -> Result<SqlExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = SqlExpr::Binary {
+                left: Box::new(left),
+                op: BinaryOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr> {
+        if self.eat_kw("not") {
+            Ok(SqlExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<SqlExpr> {
+        let left = self.additive()?;
+        // `NOT IN` / `NOT LIKE` (prefix NOT of a whole expression is
+        // handled one level up in not_expr).
+        let negated_postfix = {
+            let save = self.pos;
+            if self.eat_kw("not") {
+                if matches!(self.peek(), Some(TokenKind::Ident(s))
+                    if s.eq_ignore_ascii_case("in") || s.eq_ignore_ascii_case("like"))
+                {
+                    true
+                } else {
+                    self.pos = save;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.eat_kw("in") {
+            self.expect_sym("(")?;
+            let mut items = Vec::new();
+            loop {
+                items.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            return Ok(SqlExpr::InList {
+                expr: Box::new(left),
+                items,
+                negated: negated_postfix,
+            });
+        }
+        if self.eat_kw("like") {
+            let pattern = match self.next() {
+                Some(TokenKind::StringLit(s)) => s,
+                _ => return Err(self.err("LIKE requires a string pattern")),
+            };
+            return Ok(SqlExpr::Like {
+                expr: Box::new(left),
+                pattern,
+                negated: negated_postfix,
+            });
+        }
+        if negated_postfix {
+            return Err(self.err("expected IN or LIKE after NOT"));
+        }
+        if self.eat_kw("between") {
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            return Ok(SqlExpr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(SqlExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let op = match self.peek() {
+            Some(TokenKind::Symbol("=")) => Some(BinaryOp::Eq),
+            Some(TokenKind::Symbol("<>")) => Some(BinaryOp::NotEq),
+            Some(TokenKind::Symbol("<")) => Some(BinaryOp::Lt),
+            Some(TokenKind::Symbol("<=")) => Some(BinaryOp::LtEq),
+            Some(TokenKind::Symbol(">")) => Some(BinaryOp::Gt),
+            Some(TokenKind::Symbol(">=")) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(SqlExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<SqlExpr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Symbol("+")) => BinaryOp::Add,
+                Some(TokenKind::Symbol("-")) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = SqlExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<SqlExpr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Symbol("*")) => BinaryOp::Mul,
+                Some(TokenKind::Symbol("/")) => BinaryOp::Div,
+                Some(TokenKind::Symbol("%")) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = SqlExpr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<SqlExpr> {
+        if self.eat_sym("-") {
+            return Ok(SqlExpr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr> {
+        match self.next() {
+            Some(TokenKind::IntLit(n)) => Ok(SqlExpr::Literal(Cell::Int(n))),
+            Some(TokenKind::FloatLit(f)) => Ok(SqlExpr::Literal(Cell::Float(f))),
+            Some(TokenKind::StringLit(s)) => Ok(SqlExpr::Literal(Cell::Str(s))),
+            Some(TokenKind::Symbol("(")) => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(TokenKind::Ident(name)) => {
+                let lower = name.to_ascii_lowercase();
+                match lower.as_str() {
+                    "true" => return Ok(SqlExpr::Literal(Cell::Bool(true))),
+                    "false" => return Ok(SqlExpr::Literal(Cell::Bool(false))),
+                    "null" => return Ok(SqlExpr::Literal(Cell::Null)),
+                    _ => {}
+                }
+                if self.eat_sym("(") {
+                    // Function call.
+                    if lower == "get_json_object" {
+                        let column = self.expr()?;
+                        self.expect_sym(",")?;
+                        let path = match self.next() {
+                            Some(TokenKind::StringLit(s)) => s,
+                            _ => {
+                                return Err(
+                                    self.err("get_json_object requires a string JSONPath")
+                                )
+                            }
+                        };
+                        self.expect_sym(")")?;
+                        return Ok(SqlExpr::GetJsonObject {
+                            column: Box::new(column),
+                            path,
+                        });
+                    }
+                    if let Some(func) = AggFunc::from_name(&lower) {
+                        let (func, arg) = if self.eat_sym("*") {
+                            (func, None)
+                        } else if func == AggFunc::Count && self.eat_kw("distinct") {
+                            (AggFunc::CountDistinct, Some(Box::new(self.expr()?)))
+                        } else {
+                            (func, Some(Box::new(self.expr()?)))
+                        };
+                        self.expect_sym(")")?;
+                        return Ok(SqlExpr::Aggregate { func, arg });
+                    }
+                    if let Some(func) = ScalarFunc::from_name(&lower) {
+                        let mut args = Vec::new();
+                        if !self.eat_sym(")") {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat_sym(",") {
+                                    break;
+                                }
+                            }
+                            self.expect_sym(")")?;
+                        }
+                        let (min, max) = func.arity();
+                        if args.len() < min || args.len() > max {
+                            return Err(self.err(format!(
+                                "wrong argument count for {name}: got {}",
+                                args.len()
+                            )));
+                        }
+                        return Ok(SqlExpr::Function { func, args });
+                    }
+                    return Err(self.err(format!("unknown function '{name}'")));
+                }
+                if self.eat_sym(".") {
+                    let column = self.ident()?;
+                    return Ok(SqlExpr::Column {
+                        qualifier: Some(name),
+                        name: column,
+                    });
+                }
+                Ok(SqlExpr::Column {
+                    qualifier: None,
+                    name,
+                })
+            }
+            other => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err(format!("unexpected token {other:?} in expression")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig1_query_parses() {
+        let sql = "select mall_id, get_json_object(sale_logs, '$.item_id') as item_id, \
+                   get_json_object(sale_logs, '$.turnover') as turnover \
+                   from mydb.T where date between '20190101' and '20190103' \
+                   order by get_json_object(sale_logs, '$.turnover') limit 1";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.items.len(), 3);
+        assert_eq!(stmt.from.database, "mydb");
+        assert_eq!(stmt.from.table, "T");
+        assert!(matches!(
+            stmt.where_clause,
+            Some(SqlExpr::Between { .. })
+        ));
+        assert_eq!(stmt.order_by.len(), 1);
+        assert_eq!(stmt.limit, Some(1));
+    }
+
+    #[test]
+    fn fig8_query_parses() {
+        let sql = "select non_json_column0, non_json_column1, \
+                   get_json_object(json_column0, '$.id') as json_column0_id, \
+                   get_json_object(json_column0, '$.url') as json_column0_url \
+                   from T where get_json_object(json_column0, '$.id') > 10000";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.from.database, "default");
+        let w = stmt.where_clause.unwrap();
+        assert_eq!(
+            w.json_path_calls(),
+            vec![("json_column0".to_string(), "$.id".to_string())]
+        );
+    }
+
+    #[test]
+    fn group_by_and_aggregates() {
+        let sql = "select k, count(*) as n, sum(v) from t group by k order by n desc limit 5";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.group_by.len(), 1);
+        let SelectItem::Expr { expr, alias } = &stmt.items[1] else {
+            panic!()
+        };
+        assert!(expr.contains_aggregate());
+        assert_eq!(alias.as_deref(), Some("n"));
+        assert!(!stmt.order_by[0].asc);
+    }
+
+    #[test]
+    fn self_join_parses() {
+        let sql = "select a.id, b.id from db.t a join db.t b on a.k = b.k where a.id < 10";
+        let stmt = parse_select(sql).unwrap();
+        assert_eq!(stmt.from.alias.as_deref(), Some("a"));
+        let join = stmt.join.unwrap();
+        assert_eq!(join.table.alias.as_deref(), Some("b"));
+        assert_eq!(
+            join.on_left,
+            SqlExpr::Column {
+                qualifier: Some("a".into()),
+                name: "k".into()
+            }
+        );
+    }
+
+    #[test]
+    fn wildcard_and_bare_alias() {
+        let stmt = parse_select("select *, v total from t").unwrap();
+        assert_eq!(stmt.items[0], SelectItem::Wildcard);
+        let SelectItem::Expr { alias, .. } = &stmt.items[1] else {
+            panic!()
+        };
+        assert_eq!(alias.as_deref(), Some("total"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let stmt = parse_select("select a + b * 2 from t where x = 1 or y = 2 and z = 3").unwrap();
+        let SelectItem::Expr { expr, .. } = &stmt.items[0] else {
+            panic!()
+        };
+        // a + (b * 2)
+        let SqlExpr::Binary { op, right, .. } = expr else {
+            panic!()
+        };
+        assert_eq!(*op, BinaryOp::Add);
+        assert!(matches!(
+            right.as_ref(),
+            SqlExpr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
+        // x=1 OR (y=2 AND z=3)
+        let SqlExpr::Binary { op, .. } = stmt.where_clause.as_ref().unwrap() else {
+            panic!()
+        };
+        assert_eq!(*op, BinaryOp::Or);
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let stmt =
+            parse_select("select v from t where v is not null and not (v > 3)").unwrap();
+        let w = stmt.where_clause.unwrap();
+        let SqlExpr::Binary { left, right, .. } = &w else {
+            panic!()
+        };
+        assert!(matches!(
+            left.as_ref(),
+            SqlExpr::IsNull { negated: true, .. }
+        ));
+        assert!(matches!(right.as_ref(), SqlExpr::Not(_)));
+    }
+
+    #[test]
+    fn literals() {
+        let stmt = parse_select("select 1, 2.5, 'x', true, false, null, -3 from t").unwrap();
+        let cells: Vec<_> = stmt
+            .items
+            .iter()
+            .map(|it| match it {
+                SelectItem::Expr { expr, .. } => expr.clone(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(cells[0], SqlExpr::Literal(Cell::Int(1)));
+        assert_eq!(cells[3], SqlExpr::Literal(Cell::Bool(true)));
+        assert_eq!(cells[5], SqlExpr::Literal(Cell::Null));
+        assert!(matches!(cells[6], SqlExpr::Neg(_)));
+    }
+
+    #[test]
+    fn distinct_and_having() {
+        let stmt = parse_select(
+            "select distinct k, count(*) as n from t group by k having count(*) > 2",
+        )
+        .unwrap();
+        assert!(stmt.distinct);
+        assert!(stmt.having.is_some());
+        let plain = parse_select("select k from t").unwrap();
+        assert!(!plain.distinct);
+        assert!(plain.having.is_none());
+    }
+
+    #[test]
+    fn in_list_not_in_like_not_like() {
+        let stmt = parse_select(
+            "select v from t where v in (1, 2, 3) and name not in ('a')              and name like 'x%' and name not like '_y'",
+        )
+        .unwrap();
+        let mut in_count = 0;
+        let mut like_count = 0;
+        stmt.where_clause.unwrap().walk(&mut |e| match e {
+            SqlExpr::InList { items, negated, .. } => {
+                in_count += 1;
+                if !negated {
+                    assert_eq!(items.len(), 3);
+                }
+            }
+            SqlExpr::Like { pattern, negated, .. } => {
+                like_count += 1;
+                if !negated {
+                    assert_eq!(pattern, "x%");
+                }
+            }
+            _ => {}
+        });
+        assert_eq!(in_count, 2);
+        assert_eq!(like_count, 2);
+    }
+
+    #[test]
+    fn count_distinct_parses() {
+        let stmt = parse_select("select count(distinct v) from t").unwrap();
+        let SelectItem::Expr { expr, .. } = &stmt.items[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            expr,
+            SqlExpr::Aggregate {
+                func: AggFunc::CountDistinct,
+                arg: Some(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn new_syntax_errors() {
+        for bad in [
+            "select v from t where v in ()",
+            "select v from t where v in (1",
+            "select v from t where v like 5",
+            "select v from t where v not 5",
+        ] {
+            assert!(parse_select(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "select",
+            "select from t",
+            "select a t", // missing FROM
+            "select a from t limit 'x'",
+            "select unknown_func(a) from t",
+            "select get_json_object(a) from t",
+            "select a from t where",
+            "select a from t extra_garbage +",
+        ] {
+            assert!(parse_select(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types shared across the JSON substrate.
+
+use std::fmt;
+
+/// Result alias used throughout `maxson-json`.
+pub type Result<T> = std::result::Result<T, JsonError>;
+
+/// Errors raised while parsing JSON text or JSONPath expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Unexpected byte while parsing JSON text.
+    UnexpectedChar {
+        /// Byte offset in the input where the error was detected.
+        offset: usize,
+        /// The offending byte (or `None` at end-of-input).
+        found: Option<u8>,
+        /// Human-readable description of what was expected.
+        expected: &'static str,
+    },
+    /// Input ended in the middle of a value.
+    UnexpectedEof {
+        /// What the parser was in the middle of.
+        context: &'static str,
+    },
+    /// A number literal could not be represented.
+    InvalidNumber {
+        /// Byte offset of the number literal.
+        offset: usize,
+    },
+    /// An invalid escape sequence or raw control character inside a string.
+    InvalidString {
+        /// Byte offset of the problem.
+        offset: usize,
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// The document nests deeper than the configured limit.
+    TooDeep {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// Trailing non-whitespace bytes after a complete document.
+    TrailingData {
+        /// Byte offset of the first trailing byte.
+        offset: usize,
+    },
+    /// A JSONPath expression was malformed.
+    InvalidPath {
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::UnexpectedChar {
+                offset,
+                found,
+                expected,
+            } => match found {
+                Some(b) => write!(
+                    f,
+                    "unexpected byte {:?} at offset {offset}, expected {expected}",
+                    *b as char
+                ),
+                None => write!(f, "unexpected end of input at offset {offset}, expected {expected}"),
+            },
+            JsonError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while parsing {context}")
+            }
+            JsonError::InvalidNumber { offset } => {
+                write!(f, "invalid number literal at offset {offset}")
+            }
+            JsonError::InvalidString { offset, reason } => {
+                write!(f, "invalid string at offset {offset}: {reason}")
+            }
+            JsonError::TooDeep { limit } => {
+                write!(f, "document exceeds maximum nesting depth of {limit}")
+            }
+            JsonError::TrailingData { offset } => {
+                write!(f, "trailing data after document at offset {offset}")
+            }
+            JsonError::InvalidPath { reason } => write!(f, "invalid JSONPath: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = JsonError::UnexpectedChar {
+            offset: 3,
+            found: Some(b'x'),
+            expected: "':'",
+        };
+        assert!(e.to_string().contains("offset 3"));
+        let e = JsonError::TooDeep { limit: 64 };
+        assert!(e.to_string().contains("64"));
+        let e = JsonError::InvalidPath {
+            reason: "empty".into(),
+        };
+        assert!(e.to_string().contains("empty"));
+    }
+}

@@ -1,0 +1,135 @@
+//! A Sparser-style raw-byte prefilter (Palkar et al., VLDB 2018).
+//!
+//! Sparser's observation: many analytical queries are highly selective, so
+//! it pays to reject records with a cheap scan over the *raw bytes* before
+//! running any parser. The filter is sound but not exact: a record that
+//! passes may still fail the real predicate (the engine re-checks), but a
+//! record that is rejected can never match.
+//!
+//! We implement the conjunctive substring form: each needle is a byte
+//! string that must appear somewhere in the record for the predicate to
+//! possibly hold. Needles are derived from equality predicates on
+//! JSON-extracted values — `get_json_object(col, '$.name') = 'banana'`
+//! requires the bytes `banana` to appear in the raw JSON.
+
+/// A conjunction of substring needles over raw records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFilter {
+    needles: Vec<String>,
+}
+
+impl RawFilter {
+    /// Build from needles; empty needles are dropped (they always match).
+    pub fn new(needles: impl IntoIterator<Item = String>) -> Self {
+        RawFilter {
+            needles: needles.into_iter().filter(|n| !n.is_empty()).collect(),
+        }
+    }
+
+    /// Needle for an equality comparison against a string value. The raw
+    /// JSON contains the value text verbatim unless it needs escaping, so
+    /// values containing characters that JSON escapes (quotes, backslashes,
+    /// control characters) are not safe needles and yield `None`.
+    pub fn equality_needle(value: &str) -> Option<String> {
+        if value.is_empty()
+            || value
+                .chars()
+                .any(|c| c == '"' || c == '\\' || (c as u32) < 0x20)
+        {
+            None
+        } else {
+            Some(value.to_string())
+        }
+    }
+
+    /// The compiled needles.
+    pub fn needles(&self) -> &[String] {
+        &self.needles
+    }
+
+    /// `true` when no needle constrains anything.
+    pub fn is_empty(&self) -> bool {
+        self.needles.is_empty()
+    }
+
+    /// `true` if the record *may* satisfy the predicate (every needle is
+    /// present). Never returns `false` for a record the predicate accepts.
+    pub fn maybe_matches(&self, record: &str) -> bool {
+        self.needles.iter().all(|n| record.contains(n.as_str()))
+    }
+
+    /// Filter statistics helper: how many of `records` pass.
+    pub fn pass_count<'a>(&self, records: impl IntoIterator<Item = &'a str>) -> usize {
+        records
+            .into_iter()
+            .filter(|r| self.maybe_matches(r))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needles_must_all_match() {
+        let f = RawFilter::new(vec!["banana".to_string(), "fruit".to_string()]);
+        assert!(f.maybe_matches(r#"{"name":"banana","kind":"fruit"}"#));
+        assert!(!f.maybe_matches(r#"{"name":"banana"}"#));
+        assert!(!f.maybe_matches(r#"{"kind":"fruit"}"#));
+    }
+
+    #[test]
+    fn empty_filter_passes_everything() {
+        let f = RawFilter::new(vec![]);
+        assert!(f.is_empty());
+        assert!(f.maybe_matches("anything"));
+        let f = RawFilter::new(vec![String::new()]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn equality_needles_reject_escapable_values() {
+        assert_eq!(
+            RawFilter::equality_needle("banana"),
+            Some("banana".to_string())
+        );
+        assert_eq!(RawFilter::equality_needle(""), None);
+        assert_eq!(RawFilter::equality_needle("a\"b"), None);
+        assert_eq!(RawFilter::equality_needle("a\\b"), None);
+        assert_eq!(RawFilter::equality_needle("a\nb"), None);
+        // Unicode without escapes is fine (serialized verbatim).
+        assert_eq!(
+            RawFilter::equality_needle("héllo"),
+            Some("héllo".to_string())
+        );
+    }
+
+    #[test]
+    fn soundness_on_real_documents() {
+        // Any record whose parsed value equals the literal must pass.
+        let records = [
+            r#"{"name": "banana", "n": 1}"#,
+            r#"{"n": 2, "name": "banana"}"#,
+            r#"{"name": "apple"}"#,
+            r#"{"other": "ba", "name": "nana"}"#,
+        ];
+        let path = crate::JsonPath::parse("$.name").unwrap();
+        let f = RawFilter::new(vec![RawFilter::equality_needle("banana").unwrap()]);
+        for rec in records {
+            let matches = crate::get_json_object(rec, &path).as_deref() == Some("banana");
+            if matches {
+                assert!(f.maybe_matches(rec), "sound filter must pass {rec}");
+            }
+        }
+        // And it actually prunes the obvious non-matches.
+        assert!(!f.maybe_matches(records[2]));
+    }
+
+    #[test]
+    fn pass_count_counts() {
+        let f = RawFilter::new(vec!["x".to_string()]);
+        let records = ["ax", "b", "xx"];
+        assert_eq!(f.pass_count(records.iter().copied()), 2);
+    }
+}

@@ -1,0 +1,430 @@
+//! XML support — the paper's stated extension target (§VI: "Maxson's
+//! pre-caching technique can also be applied to other data formats, such
+//! as XML").
+//!
+//! The bridge is a conversion into the same [`JsonValue`] model, so every
+//! downstream piece — JSONPath evaluation, the cacher, the plan rewriter —
+//! works on XML-derived values unchanged:
+//!
+//! * an element becomes an object,
+//! * attributes become `@name` fields,
+//! * child elements become fields; repeated names collapse into an array,
+//! * text content becomes the `#text` field (or the element's value when
+//!   it has no attributes/children),
+//! * entities (`&amp;` etc., `&#NN;`, `&#xHH;`) and CDATA are decoded,
+//! * comments, processing instructions, and the XML prolog are skipped.
+//!
+//! So `<order id="7"><item>apple</item><item>pear</item></order>` converts
+//! to `{"order":{"@id":"7","item":["apple","pear"]}}` and the path
+//! `$.order.item[0]` evaluates exactly like any JSON path.
+
+use crate::error::{JsonError, Result};
+use crate::value::JsonValue;
+
+/// Parse an XML document into the JSON value model.
+pub fn xml_to_value(input: &str) -> Result<JsonValue> {
+    let mut p = XmlParser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let (name, value) = p.parse_element(0)?;
+    p.skip_misc()?;
+    if p.pos < p.bytes.len() {
+        return Err(JsonError::TrailingData { offset: p.pos });
+    }
+    Ok(JsonValue::Object(vec![(name, value)]))
+}
+
+/// Convenience: parse XML and serialize the converted document as compact
+/// JSON text (what a load-time converter would store in the warehouse).
+pub fn xml_to_json(input: &str) -> Result<String> {
+    Ok(crate::to_string(&xml_to_value(input)?))
+}
+
+const MAX_DEPTH: usize = 64;
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err(&self, expected: &'static str) -> JsonError {
+        JsonError::UnexpectedChar {
+            offset: self.pos,
+            found: self.bytes.get(self.pos).copied(),
+            expected,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b' ' | b'\t' | b'\n' | b'\r')
+        ) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, comments, PIs, and the prolog.
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.consume_until("?>", "processing instruction")?;
+            } else if self.starts_with("<!--") {
+                self.consume_until("-->", "comment")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Naive DOCTYPE skip (no internal subset support).
+                self.consume_until(">", "DOCTYPE")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn consume_until(&mut self, end: &str, context: &'static str) -> Result<()> {
+        match self.input[self.pos..].find(end) {
+            Some(off) => {
+                self.pos += off + end.len();
+                Ok(())
+            }
+            None => Err(JsonError::UnexpectedEof { context }),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("an XML name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    /// Parse `<name attr="v"...> children </name>` starting at `<`.
+    /// Returns `(name, converted value)`.
+    fn parse_element(&mut self, depth: usize) -> Result<(String, JsonValue)> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::TooDeep { limit: MAX_DEPTH });
+        }
+        if self.bytes.get(self.pos) != Some(&b'<') {
+            return Err(self.err("'<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut fields: Vec<(String, JsonValue)> = Vec::new();
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) != Some(&b'>') {
+                        return Err(self.err("'>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok((name, finish_element(fields, String::new())));
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr = self.parse_name()?;
+                    self.skip_ws();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(self.err("'=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.bytes.get(self.pos) {
+                        Some(q @ (b'"' | b'\'')) => *q,
+                        _ => return Err(self.err("a quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != quote) {
+                        self.pos += 1;
+                    }
+                    if self.bytes.get(self.pos) != Some(&quote) {
+                        return Err(JsonError::UnexpectedEof {
+                            context: "attribute value",
+                        });
+                    }
+                    let raw = &self.input[start..self.pos];
+                    self.pos += 1;
+                    push_child(&mut fields, format!("@{attr}"), JsonValue::from(decode_entities(raw)?));
+                }
+                None => {
+                    return Err(JsonError::UnexpectedEof {
+                        context: "element start tag",
+                    })
+                }
+            }
+        }
+        // Children and text.
+        let mut text = String::new();
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(JsonError::InvalidString {
+                        offset: self.pos,
+                        reason: "mismatched closing tag",
+                    });
+                }
+                self.skip_ws();
+                if self.bytes.get(self.pos) != Some(&b'>') {
+                    return Err(self.err("'>' in closing tag"));
+                }
+                self.pos += 1;
+                return Ok((name, finish_element(fields, text.trim().to_string())));
+            }
+            if self.starts_with("<!--") {
+                self.consume_until("-->", "comment")?;
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                self.consume_until("]]>", "CDATA")?;
+                text.push_str(&self.input[start..self.pos - 3]);
+                continue;
+            }
+            match self.bytes.get(self.pos) {
+                Some(b'<') => {
+                    let (child_name, child) = self.parse_element(depth + 1)?;
+                    push_child(&mut fields, child_name, child);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'<')
+                    {
+                        self.pos += 1;
+                    }
+                    text.push_str(&decode_entities(&self.input[start..self.pos])?);
+                }
+                None => {
+                    return Err(JsonError::UnexpectedEof {
+                        context: "element content",
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Insert a child field; a repeated name collapses into an array.
+fn push_child(fields: &mut Vec<(String, JsonValue)>, name: String, value: JsonValue) {
+    if let Some((_, existing)) = fields.iter_mut().find(|(k, _)| *k == name) {
+        match existing {
+            JsonValue::Array(items) => items.push(value),
+            other => {
+                let prev = std::mem::replace(other, JsonValue::Null);
+                *other = JsonValue::Array(vec![prev, value]);
+            }
+        }
+    } else {
+        fields.push((name, value));
+    }
+}
+
+/// Build the element's value: a bare string when it has only text, an
+/// object otherwise (text under `#text` if present).
+fn finish_element(mut fields: Vec<(String, JsonValue)>, text: String) -> JsonValue {
+    if fields.is_empty() {
+        return JsonValue::from(text);
+    }
+    if !text.is_empty() {
+        fields.push(("#text".to_string(), JsonValue::from(text)));
+    }
+    JsonValue::Object(fields)
+}
+
+/// Decode XML entities in `raw`.
+fn decode_entities(raw: &str) -> Result<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let Some(semi) = rest.find(';') else {
+            return Err(JsonError::InvalidString {
+                offset: 0,
+                reason: "unterminated entity",
+            });
+        };
+        let entity = &rest[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
+                    JsonError::InvalidString {
+                        offset: 0,
+                        reason: "bad hex character reference",
+                    }
+                })?;
+                out.push(char::from_u32(code).ok_or(JsonError::InvalidString {
+                    offset: 0,
+                    reason: "invalid character reference",
+                })?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..].parse().map_err(|_| JsonError::InvalidString {
+                    offset: 0,
+                    reason: "bad character reference",
+                })?;
+                out.push(char::from_u32(code).ok_or(JsonError::InvalidString {
+                    offset: 0,
+                    reason: "invalid character reference",
+                })?);
+            }
+            _ => {
+                return Err(JsonError::InvalidString {
+                    offset: 0,
+                    reason: "unknown entity",
+                })
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JsonPath;
+
+    #[test]
+    fn simple_element_with_text() {
+        let v = xml_to_value("<greeting>hello</greeting>").unwrap();
+        assert_eq!(v.get("greeting").unwrap().as_str(), Some("hello"));
+    }
+
+    #[test]
+    fn attributes_and_children() {
+        let v = xml_to_value(r#"<order id="7"><item>apple</item><total>12</total></order>"#)
+            .unwrap();
+        let order = v.get("order").unwrap();
+        assert_eq!(order.get("@id").unwrap().as_str(), Some("7"));
+        assert_eq!(order.get("item").unwrap().as_str(), Some("apple"));
+        assert_eq!(order.get("total").unwrap().as_str(), Some("12"));
+    }
+
+    #[test]
+    fn repeated_children_become_arrays() {
+        let v = xml_to_value("<o><i>a</i><i>b</i><i>c</i></o>").unwrap();
+        let items = v.get("o").unwrap().get("i").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[1].as_str(), Some("b"));
+    }
+
+    #[test]
+    fn jsonpath_works_on_converted_xml() {
+        let xml = r#"<order id="7"><item sku="A1">apple</item><item sku="B2">pear</item></order>"#;
+        let v = xml_to_value(xml).unwrap();
+        let p = JsonPath::parse("$.order.item[1].#text").unwrap();
+        assert_eq!(p.eval(&v).unwrap().as_str(), Some("pear"));
+        let p = JsonPath::parse("$.order.item[0].@sku").unwrap();
+        assert_eq!(p.eval(&v).unwrap().as_str(), Some("A1"));
+        let p = JsonPath::parse("$.order.@id").unwrap();
+        assert_eq!(p.eval(&v).unwrap().as_str(), Some("7"));
+    }
+
+    #[test]
+    fn mixed_text_and_children() {
+        let v = xml_to_value("<p>before<b>bold</b>after</p>").unwrap();
+        let p = v.get("p").unwrap();
+        assert_eq!(p.get("b").unwrap().as_str(), Some("bold"));
+        assert_eq!(p.get("#text").unwrap().as_str(), Some("beforeafter"));
+    }
+
+    #[test]
+    fn self_closing_and_empty() {
+        let v = xml_to_value(r#"<a><b/><c x="1"/></a>"#).unwrap();
+        let a = v.get("a").unwrap();
+        assert_eq!(a.get("b").unwrap().as_str(), Some(""));
+        assert_eq!(a.get("c").unwrap().get("@x").unwrap().as_str(), Some("1"));
+    }
+
+    #[test]
+    fn entities_and_cdata() {
+        let v = xml_to_value(
+            r#"<t a="&lt;x&gt;">&amp;&#65;&#x42;<![CDATA[<raw & stuff>]]></t>"#,
+        )
+        .unwrap();
+        let t = v.get("t").unwrap();
+        assert_eq!(t.get("@a").unwrap().as_str(), Some("<x>"));
+        assert_eq!(t.get("#text").unwrap().as_str(), Some("&AB<raw & stuff>"));
+    }
+
+    #[test]
+    fn prolog_comments_doctype_skipped() {
+        let xml = "<?xml version=\"1.0\"?>\n<!DOCTYPE x>\n<!-- hi -->\n<x>1</x>\n<!-- bye -->";
+        let v = xml_to_value(xml).unwrap();
+        assert_eq!(v.get("x").unwrap().as_str(), Some("1"));
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a x=1></a>",
+            "<a x=\"1></a>",
+            "plain text",
+            "<a>&nope;</a>",
+            "<a>&#xZZ;</a>",
+            "<a></a><b></b>",
+        ] {
+            assert!(xml_to_value(bad).is_err(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep = "<a>".repeat(MAX_DEPTH + 2) + &"</a>".repeat(MAX_DEPTH + 2);
+        assert!(matches!(
+            xml_to_value(&deep),
+            Err(JsonError::TooDeep { .. })
+        ));
+    }
+
+    #[test]
+    fn xml_to_json_round_trips_through_json_parser() {
+        let json = xml_to_json(r#"<o id="1"><i>a</i><i>b</i></o>"#).unwrap();
+        let doc = crate::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("o").unwrap().get("i").unwrap().as_array().unwrap().len(),
+            2
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! The Value Combiner (Algorithm 2) and shared predicate pushdown
+//! (Algorithm 3).
+//!
+//! When a query touches both cached and uncached data, two readers run per
+//! split: the **PrimaryReader** over the raw table file and the
+//! **CacheReader** over the cache table file with the same index. The
+//! cacher guarantees the two files have the same row count and row-group
+//! boundaries, so rows are stitched positionally — no join.
+//!
+//! When the predicate constrains a cached JSONPath, the SARG is evaluated
+//! against the cache file's row-group statistics; the resulting keep/skip
+//! array is *shared* with the PrimaryReader so the raw file skips the same
+//! row groups. As in the paper, the optimization only applies when both
+//! files hold a single stripe.
+
+use std::time::Instant;
+
+use maxson_engine::metrics::ExecMetrics;
+use maxson_engine::scan::ScanProvider;
+use maxson_storage::{Cell, SearchArgument, Schema, Table};
+
+/// Scan provider combining a raw table with its cache table.
+#[derive(Debug)]
+pub struct CombinedScanProvider {
+    /// The raw data table (PrimaryReader side). `None` for cache-only
+    /// reads, which skip raw I/O entirely (§IV-B's relevance rationale).
+    raw: Option<Table>,
+    /// Raw column indexes to read, in output order.
+    raw_projection: Vec<usize>,
+    /// The cache table (CacheReader side).
+    cache: Table,
+    /// Cache column indexes to read, in output order (placed after the raw
+    /// columns in the output schema).
+    cache_projection: Vec<usize>,
+    /// Output schema: raw columns then cache columns.
+    out_schema: Schema,
+    /// SARG over raw table columns (ordinary pushdown).
+    raw_sarg: Option<SearchArgument>,
+    /// SARG over cache table columns (Algorithm 3).
+    cache_sarg: Option<SearchArgument>,
+}
+
+impl CombinedScanProvider {
+    /// Build a combined provider. `out_schema` must list the raw projection
+    /// fields followed by the cache projection fields.
+    pub fn new(
+        raw: Option<Table>,
+        raw_projection: Vec<usize>,
+        cache: Table,
+        cache_projection: Vec<usize>,
+        out_schema: Schema,
+        raw_sarg: Option<SearchArgument>,
+        cache_sarg: Option<SearchArgument>,
+    ) -> Self {
+        CombinedScanProvider {
+            raw,
+            raw_projection,
+            cache,
+            cache_projection,
+            out_schema,
+            raw_sarg,
+            cache_sarg,
+        }
+    }
+
+    /// Whether this scan reads only the cache table.
+    pub fn is_cache_only(&self) -> bool {
+        self.raw.is_none() || self.raw_projection.is_empty()
+    }
+}
+
+impl ScanProvider for CombinedScanProvider {
+    fn schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    fn scan(&self, metrics: &mut ExecMetrics) -> maxson_engine::Result<Vec<Vec<Cell>>> {
+        let start = Instant::now();
+        let mut rows: Vec<Vec<Cell>> = Vec::new();
+        let split_count = self.cache.file_count();
+        for split in 0..split_count {
+            let cache_file = self.cache.open_split(split).map_err(engine_err)?;
+
+            // Algorithm 3: evaluate the cache-side SARG against the cache
+            // file's row-group stats (single-stripe files only).
+            let cache_keep: Option<Vec<bool>> = self.cache_sarg.as_ref().map(|sarg| {
+                if cache_file.stripe_count() <= 1 {
+                    sarg.keep_array(cache_file.row_groups())
+                } else {
+                    vec![true; cache_file.row_group_count()]
+                }
+            });
+
+            if self.is_cache_only() {
+                let keep = cache_keep;
+                count_rg(metrics, &keep, cache_file.row_group_count());
+                let cols = cache_file
+                    .read_columns(&self.cache_projection, keep.as_deref())
+                    .map_err(engine_err)?;
+                let n = cols.first().map_or(0, |c| c.len());
+                for i in 0..n {
+                    let row: Vec<Cell> = cols.iter().map(|c| c.get(i)).collect();
+                    metrics.bytes_read += row.iter().map(Cell::byte_size).sum::<usize>() as u64;
+                    metrics.cache_hits += self.cache_projection.len() as u64;
+                    rows.push(row);
+                }
+                continue;
+            }
+
+            let raw_table = self.raw.as_ref().expect("raw table present");
+            let raw_file = raw_table.open_split(split).map_err(engine_err)?;
+
+            // The alignment invariant of §IV-C. If it does not hold (e.g.
+            // the raw table changed underneath us) fail loudly rather than
+            // stitch misaligned rows.
+            if raw_file.num_rows() != cache_file.num_rows() {
+                return Err(maxson_engine::EngineError::exec(format!(
+                    "cache misalignment on split {split}: raw has {} rows, cache has {}",
+                    raw_file.num_rows(),
+                    cache_file.num_rows()
+                )));
+            }
+
+            // Combine keep arrays. Sharing requires identical row-group
+            // boundaries; otherwise fall back to reading everything.
+            let aligned_groups = raw_file.row_group_count() == cache_file.row_group_count()
+                && raw_file.stripe_count() <= 1
+                && cache_file.stripe_count() <= 1;
+            let raw_keep: Option<Vec<bool>> = self.raw_sarg.as_ref().map(|sarg| {
+                if raw_file.stripe_count() <= 1 {
+                    sarg.keep_array(raw_file.row_groups())
+                } else {
+                    vec![true; raw_file.row_group_count()]
+                }
+            });
+            let shared_keep: Option<Vec<bool>> = if aligned_groups {
+                match (&raw_keep, &cache_keep) {
+                    (Some(r), Some(c)) => {
+                        Some(r.iter().zip(c).map(|(a, b)| *a && *b).collect())
+                    }
+                    (Some(r), None) => Some(r.clone()),
+                    (None, Some(c)) => Some(c.clone()),
+                    (None, None) => None,
+                }
+            } else {
+                // Cannot share: only the raw-side SARG can be applied, and
+                // only consistently on both readers, so read everything.
+                None
+            };
+            count_rg(metrics, &shared_keep, cache_file.row_group_count());
+
+            let raw_cols = raw_file
+                .read_columns(&self.raw_projection, shared_keep.as_deref())
+                .map_err(engine_err)?;
+            let cache_cols = cache_file
+                .read_columns(&self.cache_projection, shared_keep.as_deref())
+                .map_err(engine_err)?;
+            let n = raw_cols
+                .first()
+                .map(|c| c.len())
+                .or_else(|| cache_cols.first().map(|c| c.len()))
+                .unwrap_or(0);
+
+            // Algorithm 2: positional stitch of the two readers' outputs
+            // into the output schema (raw fields then cache fields).
+            for i in 0..n {
+                let mut row: Vec<Cell> =
+                    Vec::with_capacity(self.raw_projection.len() + self.cache_projection.len());
+                for c in &raw_cols {
+                    row.push(c.get(i));
+                }
+                for c in &cache_cols {
+                    row.push(c.get(i));
+                }
+                metrics.bytes_read += row.iter().map(Cell::byte_size).sum::<usize>() as u64;
+                metrics.cache_hits += self.cache_projection.len() as u64;
+                rows.push(row);
+            }
+        }
+        metrics.rows_scanned += rows.len() as u64;
+        metrics.read += start.elapsed();
+        Ok(rows)
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "MaxsonCombinedScan(raw_cols={:?}, cache_cols={:?}{}{})",
+            self.raw_projection,
+            self.cache_projection,
+            if self.cache_sarg.as_ref().is_some_and(|s| !s.is_empty()) {
+                ", cache_sarg"
+            } else {
+                ""
+            },
+            if self.is_cache_only() { ", cache-only" } else { "" },
+        )
+    }
+}
+
+fn count_rg(metrics: &mut ExecMetrics, keep: &Option<Vec<bool>>, total: usize) {
+    match keep {
+        Some(keep) => {
+            let skipped = keep.iter().filter(|k| !**k).count() as u64;
+            metrics.row_groups_skipped += skipped;
+            metrics.row_groups_read += keep.len() as u64 - skipped;
+        }
+        None => metrics.row_groups_read += total as u64,
+    }
+}
+
+fn engine_err(e: maxson_storage::StorageError) -> maxson_engine::EngineError {
+    maxson_engine::EngineError::Storage(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxson_storage::file::WriteOptions;
+    use maxson_storage::{CmpOp, ColumnType, Field};
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        std::env::temp_dir().join(format!(
+            "maxson-combiner-{}-{nanos}-{name}",
+            std::process::id()
+        ))
+    }
+
+    /// Raw table: (id, payload); cache table: (va,) where va = id * 10 as
+    /// string. Two files of 20 rows each, row groups of 5.
+    fn setup(name: &str) -> (Table, Table, PathBuf, PathBuf) {
+        let raw_schema = Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("payload", ColumnType::Utf8),
+        ])
+        .unwrap();
+        let cache_schema = Schema::new(vec![Field::new("va", ColumnType::Utf8)]).unwrap();
+        let raw_dir = temp_dir(&format!("{name}-raw"));
+        let cache_dir = temp_dir(&format!("{name}-cache"));
+        let mut raw = Table::create(&raw_dir, raw_schema, 0).unwrap();
+        let mut cache = Table::create(&cache_dir, cache_schema, 0).unwrap();
+        let opts = WriteOptions {
+            row_group_size: 5,
+            ..Default::default()
+        };
+        for f in 0..2i64 {
+            let raw_rows: Vec<Vec<Cell>> = (0..20)
+                .map(|i| {
+                    let n = f * 20 + i;
+                    vec![Cell::Int(n), Cell::Str(format!("{{\"a\":{}}}", n * 10))]
+                })
+                .collect();
+            let cache_rows: Vec<Vec<Cell>> = (0..20)
+                .map(|i| {
+                    let n = f * 20 + i;
+                    vec![Cell::Str(format!("{}", n * 10))]
+                })
+                .collect();
+            raw.append_file(&raw_rows, opts, 1).unwrap();
+            cache.append_file(&cache_rows, opts, 1).unwrap();
+        }
+        (raw, cache, raw_dir, cache_dir)
+    }
+
+    fn out_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("va", ColumnType::Utf8),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn stitches_rows_positionally() {
+        let (raw, cache, rd, cd) = setup("stitch");
+        let p = CombinedScanProvider::new(
+            Some(raw),
+            vec![0],
+            cache,
+            vec![0],
+            out_schema(),
+            None,
+            None,
+        );
+        let mut m = ExecMetrics::default();
+        let rows = p.scan(&mut m).unwrap();
+        assert_eq!(rows.len(), 40);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row[0], Cell::Int(i as i64));
+            assert_eq!(row[1], Cell::Str(format!("{}", i * 10)));
+        }
+        assert_eq!(m.cache_hits, 40);
+        assert_eq!(m.rows_scanned, 40);
+        std::fs::remove_dir_all(rd).ok();
+        std::fs::remove_dir_all(cd).ok();
+    }
+
+    #[test]
+    fn cache_sarg_skip_is_shared_with_primary_reader() {
+        let (raw, cache, rd, cd) = setup("share");
+        // va >= "350" numerically -> only rows 35..39 (last row group of
+        // file 1) qualify.
+        let sarg = SearchArgument::new().with(0, CmpOp::GtEq, Cell::Int(350));
+        let p = CombinedScanProvider::new(
+            Some(raw),
+            vec![0],
+            cache,
+            vec![0],
+            out_schema(),
+            None,
+            Some(sarg),
+        );
+        let mut m = ExecMetrics::default();
+        let rows = p.scan(&mut m).unwrap();
+        // Row group size 5, 4 groups per file, 2 files = 8 shared groups.
+        // Only file 1's last group ([35..39], va 350..390) survives.
+        assert_eq!(m.row_groups_read, 1);
+        assert_eq!(m.row_groups_skipped, 7);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0][0], Cell::Int(35));
+        std::fs::remove_dir_all(rd).ok();
+        std::fs::remove_dir_all(cd).ok();
+    }
+
+    #[test]
+    fn raw_and_cache_sargs_combine() {
+        let (raw, cache, rd, cd) = setup("combine");
+        let raw_sarg = SearchArgument::new().with(0, CmpOp::Lt, Cell::Int(10));
+        let cache_sarg = SearchArgument::new().with(0, CmpOp::GtEq, Cell::Int(50));
+        let p = CombinedScanProvider::new(
+            Some(raw),
+            vec![0],
+            cache,
+            vec![0],
+            out_schema(),
+            Some(raw_sarg),
+            Some(cache_sarg),
+        );
+        let mut m = ExecMetrics::default();
+        let rows = p.scan(&mut m).unwrap();
+        // id < 10 AND va >= 50 -> ids 5..9 (row group [5..9]).
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0][0], Cell::Int(5));
+        std::fs::remove_dir_all(rd).ok();
+        std::fs::remove_dir_all(cd).ok();
+    }
+
+    #[test]
+    fn cache_only_scan_never_opens_raw() {
+        let (_raw, cache, rd, cd) = setup("cacheonly");
+        let schema = Schema::new(vec![Field::new("va", ColumnType::Utf8)]).unwrap();
+        let p = CombinedScanProvider::new(None, vec![], cache, vec![0], schema, None, None);
+        assert!(p.is_cache_only());
+        let mut m = ExecMetrics::default();
+        let rows = p.scan(&mut m).unwrap();
+        assert_eq!(rows.len(), 40);
+        assert_eq!(m.cache_hits, 40);
+        assert!(p.label().contains("cache-only"));
+        std::fs::remove_dir_all(rd).ok();
+        std::fs::remove_dir_all(cd).ok();
+    }
+
+    #[test]
+    fn misaligned_split_is_detected() {
+        let (raw, _cache, rd, cd) = setup("misaligned");
+        // Build a cache table with a different row count.
+        let bad_dir = temp_dir("misaligned-bad");
+        let schema = Schema::new(vec![Field::new("va", ColumnType::Utf8)]).unwrap();
+        let mut bad = Table::create(&bad_dir, schema, 0).unwrap();
+        let rows: Vec<Vec<Cell>> = (0..7).map(|i| vec![Cell::Str(format!("{i}"))]).collect();
+        bad.append_file(&rows, WriteOptions::default(), 1).unwrap();
+        bad.append_file(&rows, WriteOptions::default(), 1).unwrap();
+        let p = CombinedScanProvider::new(
+            Some(raw),
+            vec![0],
+            bad,
+            vec![0],
+            out_schema(),
+            None,
+            None,
+        );
+        let mut m = ExecMetrics::default();
+        let err = p.scan(&mut m).unwrap_err();
+        assert!(err.to_string().contains("misalignment"));
+        std::fs::remove_dir_all(rd).ok();
+        std::fs::remove_dir_all(cd).ok();
+        std::fs::remove_dir_all(bad_dir).ok();
+    }
+
+    #[test]
+    fn multi_stripe_cache_file_disables_sharing() {
+        // Cache file written with multiple stripes: SARG must not skip.
+        let raw_schema = Schema::new(vec![Field::new("id", ColumnType::Int64)]).unwrap();
+        let cache_schema = Schema::new(vec![Field::new("va", ColumnType::Utf8)]).unwrap();
+        let rd = temp_dir("multistripe-raw");
+        let cd = temp_dir("multistripe-cache");
+        let mut raw = Table::create(&rd, raw_schema, 0).unwrap();
+        let mut cache = Table::create(&cd, cache_schema, 0).unwrap();
+        let raw_rows: Vec<Vec<Cell>> = (0..20).map(|i| vec![Cell::Int(i)]).collect();
+        let cache_rows: Vec<Vec<Cell>> =
+            (0..20).map(|i| vec![Cell::Str(format!("{i}"))]).collect();
+        raw.append_file(
+            &raw_rows,
+            WriteOptions {
+                row_group_size: 5,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        cache
+            .append_file(
+                &cache_rows,
+                WriteOptions {
+                    row_group_size: 5,
+                    row_groups_per_stripe: 1,
+                },
+                1,
+            )
+            .unwrap();
+        let sarg = SearchArgument::new().with(0, CmpOp::GtEq, Cell::Int(100));
+        let schema = Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("va", ColumnType::Utf8),
+        ])
+        .unwrap();
+        let p = CombinedScanProvider::new(
+            Some(raw),
+            vec![0],
+            cache,
+            vec![0],
+            schema,
+            None,
+            Some(sarg),
+        );
+        let mut m = ExecMetrics::default();
+        let rows = p.scan(&mut m).unwrap();
+        assert_eq!(rows.len(), 20, "no skipping on multi-stripe files");
+        assert_eq!(m.row_groups_skipped, 0);
+        std::fs::remove_dir_all(rd).ok();
+        std::fs::remove_dir_all(cd).ok();
+    }
+}

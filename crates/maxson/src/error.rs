@@ -1,0 +1,80 @@
+//! Error type for the Maxson core crate.
+
+use std::fmt;
+
+use maxson_engine::EngineError;
+use maxson_storage::StorageError;
+
+/// Result alias used throughout `maxson`.
+pub type Result<T> = std::result::Result<T, MaxsonError>;
+
+/// Errors raised by the prediction/caching pipeline.
+#[derive(Debug)]
+pub enum MaxsonError {
+    /// Storage layer failure.
+    Storage(StorageError),
+    /// Query engine failure.
+    Engine(EngineError),
+    /// Invalid configuration or state.
+    Invalid {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MaxsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaxsonError::Storage(e) => write!(f, "storage error: {e}"),
+            MaxsonError::Engine(e) => write!(f, "engine error: {e}"),
+            MaxsonError::Invalid { detail } => write!(f, "invalid: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MaxsonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MaxsonError::Storage(e) => Some(e),
+            MaxsonError::Engine(e) => Some(e),
+            MaxsonError::Invalid { .. } => None,
+        }
+    }
+}
+
+impl From<StorageError> for MaxsonError {
+    fn from(e: StorageError) -> Self {
+        MaxsonError::Storage(e)
+    }
+}
+
+impl From<EngineError> for MaxsonError {
+    fn from(e: EngineError) -> Self {
+        MaxsonError::Engine(e)
+    }
+}
+
+impl MaxsonError {
+    /// Convenience constructor.
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        MaxsonError::Invalid {
+            detail: detail.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = MaxsonError::invalid("bad budget");
+        assert!(e.to_string().contains("bad budget"));
+        let e: MaxsonError = StorageError::corrupt("x").into();
+        assert!(matches!(e, MaxsonError::Storage(_)));
+        let e: MaxsonError = EngineError::plan("y").into();
+        assert!(matches!(e, MaxsonError::Engine(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

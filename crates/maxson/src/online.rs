@@ -1,0 +1,454 @@
+//! The online-caching baseline with LRU replacement (Fig. 14).
+//!
+//! This is the conventional design the paper argues against (§III-A):
+//! values are cached *when first accessed*, so the first query over a
+//! JSONPath always pays the parse cost, and an LRU policy evicts under the
+//! byte budget. Implemented as a [`TableScanRewriter`] whose provider
+//! serves cached columns from memory, parses misses on the spot (charging
+//! parse time), and inserts them into the LRU.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::rc::Rc;
+use std::time::Instant;
+
+use maxson_engine::metrics::ExecMetrics;
+use maxson_engine::scan::ScanProvider;
+use maxson_engine::session::{ScanContext, ScanRewrite, TableScanRewriter};
+use maxson_engine::EngineError;
+use maxson_json::JsonPath;
+use maxson_storage::{Catalog, Cell, Field, Schema, Table};
+use maxson_trace::JsonPathLocation;
+
+/// One cached value column.
+#[derive(Debug)]
+struct LruEntry {
+    values: Rc<Vec<Cell>>,
+    bytes: u64,
+    /// Raw table modification time at insert (for invalidation).
+    table_version: u64,
+    /// LRU clock at last touch.
+    last_used: u64,
+}
+
+/// Shared LRU state.
+#[derive(Debug, Default)]
+struct LruState {
+    entries: HashMap<String, LruEntry>,
+    clock: u64,
+    used_bytes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Counters reported for Fig. 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LruStats {
+    /// JSONPath accesses served from the cache.
+    pub hits: u64,
+    /// Accesses that had to parse.
+    pub misses: u64,
+    /// Bytes currently resident.
+    pub used_bytes: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl LruStats {
+    /// Hit ratio over all accesses.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The online LRU rewriter/baseline.
+pub struct OnlineLruRewriter {
+    catalog: Catalog,
+    budget_bytes: u64,
+    state: Rc<RefCell<LruState>>,
+}
+
+impl OnlineLruRewriter {
+    /// Open over the warehouse at `root` with a byte budget.
+    pub fn open(root: impl Into<PathBuf>, budget_bytes: u64) -> crate::Result<Self> {
+        Ok(OnlineLruRewriter {
+            catalog: Catalog::open(root.into())?,
+            budget_bytes,
+            state: Rc::new(RefCell::new(LruState::default())),
+        })
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> LruStats {
+        let s = self.state.borrow();
+        LruStats {
+            hits: s.hits,
+            misses: s.misses,
+            used_bytes: s.used_bytes,
+            entries: s.entries.len(),
+        }
+    }
+}
+
+impl TableScanRewriter for OnlineLruRewriter {
+    fn name(&self) -> &str {
+        "OnlineLRU"
+    }
+
+    fn rewrite_scan(
+        &self,
+        ctx: &ScanContext<'_>,
+    ) -> maxson_engine::Result<Option<ScanRewrite>> {
+        if ctx.json_calls.is_empty() {
+            return Ok(None);
+        }
+        let table = self
+            .catalog
+            .table(ctx.database, ctx.table)
+            .map_err(EngineError::Storage)?
+            .clone();
+        // Output schema: raw columns then one pseudo-column per call.
+        let mut raw_names: Vec<String> = ctx.raw_columns.to_vec();
+        // The JSON columns themselves are read by the provider to parse
+        // misses, but are only part of the *output* if referenced raw.
+        raw_names.sort_by_key(|c| ctx.table_schema.index_of(c));
+        let raw_projection: Vec<usize> = raw_names
+            .iter()
+            .filter_map(|c| ctx.table_schema.index_of(c))
+            .collect();
+        let mut out_fields: Vec<Field> = raw_projection
+            .iter()
+            .map(|&i| ctx.table_schema.fields()[i].clone())
+            .collect();
+        let mut resolved = Vec::new();
+        let mut call_fields = Vec::new();
+        for (i, (column, path)) in ctx.json_calls.iter().enumerate() {
+            let field = format!("__lru{i}");
+            out_fields.push(Field::new(field.clone(), maxson_storage::ColumnType::Utf8));
+            resolved.push(((column.clone(), path.clone()), field.clone()));
+            call_fields.push((column.clone(), path.clone()));
+        }
+        let out_schema = Schema::new(out_fields).map_err(EngineError::Storage)?;
+        let provider = LruBackedProvider {
+            table,
+            database: ctx.database.to_string(),
+            table_name: ctx.table.to_string(),
+            raw_projection,
+            calls: call_fields,
+            out_schema,
+            state: Rc::clone(&self.state),
+            budget_bytes: self.budget_bytes,
+        };
+        Ok(Some(ScanRewrite {
+            provider: Box::new(provider),
+            resolved_paths: resolved,
+        }))
+    }
+}
+
+/// Provider that serves JSON calls from the LRU, parsing on miss.
+struct LruBackedProvider {
+    table: Table,
+    database: String,
+    table_name: String,
+    raw_projection: Vec<usize>,
+    calls: Vec<(String, String)>,
+    out_schema: Schema,
+    state: Rc<RefCell<LruState>>,
+    budget_bytes: u64,
+}
+
+impl std::fmt::Debug for LruBackedProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LruBackedProvider({}.{})", self.database, self.table_name)
+    }
+}
+
+impl ScanProvider for LruBackedProvider {
+    fn schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    fn scan(&self, metrics: &mut ExecMetrics) -> maxson_engine::Result<Vec<Vec<Cell>>> {
+        let read_start = Instant::now();
+        // Read raw output columns.
+        let mut raw_cols = Vec::new();
+        for split in 0..self.table.file_count() {
+            let file = self.table.open_split(split).map_err(EngineError::Storage)?;
+            let cols = file
+                .read_columns(&self.raw_projection, None)
+                .map_err(EngineError::Storage)?;
+            raw_cols.push(cols);
+        }
+        metrics.read += read_start.elapsed();
+
+        // Resolve every call: hit -> cached column; miss -> parse now.
+        let version = self.table.modified_at();
+        let mut call_columns: Vec<Rc<Vec<Cell>>> = Vec::with_capacity(self.calls.len());
+        for (column, path) in &self.calls {
+            let loc = JsonPathLocation::new(
+                self.database.clone(),
+                self.table_name.clone(),
+                column.clone(),
+                path.clone(),
+            );
+            let key = loc.key();
+            let hit = {
+                let mut st = self.state.borrow_mut();
+                st.clock += 1;
+                let clock = st.clock;
+                match st.entries.get_mut(&key) {
+                    Some(e) if e.table_version == version => {
+                        e.last_used = clock;
+                        Some(Rc::clone(&e.values))
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(values) = hit {
+                self.state.borrow_mut().hits += 1;
+                metrics.cache_hits += values.len() as u64;
+                call_columns.push(values);
+                continue;
+            }
+            // Miss: parse the whole column (the first query pays, §III-A).
+            self.state.borrow_mut().misses += 1;
+            let col_idx = self.table.schema().index_of(column).ok_or_else(|| {
+                EngineError::plan(format!("column '{column}' missing"))
+            })?;
+            let compiled = JsonPath::parse(path)
+                .map_err(|e| EngineError::plan(format!("bad path '{path}': {e}")))?;
+            let mut values = Vec::new();
+            let mut bytes = 0u64;
+            for split in 0..self.table.file_count() {
+                let file = self.table.open_split(split).map_err(EngineError::Storage)?;
+                let cols = file
+                    .read_columns(&[col_idx], None)
+                    .map_err(EngineError::Storage)?;
+                let parse_start = Instant::now();
+                for i in 0..cols[0].len() {
+                    let v = match cols[0].get(i) {
+                        Cell::Str(json) => maxson_json::get_json_object(&json, &compiled)
+                            .map_or(Cell::Null, Cell::Str),
+                        _ => Cell::Null,
+                    };
+                    bytes += v.byte_size() as u64;
+                    values.push(v);
+                    metrics.parse_calls += 1;
+                }
+                metrics.parse += parse_start.elapsed();
+            }
+            let values = Rc::new(values);
+            // Insert with LRU eviction.
+            {
+                let mut st = self.state.borrow_mut();
+                st.clock += 1;
+                let clock = st.clock;
+                while st.used_bytes + bytes > self.budget_bytes && !st.entries.is_empty() {
+                    let victim = st
+                        .entries
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(k, _)| k.clone())
+                        .expect("non-empty");
+                    if let Some(e) = st.entries.remove(&victim) {
+                        st.used_bytes -= e.bytes;
+                    }
+                }
+                if bytes <= self.budget_bytes {
+                    st.used_bytes += bytes;
+                    st.entries.insert(
+                        key,
+                        LruEntry {
+                            values: Rc::clone(&values),
+                            bytes,
+                            table_version: version,
+                            last_used: clock,
+                        },
+                    );
+                }
+            }
+            call_columns.push(values);
+        }
+
+        // Stitch rows: raw columns then call columns, split by split.
+        let mut rows = Vec::new();
+        let mut offset = 0usize;
+        for cols in &raw_cols {
+            let n = if cols.is_empty() {
+                // No raw output columns: derive length from call columns.
+                call_columns
+                    .first()
+                    .map(|c| c.len() - offset)
+                    .unwrap_or(0)
+            } else {
+                cols[0].len()
+            };
+            for i in 0..n {
+                let mut row: Vec<Cell> = cols.iter().map(|c| c.get(i)).collect();
+                for cc in &call_columns {
+                    row.push(cc[offset + i].clone());
+                }
+                metrics.bytes_read += row.iter().map(Cell::byte_size).sum::<usize>() as u64;
+                rows.push(row);
+            }
+            offset += n;
+            if cols.is_empty() {
+                break;
+            }
+        }
+        metrics.rows_scanned += rows.len() as u64;
+        Ok(rows)
+    }
+
+    fn label(&self) -> String {
+        format!("OnlineLruScan({}.{})", self.database, self.table_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxson_engine::session::Session;
+    use maxson_storage::file::WriteOptions;
+    use maxson_storage::ColumnType;
+    use std::path::PathBuf;
+
+    fn temp_root(name: &str) -> PathBuf {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        std::env::temp_dir().join(format!("maxson-lru-{}-{nanos}-{name}", std::process::id()))
+    }
+
+    fn setup(name: &str) -> (Session, PathBuf) {
+        let root = temp_root(name);
+        let mut session = Session::open(&root).unwrap();
+        let schema = Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("payload", ColumnType::Utf8),
+        ])
+        .unwrap();
+        let t = session
+            .catalog_mut()
+            .create_table("db", "t", schema, 0)
+            .unwrap();
+        let rows: Vec<Vec<Cell>> = (0..30)
+            .map(|i| {
+                vec![
+                    Cell::Int(i),
+                    Cell::Str(format!(r#"{{"a": {i}, "b": "x{i}"}}"#)),
+                ]
+            })
+            .collect();
+        t.append_file(&rows, WriteOptions::default(), 1).unwrap();
+        (session, root)
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let (mut session, root) = setup("hits");
+        let lru = OnlineLruRewriter::open(&root, u64::MAX).unwrap();
+        let stats_handle = Rc::clone(&lru.state);
+        session.set_scan_rewriter(Some(Box::new(lru)));
+        let sql = "select get_json_object(payload, '$.a') as a from db.t";
+        let r1 = session.execute(sql).unwrap();
+        assert_eq!(r1.rows.len(), 30);
+        assert_eq!(r1.rows[5][0], Cell::Str("5".into()));
+        {
+            let st = stats_handle.borrow();
+            assert_eq!(st.misses, 1);
+            assert_eq!(st.hits, 0);
+        }
+        let r2 = session.execute(sql).unwrap();
+        assert_eq!(r2.rows, r1.rows);
+        {
+            let st = stats_handle.borrow();
+            assert_eq!(st.misses, 1);
+            assert_eq!(st.hits, 1);
+        }
+        // The hit run performs no parsing.
+        assert_eq!(r2.metrics.parse_calls, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn eviction_under_small_budget() {
+        let (mut session, root) = setup("evict");
+        // Budget fits roughly one column of small values.
+        let lru = OnlineLruRewriter::open(&root, 80).unwrap();
+        let state = Rc::clone(&lru.state);
+        session.set_scan_rewriter(Some(Box::new(lru)));
+        session
+            .execute("select get_json_object(payload, '$.a') as a from db.t")
+            .unwrap();
+        session
+            .execute("select get_json_object(payload, '$.b') as b from db.t")
+            .unwrap();
+        {
+            let st = state.borrow();
+            assert!(st.entries.len() <= 1, "budget forces eviction");
+            assert!(st.used_bytes <= 80);
+        }
+        // $.a was evicted: next access misses again.
+        session
+            .execute("select get_json_object(payload, '$.a') as a from db.t")
+            .unwrap();
+        assert_eq!(state.borrow().misses, 3);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn table_update_invalidates_entries() {
+        let (mut session, root) = setup("invalidate");
+        let lru = OnlineLruRewriter::open(&root, u64::MAX).unwrap();
+        let state = Rc::clone(&lru.state);
+        session.set_scan_rewriter(Some(Box::new(lru)));
+        let sql = "select get_json_object(payload, '$.a') as a from db.t";
+        session.execute(sql).unwrap();
+        assert_eq!(state.borrow().misses, 1);
+        // Append new data: version bump.
+        session
+            .catalog_mut()
+            .table_mut("db", "t")
+            .unwrap()
+            .append_file(
+                &[vec![Cell::Int(99), Cell::Str(r#"{"a": 99}"#.into())]],
+                WriteOptions::default(),
+                7,
+            )
+            .unwrap();
+        // The rewriter's own catalog instance must observe the change; it
+        // reads from disk via Table metadata, but our in-memory Table handle
+        // is stale — reopen to simulate the next planning cycle.
+        let lru2 = OnlineLruRewriter::open(&root, u64::MAX).unwrap();
+        // Carry over the old state to prove invalidation (versions differ).
+        *lru2.state.borrow_mut() = std::mem::take(&mut state.borrow_mut());
+        let state2 = Rc::clone(&lru2.state);
+        session.set_scan_rewriter(Some(Box::new(lru2)));
+        let r = session.execute(sql).unwrap();
+        assert_eq!(r.rows.len(), 31);
+        assert_eq!(state2.borrow().misses, 2, "stale entry must not be served");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn hit_ratio_math() {
+        let s = LruStats {
+            hits: 3,
+            misses: 1,
+            used_bytes: 0,
+            entries: 0,
+        };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(LruStats::default().hit_ratio(), 0.0);
+    }
+}

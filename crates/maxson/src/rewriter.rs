@@ -1,0 +1,592 @@
+//! The Maxson parser / plan rewriter (Algorithm 1).
+//!
+//! Implemented as a [`TableScanRewriter`]: while the engine compiles SQL to
+//! a plan, every table scan is offered to Maxson together with its
+//! `get_json_object` calls and the query predicate. For each call the
+//! rewriter pattern-matches the `(database, table, column, path)` key
+//! against the cache registry; a hit whose cache time is at or after the
+//! raw table's last modification time becomes a *placeholder* — a plain
+//! column reference into the combined scan output — while stale entries
+//! are marked invalid (to be dropped at the next population cycle) and the
+//! call keeps paying the parse cost.
+//!
+//! Predicate conjuncts of the form `get_json_object(col, path) <cmp>
+//! literal` over cached paths are turned into SARGs on the cache table
+//! (Algorithm 3) and handed to the combined provider, which shares the
+//! row-group skips with the raw-side reader.
+
+use std::cell::RefCell;
+use std::path::PathBuf;
+
+use maxson_engine::session::{ScanContext, ScanRewrite, TableScanRewriter};
+use maxson_engine::sql::ast::{BinaryOp, SqlExpr};
+use maxson_engine::EngineError;
+use maxson_storage::{Catalog, Cell, CmpOp, Field, Schema, SearchArgument};
+use maxson_trace::JsonPathLocation;
+
+use crate::cacher::{CacheRegistry, CACHE_DB};
+use crate::combiner::CombinedScanProvider;
+
+/// Statistics of one rewriter lifetime (per session installation).
+#[derive(Debug, Default, Clone)]
+pub struct RewriteStats {
+    /// JSONPath calls replaced by placeholders.
+    pub hits: u64,
+    /// JSONPath calls left to parse (not cached).
+    pub misses: u64,
+    /// Cache entries found stale (table modified after caching).
+    pub invalidated: u64,
+    /// Scans converted to cache-only reads.
+    pub cache_only_scans: u64,
+}
+
+/// The rewriter. Holds its own read-only catalog handle (opened from the
+/// same warehouse root the session uses) plus the cache registry.
+pub struct MaxsonScanRewriter {
+    catalog: Catalog,
+    registry: CacheRegistry,
+    /// Locations marked invalid during planning (interior mutability:
+    /// `rewrite_scan` takes `&self`).
+    invalid: RefCell<Vec<JsonPathLocation>>,
+    stats: RefCell<RewriteStats>,
+    /// Enable Algorithm 3 pushdown (ablation switch).
+    pub enable_pushdown: bool,
+}
+
+impl MaxsonScanRewriter {
+    /// Open a rewriter over the warehouse at `root`, loading the registry
+    /// from disk.
+    pub fn open(root: impl Into<PathBuf>) -> crate::Result<Self> {
+        let catalog = Catalog::open(root.into())?;
+        let registry = CacheRegistry::load(&catalog)?;
+        Ok(MaxsonScanRewriter {
+            catalog,
+            registry,
+            invalid: RefCell::new(Vec::new()),
+            stats: RefCell::new(RewriteStats::default()),
+            enable_pushdown: true,
+        })
+    }
+
+    /// Build from parts (used by the pipeline right after population).
+    pub fn with_registry(catalog: Catalog, registry: CacheRegistry) -> Self {
+        MaxsonScanRewriter {
+            catalog,
+            registry,
+            invalid: RefCell::new(Vec::new()),
+            stats: RefCell::new(RewriteStats::default()),
+            enable_pushdown: true,
+        }
+    }
+
+    /// Locations marked invalid so far.
+    pub fn invalidated(&self) -> Vec<JsonPathLocation> {
+        self.invalid.borrow().clone()
+    }
+
+    /// Rewrite statistics so far.
+    pub fn stats(&self) -> RewriteStats {
+        self.stats.borrow().clone()
+    }
+}
+
+impl TableScanRewriter for MaxsonScanRewriter {
+    fn name(&self) -> &str {
+        "Maxson"
+    }
+
+    fn rewrite_scan(
+        &self,
+        ctx: &ScanContext<'_>,
+    ) -> maxson_engine::Result<Option<ScanRewrite>> {
+        if ctx.json_calls.is_empty() || ctx.database == CACHE_DB {
+            return Ok(None);
+        }
+        let raw_meta = self
+            .catalog
+            .table_meta(ctx.database, ctx.table)
+            .map_err(EngineError::Storage)?;
+
+        // Classify each call: valid hit, stale, or miss (Alg. 1 lines 14-23).
+        let mut resolved: Vec<((String, String), String)> = Vec::new();
+        let mut unresolved: Vec<(String, String)> = Vec::new();
+        let mut cache_table_name: Option<String> = None;
+        for (column, path) in ctx.json_calls {
+            let loc = JsonPathLocation::new(ctx.database, ctx.table, column.clone(), path.clone());
+            match self.registry.get(&loc) {
+                Some(entry) => {
+                    if raw_meta.modified_at > entry.cached_at {
+                        // Stale: mark invalid, fall back to parsing.
+                        self.invalid.borrow_mut().push(loc);
+                        self.stats.borrow_mut().invalidated += 1;
+                        unresolved.push((column.clone(), path.clone()));
+                    } else {
+                        cache_table_name = Some(entry.cache_table.clone());
+                        resolved.push((
+                            (column.clone(), path.clone()),
+                            entry.cache_field.clone(),
+                        ));
+                    }
+                }
+                None => unresolved.push((column.clone(), path.clone())),
+            }
+        }
+        {
+            let mut stats = self.stats.borrow_mut();
+            stats.hits += resolved.len() as u64;
+            stats.misses += unresolved.len() as u64;
+        }
+        let Some(cache_table_name) = cache_table_name else {
+            return Ok(None); // No valid hits: keep the default scan.
+        };
+        let cache_table = self
+            .catalog
+            .table(CACHE_DB, &cache_table_name)
+            .map_err(EngineError::Storage)?
+            .clone();
+
+        // Raw columns the combined scan must still read: every plain column
+        // reference, plus the JSON column of every unresolved call.
+        let mut raw_names: Vec<String> = ctx.raw_columns.to_vec();
+        for (column, _) in &unresolved {
+            if !raw_names.contains(column) {
+                raw_names.push(column.clone());
+            }
+        }
+        raw_names.sort_by_key(|c| ctx.table_schema.index_of(c));
+        let raw_projection: Vec<usize> = raw_names
+            .iter()
+            .map(|c| {
+                ctx.table_schema.index_of(c).ok_or_else(|| {
+                    EngineError::plan(format!("column '{c}' missing in {}.{}", ctx.database, ctx.table))
+                })
+            })
+            .collect::<maxson_engine::Result<_>>()?;
+
+        // Cache columns to read, deduplicated in resolution order.
+        let mut cache_fields: Vec<String> = Vec::new();
+        for (_, field) in &resolved {
+            if !cache_fields.contains(field) {
+                cache_fields.push(field.clone());
+            }
+        }
+        let cache_projection: Vec<usize> = cache_fields
+            .iter()
+            .map(|f| {
+                cache_table.schema().index_of(f).ok_or_else(|| {
+                    EngineError::plan(format!(
+                        "cache field '{f}' missing in cache table {cache_table_name}"
+                    ))
+                })
+            })
+            .collect::<maxson_engine::Result<_>>()?;
+
+        // Output schema: raw fields then cache fields.
+        let mut out_fields: Vec<Field> = raw_projection
+            .iter()
+            .map(|&i| ctx.table_schema.fields()[i].clone())
+            .collect();
+        for &ci in &cache_projection {
+            out_fields.push(cache_table.schema().fields()[ci].clone());
+        }
+        let out_schema = Schema::new(out_fields).map_err(EngineError::Storage)?;
+
+        // SARGs. Cache-side pushdown (Alg. 3) plus plain raw-column SARGs.
+        let (raw_sarg, cache_sarg) = if self.enable_pushdown {
+            extract_sargs(
+                ctx.predicate,
+                ctx.table_schema,
+                cache_table.schema(),
+                &resolved,
+            )
+        } else {
+            (None, None)
+        };
+
+        let cache_only = raw_projection.is_empty();
+        if cache_only {
+            self.stats.borrow_mut().cache_only_scans += 1;
+        }
+        let raw = if cache_only {
+            None
+        } else {
+            Some(
+                self.catalog
+                    .table(ctx.database, ctx.table)
+                    .map_err(EngineError::Storage)?
+                    .clone(),
+            )
+        };
+        let provider = CombinedScanProvider::new(
+            raw,
+            raw_projection,
+            cache_table,
+            cache_projection,
+            out_schema,
+            raw_sarg,
+            cache_sarg,
+        );
+        Ok(Some(ScanRewrite {
+            provider: Box::new(provider),
+            resolved_paths: resolved,
+        }))
+    }
+}
+
+/// Extract `(raw_sarg, cache_sarg)` from the predicate's conjuncts.
+/// Only unqualified references are extracted (joins with aliases skip
+/// pushdown — conservative and correct).
+fn extract_sargs(
+    predicate: Option<&SqlExpr>,
+    raw_schema: &Schema,
+    cache_schema: &Schema,
+    resolved: &[((String, String), String)],
+) -> (Option<SearchArgument>, Option<SearchArgument>) {
+    let mut raw_sarg = SearchArgument::new();
+    let mut cache_sarg = SearchArgument::new();
+    if let Some(p) = predicate {
+        walk_conjuncts(p, &mut |conjunct| {
+            match conjunct {
+                SqlExpr::Binary { left, op, right } => {
+                    let Some(cmp) = cmp_of(*op) else { return };
+                    match (left.as_ref(), right.as_ref()) {
+                        (lhs, SqlExpr::Literal(lit)) => {
+                            push_leaf(lhs, cmp, lit, raw_schema, cache_schema, resolved, &mut raw_sarg, &mut cache_sarg);
+                        }
+                        (SqlExpr::Literal(lit), rhs) => {
+                            push_leaf(rhs, flip(cmp), lit, raw_schema, cache_schema, resolved, &mut raw_sarg, &mut cache_sarg);
+                        }
+                        _ => {}
+                    }
+                }
+                SqlExpr::Between { expr, low, high } => {
+                    if let (SqlExpr::Literal(lo), SqlExpr::Literal(hi)) =
+                        (low.as_ref(), high.as_ref())
+                    {
+                        push_leaf(expr, CmpOp::GtEq, lo, raw_schema, cache_schema, resolved, &mut raw_sarg, &mut cache_sarg);
+                        push_leaf(expr, CmpOp::LtEq, hi, raw_schema, cache_schema, resolved, &mut raw_sarg, &mut cache_sarg);
+                    }
+                }
+                _ => {}
+            }
+        });
+    }
+    (
+        if raw_sarg.is_empty() { None } else { Some(raw_sarg) },
+        if cache_sarg.is_empty() { None } else { Some(cache_sarg) },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_leaf(
+    lhs: &SqlExpr,
+    cmp: CmpOp,
+    lit: &Cell,
+    raw_schema: &Schema,
+    cache_schema: &Schema,
+    resolved: &[((String, String), String)],
+    raw_sarg: &mut SearchArgument,
+    cache_sarg: &mut SearchArgument,
+) {
+    match lhs {
+        // Plain raw column.
+        SqlExpr::Column {
+            qualifier: None,
+            name,
+        } => {
+            if let Some(idx) = raw_schema.index_of(name) {
+                *raw_sarg = std::mem::take(raw_sarg).with(idx, cmp, lit.clone());
+            }
+        }
+        // get_json_object over a cached path -> cache-table SARG.
+        SqlExpr::GetJsonObject { column, path } => {
+            if let SqlExpr::Column {
+                qualifier: None,
+                name,
+            } = column.as_ref()
+            {
+                if let Some((_, field)) = resolved
+                    .iter()
+                    .find(|((c, p), _)| c == name && p == path)
+                {
+                    if let Some(idx) = cache_schema.index_of(field) {
+                        *cache_sarg = std::mem::take(cache_sarg).with(idx, cmp, lit.clone());
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn cmp_of(op: BinaryOp) -> Option<CmpOp> {
+    Some(match op {
+        BinaryOp::Eq => CmpOp::Eq,
+        BinaryOp::NotEq => CmpOp::NotEq,
+        BinaryOp::Lt => CmpOp::Lt,
+        BinaryOp::LtEq => CmpOp::LtEq,
+        BinaryOp::Gt => CmpOp::Gt,
+        BinaryOp::GtEq => CmpOp::GtEq,
+        _ => return None,
+    })
+}
+
+fn flip(cmp: CmpOp) -> CmpOp {
+    match cmp {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::LtEq => CmpOp::GtEq,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::GtEq => CmpOp::LtEq,
+        other => other,
+    }
+}
+
+/// Visit the AND-conjuncts of a predicate.
+fn walk_conjuncts<'a>(e: &'a SqlExpr, f: &mut impl FnMut(&'a SqlExpr)) {
+    if let SqlExpr::Binary {
+        left,
+        op: BinaryOp::And,
+        right,
+    } = e
+    {
+        walk_conjuncts(left, f);
+        walk_conjuncts(right, f);
+    } else {
+        f(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cacher::{cache_field_name, cache_table_name, CachedEntry};
+    use crate::score::score_candidates;
+    use crate::mpjp::MpjpCandidate;
+    use maxson_engine::session::Session;
+    use maxson_storage::file::WriteOptions;
+    use maxson_storage::{ColumnType, Field};
+    use maxson_trace::model::RecurrenceClass;
+    use maxson_trace::QueryRecord;
+    use std::path::PathBuf;
+
+    fn temp_root(name: &str) -> PathBuf {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        std::env::temp_dir().join(format!("maxson-rw-{}-{nanos}-{name}", std::process::id()))
+    }
+
+    fn loc(path: &str) -> JsonPathLocation {
+        JsonPathLocation::new("db", "t", "payload", path)
+    }
+
+    /// A warehouse with one table and a populated cache over `$.a`.
+    fn setup(name: &str) -> (Session, PathBuf) {
+        let root = temp_root(name);
+        let mut session = Session::open(&root).unwrap();
+        let schema = Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("payload", ColumnType::Utf8),
+        ])
+        .unwrap();
+        let t = session
+            .catalog_mut()
+            .create_table("db", "t", schema, 0)
+            .unwrap();
+        let rows: Vec<Vec<Cell>> = (0..30)
+            .map(|i| {
+                vec![
+                    Cell::Int(i),
+                    Cell::Str(format!(r#"{{"a": {i}, "b": "x{i}"}}"#)),
+                ]
+            })
+            .collect();
+        t.append_file(
+            &rows,
+            WriteOptions {
+                row_group_size: 10,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+        // Populate a cache for $.a only.
+        let cands = vec![MpjpCandidate {
+            location: loc("$.a"),
+            target_day: 1,
+        }];
+        let history = vec![QueryRecord {
+            query_id: 0,
+            user_id: 0,
+            day: 0,
+            hour: 0,
+            recurrence: RecurrenceClass::Daily,
+            paths: vec![loc("$.a")],
+        }];
+        let ranked = score_candidates(session.catalog(), &cands, &history).unwrap();
+        let cacher = crate::cacher::JsonPathCacher::new(u64::MAX);
+        cacher.populate(session.catalog_mut(), &ranked, 100).unwrap();
+        (session, root)
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_cache_only() {
+        let (mut session, root) = setup("stats");
+        let rewriter = MaxsonScanRewriter::open(&root).unwrap();
+        let stats_probe = rewriter.stats();
+        assert_eq!(stats_probe.hits, 0);
+        session.set_scan_rewriter(Some(Box::new(rewriter)));
+        // $.a hits (cache-only: no raw columns needed).
+        session
+            .execute("select get_json_object(payload, '$.a') as a from db.t")
+            .unwrap();
+        // $.a hits + $.b misses (combined scan).
+        session
+            .execute(
+                "select get_json_object(payload, '$.a') as a, \
+                 get_json_object(payload, '$.b') as b from db.t",
+            )
+            .unwrap();
+        // Reopen a probe rewriter to re-run the plan-only stats check:
+        // the installed one is owned by the session, so validate behavior
+        // through metrics instead.
+        let res = session
+            .execute("select get_json_object(payload, '$.b') as b from db.t")
+            .unwrap();
+        assert!(res.metrics.parse_calls > 0, "$.b is not cached");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn rewriter_ignores_cache_db_scans() {
+        let (_, root) = setup("cachedb");
+        let rewriter = MaxsonScanRewriter::open(&root).unwrap();
+        let session = Session::open(&root).unwrap();
+        // Query the cache table directly: the rewriter must not recurse.
+        let mut s2 = session;
+        s2.set_scan_rewriter(Some(Box::new(rewriter)));
+        let field = cache_field_name("payload", "$.a");
+        let result = s2
+            .execute(&format!(
+                "select {field} from {CACHE_DB}.{}",
+                cache_table_name("db", "t")
+            ))
+            .unwrap();
+        assert_eq!(result.rows.len(), 30);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stale_entry_lands_in_invalidated_list() {
+        let (mut session, root) = setup("stale");
+        // Touch the raw table after caching (logical time 200 > 100).
+        session
+            .catalog_mut()
+            .table_mut("db", "t")
+            .unwrap()
+            .touch(200)
+            .unwrap();
+        let rewriter = MaxsonScanRewriter::open(&root).unwrap();
+        // Plan-time check happens inside rewrite_scan: run a plan through a
+        // fresh session holding the rewriter.
+        let mut s2 = Session::open(&root).unwrap();
+        // Keep a second probe handle open on the same state via the session
+        // metrics; the invalidated list is observable pre-installation.
+        let ctx_schema = Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("payload", ColumnType::Utf8),
+        ])
+        .unwrap();
+        let calls = vec![("payload".to_string(), "$.a".to_string())];
+        let raw_cols: Vec<String> = vec![];
+        let ctx = maxson_engine::session::ScanContext {
+            database: "db",
+            table: "t",
+            table_schema: &ctx_schema,
+            raw_columns: &raw_cols,
+            json_calls: &calls,
+            predicate: None,
+        };
+        let rewrite = rewriter.rewrite_scan(&ctx).unwrap();
+        assert!(rewrite.is_none(), "stale cache must not rewrite");
+        assert_eq!(rewriter.invalidated(), vec![loc("$.a")]);
+        assert_eq!(rewriter.stats().invalidated, 1);
+        let _ = &mut s2;
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn rewrite_scan_resolves_hit_and_keeps_miss() {
+        let (_, root) = setup("mixed");
+        let rewriter = MaxsonScanRewriter::open(&root).unwrap();
+        let ctx_schema = Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("payload", ColumnType::Utf8),
+        ])
+        .unwrap();
+        let calls = vec![
+            ("payload".to_string(), "$.a".to_string()),
+            ("payload".to_string(), "$.b".to_string()),
+        ];
+        let raw_cols = vec!["id".to_string()];
+        let ctx = maxson_engine::session::ScanContext {
+            database: "db",
+            table: "t",
+            table_schema: &ctx_schema,
+            raw_columns: &raw_cols,
+            json_calls: &calls,
+            predicate: None,
+        };
+        let rewrite = rewriter.rewrite_scan(&ctx).unwrap().expect("hit rewrites");
+        assert_eq!(rewrite.resolved_paths.len(), 1);
+        assert_eq!(rewrite.resolved_paths[0].0, ("payload".to_string(), "$.a".to_string()));
+        // Output schema: id + payload (for the $.b miss) + cache field.
+        let names: Vec<&str> = rewrite
+            .provider
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert!(names.contains(&"id"));
+        assert!(names.contains(&"payload"));
+        assert!(names.contains(&cache_field_name("payload", "$.a").as_str()));
+        let stats = rewriter.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn no_json_calls_keeps_default_scan() {
+        let (_, root) = setup("nocalls");
+        let rewriter = MaxsonScanRewriter::open(&root).unwrap();
+        let ctx_schema = Schema::new(vec![Field::new("id", ColumnType::Int64)]).unwrap();
+        let raw_cols = vec!["id".to_string()];
+        let ctx = maxson_engine::session::ScanContext {
+            database: "db",
+            table: "t",
+            table_schema: &ctx_schema,
+            raw_columns: &raw_cols,
+            json_calls: &[],
+            predicate: None,
+        };
+        assert!(rewriter.rewrite_scan(&ctx).unwrap().is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn registry_entry_shape() {
+        let e = CachedEntry {
+            location: loc("$.a"),
+            cache_table: cache_table_name("db", "t"),
+            cache_field: cache_field_name("payload", "$.a"),
+            cached_at: 5,
+            bytes: 10,
+        };
+        assert_eq!(e.cache_table, "db__t");
+        assert!(e.cache_field.starts_with("payload"));
+    }
+}

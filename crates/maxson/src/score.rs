@@ -1,0 +1,300 @@
+//! The scoring function of §IV-B.
+//!
+//! `Score_j = A_j · R_j · O_j` where
+//!
+//! * `A_j = P_j / B_j` — *acceleration per byte*: average parse time of the
+//!   path over average parsed-value size, measured by sampling rows from
+//!   the raw table with the same parsing algorithm the engine uses,
+//! * `R_j` — *relevance*: over the queries that access `j`, the fraction of
+//!   their JSONPaths that are MPJPs (`ΣM_i / ΣN_i`); caching high-relevance
+//!   paths makes whole queries cache-only,
+//! * `O_j` — *occurrence*: the number of queries that access `j`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+use maxson_json::JsonPath;
+use maxson_storage::{Catalog, Cell};
+use maxson_trace::{JsonPathLocation, QueryRecord};
+
+use crate::error::{MaxsonError, Result};
+use crate::mpjp::MpjpCandidate;
+
+/// A candidate with its measured/derived scoring factors.
+#[derive(Debug, Clone)]
+pub struct ScoredMpjp {
+    /// The path.
+    pub location: JsonPathLocation,
+    /// Average parse time per record, seconds (`P_j`).
+    pub parse_time: f64,
+    /// Average parsed-value size in bytes (`B_j`).
+    pub value_size: f64,
+    /// Acceleration per byte (`A_j = P_j / B_j`).
+    pub acceleration: f64,
+    /// Relevance (`R_j`).
+    pub relevance: f64,
+    /// Occurrence count (`O_j`).
+    pub occurrence: u64,
+    /// Final score.
+    pub score: f64,
+    /// Estimated total cache footprint in bytes (`B_j × rows`).
+    pub estimated_bytes: u64,
+}
+
+/// How many rows to sample per table when measuring `P_j` and `B_j`.
+const SAMPLE_ROWS: usize = 64;
+
+/// Measure `P_j`/`B_j` for every candidate and combine with `R_j`/`O_j`
+/// from the recent query history. Returns candidates sorted by descending
+/// score (the order the cacher consumes).
+pub fn score_candidates(
+    catalog: &Catalog,
+    candidates: &[MpjpCandidate],
+    history: &[QueryRecord],
+) -> Result<Vec<ScoredMpjp>> {
+    let mpjp_set: BTreeSet<String> = candidates
+        .iter()
+        .map(|c| c.location.key())
+        .collect();
+
+    // Per-query M_i (MPJPs among its paths) and N_i (paths).
+    // Also O_j per path.
+    let mut occurrence: BTreeMap<String, u64> = BTreeMap::new();
+    let mut relevance_num: BTreeMap<String, u64> = BTreeMap::new();
+    let mut relevance_den: BTreeMap<String, u64> = BTreeMap::new();
+    for q in history {
+        let n_i = q.paths.len() as u64;
+        if n_i == 0 {
+            continue;
+        }
+        let m_i = q
+            .paths
+            .iter()
+            .filter(|p| mpjp_set.contains(&p.key()))
+            .count() as u64;
+        let mut seen = BTreeSet::new();
+        for p in &q.paths {
+            if !mpjp_set.contains(&p.key()) || !seen.insert(p.key()) {
+                continue;
+            }
+            *occurrence.entry(p.key()).or_default() += 1;
+            *relevance_num.entry(p.key()).or_default() += m_i;
+            *relevance_den.entry(p.key()).or_default() += n_i;
+        }
+    }
+
+    // Group candidates per (db, table, column) so each table is sampled
+    // once.
+    let mut by_source: BTreeMap<(String, String, String), Vec<&MpjpCandidate>> = BTreeMap::new();
+    for c in candidates {
+        by_source
+            .entry((
+                c.location.database.clone(),
+                c.location.table.clone(),
+                c.location.column.clone(),
+            ))
+            .or_default()
+            .push(c);
+    }
+
+    let mut scored = Vec::with_capacity(candidates.len());
+    for ((db, table_name, column), cands) in by_source {
+        let table = catalog.table(&db, &table_name)?;
+        let col_idx = table
+            .schema()
+            .index_of(&column)
+            .ok_or_else(|| MaxsonError::invalid(format!("column {column} missing in {db}.{table_name}")))?;
+        let total_rows = table.num_rows()? as u64;
+        // Sample the first rows of the first split.
+        let mut sample: Vec<String> = Vec::new();
+        if table.file_count() > 0 {
+            let file = table.open_split(0)?;
+            let cols = file.read_columns(&[col_idx], None)?;
+            for i in 0..cols[0].len().min(SAMPLE_ROWS) {
+                if let Cell::Str(s) = cols[0].get(i) {
+                    sample.push(s);
+                }
+            }
+        }
+        for cand in cands {
+            let path = JsonPath::parse(&cand.location.path)
+                .map_err(|e| MaxsonError::invalid(format!("bad path: {e}")))?;
+            let (parse_time, value_size) = measure(&sample, &path);
+            let acceleration = if value_size > 0.0 {
+                parse_time / value_size
+            } else {
+                0.0
+            };
+            let key = cand.location.key();
+            let occ = occurrence.get(&key).copied().unwrap_or(0);
+            let relevance = match (relevance_num.get(&key), relevance_den.get(&key)) {
+                (Some(&n), Some(&d)) if d > 0 => n as f64 / d as f64,
+                _ => 0.0,
+            };
+            let score = acceleration * relevance * occ as f64;
+            scored.push(ScoredMpjp {
+                location: cand.location.clone(),
+                parse_time,
+                value_size,
+                acceleration,
+                relevance,
+                occurrence: occ,
+                score,
+                estimated_bytes: (value_size.max(1.0) as u64) * total_rows,
+            });
+        }
+    }
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.location.cmp(&b.location))
+    });
+    Ok(scored)
+}
+
+/// Average (parse seconds, value bytes) of evaluating `path` over `sample`.
+fn measure(sample: &[String], path: &JsonPath) -> (f64, f64) {
+    if sample.is_empty() {
+        return (0.0, 1.0);
+    }
+    let start = Instant::now();
+    let mut bytes = 0usize;
+    for json in sample {
+        if let Some(v) = maxson_json::get_json_object(json, path) {
+            bytes += v.len();
+        } else {
+            bytes += 1; // NULL marker byte, matching Cell::Null.byte_size()
+        }
+    }
+    let secs = start.elapsed().as_secs_f64() / sample.len() as f64;
+    (secs, bytes as f64 / sample.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxson_storage::file::WriteOptions;
+    use maxson_storage::{ColumnType, Field, Schema};
+    use maxson_trace::model::RecurrenceClass;
+    use std::path::PathBuf;
+
+    fn temp_root(name: &str) -> PathBuf {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        std::env::temp_dir().join(format!("maxson-score-{}-{nanos}-{name}", std::process::id()))
+    }
+
+    fn loc(path: &str) -> JsonPathLocation {
+        JsonPathLocation::new("db", "t", "payload", path)
+    }
+
+    fn catalog_with_table(name: &str) -> (Catalog, PathBuf) {
+        let root = temp_root(name);
+        let mut cat = Catalog::open(&root).unwrap();
+        let schema = Schema::new(vec![Field::new("payload", ColumnType::Utf8)]).unwrap();
+        let t = cat.create_table("db", "t", schema, 0).unwrap();
+        let rows: Vec<Vec<Cell>> = (0..100)
+            .map(|i| {
+                vec![Cell::Str(format!(
+                    r#"{{"small": {i}, "big": "{}", "deep": {{"x": {{"y": {i}}}}}}}"#,
+                    "z".repeat(200)
+                ))]
+            })
+            .collect();
+        t.append_file(&rows, WriteOptions::default(), 1).unwrap();
+        (cat, root)
+    }
+
+    fn query(paths: &[&str]) -> QueryRecord {
+        QueryRecord {
+            query_id: 0,
+            user_id: 0,
+            day: 0,
+            hour: 0,
+            recurrence: RecurrenceClass::Daily,
+            paths: paths.iter().map(|p| loc(p)).collect(),
+        }
+    }
+
+    fn cand(path: &str) -> MpjpCandidate {
+        MpjpCandidate {
+            location: loc(path),
+            target_day: 1,
+        }
+    }
+
+    #[test]
+    fn acceleration_prefers_small_values() {
+        let (cat, root) = catalog_with_table("accel");
+        let cands = vec![cand("$.small"), cand("$.big")];
+        let history = vec![query(&["$.small"]), query(&["$.big"])];
+        let scored = score_candidates(&cat, &cands, &history).unwrap();
+        let small = scored.iter().find(|s| s.location.path == "$.small").unwrap();
+        let big = scored.iter().find(|s| s.location.path == "$.big").unwrap();
+        // Same parse cost regime but far smaller value => higher A_j.
+        assert!(small.acceleration > big.acceleration);
+        assert!(big.value_size > 100.0);
+        assert!(small.estimated_bytes < big.estimated_bytes);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn relevance_and_occurrence_math() {
+        let (cat, root) = catalog_with_table("relv");
+        // $.small is MPJP; $.big is not. Query1 = {small} (M=1,N=1),
+        // Query2 = {small, big} (M=1,N=2), Query3 = {big}.
+        let cands = vec![cand("$.small")];
+        let history = vec![
+            query(&["$.small"]),
+            query(&["$.small", "$.big"]),
+            query(&["$.big"]),
+        ];
+        let scored = score_candidates(&cat, &cands, &history).unwrap();
+        let s = &scored[0];
+        assert_eq!(s.occurrence, 2);
+        // R = (1 + 1) / (1 + 2) = 2/3.
+        assert!((s.relevance - 2.0 / 3.0).abs() < 1e-9);
+        assert!(s.score > 0.0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn unreferenced_candidate_scores_zero() {
+        let (cat, root) = catalog_with_table("zero");
+        let cands = vec![cand("$.small")];
+        let history = vec![query(&["$.big"])];
+        let scored = score_candidates(&cat, &cands, &history).unwrap();
+        assert_eq!(scored[0].occurrence, 0);
+        assert_eq!(scored[0].score, 0.0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sorted_descending_by_score() {
+        let (cat, root) = catalog_with_table("sort");
+        let cands = vec![cand("$.small"), cand("$.big"), cand("$.deep.x.y")];
+        let history = vec![
+            query(&["$.small", "$.deep.x.y"]),
+            query(&["$.small"]),
+            query(&["$.big"]),
+        ];
+        let scored = score_candidates(&cat, &cands, &history).unwrap();
+        for w in scored.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_table_is_an_error() {
+        let root = temp_root("mt");
+        let cat = Catalog::open(&root).unwrap();
+        let err = score_candidates(&cat, &[cand("$.x")], &[]).unwrap_err();
+        assert!(err.to_string().contains("not found"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,199 @@
+//! The persistent JSONPath statistics table (§III-B).
+//!
+//! The paper's JSONPath Collector stores its per-path daily access counts
+//! "in a statistics table, which is partitioned by date". We dogfood the
+//! Norc substrate for exactly that: one table in the reserved
+//! [`STATS_DB`] database, with one part file appended per saved day — a
+//! date partition — holding rows of
+//! `(database, table, column, path, day, count)`. The collector can then
+//! be rebuilt in a later process (e.g. the nightly cron run) without
+//! replaying the query log.
+
+use maxson_storage::file::WriteOptions;
+use maxson_storage::{Catalog, Cell, ColumnType, Field, Schema};
+use maxson_trace::{JsonPathCollector, JsonPathLocation};
+
+use crate::error::{MaxsonError, Result};
+
+/// Database holding the statistics table.
+pub const STATS_DB: &str = "__maxson_stats";
+/// Name of the statistics table.
+pub const STATS_TABLE: &str = "jsonpath_daily_counts";
+
+fn stats_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("database", ColumnType::Utf8),
+        Field::new("table_name", ColumnType::Utf8),
+        Field::new("column_name", ColumnType::Utf8),
+        Field::new("path", ColumnType::Utf8),
+        Field::new("day", ColumnType::Int64),
+        Field::new("count", ColumnType::Int64),
+    ])
+    .expect("static schema is valid")
+}
+
+/// Append one day's partition of the collector's counts to the statistics
+/// table, creating the table on first use. Returns the number of rows
+/// written. Saving the same day twice appends a second partition — counts
+/// re-accumulate on load, so callers should save each day exactly once (as
+/// the nightly cycle naturally does).
+pub fn save_day(catalog: &mut Catalog, collector: &JsonPathCollector, day: u32, now: u64) -> Result<usize> {
+    if !catalog.has_table(STATS_DB, STATS_TABLE) {
+        catalog.create_table(STATS_DB, STATS_TABLE, stats_schema(), now)?;
+    }
+    let rows: Vec<Vec<Cell>> = collector
+        .day_partition(day)
+        .into_iter()
+        .map(|(loc, count)| {
+            vec![
+                Cell::Str(loc.database.clone()),
+                Cell::Str(loc.table.clone()),
+                Cell::Str(loc.column.clone()),
+                Cell::Str(loc.path.clone()),
+                Cell::Int(i64::from(day)),
+                Cell::Int(i64::from(count)),
+            ]
+        })
+        .collect();
+    let n = rows.len();
+    catalog
+        .table_mut(STATS_DB, STATS_TABLE)?
+        .append_file(&rows, WriteOptions::default(), now)?;
+    Ok(n)
+}
+
+/// Rebuild a collector from every saved partition. An absent statistics
+/// table yields an empty collector.
+pub fn load_all(catalog: &Catalog) -> Result<JsonPathCollector> {
+    let mut collector = JsonPathCollector::new();
+    if !catalog.has_table(STATS_DB, STATS_TABLE) {
+        return Ok(collector);
+    }
+    let table = catalog.table(STATS_DB, STATS_TABLE)?;
+    for split in 0..table.file_count() {
+        let file = table.open_split(split)?;
+        for row in file.read_all_rows()? {
+            let [db, t, c, p, day, count] = row.as_slice() else {
+                return Err(MaxsonError::invalid("statistics row arity".to_string()));
+            };
+            let (Some(db), Some(t), Some(c), Some(p)) =
+                (db.as_str(), t.as_str(), c.as_str(), p.as_str())
+            else {
+                return Err(MaxsonError::invalid("statistics row types".to_string()));
+            };
+            let (Some(day), Some(count)) = (day.coerce_i64(), count.coerce_i64()) else {
+                return Err(MaxsonError::invalid("statistics row numbers".to_string()));
+            };
+            collector.record(
+                &JsonPathLocation::new(db, t, c, p),
+                day as u32,
+                count as u32,
+            );
+        }
+    }
+    Ok(collector)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxson_trace::model::RecurrenceClass;
+    use maxson_trace::QueryRecord;
+    use std::path::PathBuf;
+
+    fn temp_root(name: &str) -> PathBuf {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos();
+        std::env::temp_dir().join(format!("maxson-stats-{}-{nanos}-{name}", std::process::id()))
+    }
+
+    fn loc(path: &str) -> JsonPathLocation {
+        JsonPathLocation::new("db", "t", "payload", path)
+    }
+
+    fn query(day: u32, paths: &[&str]) -> QueryRecord {
+        QueryRecord {
+            query_id: 0,
+            user_id: 0,
+            day,
+            hour: 9,
+            recurrence: RecurrenceClass::Daily,
+            paths: paths.iter().map(|p| loc(p)).collect(),
+        }
+    }
+
+    #[test]
+    fn save_and_reload_round_trips_counts() {
+        let root = temp_root("roundtrip");
+        let mut catalog = Catalog::open(&root).unwrap();
+        let mut collector = JsonPathCollector::new();
+        collector.observe(&query(0, &["$.a", "$.b"]));
+        collector.observe(&query(0, &["$.a"]));
+        collector.observe(&query(1, &["$.b"]));
+        let n0 = save_day(&mut catalog, &collector, 0, 10).unwrap();
+        let n1 = save_day(&mut catalog, &collector, 1, 11).unwrap();
+        assert_eq!(n0, 2); // $.a and $.b have day-0 counts
+        assert_eq!(n1, 1);
+
+        // New process: reload from disk.
+        let catalog2 = Catalog::open(&root).unwrap();
+        let loaded = load_all(&catalog2).unwrap();
+        assert_eq!(loaded.count_on(&loc("$.a"), 0), 2);
+        assert_eq!(loaded.count_on(&loc("$.b"), 0), 1);
+        assert_eq!(loaded.count_on(&loc("$.b"), 1), 1);
+        assert_eq!(loaded.count_on(&loc("$.a"), 1), 0);
+        assert_eq!(loaded.max_day(), 1);
+        assert!(loaded.is_mpjp(&loc("$.a"), 0));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn one_partition_file_per_saved_day() {
+        let root = temp_root("partitions");
+        let mut catalog = Catalog::open(&root).unwrap();
+        let mut collector = JsonPathCollector::new();
+        for day in 0..3 {
+            collector.observe(&query(day, &["$.a"]));
+            save_day(&mut catalog, &collector, day, u64::from(day) + 1).unwrap();
+        }
+        let table = catalog.table(STATS_DB, STATS_TABLE).unwrap();
+        assert_eq!(table.file_count(), 3, "date partitioning = one file per day");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn loading_from_empty_warehouse_is_empty() {
+        let root = temp_root("empty");
+        let catalog = Catalog::open(&root).unwrap();
+        let loaded = load_all(&catalog).unwrap();
+        assert_eq!(loaded.path_count(), 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn stats_table_is_queryable_sql() {
+        // Dogfooding bonus: the statistics table is a plain warehouse table,
+        // so the engine can query it.
+        let root = temp_root("sql");
+        let mut catalog = Catalog::open(&root).unwrap();
+        let mut collector = JsonPathCollector::new();
+        collector.observe(&query(0, &["$.a", "$.b"]));
+        collector.observe(&query(0, &["$.a"]));
+        save_day(&mut catalog, &collector, 0, 1).unwrap();
+        drop(catalog);
+        let session = maxson_engine::session::Session::open(&root).unwrap();
+        let result = session
+            .execute(&format!(
+                "select path, count from {STATS_DB}.{STATS_TABLE} order by count desc, path"
+            ))
+            .unwrap();
+        assert_eq!(
+            result.rows[0],
+            vec![Cell::Str("$.a".into()), Cell::Int(2)]
+        );
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

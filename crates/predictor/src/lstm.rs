@@ -1,0 +1,330 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the math notation
+//! A single-layer LSTM sequence labeler trained with BPTT.
+//!
+//! This is the Uni-LSTM baseline of Table IV and the emission layer of the
+//! hybrid LSTM+CRF model. Per step `t` it consumes the day-`t` feature
+//! vector and emits a logit for "the path is an MPJP on day t+1"; training
+//! minimizes per-step sigmoid cross-entropy, exactly the setup §IV-A
+//! describes.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::features::SequenceExample;
+use crate::linalg::{sigmoid, Matrix};
+use crate::MpjpModel;
+
+/// LSTM hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmConfig {
+    /// Hidden state width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Positive-class weight in the per-step loss.
+    pub positive_weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    fn default() -> Self {
+        LstmConfig {
+            hidden: 16,
+            epochs: 25,
+            lr: 0.05,
+            positive_weight: 2.0,
+            seed: 31,
+        }
+    }
+}
+
+/// Trained LSTM parameters. Gate order in the stacked matrices:
+/// input (i), forget (f), cell candidate (g), output (o).
+#[derive(Debug)]
+pub struct LstmLabeler {
+    /// Input weights, `(4*hidden) x input_dim`.
+    wx: Matrix,
+    /// Recurrent weights, `(4*hidden) x hidden`.
+    wh: Matrix,
+    /// Gate biases, `4*hidden`.
+    b: Vec<f64>,
+    /// Output projection, `hidden`.
+    wy: Vec<f64>,
+    /// Output bias.
+    by: f64,
+    hidden: usize,
+    /// Decision threshold on the final-step probability.
+    pub threshold: f64,
+}
+
+/// Per-step forward cache used by BPTT.
+struct StepCache {
+    x: Vec<f64>,
+    i: Vec<f64>,
+    f: Vec<f64>,
+    g: Vec<f64>,
+    o: Vec<f64>,
+    c: Vec<f64>,
+    h: Vec<f64>,
+    c_prev: Vec<f64>,
+    h_prev: Vec<f64>,
+    logit: f64,
+}
+
+impl LstmLabeler {
+    /// Train on per-step labels of `examples`.
+    pub fn train(examples: &[&SequenceExample], config: LstmConfig) -> Self {
+        let input_dim = examples
+            .first()
+            .map_or(1, |e| e.steps.first().map_or(1, Vec::len));
+        let h = config.hidden;
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut model = LstmLabeler {
+            wx: Matrix::xavier(4 * h, input_dim, &mut rng),
+            wh: Matrix::xavier(4 * h, h, &mut rng),
+            b: vec![0.0; 4 * h],
+            wy: (0..h).map(|_| 0.1 * (rng_gen(&mut rng) - 0.5)).collect(),
+            by: 0.0,
+            hidden: h,
+            threshold: 0.5,
+        };
+        // Forget-gate bias starts positive (standard trick: remember by
+        // default).
+        for k in h..2 * h {
+            model.b[k] = 1.0;
+        }
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let lr = config.lr / (1.0 + 0.05 * epoch as f64);
+            for &idx in &order {
+                model.train_one(examples[idx], lr, config.positive_weight);
+            }
+        }
+        model
+    }
+
+    /// Forward one sequence, returning per-step caches.
+    fn forward(&self, steps: &[Vec<f64>]) -> Vec<StepCache> {
+        let h = self.hidden;
+        let mut caches = Vec::with_capacity(steps.len());
+        let mut h_prev = vec![0.0; h];
+        let mut c_prev = vec![0.0; h];
+        for x in steps {
+            let mut z = self.wx.matvec(x);
+            let zh = self.wh.matvec(&h_prev);
+            for k in 0..4 * h {
+                z[k] += zh[k] + self.b[k];
+            }
+            let i: Vec<f64> = (0..h).map(|k| sigmoid(z[k])).collect();
+            let f: Vec<f64> = (0..h).map(|k| sigmoid(z[h + k])).collect();
+            let g: Vec<f64> = (0..h).map(|k| z[2 * h + k].tanh()).collect();
+            let o: Vec<f64> = (0..h).map(|k| sigmoid(z[3 * h + k])).collect();
+            let c: Vec<f64> = (0..h).map(|k| f[k] * c_prev[k] + i[k] * g[k]).collect();
+            let hv: Vec<f64> = (0..h).map(|k| o[k] * c[k].tanh()).collect();
+            let logit = crate::linalg::dot(&self.wy, &hv) + self.by;
+            caches.push(StepCache {
+                x: x.clone(),
+                i,
+                f,
+                g,
+                o,
+                c: c.clone(),
+                h: hv.clone(),
+                c_prev: c_prev.clone(),
+                h_prev: h_prev.clone(),
+                logit,
+            });
+            h_prev = hv;
+            c_prev = c;
+        }
+        caches
+    }
+
+    /// One BPTT step on one example.
+    fn train_one(&mut self, ex: &SequenceExample, lr: f64, pos_w: f64) {
+        let h = self.hidden;
+        let caches = self.forward(&ex.steps);
+        let t_max = caches.len();
+        let mut d_wx = Matrix::zeros(4 * h, self.wx.cols);
+        let mut d_wh = Matrix::zeros(4 * h, h);
+        let mut d_b = vec![0.0; 4 * h];
+        let mut d_wy = vec![0.0; h];
+        let mut d_by = 0.0;
+        let mut dh_next = vec![0.0; h];
+        let mut dc_next = vec![0.0; h];
+        for t in (0..t_max).rev() {
+            let cache = &caches[t];
+            let y = if ex.labels[t] { 1.0 } else { 0.0 };
+            let w_class = if ex.labels[t] { pos_w } else { 1.0 };
+            let dlogit = (sigmoid(cache.logit) - y) * w_class;
+            for k in 0..h {
+                d_wy[k] += dlogit * cache.h[k];
+            }
+            d_by += dlogit;
+            // dh = dlogit * wy + dh from the future.
+            let mut dh: Vec<f64> = (0..h).map(|k| dlogit * self.wy[k] + dh_next[k]).collect();
+            let mut dc: Vec<f64> = (0..h)
+                .map(|k| {
+                    let tanh_c = cache.c[k].tanh();
+                    dc_next[k] + dh[k] * cache.o[k] * (1.0 - tanh_c * tanh_c)
+                })
+                .collect();
+            // Gate gradients (pre-activation).
+            let mut dz = vec![0.0; 4 * h];
+            for k in 0..h {
+                let di = dc[k] * cache.g[k];
+                let df = dc[k] * cache.c_prev[k];
+                let dg = dc[k] * cache.i[k];
+                let do_ = dh[k] * cache.c[k].tanh();
+                dz[k] = di * cache.i[k] * (1.0 - cache.i[k]);
+                dz[h + k] = df * cache.f[k] * (1.0 - cache.f[k]);
+                dz[2 * h + k] = dg * (1.0 - cache.g[k] * cache.g[k]);
+                dz[3 * h + k] = do_ * cache.o[k] * (1.0 - cache.o[k]);
+            }
+            d_wx.add_outer(&dz, &cache.x, 1.0);
+            d_wh.add_outer(&dz, &cache.h_prev, 1.0);
+            for k in 0..4 * h {
+                d_b[k] += dz[k];
+            }
+            // Propagate to the previous step.
+            let dh_prev = self.wh.matvec_t(&dz);
+            dh[..h].copy_from_slice(&dh_prev[..h]);
+            for k in 0..h {
+                dc[k] *= cache.f[k];
+            }
+            dh_next = dh;
+            dc_next = dc;
+        }
+        self.wx.sgd_step(&d_wx, lr, 5.0);
+        self.wh.sgd_step(&d_wh, lr, 5.0);
+        crate::linalg::sgd_step_vec(&mut self.b, &d_b, lr, 5.0);
+        crate::linalg::sgd_step_vec(&mut self.wy, &d_wy, lr, 5.0);
+        self.by -= lr * d_by.clamp(-5.0, 5.0);
+    }
+
+    /// Per-step probabilities for a sequence.
+    pub fn step_probabilities(&self, ex: &SequenceExample) -> Vec<f64> {
+        self.forward(&ex.steps)
+            .iter()
+            .map(|c| sigmoid(c.logit))
+            .collect()
+    }
+
+    /// Per-step emission scores as `(score_negative, score_positive)` pairs
+    /// in log space — the CRF layer's input.
+    pub fn emissions(&self, ex: &SequenceExample) -> Vec<[f64; 2]> {
+        self.step_probabilities(ex)
+            .iter()
+            .map(|&p| {
+                let p = p.clamp(1e-9, 1.0 - 1e-9);
+                [(1.0 - p).ln(), p.ln()]
+            })
+            .collect()
+    }
+}
+
+fn rng_gen(rng: &mut SmallRng) -> f64 {
+    use rand::Rng;
+    rng.gen::<f64>()
+}
+
+impl MpjpModel for LstmLabeler {
+    fn predict(&self, example: &SequenceExample) -> bool {
+        self.step_probabilities(example)
+            .last()
+            .is_some_and(|&p| p > self.threshold)
+    }
+
+    fn name(&self) -> &'static str {
+        "LSTM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxson_trace::JsonPathLocation;
+
+    /// A temporal task a static model struggles with: the label at the last
+    /// step is the feature from TWO steps earlier (requires memory).
+    fn memory_set(n: usize) -> Vec<SequenceExample> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            let bit = i % 2 == 0;
+            let steps = vec![
+                vec![if bit { 1.0 } else { 0.0 }, 1.0],
+                vec![0.0, 1.0],
+                vec![0.0, 1.0],
+            ];
+            v.push(SequenceExample {
+                location: JsonPathLocation::new("d", "t", "c", "$.x"),
+                day: 3,
+                steps,
+                labels: vec![false, false, bit],
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn lstm_learns_temporal_dependency() {
+        let data = memory_set(80);
+        let refs: Vec<&SequenceExample> = data.iter().collect();
+        let model = LstmLabeler::train(
+            &refs,
+            LstmConfig {
+                epochs: 60,
+                lr: 0.1,
+                hidden: 8,
+                ..Default::default()
+            },
+        );
+        let correct = refs
+            .iter()
+            .filter(|e| model.predict(e) == e.final_label())
+            .count();
+        assert!(
+            correct as f64 / refs.len() as f64 > 0.95,
+            "LSTM learned {correct}/{}",
+            refs.len()
+        );
+    }
+
+    #[test]
+    fn probabilities_and_emissions_shapes() {
+        let data = memory_set(4);
+        let refs: Vec<&SequenceExample> = data.iter().collect();
+        let model = LstmLabeler::train(
+            &refs,
+            LstmConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+        let probs = model.step_probabilities(refs[0]);
+        assert_eq!(probs.len(), 3);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+        let em = model.emissions(refs[0]);
+        assert_eq!(em.len(), 3);
+        assert!(em.iter().all(|e| e[0] <= 0.0 && e[1] <= 0.0));
+        assert_eq!(model.name(), "LSTM");
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let data = memory_set(10);
+        let refs: Vec<&SequenceExample> = data.iter().collect();
+        let cfg = LstmConfig {
+            epochs: 3,
+            ..Default::default()
+        };
+        let a = LstmLabeler::train(&refs, cfg);
+        let b = LstmLabeler::train(&refs, cfg);
+        assert_eq!(a.step_probabilities(refs[0]), b.step_probabilities(refs[0]));
+    }
+}

@@ -1,0 +1,227 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the math notation
+//! A small feed-forward neural network (the MLPClassifier baseline).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::features::SequenceExample;
+use crate::linalg::{sigmoid, Matrix};
+use crate::MpjpModel;
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Hidden layer widths (the paper tunes `(50, 10, 2)`; a smaller net
+    /// suffices at our scale).
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Positive-class weight.
+    pub positive_weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        MlpConfig {
+            hidden: vec![32, 8],
+            epochs: 40,
+            lr: 0.05,
+            positive_weight: 2.0,
+            seed: 23,
+        }
+    }
+}
+
+/// A trained MLP on flattened window features.
+#[derive(Debug)]
+pub struct MlpClassifier {
+    /// Weight matrices, one per layer (hidden layers + output).
+    layers: Vec<Matrix>,
+    /// Biases, one per layer.
+    biases: Vec<Vec<f64>>,
+    /// Decision threshold on the output probability.
+    pub threshold: f64,
+}
+
+impl MlpClassifier {
+    /// Train on the final-step labels of `examples`.
+    pub fn train(examples: &[&SequenceExample], config: MlpConfig) -> Self {
+        let input_dim = examples.first().map_or(1, |e| e.static_features().len());
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut dims = vec![input_dim];
+        dims.extend(&config.hidden);
+        dims.push(1);
+        let mut layers: Vec<Matrix> = Vec::new();
+        let mut biases: Vec<Vec<f64>> = Vec::new();
+        for w in dims.windows(2) {
+            layers.push(Matrix::xavier(w[1], w[0], &mut rng));
+            biases.push(vec![0.0; w[1]]);
+        }
+        let flat: Vec<(Vec<f64>, bool)> = examples
+            .iter()
+            .map(|e| (e.static_features(), e.final_label()))
+            .collect();
+        let mut order: Vec<usize> = (0..flat.len()).collect();
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let lr = config.lr / (1.0 + 0.05 * epoch as f64);
+            for &i in &order {
+                let (x, label) = &flat[i];
+                // Forward: ReLU hidden, sigmoid output.
+                let mut activations: Vec<Vec<f64>> = vec![x.clone()];
+                for (li, (w, b)) in layers.iter().zip(&biases).enumerate() {
+                    let mut z = w.matvec(activations.last().expect("non-empty"));
+                    for (zi, bi) in z.iter_mut().zip(b) {
+                        *zi += bi;
+                    }
+                    let a = if li + 1 == layers.len() {
+                        vec![sigmoid(z[0])]
+                    } else {
+                        z.iter().map(|v| v.max(0.0)).collect()
+                    };
+                    activations.push(a);
+                }
+                let out = activations.last().expect("output layer")[0];
+                let y = if *label { 1.0 } else { 0.0 };
+                let w_class = if *label { config.positive_weight } else { 1.0 };
+                // Backward.
+                let mut delta = vec![(out - y) * w_class]; // dL/dz at output
+                for li in (0..layers.len()).rev() {
+                    let a_prev = &activations[li];
+                    // Gradient step for this layer.
+                    let mut grad_w = Matrix::zeros(layers[li].rows, layers[li].cols);
+                    grad_w.add_outer(&delta, a_prev, 1.0);
+                    // Propagate before updating weights (use old weights).
+                    let mut delta_prev = layers[li].matvec_t(&delta);
+                    if li > 0 {
+                        // ReLU derivative w.r.t. the previous activation.
+                        for (d, a) in delta_prev.iter_mut().zip(a_prev) {
+                            if *a <= 0.0 {
+                                *d = 0.0;
+                            }
+                        }
+                    }
+                    layers[li].sgd_step(&grad_w, lr, 5.0);
+                    for (b, d) in biases[li].iter_mut().zip(&delta) {
+                        *b -= lr * d.clamp(-5.0, 5.0);
+                    }
+                    delta = delta_prev;
+                }
+            }
+        }
+        MlpClassifier {
+            layers,
+            biases,
+            threshold: 0.5,
+        }
+    }
+
+    /// Output probability for an example.
+    pub fn probability(&self, example: &SequenceExample) -> f64 {
+        let mut a = example.static_features();
+        for (li, (w, b)) in self.layers.iter().zip(&self.biases).enumerate() {
+            let mut z = w.matvec(&a);
+            for (zi, bi) in z.iter_mut().zip(b) {
+                *zi += bi;
+            }
+            a = if li + 1 == self.layers.len() {
+                vec![sigmoid(z[0])]
+            } else {
+                z.iter().map(|v| v.max(0.0)).collect()
+            };
+        }
+        a[0]
+    }
+}
+
+impl MpjpModel for MlpClassifier {
+    fn predict(&self, example: &SequenceExample) -> bool {
+        self.probability(example) > self.threshold
+    }
+
+    fn name(&self) -> &'static str {
+        "MLPClassifier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxson_trace::JsonPathLocation;
+
+    /// XOR-ish non-linear toy problem over two features: label = (a>0) XOR
+    /// (b>0). A linear model cannot fit this; the MLP should.
+    fn xor_set() -> Vec<SequenceExample> {
+        let mut v = Vec::new();
+        for i in 0..200 {
+            let a = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let b = if (i / 2) % 2 == 0 { 1.0 } else { -1.0 };
+            let label = (a > 0.0) != (b > 0.0);
+            v.push(SequenceExample {
+                location: JsonPathLocation::new("d", "t", "c", "$.x"),
+                day: 1,
+                steps: vec![vec![a, b]],
+                labels: vec![label],
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn mlp_fits_xor() {
+        let data = xor_set();
+        let refs: Vec<&SequenceExample> = data.iter().collect();
+        let model = MlpClassifier::train(
+            &refs,
+            MlpConfig {
+                epochs: 300,
+                lr: 0.1,
+                hidden: vec![8],
+                ..Default::default()
+            },
+        );
+        let correct = refs
+            .iter()
+            .filter(|e| model.predict(e) == e.final_label())
+            .count();
+        assert!(
+            correct as f64 / refs.len() as f64 > 0.95,
+            "MLP got {correct}/{} on XOR",
+            refs.len()
+        );
+    }
+
+    #[test]
+    fn linear_model_cannot_fit_xor() {
+        use crate::linear::{LinearConfig, LinearModel, Loss};
+        let data = xor_set();
+        let refs: Vec<&SequenceExample> = data.iter().collect();
+        let model = LinearModel::train(&refs, Loss::Logistic, LinearConfig::default());
+        let correct = refs
+            .iter()
+            .filter(|e| model.predict(e) == e.final_label())
+            .count();
+        assert!(
+            correct as f64 / (refs.len() as f64) < 0.8,
+            "a linear model should not fit XOR, got {correct}/{}",
+            refs.len()
+        );
+    }
+
+    #[test]
+    fn probability_in_unit_interval() {
+        let data = xor_set();
+        let refs: Vec<&SequenceExample> = data.iter().collect();
+        let model = MlpClassifier::train(&refs, MlpConfig::default());
+        for e in &refs {
+            let p = model.probability(e);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert_eq!(model.name(), "MLPClassifier");
+    }
+}

@@ -1,0 +1,268 @@
+//! The scalar cell type shared by storage and the query engine.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One scalar value in a row. `Null` is a first-class member so that missing
+/// JSONPath evaluations and SQL NULL semantics compose naturally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// SQL NULL / missing JSON field.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Cell {
+    /// `true` iff this is [`Cell::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    /// The integer content, with Float/Str coercion attempted (Hive-style
+    /// lax typing used when comparing JSON-extracted strings to numbers).
+    pub fn coerce_i64(&self) -> Option<i64> {
+        match self {
+            Cell::Int(i) => Some(*i),
+            Cell::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            Cell::Str(s) => s.trim().parse().ok(),
+            Cell::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// The float content, with Int/Str coercion attempted.
+    pub fn coerce_f64(&self) -> Option<f64> {
+        match self {
+            Cell::Int(i) => Some(*i as f64),
+            Cell::Float(f) => Some(*f),
+            Cell::Str(s) => s.trim().parse().ok(),
+            Cell::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Cell::Null => None,
+        }
+    }
+
+    /// Borrow the string content if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Cell::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render for display / CSV-ish output. NULL renders as the empty
+    /// string, matching Hive CLI output.
+    pub fn render(&self) -> String {
+        match self {
+            Cell::Null => String::new(),
+            Cell::Bool(b) => b.to_string(),
+            Cell::Int(i) => i.to_string(),
+            Cell::Float(f) => format!("{f}"),
+            Cell::Str(s) => s.clone(),
+        }
+    }
+
+    /// Approximate in-memory/serialized size in bytes; used by the scoring
+    /// function's `B_j` (average size of a cached value).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Cell::Null => 1,
+            Cell::Bool(_) => 1,
+            Cell::Int(_) => 8,
+            Cell::Float(_) => 8,
+            Cell::Str(s) => s.len(),
+        }
+    }
+
+    /// Three-valued SQL comparison. Returns `None` when either side is NULL
+    /// or the types cannot be compared.
+    pub fn sql_cmp(&self, other: &Cell) -> Option<Ordering> {
+        match (self, other) {
+            (Cell::Null, _) | (_, Cell::Null) => None,
+            (Cell::Bool(a), Cell::Bool(b)) => Some(a.cmp(b)),
+            (Cell::Str(a), Cell::Str(b)) => {
+                // Prefer numeric comparison when both sides parse as numbers
+                // (JSON-extracted values are strings).
+                match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+                    (Ok(x), Ok(y)) => x.partial_cmp(&y),
+                    _ => Some(a.cmp(b)),
+                }
+            }
+            (a, b) => {
+                let (x, y) = (a.coerce_f64()?, b.coerce_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// A total ordering for sorting: NULLs first, then by value. Used by
+    /// ORDER BY and group-key normalization.
+    pub fn total_cmp(&self, other: &Cell) -> Ordering {
+        fn rank(c: &Cell) -> u8 {
+            match c {
+                Cell::Null => 0,
+                Cell::Bool(_) => 1,
+                Cell::Int(_) | Cell::Float(_) => 2,
+                Cell::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Cell::Null, Cell::Null) => Ordering::Equal,
+            (Cell::Bool(a), Cell::Bool(b)) => a.cmp(b),
+            (Cell::Int(a), Cell::Int(b)) => a.cmp(b),
+            // Numeric strings (the output of get_json_object) sort
+            // numerically; numeric strings sort before non-numeric ones so
+            // the ordering stays total.
+            (Cell::Str(a), Cell::Str(b)) => {
+                match (a.trim().parse::<f64>(), b.trim().parse::<f64>()) {
+                    (Ok(x), Ok(y)) => x.total_cmp(&y),
+                    (Ok(_), Err(_)) => Ordering::Less,
+                    (Err(_), Ok(_)) => Ordering::Greater,
+                    (Err(_), Err(_)) => a.cmp(b),
+                }
+            }
+            (Cell::Int(a), Cell::Float(b)) => (*a as f64).total_cmp(b),
+            (Cell::Float(a), Cell::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Cell::Float(a), Cell::Float(b)) => a.total_cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Equality for group-by keys: NULL groups with NULL, numbers compare
+    /// numerically across Int/Float.
+    pub fn group_eq(&self, other: &Cell) -> bool {
+        match (self, other) {
+            (Cell::Null, Cell::Null) => true,
+            (Cell::Int(a), Cell::Float(b)) | (Cell::Float(b), Cell::Int(a)) => *a as f64 == *b,
+            (a, b) => a == b,
+        }
+    }
+
+    /// A hashable normalized key string for group-by / join hash maps.
+    pub fn key_string(&self) -> String {
+        match self {
+            Cell::Null => "\u{0}N".to_string(),
+            Cell::Bool(b) => format!("b{b}"),
+            Cell::Int(i) => format!("n{}", *i as f64),
+            Cell::Float(f) => format!("n{f}"),
+            Cell::Str(s) => format!("s{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Null => f.write_str("NULL"),
+            other => f.write_str(&other.render()),
+        }
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(i: i64) -> Self {
+        Cell::Int(i)
+    }
+}
+impl From<f64> for Cell {
+    fn from(f: f64) -> Self {
+        Cell::Float(f)
+    }
+}
+impl From<bool> for Cell {
+    fn from(b: bool) -> Self {
+        Cell::Bool(b)
+    }
+}
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Str(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Str(s)
+    }
+}
+impl<T: Into<Cell>> From<Option<T>> for Cell {
+    fn from(o: Option<T>) -> Self {
+        o.map_or(Cell::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Cell::Str(" 42 ".into()).coerce_i64(), Some(42));
+        assert_eq!(Cell::Float(3.0).coerce_i64(), Some(3));
+        assert_eq!(Cell::Float(3.5).coerce_i64(), None);
+        assert_eq!(Cell::Str("2.5".into()).coerce_f64(), Some(2.5));
+        assert_eq!(Cell::Null.coerce_f64(), None);
+        assert_eq!(Cell::Bool(true).coerce_i64(), Some(1));
+    }
+
+    #[test]
+    fn sql_cmp_null_propagates() {
+        assert_eq!(Cell::Null.sql_cmp(&Cell::Int(1)), None);
+        assert_eq!(Cell::Int(1).sql_cmp(&Cell::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_numeric_strings_compare_numerically() {
+        // "9" > "10" lexicographically but 9 < 10 numerically; JSON-extracted
+        // values must compare numerically for Q2/Q9-style predicates.
+        assert_eq!(
+            Cell::Str("9".into()).sql_cmp(&Cell::Str("10".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Cell::Str("abc".into()).sql_cmp(&Cell::Str("abd".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Cell::Str("15".into()).sql_cmp(&Cell::Int(10)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn total_cmp_orders_nulls_first() {
+        let mut cells = vec![Cell::Int(2), Cell::Null, Cell::Int(1)];
+        cells.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(cells, vec![Cell::Null, Cell::Int(1), Cell::Int(2)]);
+    }
+
+    #[test]
+    fn group_keys_normalize_numeric_types() {
+        assert_eq!(Cell::Int(2).key_string(), Cell::Float(2.0).key_string());
+        assert!(Cell::Int(2).group_eq(&Cell::Float(2.0)));
+        assert!(!Cell::Int(2).group_eq(&Cell::Str("2".into())));
+        assert!(Cell::Null.group_eq(&Cell::Null));
+    }
+
+    #[test]
+    fn render_and_display() {
+        assert_eq!(Cell::Null.render(), "");
+        assert_eq!(Cell::Null.to_string(), "NULL");
+        assert_eq!(Cell::Int(-3).render(), "-3");
+        assert_eq!(Cell::from("x").render(), "x");
+        assert_eq!(Cell::from(Some(1i64)).render(), "1");
+        assert_eq!(Cell::from(None::<i64>), Cell::Null);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(Cell::Int(1).byte_size(), 8);
+        assert_eq!(Cell::Str("abcd".into()).byte_size(), 4);
+        assert_eq!(Cell::Null.byte_size(), 1);
+    }
+}

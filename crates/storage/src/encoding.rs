@@ -1,0 +1,327 @@
+//! Byte-level encodings used inside Norc column streams.
+//!
+//! * unsigned LEB128 **varints** for lengths and counts,
+//! * **zigzag** mapping so signed deltas encode compactly,
+//! * a simple **RLE** for integer runs (like ORC's RLEv1: literal spans and
+//!   runs of a repeated value),
+//! * length-prefixed UTF-8 for strings,
+//! * raw little-endian `f64`,
+//! * a one-bit-per-row **null bitmap**,
+//! * FNV-1a 64-bit checksums for corruption detection.
+
+use crate::error::{Result, StorageError};
+
+/// Append an unsigned varint (LEB128).
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an unsigned varint, advancing `pos`.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| StorageError::corrupt("varint truncated"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(StorageError::corrupt("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encode a signed integer.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// RLE-encode a slice of i64. The stream is a sequence of spans:
+/// `varint(header)` where `header = (len << 1) | is_run`, followed by either
+/// one zigzag varint (run) or `len` zigzag varints (literals).
+pub fn rle_encode_i64(values: &[i64], out: &mut Vec<u8>) {
+    write_varint(out, values.len() as u64);
+    let mut i = 0usize;
+    while i < values.len() {
+        // Measure the run starting at i.
+        let mut run = 1usize;
+        while i + run < values.len() && values[i + run] == values[i] {
+            run += 1;
+        }
+        if run >= 3 {
+            write_varint(out, ((run as u64) << 1) | 1);
+            write_varint(out, zigzag(values[i]));
+            i += run;
+        } else {
+            // Literal span: extend until the next run of >=3 begins.
+            let start = i;
+            i += run;
+            while i < values.len() {
+                let mut r = 1usize;
+                while i + r < values.len() && values[i + r] == values[i] {
+                    r += 1;
+                }
+                if r >= 3 {
+                    break;
+                }
+                i += r;
+            }
+            let len = i - start;
+            write_varint(out, (len as u64) << 1);
+            for &v in &values[start..i] {
+                write_varint(out, zigzag(v));
+            }
+        }
+    }
+}
+
+/// Decode a stream produced by [`rle_encode_i64`].
+pub fn rle_decode_i64(buf: &[u8], pos: &mut usize) -> Result<Vec<i64>> {
+    let total = read_varint(buf, pos)? as usize;
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let header = read_varint(buf, pos)?;
+        let len = (header >> 1) as usize;
+        if len == 0 || out.len() + len > total {
+            return Err(StorageError::corrupt("RLE span overruns declared length"));
+        }
+        if header & 1 == 1 {
+            let v = unzigzag(read_varint(buf, pos)?);
+            out.extend(std::iter::repeat_n(v, len));
+        } else {
+            for _ in 0..len {
+                out.push(unzigzag(read_varint(buf, pos)?));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn read_str(buf: &[u8], pos: &mut usize) -> Result<String> {
+    let len = read_varint(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .ok_or_else(|| StorageError::corrupt("string length overflow"))?;
+    if end > buf.len() {
+        return Err(StorageError::corrupt("string truncated"));
+    }
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| StorageError::corrupt("string is not UTF-8"))?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+/// Append an `f64` in little-endian.
+pub fn write_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read an `f64` in little-endian.
+pub fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64> {
+    let end = *pos + 8;
+    if end > buf.len() {
+        return Err(StorageError::corrupt("f64 truncated"));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[*pos..end]);
+    *pos = end;
+    Ok(f64::from_le_bytes(b))
+}
+
+/// Pack a slice of booleans into a bitmap (LSB-first within each byte),
+/// preceded by a varint count.
+pub fn write_bitmap(out: &mut Vec<u8>, bits: &[bool]) {
+    write_varint(out, bits.len() as u64);
+    let mut byte = 0u8;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !bits.len().is_multiple_of(8) {
+        out.push(byte);
+    }
+}
+
+/// Inverse of [`write_bitmap`].
+pub fn read_bitmap(buf: &[u8], pos: &mut usize) -> Result<Vec<bool>> {
+    let n = read_varint(buf, pos)? as usize;
+    let nbytes = n.div_ceil(8);
+    let end = *pos + nbytes;
+    if end > buf.len() {
+        return Err(StorageError::corrupt("bitmap truncated"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let byte = buf[*pos + i / 8];
+        out.push(byte >> (i % 8) & 1 == 1);
+    }
+    *pos = end;
+    Ok(out)
+}
+
+/// FNV-1a 64-bit hash, used as the file checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncation_detected() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 1_000_000);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn rle_round_trip_mixed() {
+        let values: Vec<i64> = vec![5, 5, 5, 5, 1, 2, 3, -9, -9, -9, 0, 0, 7];
+        let mut buf = Vec::new();
+        rle_encode_i64(&values, &mut buf);
+        let mut pos = 0;
+        assert_eq!(rle_decode_i64(&buf, &mut pos).unwrap(), values);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn rle_runs_compress() {
+        let values = vec![42i64; 10_000];
+        let mut buf = Vec::new();
+        rle_encode_i64(&values, &mut buf);
+        assert!(buf.len() < 16, "run of 10k identical should be tiny, got {}", buf.len());
+    }
+
+    #[test]
+    fn rle_empty_and_single() {
+        for values in [vec![], vec![7i64]] {
+            let mut buf = Vec::new();
+            rle_encode_i64(&values, &mut buf);
+            let mut pos = 0;
+            assert_eq!(rle_decode_i64(&buf, &mut pos).unwrap(), values);
+        }
+    }
+
+    #[test]
+    fn rle_corruption_detected() {
+        let mut buf = Vec::new();
+        rle_encode_i64(&[1, 2, 3, 4, 5], &mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(rle_decode_i64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "héllo \"world\"");
+        write_str(&mut buf, "");
+        let mut pos = 0;
+        assert_eq!(read_str(&buf, &mut pos).unwrap(), "héllo \"world\"");
+        assert_eq!(read_str(&buf, &mut pos).unwrap(), "");
+    }
+
+    #[test]
+    fn string_invalid_utf8_detected() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut pos = 0;
+        assert!(read_str(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut buf = Vec::new();
+        for v in [0.0f64, -2.5, f64::MAX, f64::MIN_POSITIVE] {
+            write_f64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for v in [0.0f64, -2.5, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(read_f64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bitmap_round_trip() {
+        for n in [0usize, 1, 7, 8, 9, 64, 100] {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let mut buf = Vec::new();
+            write_bitmap(&mut buf, &bits);
+            let mut pos = 0;
+            assert_eq!(read_bitmap(&buf, &mut pos).unwrap(), bits);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        let a = fnv1a(b"hello");
+        assert_eq!(a, fnv1a(b"hello"));
+        assert_ne!(a, fnv1a(b"hellp"));
+        assert_ne!(fnv1a(b""), 0);
+    }
+}

@@ -1,0 +1,923 @@
+//! The Norc file format: writer, reader, and row-group statistics.
+//!
+//! Layout of a `.norc` file:
+//!
+//! ```text
+//! +---------+-------------------------------+-----------+----------+-------+
+//! | "NORC2" | body: encoded column chunks   | footer    | f.len u64| chksum|
+//! +---------+-------------------------------+-----------+----------+-------+
+//! ```
+//!
+//! The body is a concatenation of encoded column chunks, one per
+//! (stripe, row group, column). The footer records the schema, the stripe
+//! directory, and per-(row group, column) offsets, lengths, and min/max
+//! statistics. The trailing FNV-1a checksum covers everything before it, so
+//! truncation or bit rot is detected on open.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::cell::Cell;
+use crate::column::ColumnData;
+use crate::encoding::{
+    fnv1a, read_f64, read_str, read_varint, write_f64, write_str, write_varint,
+};
+use crate::error::{Result, StorageError};
+use crate::schema::{ColumnType, Schema};
+
+/// Magic bytes at the start of every Norc file. The trailing digit is the
+/// format version; v2 added dictionary-encoded string streams.
+pub const MAGIC: &[u8; 5] = b"NORC2";
+
+/// Rows per row group, matching ORC's default of 10,000 (§IV-F).
+pub const DEFAULT_ROW_GROUP_SIZE: usize = 10_000;
+
+/// Tuning knobs for [`NorcWriter`].
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOptions {
+    /// Rows per row group.
+    pub row_group_size: usize,
+    /// Row groups per stripe. The paper's pushdown-sharing optimization only
+    /// applies to single-stripe files; multi-stripe files exist to test that
+    /// restriction.
+    pub row_groups_per_stripe: usize,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            row_group_size: DEFAULT_ROW_GROUP_SIZE,
+            row_groups_per_stripe: usize::MAX,
+        }
+    }
+}
+
+/// Min/max/null statistics for one column within one row group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnStats {
+    /// Integer column stats.
+    Int {
+        /// Minimum non-null value, if any value is non-null.
+        min: Option<i64>,
+        /// Maximum non-null value.
+        max: Option<i64>,
+        /// Number of NULL rows.
+        nulls: u64,
+    },
+    /// Float column stats.
+    Float {
+        /// Minimum non-null value.
+        min: Option<f64>,
+        /// Maximum non-null value.
+        max: Option<f64>,
+        /// Number of NULL rows.
+        nulls: u64,
+    },
+    /// String column stats (lexicographic min/max, plus numeric min/max over
+    /// the values that parse as numbers — needed because JSON-extracted
+    /// values are stored as strings but filtered numerically).
+    Utf8 {
+        /// Lexicographic minimum.
+        min: Option<String>,
+        /// Lexicographic maximum.
+        max: Option<String>,
+        /// Numeric minimum over values parsing as f64.
+        num_min: Option<f64>,
+        /// Numeric maximum over values parsing as f64.
+        num_max: Option<f64>,
+        /// `true` when every non-null value parsed as a number.
+        all_numeric: bool,
+        /// Number of NULL rows.
+        nulls: u64,
+    },
+    /// Bool column stats.
+    Bool {
+        /// Count of `true` rows.
+        true_count: u64,
+        /// Count of `false` rows.
+        false_count: u64,
+        /// Number of NULL rows.
+        nulls: u64,
+    },
+}
+
+impl ColumnStats {
+    fn new(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int64 => ColumnStats::Int {
+                min: None,
+                max: None,
+                nulls: 0,
+            },
+            ColumnType::Float64 => ColumnStats::Float {
+                min: None,
+                max: None,
+                nulls: 0,
+            },
+            ColumnType::Utf8 => ColumnStats::Utf8 {
+                min: None,
+                max: None,
+                num_min: None,
+                num_max: None,
+                all_numeric: true,
+                nulls: 0,
+            },
+            ColumnType::Bool => ColumnStats::Bool {
+                true_count: 0,
+                false_count: 0,
+                nulls: 0,
+            },
+        }
+    }
+
+    fn update(&mut self, cell: &Cell) {
+        match (self, cell) {
+            (ColumnStats::Int { nulls, .. }, Cell::Null)
+            | (ColumnStats::Float { nulls, .. }, Cell::Null)
+            | (ColumnStats::Utf8 { nulls, .. }, Cell::Null)
+            | (ColumnStats::Bool { nulls, .. }, Cell::Null) => *nulls += 1,
+            (ColumnStats::Int { min, max, .. }, Cell::Int(v)) => {
+                *min = Some(min.map_or(*v, |m| m.min(*v)));
+                *max = Some(max.map_or(*v, |m| m.max(*v)));
+            }
+            (ColumnStats::Float { min, max, .. }, Cell::Float(v)) => {
+                *min = Some(min.map_or(*v, |m| m.min(*v)));
+                *max = Some(max.map_or(*v, |m| m.max(*v)));
+            }
+            (ColumnStats::Float { min, max, .. }, Cell::Int(v)) => {
+                let v = *v as f64;
+                *min = Some(min.map_or(v, |m| m.min(v)));
+                *max = Some(max.map_or(v, |m| m.max(v)));
+            }
+            (
+                ColumnStats::Utf8 {
+                    min,
+                    max,
+                    num_min,
+                    num_max,
+                    all_numeric,
+                    ..
+                },
+                Cell::Str(s),
+            ) => {
+                if min.as_deref().is_none_or(|m| s.as_str() < m) {
+                    *min = Some(s.clone());
+                }
+                if max.as_deref().is_none_or(|m| s.as_str() > m) {
+                    *max = Some(s.clone());
+                }
+                match s.trim().parse::<f64>() {
+                    Ok(v) => {
+                        *num_min = Some(num_min.map_or(v, |m| m.min(v)));
+                        *num_max = Some(num_max.map_or(v, |m| m.max(v)));
+                    }
+                    Err(_) => *all_numeric = false,
+                }
+            }
+            (
+                ColumnStats::Bool {
+                    true_count,
+                    false_count,
+                    ..
+                },
+                Cell::Bool(b),
+            ) => {
+                if *b {
+                    *true_count += 1;
+                } else {
+                    *false_count += 1;
+                }
+            }
+            // push() already rejected mismatched cells; nothing to record.
+            _ => {}
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        fn write_opt_i64(out: &mut Vec<u8>, v: Option<i64>) {
+            match v {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    write_varint(out, crate::encoding::zigzag(v));
+                }
+            }
+        }
+        fn write_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+            match v {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    write_f64(out, v);
+                }
+            }
+        }
+        fn write_opt_str(out: &mut Vec<u8>, v: &Option<String>) {
+            match v {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    write_str(out, v);
+                }
+            }
+        }
+        match self {
+            ColumnStats::Int { min, max, nulls } => {
+                out.push(0);
+                write_opt_i64(out, *min);
+                write_opt_i64(out, *max);
+                write_varint(out, *nulls);
+            }
+            ColumnStats::Float { min, max, nulls } => {
+                out.push(1);
+                write_opt_f64(out, *min);
+                write_opt_f64(out, *max);
+                write_varint(out, *nulls);
+            }
+            ColumnStats::Utf8 {
+                min,
+                max,
+                num_min,
+                num_max,
+                all_numeric,
+                nulls,
+            } => {
+                out.push(2);
+                write_opt_str(out, min);
+                write_opt_str(out, max);
+                write_opt_f64(out, *num_min);
+                write_opt_f64(out, *num_max);
+                out.push(u8::from(*all_numeric));
+                write_varint(out, *nulls);
+            }
+            ColumnStats::Bool {
+                true_count,
+                false_count,
+                nulls,
+            } => {
+                out.push(3);
+                write_varint(out, *true_count);
+                write_varint(out, *false_count);
+                write_varint(out, *nulls);
+            }
+        }
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize) -> Result<Self> {
+        fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
+            let b = *buf
+                .get(*pos)
+                .ok_or_else(|| StorageError::corrupt("stats truncated"))?;
+            *pos += 1;
+            Ok(b)
+        }
+        fn read_opt_i64(buf: &[u8], pos: &mut usize) -> Result<Option<i64>> {
+            Ok(if read_u8(buf, pos)? == 1 {
+                Some(crate::encoding::unzigzag(read_varint(buf, pos)?))
+            } else {
+                None
+            })
+        }
+        fn read_opt_f64(buf: &[u8], pos: &mut usize) -> Result<Option<f64>> {
+            Ok(if read_u8(buf, pos)? == 1 {
+                Some(read_f64(buf, pos)?)
+            } else {
+                None
+            })
+        }
+        fn read_opt_str(buf: &[u8], pos: &mut usize) -> Result<Option<String>> {
+            Ok(if read_u8(buf, pos)? == 1 {
+                Some(read_str(buf, pos)?)
+            } else {
+                None
+            })
+        }
+        match read_u8(buf, pos)? {
+            0 => Ok(ColumnStats::Int {
+                min: read_opt_i64(buf, pos)?,
+                max: read_opt_i64(buf, pos)?,
+                nulls: read_varint(buf, pos)?,
+            }),
+            1 => Ok(ColumnStats::Float {
+                min: read_opt_f64(buf, pos)?,
+                max: read_opt_f64(buf, pos)?,
+                nulls: read_varint(buf, pos)?,
+            }),
+            2 => Ok(ColumnStats::Utf8 {
+                min: read_opt_str(buf, pos)?,
+                max: read_opt_str(buf, pos)?,
+                num_min: read_opt_f64(buf, pos)?,
+                num_max: read_opt_f64(buf, pos)?,
+                all_numeric: read_u8(buf, pos)? == 1,
+                nulls: read_varint(buf, pos)?,
+            }),
+            3 => Ok(ColumnStats::Bool {
+                true_count: read_varint(buf, pos)?,
+                false_count: read_varint(buf, pos)?,
+                nulls: read_varint(buf, pos)?,
+            }),
+            t => Err(StorageError::corrupt(format!("unknown stats tag {t}"))),
+        }
+    }
+}
+
+/// Statistics and chunk locations for one row group.
+#[derive(Debug, Clone)]
+pub struct RowGroupStats {
+    /// Rows in this group.
+    pub row_count: usize,
+    /// Per-column (body offset, encoded length).
+    pub chunks: Vec<(u64, u64)>,
+    /// Per-column min/max statistics.
+    pub columns: Vec<ColumnStats>,
+}
+
+/// Directory entry for one stripe.
+#[derive(Debug, Clone)]
+pub struct StripeInfo {
+    /// Row groups in this stripe.
+    pub row_groups: Vec<RowGroupStats>,
+}
+
+impl StripeInfo {
+    /// Total rows in the stripe.
+    pub fn row_count(&self) -> usize {
+        self.row_groups.iter().map(|rg| rg.row_count).sum()
+    }
+}
+
+/// Streaming writer that buffers a row group at a time and produces a Norc
+/// file on [`NorcWriter::finish`].
+pub struct NorcWriter {
+    path: PathBuf,
+    schema: Schema,
+    options: WriteOptions,
+    body: Vec<u8>,
+    stripes: Vec<StripeInfo>,
+    current_stripe: Vec<RowGroupStats>,
+    pending_cols: Vec<ColumnData>,
+    pending_stats: Vec<ColumnStats>,
+    pending_rows: usize,
+}
+
+impl NorcWriter {
+    /// Start writing a new file at `path` (parent directory must exist).
+    pub fn create(path: impl Into<PathBuf>, schema: Schema, options: WriteOptions) -> Result<Self> {
+        if options.row_group_size == 0 || options.row_groups_per_stripe == 0 {
+            return Err(StorageError::InvalidOperation {
+                detail: "row_group_size and row_groups_per_stripe must be positive".into(),
+            });
+        }
+        let pending_cols = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::empty(f.ty))
+            .collect();
+        let pending_stats = schema.fields().iter().map(|f| ColumnStats::new(f.ty)).collect();
+        Ok(NorcWriter {
+            path: path.into(),
+            schema,
+            options,
+            body: Vec::new(),
+            stripes: Vec::new(),
+            current_stripe: Vec::new(),
+            pending_cols,
+            pending_stats,
+            pending_rows: 0,
+        })
+    }
+
+    /// Append one row. Cells must match the schema positionally.
+    pub fn append_row(&mut self, row: &[Cell]) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(StorageError::ShapeMismatch {
+                detail: format!(
+                    "row has {} cells, schema has {} columns",
+                    row.len(),
+                    self.schema.len()
+                ),
+            });
+        }
+        for ((col, stats), (cell, field)) in self
+            .pending_cols
+            .iter_mut()
+            .zip(self.pending_stats.iter_mut())
+            .zip(row.iter().zip(self.schema.fields()))
+        {
+            col.push(cell, &field.name)?;
+            stats.update(cell);
+        }
+        self.pending_rows += 1;
+        if self.pending_rows >= self.options.row_group_size {
+            self.flush_row_group();
+        }
+        Ok(())
+    }
+
+    fn flush_row_group(&mut self) {
+        if self.pending_rows == 0 {
+            return;
+        }
+        let mut chunks = Vec::with_capacity(self.pending_cols.len());
+        for col in &self.pending_cols {
+            let start = self.body.len() as u64;
+            col.encode(&mut self.body);
+            chunks.push((start, self.body.len() as u64 - start));
+        }
+        let stats = std::mem::replace(
+            &mut self.pending_stats,
+            self.schema.fields().iter().map(|f| ColumnStats::new(f.ty)).collect(),
+        );
+        let row_count = self.pending_rows;
+        self.pending_cols = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::empty(f.ty))
+            .collect();
+        self.pending_rows = 0;
+        self.current_stripe.push(RowGroupStats {
+            row_count,
+            chunks,
+            columns: stats,
+        });
+        if self.current_stripe.len() >= self.options.row_groups_per_stripe {
+            self.stripes.push(StripeInfo {
+                row_groups: std::mem::take(&mut self.current_stripe),
+            });
+        }
+    }
+
+    /// Flush pending data, write the footer and checksum, and close the file.
+    pub fn finish(mut self) -> Result<NorcFile> {
+        self.flush_row_group();
+        if !self.current_stripe.is_empty() {
+            self.stripes.push(StripeInfo {
+                row_groups: std::mem::take(&mut self.current_stripe),
+            });
+        }
+        let mut out = Vec::with_capacity(self.body.len() + 1024);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&self.body);
+
+        let mut footer = Vec::new();
+        // Schema.
+        write_varint(&mut footer, self.schema.len() as u64);
+        for f in self.schema.fields() {
+            write_str(&mut footer, &f.name);
+            footer.push(f.ty.tag());
+        }
+        // Stripes.
+        write_varint(&mut footer, self.stripes.len() as u64);
+        for stripe in &self.stripes {
+            write_varint(&mut footer, stripe.row_groups.len() as u64);
+            for rg in &stripe.row_groups {
+                write_varint(&mut footer, rg.row_count as u64);
+                for &(off, len) in &rg.chunks {
+                    write_varint(&mut footer, off);
+                    write_varint(&mut footer, len);
+                }
+                for cs in &rg.columns {
+                    cs.encode(&mut footer);
+                }
+            }
+        }
+        let footer_len = footer.len() as u64;
+        out.extend_from_slice(&footer);
+        out.extend_from_slice(&footer_len.to_le_bytes());
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        fs::write(&self.path, &out)?;
+        Ok(NorcFile {
+            path: self.path,
+            schema: self.schema,
+            stripes: self.stripes,
+            data: out,
+        })
+    }
+}
+
+/// An opened Norc file: parsed footer plus the raw bytes for chunk decoding.
+#[derive(Debug, Clone)]
+pub struct NorcFile {
+    path: PathBuf,
+    schema: Schema,
+    stripes: Vec<StripeInfo>,
+    data: Vec<u8>,
+}
+
+impl NorcFile {
+    /// Open and validate a Norc file (magic, checksum, footer).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let data = fs::read(&path)?;
+        if data.len() < MAGIC.len() + 16 {
+            return Err(StorageError::corrupt("file too short"));
+        }
+        if &data[..MAGIC.len()] != MAGIC {
+            return Err(StorageError::corrupt("bad magic"));
+        }
+        let cksum_start = data.len() - 8;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&data[cksum_start..]);
+        let stored = u64::from_le_bytes(b);
+        if fnv1a(&data[..cksum_start]) != stored {
+            return Err(StorageError::corrupt("checksum mismatch"));
+        }
+        b.copy_from_slice(&data[cksum_start - 8..cksum_start]);
+        let footer_len = u64::from_le_bytes(b) as usize;
+        if footer_len + 8 + 8 + MAGIC.len() > data.len() {
+            return Err(StorageError::corrupt("footer length out of range"));
+        }
+        let footer_start = cksum_start - 8 - footer_len;
+        let footer = &data[footer_start..cksum_start - 8];
+        let mut pos = 0usize;
+        // Schema.
+        let ncols = read_varint(footer, &mut pos)? as usize;
+        let mut fields = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let name = read_str(footer, &mut pos)?;
+            let tag = *footer
+                .get(pos)
+                .ok_or_else(|| StorageError::corrupt("schema truncated"))?;
+            pos += 1;
+            fields.push(crate::schema::Field::new(name, ColumnType::from_tag(tag)?));
+        }
+        let schema = Schema::new(fields).map_err(|e| StorageError::corrupt(e.to_string()))?;
+        // Stripes.
+        let nstripes = read_varint(footer, &mut pos)? as usize;
+        let mut stripes = Vec::with_capacity(nstripes);
+        for _ in 0..nstripes {
+            let nrg = read_varint(footer, &mut pos)? as usize;
+            let mut row_groups = Vec::with_capacity(nrg);
+            for _ in 0..nrg {
+                let row_count = read_varint(footer, &mut pos)? as usize;
+                let mut chunks = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    let off = read_varint(footer, &mut pos)?;
+                    let len = read_varint(footer, &mut pos)?;
+                    chunks.push((off, len));
+                }
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(ColumnStats::decode(footer, &mut pos)?);
+                }
+                row_groups.push(RowGroupStats {
+                    row_count,
+                    chunks,
+                    columns,
+                });
+            }
+            stripes.push(StripeInfo { row_groups });
+        }
+        Ok(NorcFile {
+            path,
+            schema,
+            stripes,
+            data,
+        })
+    }
+
+    /// The file's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Path this file was opened from / written to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stripe directory.
+    pub fn stripes(&self) -> &[StripeInfo] {
+        &self.stripes
+    }
+
+    /// Number of stripes (the pushdown-sharing restriction checks `== 1`).
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Total rows.
+    pub fn num_rows(&self) -> usize {
+        self.stripes.iter().map(StripeInfo::row_count).sum()
+    }
+
+    /// All row groups across stripes, in row order.
+    pub fn row_groups(&self) -> impl Iterator<Item = &RowGroupStats> {
+        self.stripes.iter().flat_map(|s| s.row_groups.iter())
+    }
+
+    /// Total number of row groups.
+    pub fn row_group_count(&self) -> usize {
+        self.stripes.iter().map(|s| s.row_groups.len()).sum()
+    }
+
+    /// Size on disk in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Decode one column chunk of one row group (global row-group index).
+    pub fn read_chunk(&self, row_group: usize, column: usize) -> Result<ColumnData> {
+        let rg = self
+            .row_groups()
+            .nth(row_group)
+            .ok_or_else(|| StorageError::NotFound {
+                what: format!("row group {row_group}"),
+            })?;
+        let (off, len) = *rg.chunks.get(column).ok_or_else(|| StorageError::NotFound {
+            what: format!("column {column}"),
+        })?;
+        let start = MAGIC.len() + off as usize;
+        let end = start + len as usize;
+        if end > self.data.len() {
+            return Err(StorageError::corrupt("chunk out of range"));
+        }
+        let ty = self.schema.fields()[column].ty;
+        let mut pos = 0usize;
+        let col = ColumnData::decode(ty, &self.data[start..end], &mut pos)?;
+        if col.len() != rg.row_count {
+            return Err(StorageError::corrupt("chunk row count mismatch"));
+        }
+        Ok(col)
+    }
+
+    /// Read the requested columns for the row groups where `keep` is true
+    /// (or all row groups when `keep` is `None`). Returns one concatenated
+    /// [`ColumnData`] per requested column, in request order.
+    pub fn read_columns(
+        &self,
+        columns: &[usize],
+        keep: Option<&[bool]>,
+    ) -> Result<Vec<ColumnData>> {
+        if let Some(keep) = keep {
+            if keep.len() != self.row_group_count() {
+                return Err(StorageError::ShapeMismatch {
+                    detail: format!(
+                        "keep array has {} entries, file has {} row groups",
+                        keep.len(),
+                        self.row_group_count()
+                    ),
+                });
+            }
+        }
+        let mut out: Vec<ColumnData> = columns
+            .iter()
+            .map(|&c| ColumnData::empty(self.schema.fields()[c].ty))
+            .collect();
+        for (rgi, rg) in self.row_groups().enumerate() {
+            if let Some(keep) = keep {
+                if !keep[rgi] {
+                    continue;
+                }
+            }
+            for (outi, &c) in columns.iter().enumerate() {
+                let chunk = self.read_chunk(rgi, c)?;
+                // Concatenate chunk into out[outi].
+                for i in 0..rg.row_count {
+                    out[outi]
+                        .push(&chunk.get(i), &self.schema.fields()[c].name)
+                        .expect("chunk cell matches its own column type");
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Materialize full rows (all columns), mostly for tests and examples.
+    pub fn read_all_rows(&self) -> Result<Vec<Vec<Cell>>> {
+        let cols: Vec<usize> = (0..self.schema.len()).collect();
+        let data = self.read_columns(&cols, None)?;
+        let n = data.first().map_or(0, ColumnData::len);
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            rows.push(data.iter().map(|c| c.get(i)).collect());
+        }
+        Ok(rows)
+    }
+}
+
+/// Convenience: write `rows` to `path` in one call.
+pub fn write_rows(
+    path: impl Into<PathBuf>,
+    schema: Schema,
+    rows: &[Vec<Cell>],
+    options: WriteOptions,
+) -> Result<NorcFile> {
+    let mut w = NorcWriter::create(path, schema, options)?;
+    for row in rows {
+        w.append_row(row)?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("maxson-storage-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.norc", std::process::id()))
+    }
+
+    fn sample_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("name", ColumnType::Utf8),
+            Field::new("score", ColumnType::Float64),
+        ])
+        .unwrap()
+    }
+
+    fn sample_rows(n: usize) -> Vec<Vec<Cell>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Cell::Int(i as i64),
+                    if i % 7 == 0 {
+                        Cell::Null
+                    } else {
+                        Cell::Str(format!("name-{i}"))
+                    },
+                    Cell::Float(i as f64 / 2.0),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = temp_path("round-trip");
+        let rows = sample_rows(25);
+        let opts = WriteOptions {
+            row_group_size: 10,
+            ..Default::default()
+        };
+        write_rows(&path, sample_schema(), &rows, opts).unwrap();
+        let f = NorcFile::open(&path).unwrap();
+        assert_eq!(f.num_rows(), 25);
+        assert_eq!(f.row_group_count(), 3);
+        assert_eq!(f.stripe_count(), 1);
+        assert_eq!(f.read_all_rows().unwrap(), rows);
+    }
+
+    #[test]
+    fn stripe_splitting() {
+        let path = temp_path("stripes");
+        let opts = WriteOptions {
+            row_group_size: 5,
+            row_groups_per_stripe: 2,
+        };
+        write_rows(&path, sample_schema(), &sample_rows(23), opts).unwrap();
+        let f = NorcFile::open(&path).unwrap();
+        // 5 row groups of (5,5,5,5,3) -> stripes of 2,2,1 row groups.
+        assert_eq!(f.row_group_count(), 5);
+        assert_eq!(f.stripe_count(), 3);
+        assert_eq!(f.num_rows(), 23);
+    }
+
+    #[test]
+    fn row_group_stats_are_correct() {
+        let path = temp_path("stats");
+        let opts = WriteOptions {
+            row_group_size: 10,
+            ..Default::default()
+        };
+        write_rows(&path, sample_schema(), &sample_rows(20), opts).unwrap();
+        let f = NorcFile::open(&path).unwrap();
+        let rgs: Vec<_> = f.row_groups().collect();
+        match &rgs[1].columns[0] {
+            ColumnStats::Int { min, max, nulls } => {
+                assert_eq!(*min, Some(10));
+                assert_eq!(*max, Some(19));
+                assert_eq!(*nulls, 0);
+            }
+            other => panic!("unexpected stats {other:?}"),
+        }
+        match &rgs[0].columns[1] {
+            ColumnStats::Utf8 { nulls, all_numeric, .. } => {
+                assert_eq!(*nulls, 2); // rows 0 and 7
+                assert!(!all_numeric);
+            }
+            other => panic!("unexpected stats {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_string_stats_tracked() {
+        let path = temp_path("numstats");
+        let schema = Schema::new(vec![Field::new("v", ColumnType::Utf8)]).unwrap();
+        let rows: Vec<Vec<Cell>> = [("5"), ("40"), ("12")]
+            .iter()
+            .map(|s| vec![Cell::Str(s.to_string())])
+            .collect();
+        write_rows(&path, schema, &rows, WriteOptions::default()).unwrap();
+        let f = NorcFile::open(&path).unwrap();
+        let rg = f.row_groups().next().unwrap();
+        match &rg.columns[0] {
+            ColumnStats::Utf8 {
+                num_min,
+                num_max,
+                all_numeric,
+                ..
+            } => {
+                assert_eq!(*num_min, Some(5.0));
+                assert_eq!(*num_max, Some(40.0));
+                assert!(all_numeric);
+            }
+            other => panic!("unexpected stats {other:?}"),
+        }
+    }
+
+    #[test]
+    fn selective_column_and_row_group_reads() {
+        let path = temp_path("selective");
+        let opts = WriteOptions {
+            row_group_size: 10,
+            ..Default::default()
+        };
+        write_rows(&path, sample_schema(), &sample_rows(30), opts).unwrap();
+        let f = NorcFile::open(&path).unwrap();
+        let keep = vec![false, true, false];
+        let cols = f.read_columns(&[0], Some(&keep)).unwrap();
+        assert_eq!(cols[0].len(), 10);
+        assert_eq!(cols[0].get(0), Cell::Int(10));
+        assert_eq!(cols[0].get(9), Cell::Int(19));
+    }
+
+    #[test]
+    fn keep_array_shape_checked() {
+        let path = temp_path("keepshape");
+        write_rows(
+            &path,
+            sample_schema(),
+            &sample_rows(5),
+            WriteOptions::default(),
+        )
+        .unwrap();
+        let f = NorcFile::open(&path).unwrap();
+        assert!(f.read_columns(&[0], Some(&[true, false])).is_err());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = temp_path("corrupt");
+        write_rows(
+            &path,
+            sample_schema(),
+            &sample_rows(10),
+            WriteOptions::default(),
+        )
+        .unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            NorcFile::open(&path),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let path = temp_path("truncated");
+        write_rows(
+            &path,
+            sample_schema(),
+            &sample_rows(10),
+            WriteOptions::default(),
+        )
+        .unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert!(NorcFile::open(&path).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = temp_path("badmagic");
+        fs::write(&path, b"NOTNORC-file-content-that-is-long-enough").unwrap();
+        assert!(NorcFile::open(&path).is_err());
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let path = temp_path("empty");
+        write_rows(&path, sample_schema(), &[], WriteOptions::default()).unwrap();
+        let f = NorcFile::open(&path).unwrap();
+        assert_eq!(f.num_rows(), 0);
+        assert_eq!(f.row_group_count(), 0);
+        assert!(f.read_all_rows().unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_arity_row_rejected() {
+        let path = temp_path("arity");
+        let mut w = NorcWriter::create(&path, sample_schema(), WriteOptions::default()).unwrap();
+        assert!(w.append_row(&[Cell::Int(1)]).is_err());
+    }
+}

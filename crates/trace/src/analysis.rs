@@ -1,0 +1,206 @@
+//! Trace analytics: the measurements behind Fig. 2, Fig. 4, and §II-D.
+
+use std::collections::HashMap;
+
+use crate::model::{QueryRecord, RecurrenceClass, TableUpdate};
+
+/// Histogram of table updates by hour of day (Fig. 2).
+pub fn update_hour_histogram(updates: &[TableUpdate]) -> [u64; 24] {
+    let mut hist = [0u64; 24];
+    for u in updates {
+        hist[(u.hour as usize).min(23)] += 1;
+    }
+    hist
+}
+
+/// Fraction of queries that are recurring (paper: 82%).
+pub fn recurring_fraction(queries: &[QueryRecord]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let recurring = queries
+        .iter()
+        .filter(|q| q.recurrence != RecurrenceClass::AdHoc)
+        .count();
+    recurring as f64 / queries.len() as f64
+}
+
+/// Among recurring queries, the daily and weekly fractions
+/// (paper: ~71%+7% daily-ish, 17% weekly).
+pub fn recurrence_breakdown(queries: &[QueryRecord]) -> (f64, f64) {
+    let recurring: Vec<_> = queries
+        .iter()
+        .filter(|q| q.recurrence != RecurrenceClass::AdHoc)
+        .collect();
+    if recurring.is_empty() {
+        return (0.0, 0.0);
+    }
+    let daily = recurring
+        .iter()
+        .filter(|q| q.recurrence == RecurrenceClass::Daily)
+        .count();
+    let weekly = recurring.len() - daily;
+    (
+        daily as f64 / recurring.len() as f64,
+        weekly as f64 / recurring.len() as f64,
+    )
+}
+
+/// Number of queries touching each path, descending (Fig. 4's series), and
+/// the mean (paper: ~14 queries per path).
+pub fn queries_per_path(queries: &[QueryRecord]) -> (Vec<u64>, f64) {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for q in queries {
+        // Count each path once per query (Fig. 4 counts queries, not
+        // parse events).
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &q.paths {
+            if seen.insert(p.key()) {
+                *counts.entry(p.key()).or_default() += 1;
+            }
+        }
+    }
+    let mut v: Vec<u64> = counts.into_values().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    let mean = if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<u64>() as f64 / v.len() as f64
+    };
+    (v, mean)
+}
+
+/// Share of total parse traffic captured by the most popular `top_fraction`
+/// of paths (paper: top 27% of paths take 89% of traffic).
+pub fn traffic_share_of_top(queries: &[QueryRecord], top_fraction: f64) -> f64 {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut total = 0u64;
+    for q in queries {
+        for p in &q.paths {
+            *counts.entry(p.key()).or_default() += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let mut v: Vec<u64> = counts.into_values().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    let k = ((v.len() as f64 * top_fraction).ceil() as usize).clamp(1, v.len());
+    v[..k].iter().sum::<u64>() as f64 / total as f64
+}
+
+/// Fraction of parse traffic that is *redundant*: repeated parses of a path
+/// already parsed earlier the same day (paper: 89% of parsing traffic is
+/// repetitive).
+pub fn redundant_parse_fraction(queries: &[QueryRecord]) -> f64 {
+    let mut seen_today: HashMap<(u32, String), u64> = HashMap::new();
+    let mut total = 0u64;
+    let mut redundant = 0u64;
+    for q in queries {
+        for p in &q.paths {
+            let k = (q.day, p.key());
+            let n = seen_today.entry(k).or_default();
+            if *n > 0 {
+                redundant += 1;
+            }
+            *n += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        redundant as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::JsonPathLocation;
+    use crate::synth::{SynthConfig, TraceSynthesizer};
+
+    fn q(day: u32, class: RecurrenceClass, paths: &[&str]) -> QueryRecord {
+        QueryRecord {
+            query_id: 0,
+            user_id: 0,
+            day,
+            hour: 0,
+            recurrence: class,
+            paths: paths
+                .iter()
+                .map(|p| JsonPathLocation::new("d", "t", "c", *p))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fractions_on_handmade_trace() {
+        let queries = vec![
+            q(0, RecurrenceClass::Daily, &["$.a"]),
+            q(0, RecurrenceClass::Weekly, &["$.a"]),
+            q(0, RecurrenceClass::AdHoc, &["$.b"]),
+            q(1, RecurrenceClass::Daily, &["$.a"]),
+        ];
+        assert!((recurring_fraction(&queries) - 0.75).abs() < 1e-9);
+        let (daily, weekly) = recurrence_breakdown(&queries);
+        assert!((daily - 2.0 / 3.0).abs() < 1e-9);
+        assert!((weekly - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queries_per_path_counts_queries_not_parses() {
+        let queries = vec![
+            q(0, RecurrenceClass::Daily, &["$.a", "$.a", "$.b"]),
+            q(0, RecurrenceClass::Daily, &["$.a"]),
+        ];
+        let (counts, mean) = queries_per_path(&queries);
+        assert_eq!(counts, vec![2, 1]);
+        assert!((mean - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundancy_counts_same_day_repeats() {
+        let queries = vec![
+            q(0, RecurrenceClass::Daily, &["$.a"]),
+            q(0, RecurrenceClass::Daily, &["$.a"]),
+            q(1, RecurrenceClass::Daily, &["$.a"]),
+        ];
+        // 3 parses, 1 redundant (second parse of day 0).
+        assert!((redundant_parse_fraction(&queries) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_trace_matches_paper_regime() {
+        let trace = TraceSynthesizer::new(SynthConfig::default()).generate();
+        // Redundancy should be high: most parse traffic is repeats within a
+        // day (paper: 89%).
+        let r = redundant_parse_fraction(&trace.queries);
+        assert!(r > 0.5, "redundant fraction {r}");
+        // Popularity skew.
+        let share = traffic_share_of_top(&trace.queries, 0.27);
+        assert!(share > 0.55, "top-27% share {share}");
+        // Mean queries per path in the Fig. 4 regime (paper: 14).
+        let (_, mean) = queries_per_path(&trace.queries);
+        assert!(mean > 3.0, "mean queries per path {mean}");
+        // Update histogram peaks midday.
+        let hist = update_hour_histogram(&trace.updates);
+        let peak_hour = hist
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(h, _)| h)
+            .unwrap();
+        assert!((9..=17).contains(&peak_hour), "peak hour {peak_hour}");
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(recurring_fraction(&[]), 0.0);
+        assert_eq!(recurrence_breakdown(&[]), (0.0, 0.0));
+        assert_eq!(queries_per_path(&[]).1, 0.0);
+        assert_eq!(traffic_share_of_top(&[], 0.27), 0.0);
+        assert_eq!(redundant_parse_fraction(&[]), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Core trace record types.
+
+use std::fmt;
+
+/// The four-part key the warehouse uses to address one JSONPath value:
+/// database, table, column, and the JSONPath inside the JSON string
+/// (§II-A: "to read the value of a field, one has to specify the database
+/// name, the table name, the column name, and the JSONPath").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JsonPathLocation {
+    /// Database name.
+    pub database: String,
+    /// Table name.
+    pub table: String,
+    /// Column holding the JSON string.
+    pub column: String,
+    /// JSONPath text (e.g. `$.turnover`).
+    pub path: String,
+}
+
+impl JsonPathLocation {
+    /// Construct a location.
+    pub fn new(
+        database: impl Into<String>,
+        table: impl Into<String>,
+        column: impl Into<String>,
+        path: impl Into<String>,
+    ) -> Self {
+        JsonPathLocation {
+            database: database.into(),
+            table: table.into(),
+            column: column.into(),
+            path: path.into(),
+        }
+    }
+
+    /// A stable single-string key (used in hash maps and file names).
+    pub fn key(&self) -> String {
+        format!("{}\u{1}{}\u{1}{}\u{1}{}", self.database, self.table, self.column, self.path)
+    }
+}
+
+impl fmt::Display for JsonPathLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}:{}",
+            self.database, self.table, self.column, self.path
+        )
+    }
+}
+
+/// Why a query was submitted — the recurrence class of §II-D1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecurrenceClass {
+    /// Repeats every day (possibly with a multi-day data window).
+    Daily,
+    /// Repeats weekly.
+    Weekly,
+    /// One-off exploration.
+    AdHoc,
+}
+
+/// One executed query in the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRecord {
+    /// Monotone query id.
+    pub query_id: u64,
+    /// Submitting user.
+    pub user_id: u32,
+    /// Day index since trace start (0-based).
+    pub day: u32,
+    /// Hour of submission (0..24).
+    pub hour: u8,
+    /// Recurrence class this query was generated from.
+    pub recurrence: RecurrenceClass,
+    /// The JSONPaths the query parses.
+    pub paths: Vec<JsonPathLocation>,
+}
+
+/// One table update event (data load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableUpdate {
+    /// Database name.
+    pub database: String,
+    /// Table name.
+    pub table: String,
+    /// Day index of the update.
+    pub day: u32,
+    /// Hour of day (0..24) — Fig. 2's axis.
+    pub hour: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_key_is_injective_on_fields() {
+        let a = JsonPathLocation::new("db", "t", "c", "$.x");
+        let b = JsonPathLocation::new("db", "t", "c", "$.y");
+        let c = JsonPathLocation::new("db", "t.c", "", "$.x");
+        assert_ne!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_eq!(a.key(), a.clone().key());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = JsonPathLocation::new("mydb", "sales", "logs", "$.item");
+        assert_eq!(a.to_string(), "mydb.sales.logs:$.item");
+    }
+}

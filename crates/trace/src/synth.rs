@@ -1,0 +1,405 @@
+//! The trace synthesizer.
+//!
+//! Generates a query trace whose marginal statistics match the paper's
+//! published measurements of the Alibaba workload. The generative model:
+//!
+//! * A fixed universe of `(db, table, column, path)` locations; paths per
+//!   table follow the table's column/path fan-out.
+//! * Path popularity weights follow a Zipf-like power law, tuned so the top
+//!   ~27% of paths draw ~89% of parse traffic.
+//! * Users own *query templates* (a set of paths over one table). Recurring
+//!   templates fire daily or weekly; ad-hoc queries sample fresh path sets.
+//! * Table updates land with a mid-day peak (Fig. 2) the day before the
+//!   data is queried.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{JsonPathLocation, QueryRecord, RecurrenceClass, TableUpdate};
+
+/// Synthesizer configuration. Defaults scale the 5-month / 3M-query trace
+/// down by ~3 orders of magnitude while preserving the ratios.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of days in the trace (paper: ~150).
+    pub days: u32,
+    /// Number of distinct tables.
+    pub tables: usize,
+    /// JSON columns per table.
+    pub columns_per_table: usize,
+    /// Paths per JSON column.
+    pub paths_per_column: usize,
+    /// Number of users (paper: ~1,900 submitting recurring queries).
+    pub users: usize,
+    /// Recurring query templates per user.
+    pub templates_per_user: usize,
+    /// Ad-hoc queries per day.
+    pub adhoc_per_day: usize,
+    /// Fraction of templates that repeat daily (the rest weekly).
+    pub daily_fraction: f64,
+    /// Among daily templates, fraction using multi-day windows.
+    pub multiday_fraction: f64,
+    /// Zipf-ish skew exponent for path popularity.
+    pub zipf_exponent: f64,
+    /// Paths per query (mean; actual count varies 1..2x mean).
+    pub paths_per_query: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            days: 60,
+            tables: 30,
+            columns_per_table: 1,
+            paths_per_column: 20,
+            users: 100,
+            templates_per_user: 4,
+            adhoc_per_day: 12,
+            // The paper reports 71%+7% of recurring *queries* daily-ish and 17%
+            // weekly. Daily templates fire 7x more often than weekly ones, so
+            // at the template level the weekly share is much larger:
+            // w/(w + 7d) = 0.17 => w ~= 1.4d, i.e. ~42% daily templates.
+            daily_fraction: 0.45,
+            multiday_fraction: 0.09,
+            zipf_exponent: 1.6,
+            paths_per_query: 8,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A generated trace: queries, updates, and the path universe.
+#[derive(Debug)]
+pub struct SyntheticTrace {
+    /// All query records, ordered by (day, hour, query_id).
+    pub queries: Vec<QueryRecord>,
+    /// All table update events.
+    pub updates: Vec<TableUpdate>,
+    /// The full path universe.
+    pub universe: Vec<JsonPathLocation>,
+}
+
+/// Deterministic trace generator.
+#[derive(Debug)]
+pub struct TraceSynthesizer {
+    config: SynthConfig,
+}
+
+impl TraceSynthesizer {
+    /// Create a synthesizer.
+    pub fn new(config: SynthConfig) -> Self {
+        TraceSynthesizer { config }
+    }
+
+    /// Generate the trace.
+    pub fn generate(&self) -> SyntheticTrace {
+        let cfg = &self.config;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+        // 1. Path universe, grouped per table so templates are table-local
+        //    (spatial correlation: queries over the same table share paths).
+        let mut universe = Vec::new();
+        let mut table_paths: Vec<Vec<usize>> = Vec::with_capacity(cfg.tables);
+        for t in 0..cfg.tables {
+            let mut ids = Vec::new();
+            for c in 0..cfg.columns_per_table {
+                for p in 0..cfg.paths_per_column {
+                    ids.push(universe.len());
+                    universe.push(JsonPathLocation::new(
+                        format!("db{}", t % 5),
+                        format!("table{t}"),
+                        format!("json_col{c}"),
+                        format!("$.f{p}"),
+                    ));
+                }
+            }
+            table_paths.push(ids);
+        }
+
+        // 2. Popularity weights per table-local path index: Zipf over the
+        //    within-table rank, shuffled so the popular path differs per
+        //    table.
+        let mut weights: Vec<f64> = vec![0.0; universe.len()];
+        for ids in &table_paths {
+            let mut ranked = ids.clone();
+            ranked.shuffle(&mut rng);
+            for (rank, &id) in ranked.iter().enumerate() {
+                weights[id] = 1.0 / ((rank + 1) as f64).powf(self.config.zipf_exponent);
+            }
+        }
+
+        // 2b. Tables themselves are Zipf-popular: most query traffic lands
+        //     on a few hot tables, concentrating path traffic further.
+        let table_weights: Vec<f64> = (0..cfg.tables)
+            .map(|t| 1.0 / ((t + 1) as f64).powf(1.1))
+            .collect();
+        let table_ids: Vec<usize> = (0..cfg.tables).collect();
+        let pick_table = |rng: &mut SmallRng| -> usize {
+            weighted_sample(&table_ids, &table_weights, 1, rng)[0]
+        };
+
+        // 3. Recurring templates.
+        struct Template {
+            user: u32,
+            class: RecurrenceClass,
+            /// Day-of-week for weekly templates.
+            phase: u32,
+            paths: Vec<usize>,
+            table: usize,
+            hour: u8,
+        }
+        let mut templates = Vec::new();
+        for u in 0..cfg.users {
+            for _ in 0..cfg.templates_per_user {
+                let table = pick_table(&mut rng);
+                let n = rng.gen_range(1..=cfg.paths_per_query * 2).max(1);
+                let class = if rng.gen_bool(cfg.daily_fraction) {
+                    RecurrenceClass::Daily
+                } else {
+                    RecurrenceClass::Weekly
+                };
+                // Weekly report templates target their own, less popular
+                // fields (uniform draw), so a sizeable path population is
+                // touched *only* weekly — the temporal pattern that gives
+                // sequence models their edge (Table III).
+                let paths = match class {
+                    RecurrenceClass::Weekly => {
+                        let uniform = vec![1.0; weights.len()];
+                        weighted_sample(&table_paths[table], &uniform, n, &mut rng)
+                    }
+                    _ => weighted_sample(&table_paths[table], &weights, n, &mut rng),
+                };
+                templates.push(Template {
+                    user: u as u32,
+                    class,
+                    phase: rng.gen_range(0..7),
+                    paths,
+                    table,
+                    hour: rng.gen_range(6..22),
+                });
+            }
+        }
+
+        // 4. Emit queries day by day.
+        let mut queries = Vec::new();
+        let mut qid = 0u64;
+        for day in 0..cfg.days {
+            for tpl in &templates {
+                let fires = match tpl.class {
+                    RecurrenceClass::Daily => true,
+                    RecurrenceClass::Weekly => day % 7 == tpl.phase,
+                    RecurrenceClass::AdHoc => false,
+                };
+                if !fires {
+                    continue;
+                }
+                queries.push(QueryRecord {
+                    query_id: qid,
+                    user_id: tpl.user,
+                    day,
+                    hour: tpl.hour,
+                    recurrence: tpl.class,
+                    paths: tpl.paths.iter().map(|&i| universe[i].clone()).collect(),
+                });
+                qid += 1;
+                let _ = tpl.table;
+            }
+            // Ad-hoc queries: fresh random path sets.
+            for _ in 0..cfg.adhoc_per_day {
+                let table = pick_table(&mut rng);
+                let n = rng.gen_range(1..=cfg.paths_per_query).max(1);
+                let paths = weighted_sample(&table_paths[table], &weights, n, &mut rng);
+                queries.push(QueryRecord {
+                    query_id: qid,
+                    user_id: (cfg.users + rng.gen_range(0..10)) as u32,
+                    day,
+                    hour: rng.gen_range(0..24),
+                    recurrence: RecurrenceClass::AdHoc,
+                    paths: paths.iter().map(|&i| universe[i].clone()).collect(),
+                });
+                qid += 1;
+            }
+        }
+
+        // 5. Table updates: every table updates daily, at an hour drawn
+        //    from a mid-day-peaked distribution (Fig. 2).
+        let mut updates = Vec::new();
+        for day in 0..cfg.days {
+            for t in 0..cfg.tables {
+                updates.push(TableUpdate {
+                    database: format!("db{}", t % 5),
+                    table: format!("table{t}"),
+                    day,
+                    hour: sample_update_hour(&mut rng),
+                });
+            }
+        }
+
+        queries.sort_by_key(|q| (q.day, q.hour, q.query_id));
+        SyntheticTrace {
+            queries,
+            updates,
+            universe,
+        }
+    }
+}
+
+/// Sample `n` distinct path ids from `ids` proportionally to `weights`.
+fn weighted_sample(
+    ids: &[usize],
+    weights: &[f64],
+    n: usize,
+    rng: &mut SmallRng,
+) -> Vec<usize> {
+    let n = n.min(ids.len());
+    let mut available: Vec<usize> = ids.to_vec();
+    let mut picked = Vec::with_capacity(n);
+    for _ in 0..n {
+        let total: f64 = available.iter().map(|&i| weights[i]).sum();
+        let mut target = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut chosen = available.len() - 1;
+        for (k, &i) in available.iter().enumerate() {
+            target -= weights[i];
+            if target <= 0.0 {
+                chosen = k;
+                break;
+            }
+        }
+        picked.push(available.swap_remove(chosen));
+    }
+    picked
+}
+
+/// Update hour with a mid-day peak and a midnight trough (Fig. 2 shape):
+/// a triangular-ish distribution centered at 13:00.
+fn sample_update_hour(rng: &mut SmallRng) -> u8 {
+    // Sum of two uniforms over 0..12 gives a triangular peak at 12, shift
+    // by 1h and add a thin uniform floor.
+    if rng.gen_bool(0.15) {
+        rng.gen_range(0..24)
+    } else {
+        let a: u8 = rng.gen_range(1..=12);
+        let b: u8 = rng.gen_range(0..=11);
+        (a + b).min(23)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small_trace() -> SyntheticTrace {
+        TraceSynthesizer::new(SynthConfig {
+            days: 28,
+            tables: 10,
+            users: 20,
+            ..Default::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small_trace();
+        let b = small_trace();
+        assert_eq!(a.queries.len(), b.queries.len());
+        assert_eq!(a.queries[0], b.queries[0]);
+    }
+
+    #[test]
+    fn recurring_fraction_is_high() {
+        let t = small_trace();
+        let recurring = t
+            .queries
+            .iter()
+            .filter(|q| q.recurrence != RecurrenceClass::AdHoc)
+            .count();
+        let frac = recurring as f64 / t.queries.len() as f64;
+        // Paper: 82%; the synthesizer should land in the same regime.
+        assert!(frac > 0.7 && frac < 0.98, "recurring fraction {frac}");
+    }
+
+    #[test]
+    fn daily_templates_fire_daily() {
+        let t = small_trace();
+        // Count distinct days each (user, path-set) fires.
+        let mut by_sig: HashMap<String, Vec<u32>> = HashMap::new();
+        for q in &t.queries {
+            if q.recurrence == RecurrenceClass::Daily {
+                let sig = format!(
+                    "{}:{}",
+                    q.user_id,
+                    q.paths
+                        .iter()
+                        .map(JsonPathLocation::key)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                by_sig.entry(sig).or_default().push(q.day);
+            }
+        }
+        for (sig, days) in by_sig {
+            assert_eq!(days.len(), 28, "daily template {sig} fired {} times", days.len());
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let t = small_trace();
+        // Parse traffic per path.
+        let mut counts: HashMap<String, u64> = HashMap::new();
+        let mut total = 0u64;
+        for q in &t.queries {
+            for p in &q.paths {
+                *counts.entry(p.key()).or_default() += 1;
+                total += 1;
+            }
+        }
+        let mut sorted: Vec<u64> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top27 = (sorted.len() * 27 / 100).max(1);
+        let top_traffic: u64 = sorted[..top27].iter().sum();
+        let share = top_traffic as f64 / total as f64;
+        // Paper: 89% of traffic on 27% of paths. Accept a generous band —
+        // the shape matters.
+        assert!(share > 0.6, "top-27% share is only {share}");
+    }
+
+    #[test]
+    fn updates_peak_midday() {
+        let t = small_trace();
+        let mut hist = [0u32; 24];
+        for u in &t.updates {
+            hist[u.hour as usize] += 1;
+        }
+        let midday: u32 = hist[10..16].iter().sum();
+        let midnight: u32 = hist[0..4].iter().sum::<u32>() + hist[22..24].iter().sum::<u32>();
+        assert!(
+            midday > midnight * 2,
+            "midday {midday} vs midnight {midnight}"
+        );
+    }
+
+    #[test]
+    fn queries_sorted_by_time() {
+        let t = small_trace();
+        for w in t.queries.windows(2) {
+            assert!((w[0].day, w[0].hour) <= (w[1].day, w[1].hour));
+        }
+    }
+
+    #[test]
+    fn weighted_sample_distinct_and_bounded() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ids: Vec<usize> = (0..10).collect();
+        let weights: Vec<f64> = (0..10).map(|i| 1.0 / (i + 1) as f64).collect();
+        let picked = weighted_sample(&ids, &weights, 20, &mut rng);
+        assert_eq!(picked.len(), 10);
+        let set: std::collections::BTreeSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+}

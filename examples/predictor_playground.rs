@@ -1,0 +1,97 @@
+//! Predictor playground: synthesize an Alibaba-style trace, train every
+//! model class, and inspect precision/recall/F1 plus a few decoded label
+//! sequences — a miniature of the paper's Tables III and IV.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example predictor_playground
+//! ```
+
+use maxson_predictor::crf::LstmCrf;
+use maxson_predictor::features::FeatureConfig;
+use maxson_predictor::linear::{LinearConfig, LinearModel, Loss};
+use maxson_predictor::lstm::{LstmConfig, LstmLabeler};
+use maxson_predictor::mlp::{MlpClassifier, MlpConfig};
+use maxson_predictor::{build_dataset, evaluate, MpjpModel};
+use maxson_trace::analysis::{recurring_fraction, traffic_share_of_top};
+use maxson_trace::{JsonPathCollector, SynthConfig, TraceSynthesizer};
+
+fn main() {
+    // 1. Synthesize the workload and show its calibration.
+    let trace = TraceSynthesizer::new(SynthConfig::default()).generate();
+    println!(
+        "trace: {} queries over {} paths; recurring {:.0}%, top-27% path traffic share {:.0}%",
+        trace.queries.len(),
+        trace.universe.len(),
+        recurring_fraction(&trace.queries) * 100.0,
+        traffic_share_of_top(&trace.queries, 0.27) * 100.0
+    );
+
+    // 2. Build the MPJP dataset.
+    let mut collector = JsonPathCollector::new();
+    collector.observe_all(trace.queries.iter());
+    let dataset = build_dataset(&collector, FeatureConfig::default());
+    let split = dataset.split();
+    println!(
+        "dataset: {} examples, {:.0}% positive, split {}/{}/{}\n",
+        dataset.examples.len(),
+        dataset.positive_fraction() * 100.0,
+        split.train.len(),
+        split.validation.len(),
+        split.test.len()
+    );
+
+    // 3. Train and evaluate every model class.
+    println!("{:>14}  {:>9}  {:>7}  {:>7}", "model", "precision", "recall", "F1");
+    let lr = LinearModel::train(&split.train, Loss::Logistic, LinearConfig::default());
+    let m = evaluate(&lr, &split.test);
+    println!("{:>14}  {:>9.3}  {:>7.3}  {:>7.3}", lr.name(), m.precision(), m.recall(), m.f1());
+
+    let svm = LinearModel::train(&split.train, Loss::Hinge, LinearConfig::default());
+    let m = evaluate(&svm, &split.test);
+    println!("{:>14}  {:>9.3}  {:>7.3}  {:>7.3}", svm.name(), m.precision(), m.recall(), m.f1());
+
+    let mlp = MlpClassifier::train(&split.train, MlpConfig::default());
+    let m = evaluate(&mlp, &split.test);
+    println!("{:>14}  {:>9.3}  {:>7.3}  {:>7.3}", mlp.name(), m.precision(), m.recall(), m.f1());
+
+    let lstm = LstmLabeler::train(&split.train, LstmConfig::default());
+    let m = evaluate(&lstm, &split.test);
+    println!("{:>14}  {:>9.3}  {:>7.3}  {:>7.3}", lstm.name(), m.precision(), m.recall(), m.f1());
+
+    let hybrid = LstmCrf::train(&split.train, LstmConfig::default());
+    let m = evaluate(&hybrid, &split.test);
+    println!("{:>14}  {:>9.3}  {:>7.3}  {:>7.3}", hybrid.name(), m.precision(), m.recall(), m.f1());
+
+    // 4. Show what the CRF layer does: a few test sequences where Viterbi
+    //    smoothing changes the raw LSTM decision.
+    println!("\nsequences where the CRF layer overrides the LSTM (path, day, labels):");
+    let mut shown = 0;
+    for ex in &split.test {
+        let raw: Vec<bool> = hybrid
+            .lstm
+            .step_probabilities(ex)
+            .iter()
+            .map(|&p| p > 0.5)
+            .collect();
+        let decoded = hybrid.decode(ex);
+        if raw != decoded && shown < 5 {
+            println!(
+                "  {} day {}: gold {}  lstm {}  crf {}",
+                ex.location,
+                ex.day,
+                fmt_labels(&ex.labels),
+                fmt_labels(&raw),
+                fmt_labels(&decoded)
+            );
+            shown += 1;
+        }
+    }
+    if shown == 0 {
+        println!("  (none in this test split — the LSTM already matches the chain)");
+    }
+}
+
+fn fmt_labels(labels: &[bool]) -> String {
+    labels.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}

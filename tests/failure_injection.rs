@@ -1,0 +1,209 @@
+//! Failure-injection tests: corruption, truncation, and concurrent-update
+//! hazards must surface as errors (or safe fallbacks), never as wrong
+//! results.
+
+use maxson::mpjp::PredictorKind;
+use maxson::rewriter::MaxsonScanRewriter;
+use maxson::{CacheRegistry, MaxsonPipeline, PipelineConfig};
+use maxson_engine::session::Session;
+use maxson_storage::file::WriteOptions;
+use maxson_storage::{Catalog, Cell, ColumnType, Field, Schema};
+use maxson_trace::model::RecurrenceClass;
+use maxson_trace::{JsonPathLocation, QueryRecord};
+use std::path::PathBuf;
+
+fn temp_root(name: &str) -> PathBuf {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    std::env::temp_dir().join(format!("maxson-fail-{}-{nanos}-{name}", std::process::id()))
+}
+
+fn cached_session(name: &str) -> (Session, PathBuf) {
+    let root = temp_root(name);
+    let mut session = Session::open(&root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let t = session
+        .catalog_mut()
+        .create_table("db", "t", schema, 0)
+        .unwrap();
+    let rows: Vec<Vec<Cell>> = (0..40)
+        .map(|i| vec![Cell::Int(i), Cell::Str(format!(r#"{{"a": {i}}}"#))])
+        .collect();
+    t.append_file(
+        &rows,
+        WriteOptions {
+            row_group_size: 10,
+            ..Default::default()
+        },
+        1,
+    )
+    .unwrap();
+    let history: Vec<QueryRecord> = (0..10u32)
+        .flat_map(|day| {
+            (0..2u32).map(move |user| QueryRecord {
+                query_id: u64::from(day * 2 + user),
+                user_id: user,
+                day,
+                hour: 9,
+                recurrence: RecurrenceClass::Daily,
+                paths: vec![JsonPathLocation::new("db", "t", "payload", "$.a")],
+            })
+        })
+        .collect();
+    let mut pipeline = MaxsonPipeline::new(
+        &root,
+        PipelineConfig {
+            predictor: PredictorKind::RepeatYesterday,
+            ..Default::default()
+        },
+    );
+    pipeline.observe(history.iter());
+    pipeline
+        .run_midnight_cycle(&mut session, &history, 8, 100)
+        .unwrap();
+    (session, root)
+}
+
+const SQL: &str = "select get_json_object(payload, '$.a') as a from db.t";
+
+#[test]
+fn corrupt_cache_file_fails_loudly_not_wrong() {
+    let (session, root) = cached_session("corrupt-cache");
+    // Sanity: cache serves.
+    let ok = session.execute(SQL).unwrap();
+    assert_eq!(ok.metrics.parse_calls, 0);
+
+    // Flip bytes in the middle of the cache part file.
+    let cache_file = root
+        .join("__maxson_cache")
+        .join("db__t")
+        .join("part-00000.norc");
+    let mut bytes = std::fs::read(&cache_file).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    bytes[mid + 1] ^= 0xff;
+    std::fs::write(&cache_file, &bytes).unwrap();
+
+    // A fresh session + rewriter must surface the corruption as an error —
+    // never silently return stale/garbage values.
+    let mut s2 = Session::open(&root).unwrap();
+    let rw = MaxsonScanRewriter::open(&root).unwrap();
+    s2.set_scan_rewriter(Some(Box::new(rw)));
+    let result = s2.execute(SQL);
+    assert!(result.is_err(), "corrupt cache file must error");
+    let msg = result.unwrap_err().to_string();
+    assert!(
+        msg.contains("corrupt") || msg.contains("checksum"),
+        "unexpected error: {msg}"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn truncated_cache_file_detected() {
+    let (_, root) = cached_session("truncated-cache");
+    let cache_file = root
+        .join("__maxson_cache")
+        .join("db__t")
+        .join("part-00000.norc");
+    let bytes = std::fs::read(&cache_file).unwrap();
+    std::fs::write(&cache_file, &bytes[..bytes.len() / 2]).unwrap();
+    let mut s2 = Session::open(&root).unwrap();
+    let rw = MaxsonScanRewriter::open(&root).unwrap();
+    s2.set_scan_rewriter(Some(Box::new(rw)));
+    assert!(s2.execute(SQL).is_err());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn corrupt_registry_is_an_error_not_a_silent_miss() {
+    let (_, root) = cached_session("bad-registry");
+    std::fs::write(
+        root.join("__maxson_cache").join("registry.json"),
+        "{not valid json",
+    )
+    .unwrap();
+    assert!(MaxsonScanRewriter::open(&root).is_err());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn missing_registry_means_no_rewrites() {
+    let (_, root) = cached_session("no-registry");
+    std::fs::remove_file(root.join("__maxson_cache").join("registry.json")).unwrap();
+    let mut s2 = Session::open(&root).unwrap();
+    let rw = MaxsonScanRewriter::open(&root).unwrap();
+    s2.set_scan_rewriter(Some(Box::new(rw)));
+    // No registry: all calls parse, results still correct.
+    let result = s2.execute(SQL).unwrap();
+    assert_eq!(result.rows.len(), 40);
+    assert_eq!(result.metrics.parse_calls, 40);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn deleted_cache_table_directory_fails_loudly() {
+    let (_, root) = cached_session("deleted-dir");
+    std::fs::remove_dir_all(root.join("__maxson_cache").join("db__t")).unwrap();
+    let mut s2 = Session::open(&root).unwrap();
+    let rw = MaxsonScanRewriter::open(&root).unwrap();
+    s2.set_scan_rewriter(Some(Box::new(rw)));
+    // The registry says cached, but the table is gone: must be an error.
+    assert!(s2.execute(SQL).is_err());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn registry_round_trip_tolerates_empty_array() {
+    let root = temp_root("empty-array");
+    let catalog = Catalog::open(&root).unwrap();
+    std::fs::create_dir_all(root.join("__maxson_cache")).unwrap();
+    std::fs::write(root.join("__maxson_cache").join("registry.json"), "[]").unwrap();
+    let reg = CacheRegistry::load(&catalog).unwrap();
+    assert!(reg.is_empty());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn raw_table_shrunk_below_cache_is_misalignment_error() {
+    // Simulate the forbidden case: the raw table was rewritten with fewer
+    // rows than the cache file. The combiner must refuse to stitch.
+    let (_, root) = cached_session("shrunk-raw");
+    // Replace the raw part file with a shorter one, keeping the metadata
+    // timestamp unchanged (sneaky out-of-band modification).
+    let raw_dir = root.join("db").join("t");
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let short_rows: Vec<Vec<Cell>> = (0..5)
+        .map(|i| vec![Cell::Int(i), Cell::Str(format!(r#"{{"a": {i}}}"#))])
+        .collect();
+    maxson_storage::file::write_rows(
+        raw_dir.join("part-00000.norc"),
+        schema,
+        &short_rows,
+        WriteOptions::default(),
+    )
+    .unwrap();
+    let mut s2 = Session::open(&root).unwrap();
+    let rw = MaxsonScanRewriter::open(&root).unwrap();
+    s2.set_scan_rewriter(Some(Box::new(rw)));
+    // A cache-only read never touches the raw file, so use a query that
+    // stitches raw and cached columns: the combiner must detect the
+    // mismatch instead of stitching rows positionally out of step.
+    let err = s2
+        .execute("select id, get_json_object(payload, '$.a') as a from db.t")
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("misalignment"), "got: {err}");
+    std::fs::remove_dir_all(&root).ok();
+}
