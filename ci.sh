@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate, runnable from a cold cache with no network: the workspace
+# has zero external registry dependencies (see "Hermetic builds" in
+# README.md), so everything below must pass with --offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo fmt --check
+cargo build --release --offline
+cargo test -q --offline

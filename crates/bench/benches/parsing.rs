@@ -1,13 +1,14 @@
-//! Criterion microbenches: DOM parse vs Mison structural-index projection
-//! vs a Maxson-style cached read, per record size.
+//! Microbenches: DOM parse vs Mison structural-index projection vs a
+//! Maxson-style cached read, per record size, on the testkit bench runner.
 //!
 //! This is the microscopic view of Fig. 15: what one `get_json_object`
-//! call costs under each strategy.
+//! call costs under each strategy. Run with `cargo bench --bench parsing`;
+//! set `MAXSON_BENCH_FAST=1` for a quick smoke pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxson_bench::report::{Report, Series};
 use maxson_json::mison::MisonProjector;
 use maxson_json::JsonPath;
-use std::hint::black_box;
+use maxson_testkit::bench::{bb, BenchRunner};
 
 fn record_with_fields(n: usize) -> String {
     let mut s = String::from("{");
@@ -21,52 +22,55 @@ fn record_with_fields(n: usize) -> String {
     s
 }
 
-fn bench_parsers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("get_json_object");
+fn bench_parsers(runner: &BenchRunner) -> Report {
+    let mut report = Report::new("bench-parsing", "get_json_object cost per strategy");
+    report.note("median ns per call; 'cached' is a string clone (the Maxson hit path)");
+    let mut dom = Series::new("jackson_dom");
+    let mut mison = Series::new("mison_index");
+    let mut cached = Series::new("maxson_cached");
     for &fields in &[10usize, 50, 200] {
         let record = record_with_fields(fields);
         let path = JsonPath::parse("$.field3").unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("jackson_dom", fields),
-            &record,
-            |b, rec| {
-                b.iter(|| black_box(maxson_json::get_json_object(black_box(rec), &path)));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("mison_index", fields),
-            &record,
-            |b, rec| {
-                b.iter(|| black_box(MisonProjector::project_path(black_box(rec), &path)));
-            },
-        );
+        let label = format!("{fields} fields");
+        let stats = runner.run(&format!("jackson_dom/{fields}"), || {
+            bb(maxson_json::get_json_object(bb(&record), &path))
+        });
+        dom.push(&label, stats.median_ns);
+        let stats = runner.run(&format!("mison_index/{fields}"), || {
+            bb(MisonProjector::project_path(bb(&record), &path))
+        });
+        mison.push(&label, stats.median_ns);
         // The cached case: the value is already a string (clone only).
-        let cached = "value-3-0123456789".to_string();
-        group.bench_with_input(
-            BenchmarkId::new("maxson_cached", fields),
-            &cached,
-            |b, v| {
-                b.iter(|| black_box(v.clone()));
-            },
-        );
+        let value = "value-3-0123456789".to_string();
+        let stats = runner.run(&format!("maxson_cached/{fields}"), || bb(value.clone()));
+        cached.push(&label, stats.median_ns);
     }
-    group.finish();
+    report.add(dom);
+    report.add(mison);
+    report.add(cached);
+    report
 }
 
-fn bench_structural_index_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("structural_index_build");
+fn bench_structural_index_build(runner: &BenchRunner) -> Report {
+    let mut report = Report::new(
+        "bench-parsing-index-build",
+        "Mison structural index build cost",
+    );
+    report.note("median ns per build");
+    let mut series = Series::new("index_build");
     for &fields in &[10usize, 200] {
         let record = record_with_fields(fields);
-        group.bench_with_input(BenchmarkId::from_parameter(fields), &record, |b, rec| {
-            b.iter(|| black_box(maxson_json::mison::StructuralIndex::build(black_box(rec))));
+        let stats = runner.run(&format!("index_build/{fields}"), || {
+            bb(maxson_json::mison::StructuralIndex::build(bb(&record)))
         });
+        series.push(format!("{fields} fields"), stats.median_ns);
     }
-    group.finish();
+    report.add(series);
+    report
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_parsers, bench_structural_index_build
+fn main() {
+    let runner = BenchRunner::from_env();
+    bench_parsers(&runner).emit();
+    bench_structural_index_build(&runner).emit();
 }
-criterion_main!(benches);

@@ -1,15 +1,18 @@
-//! Criterion microbenches for end-to-end query execution: the same JSON
+//! End-to-end query microbench on the testkit bench runner: the same JSON
 //! query with and without the Maxson cache (the per-query view of Fig. 11).
+//!
+//! Run with `cargo bench --bench query`; set `MAXSON_BENCH_FAST=1` for a
+//! quick smoke pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use maxson::mpjp::PredictorKind;
 use maxson::{MaxsonPipeline, PipelineConfig};
+use maxson_bench::report::{Report, Series};
 use maxson_engine::session::Session;
 use maxson_storage::file::WriteOptions;
 use maxson_storage::{Cell, ColumnType, Field, Schema};
+use maxson_testkit::bench::{bb, BenchRunner};
 use maxson_trace::model::RecurrenceClass;
 use maxson_trace::{JsonPathLocation, QueryRecord};
-use std::hint::black_box;
 use std::path::PathBuf;
 
 const SQL: &str = "select get_json_object(payload, '$.a') as a, \
@@ -17,11 +20,7 @@ const SQL: &str = "select get_json_object(payload, '$.a') as a, \
                    where get_json_object(payload, '$.a') > 1500";
 
 fn setup(cache: bool) -> (Session, PathBuf) {
-    let root = std::env::temp_dir().join(format!(
-        "maxson-qbench-{}-{}",
-        std::process::id(),
-        cache
-    ));
+    let root = std::env::temp_dir().join(format!("maxson-qbench-{}-{}", std::process::id(), cache));
     let _ = std::fs::remove_dir_all(&root);
     let mut session = Session::open(&root).unwrap();
     let schema = Schema::new(vec![
@@ -83,24 +82,25 @@ fn setup(cache: bool) -> (Session, PathBuf) {
     (session, root)
 }
 
-fn bench_query(c: &mut Criterion) {
+fn main() {
+    let runner = BenchRunner::from_env();
     let (plain, root_a) = setup(false);
     let (cached, root_b) = setup(true);
-    let mut group = c.benchmark_group("json_filter_query");
-    group.bench_function("spark_jackson", |b| {
-        b.iter(|| black_box(plain.execute(SQL).unwrap().rows.len()));
+
+    let mut report = Report::new("bench-query", "JSON filter query with and without cache");
+    report.note("median ns per query over a 2000-row table");
+    let mut series = Series::new("json_filter_query");
+    let stats = runner.run("json_filter_query/spark_jackson", || {
+        bb(plain.execute(SQL).unwrap().rows.len())
     });
-    group.bench_function("maxson_cached", |b| {
-        b.iter(|| black_box(cached.execute(SQL).unwrap().rows.len()));
+    series.push("spark_jackson", stats.median_ns);
+    let stats = runner.run("json_filter_query/maxson_cached", || {
+        bb(cached.execute(SQL).unwrap().rows.len())
     });
-    group.finish();
+    series.push("maxson_cached", stats.median_ns);
+    report.add(series);
+    report.emit();
+
     std::fs::remove_dir_all(root_a).ok();
     std::fs::remove_dir_all(root_b).ok();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_query
-}
-criterion_main!(benches);

@@ -1,10 +1,13 @@
-//! Criterion microbenches for the Norc storage substrate: write, full
-//! scan, and SARG-pruned scan.
+//! Microbenches for the Norc storage substrate on the testkit bench
+//! runner: write, full scan, and SARG-pruned scan.
+//!
+//! Run with `cargo bench --bench storage`; set `MAXSON_BENCH_FAST=1` for a
+//! quick smoke pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxson_bench::report::{Report, Series};
 use maxson_storage::file::{write_rows, NorcFile, WriteOptions};
 use maxson_storage::{Cell, CmpOp, ColumnType, Field, Schema, SearchArgument};
-use std::hint::black_box;
+use maxson_testkit::bench::{bb, BenchRunner};
 use std::path::PathBuf;
 
 fn schema() -> Schema {
@@ -27,29 +30,26 @@ fn rows(n: usize) -> Vec<Vec<Cell>> {
 }
 
 fn temp_path(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join("maxson-criterion");
+    let dir = std::env::temp_dir().join("maxson-bench");
     std::fs::create_dir_all(&dir).unwrap();
     dir.join(format!("{tag}-{}.norc", std::process::id()))
 }
 
-fn bench_write(c: &mut Criterion) {
-    let mut group = c.benchmark_group("norc_write");
+fn bench_write(runner: &BenchRunner) -> Series {
+    let mut series = Series::new("norc_write");
     for &n in &[1_000usize, 10_000] {
         let data = rows(n);
         let path = temp_path(&format!("write-{n}"));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
-            b.iter(|| {
-                black_box(
-                    write_rows(&path, schema(), data, WriteOptions::default()).unwrap(),
-                )
-            });
+        let stats = runner.run(&format!("norc_write/{n}"), || {
+            bb(write_rows(&path, schema(), &data, WriteOptions::default()).unwrap())
         });
+        series.push(format!("{n} rows"), stats.median_ns);
         std::fs::remove_file(&path).ok();
     }
-    group.finish();
+    series
 }
 
-fn bench_scan(c: &mut Criterion) {
+fn bench_scan(runner: &BenchRunner) -> Series {
     let n = 10_000usize;
     let path = temp_path("scan");
     write_rows(
@@ -64,25 +64,27 @@ fn bench_scan(c: &mut Criterion) {
     .unwrap();
     let file = NorcFile::open(&path).unwrap();
 
-    let mut group = c.benchmark_group("norc_scan");
-    group.bench_function("full_scan", |b| {
-        b.iter(|| black_box(file.read_columns(&[0, 1], None).unwrap()));
+    let mut series = Series::new("norc_scan");
+    let stats = runner.run("norc_scan/full_scan", || {
+        bb(file.read_columns(&[0, 1], None).unwrap())
     });
-    group.bench_function("sarg_pruned_scan", |b| {
-        // id >= 9000 keeps only the last of ten row groups.
-        let sarg = SearchArgument::new().with(0, CmpOp::GtEq, Cell::Int(9_000));
-        b.iter(|| {
-            let keep = sarg.keep_array(file.row_groups());
-            black_box(file.read_columns(&[0, 1], Some(&keep)).unwrap())
-        });
+    series.push("full_scan", stats.median_ns);
+    // id >= 9000 keeps only the last of ten row groups.
+    let sarg = SearchArgument::new().with(0, CmpOp::GtEq, Cell::Int(9_000));
+    let stats = runner.run("norc_scan/sarg_pruned_scan", || {
+        let keep = sarg.keep_array(file.row_groups());
+        bb(file.read_columns(&[0, 1], Some(&keep)).unwrap())
     });
-    group.finish();
+    series.push("sarg_pruned_scan", stats.median_ns);
     std::fs::remove_file(&path).ok();
+    series
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_write, bench_scan
+fn main() {
+    let runner = BenchRunner::from_env();
+    let mut report = Report::new("bench-storage", "Norc write and scan microbenches");
+    report.note("median ns per operation; pruned scan keeps 1 of 10 row groups");
+    report.add(bench_write(&runner));
+    report.add(bench_scan(&runner));
+    report.emit();
 }
-criterion_main!(benches);

@@ -8,9 +8,9 @@
 
 use maxson::combiner::CombinedScanProvider;
 use maxson::JoinStitchProvider;
+use maxson_bench::{Report, Series};
 use maxson_engine::metrics::ExecMetrics;
 use maxson_engine::scan::ScanProvider;
-use maxson_bench::{Report, Series};
 use maxson_storage::file::WriteOptions;
 use maxson_storage::{Cell, CmpOp, ColumnType, Field, Schema, SearchArgument, Table};
 
@@ -41,9 +41,7 @@ fn build_tables(rows: usize) -> (Table, Table, std::path::PathBuf) {
             ]
         })
         .collect();
-    let cache_rows: Vec<Vec<Cell>> = (0..rows)
-        .map(|i| vec![Cell::Str(i.to_string())])
-        .collect();
+    let cache_rows: Vec<Vec<Cell>> = (0..rows).map(|i| vec![Cell::Str(i.to_string())]).collect();
     raw.append_file(&raw_rows, opts, 1).unwrap();
     cache.append_file(&cache_rows, opts, 1).unwrap();
     (raw, cache, root)
@@ -91,28 +89,23 @@ fn main() {
             None,
             None,
         );
-        let join = JoinStitchProvider::new(
-            raw.clone(),
-            vec![0],
-            cache.clone(),
-            vec![0],
-            out_schema(),
-        );
+        let join =
+            JoinStitchProvider::new(raw.clone(), vec![0], cache.clone(), vec![0], out_schema());
         let (tc, nc) = time_scan(&combiner, reps);
         let (tj, nj) = time_scan(&join, reps);
         assert_eq!(nc, nj, "strategies must agree");
-        println!("{rows} rows: combiner {tc:.5}s, join {tj:.5}s ({:.2}x)", tj / tc);
+        println!(
+            "{rows} rows: combiner {tc:.5}s, join {tj:.5}s ({:.2}x)",
+            tj / tc
+        );
         combiner_s.push(format!("{rows} rows"), tc);
         join_s.push(format!("{rows} rows"), tj);
 
         // Selective case: SARG keeps ~10% of row groups. Only the combiner
         // benefits — the join baseline cannot skip, because positional
         // alignment is exactly what it does not rely on.
-        let sarg = SearchArgument::new().with(
-            0,
-            CmpOp::GtEq,
-            Cell::Int((rows as f64 * 0.9) as i64),
-        );
+        let sarg =
+            SearchArgument::new().with(0, CmpOp::GtEq, Cell::Int((rows as f64 * 0.9) as i64));
         let combiner_sarg = CombinedScanProvider::new(
             Some(raw.clone()),
             vec![0],
@@ -123,7 +116,10 @@ fn main() {
             Some(sarg),
         );
         let (ts, _) = time_scan(&combiner_sarg, reps);
-        println!("{rows} rows selective: combiner+SARG {ts:.5}s vs join {tj:.5}s ({:.1}x)", tj / ts);
+        println!(
+            "{rows} rows selective: combiner+SARG {ts:.5}s vs join {tj:.5}s ({:.1}x)",
+            tj / ts
+        );
         combiner_sel.push(format!("{rows} rows"), ts);
         join_sel.push(format!("{rows} rows"), tj);
         std::fs::remove_dir_all(&root).ok();

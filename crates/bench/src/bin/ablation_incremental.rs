@@ -94,8 +94,14 @@ fn main() {
                 }
                 None => {
                     let cands = vec![
-                        MpjpCandidate { location: loc("$.a"), target_day: day + 1 },
-                        MpjpCandidate { location: loc("$.b"), target_day: day + 1 },
+                        MpjpCandidate {
+                            location: loc("$.a"),
+                            target_day: day + 1,
+                        },
+                        MpjpCandidate {
+                            location: loc("$.b"),
+                            target_day: day + 1,
+                        },
                     ];
                     let ranked = score_candidates(&catalog, &cands, &history).expect("score");
                     let (reg, _) = cacher

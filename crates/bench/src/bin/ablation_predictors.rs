@@ -32,7 +32,7 @@ fn mixed_history(queries: &[QuerySpec], days: u32) -> Vec<QueryRecord> {
     for day in 0..days {
         for (qi, q) in queries.iter().enumerate() {
             let submissions: u32 = match qi % 4 {
-                2 => 1,                                  // daily single-parse
+                2 => 1, // daily single-parse
                 3 => {
                     if day % 7 == (qi as u32) % 7 {
                         2 // weekly burst
@@ -103,11 +103,8 @@ fn main() {
         // The predictor only sees history up to `days - 1`; day `days`
         // is the ground truth the oracle peeks at.
         pipeline.observe(history.iter().filter(|q| q.day < days));
-        let oracle_extra: Vec<QueryRecord> = history
-            .iter()
-            .filter(|q| q.day == days)
-            .cloned()
-            .collect();
+        let oracle_extra: Vec<QueryRecord> =
+            history.iter().filter(|q| q.day == days).cloned().collect();
         if kind == PredictorKind::Oracle {
             pipeline.observe(oracle_extra.iter());
         }

@@ -66,8 +66,12 @@ fn main() {
         ),
     ];
 
-    let mut report = Report::new("fig03", "Parsing and query processing cost (share of runtime)");
-    report.note("Paper: parsing JSON accounts for >=80% of execution time in all three query types.");
+    let mut report = Report::new(
+        "fig03",
+        "Parsing and query processing cost (share of runtime)",
+    );
+    report
+        .note("Paper: parsing JSON accounts for >=80% of execution time in all three query types.");
     let mut parse_series = Series::new("parse share");
     let mut read_series = Series::new("read share");
     let mut compute_series = Series::new("compute share");

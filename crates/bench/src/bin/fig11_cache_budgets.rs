@@ -30,10 +30,11 @@ fn main() {
         let mut collector = JsonPathCollector::new();
         collector.observe_all(history.iter());
         let features = FeatureConfig::default();
-        let predictor = TrainedPredictor::train(PredictorKind::RepeatYesterday, &collector, &features);
+        let predictor =
+            TrainedPredictor::train(PredictorKind::RepeatYesterday, &collector, &features);
         let candidates = predict_mpjps(&collector, &predictor, 13, &features);
-        let ranked = score_candidates(session.catalog(), &candidates, &history)
-            .expect("score candidates");
+        let ranked =
+            score_candidates(session.catalog(), &candidates, &history).expect("score candidates");
         ranked.iter().map(|s| s.estimated_bytes).sum()
     };
     println!("full MPJP footprint: {full_bytes} bytes");
@@ -66,8 +67,12 @@ fn main() {
     for (label, frac) in [("25%", 0.25f64), ("50%", 0.5), ("75%", 0.75), ("100%", 1.0)] {
         let budget = (full_bytes as f64 * frac).ceil() as u64 + 1;
         for use_scoring in [true, false] {
-            let (session, cached) =
-                session_for(maxson_bench::SystemKind::Maxson, &queries, budget, use_scoring);
+            let (session, cached) = session_for(
+                maxson_bench::SystemKind::Maxson,
+                &queries,
+                budget,
+                use_scoring,
+            );
             let mut total = 0.0;
             let mut per_query_cached = Series::new(format!(
                 "{}@{label}",

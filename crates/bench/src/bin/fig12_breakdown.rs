@@ -35,7 +35,10 @@ fn main() {
         let (maxson, _cached) = session_for(SystemKind::Maxson, &queries, u64::MAX, true);
         let (_, mm) = run_query_avg(&maxson, &q.sql, 2);
 
-        for (label, m) in [(format!("{} Spark", q.name), &sm), (format!("{} Maxson", q.name), &mm)] {
+        for (label, m) in [
+            (format!("{} Spark", q.name), &sm),
+            (format!("{} Maxson", q.name), &mm),
+        ] {
             read_s.push(label.clone(), m.read.as_secs_f64());
             parse_s.push(label.clone(), m.parse.as_secs_f64());
             compute_s.push(label.clone(), m.compute().as_secs_f64());

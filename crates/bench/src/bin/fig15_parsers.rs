@@ -29,16 +29,13 @@ fn main() {
         let predictor =
             TrainedPredictor::train(PredictorKind::RepeatYesterday, &collector, &features);
         let candidates = predict_mpjps(&collector, &predictor, 13, &features);
-        let ranked = score_candidates(session.catalog(), &candidates, &history)
-            .expect("score candidates");
+        let ranked =
+            score_candidates(session.catalog(), &candidates, &history).expect("score candidates");
         let full: u64 = ranked.iter().map(|s| s.estimated_bytes).sum();
         (full as f64 * 0.75) as u64
     };
 
-    let mut report = Report::new(
-        "fig15",
-        "Per-query runtime under four systems (seconds)",
-    );
+    let mut report = Report::new("fig15", "Per-query runtime under four systems (seconds)");
     report.note("Paper: cache limit 300GB; Maxson beats Mison on cached queries (Q2,Q3,Q4,Q6,Q7,Q9,Q10); Mison complements Maxson on uncached paths.");
 
     for system in [

@@ -30,7 +30,10 @@ fn main() {
         dataset.positive_fraction() * 100.0
     );
 
-    let mut report = Report::new("table03", "Predictor comparison (precision / recall / F1 on test split)");
+    let mut report = Report::new(
+        "table03",
+        "Predictor comparison (precision / recall / F1 on test split)",
+    );
     report.note("Paper: LR P=1.0 R=0.397 F1=0.568; SVM P=1.0 R=0.559 F1=0.717; MLP P=0.994 R=0.694 F1=0.817; LSTM+CRF P=0.985 R=0.912 F1=0.947.");
 
     let mut precision = Series::new("precision");
@@ -38,7 +41,12 @@ fn main() {
     let mut f1 = Series::new("f1");
 
     let mut record = |name: &str, m: maxson_predictor::Metrics| {
-        println!("{name:>14}: P={:.3} R={:.3} F1={:.3}", m.precision(), m.recall(), m.f1());
+        println!(
+            "{name:>14}: P={:.3} R={:.3} F1={:.3}",
+            m.precision(),
+            m.recall(),
+            m.f1()
+        );
         precision.push(name, m.precision());
         recall.push(name, m.recall());
         f1.push(name, m.f1());

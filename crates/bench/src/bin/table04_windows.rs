@@ -24,7 +24,9 @@ fn main() {
         "table04",
         "LSTM+CRF vs Uni-LSTM F1 across date window sizes",
     );
-    report.note("Paper: LSTM+CRF F1 >= LSTM F1 at every window; 1-week window is best (0.947 vs 0.921).");
+    report.note(
+        "Paper: LSTM+CRF F1 >= LSTM F1 at every window; 1-week window is best (0.947 vs 0.921).",
+    );
 
     let mut hybrid_f1 = Series::new("LSTM+CRF");
     let mut lstm_f1 = Series::new("LSTM");

@@ -14,6 +14,4 @@ pub mod report;
 pub mod workload;
 
 pub use report::{Report, Series};
-pub use workload::{
-    bench_root, fresh_session, load_tables, run_query, run_query_avg, SystemKind,
-};
+pub use workload::{bench_root, fresh_session, load_tables, run_query, run_query_avg, SystemKind};

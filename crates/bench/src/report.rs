@@ -84,17 +84,8 @@ impl Report {
                 }
             }
         }
-        let label_w = labels
-            .iter()
-            .map(String::len)
-            .max()
-            .unwrap_or(1)
-            .max(8);
-        let col_ws: Vec<usize> = self
-            .series
-            .iter()
-            .map(|s| s.name.len().max(12))
-            .collect();
+        let label_w = labels.iter().map(String::len).max().unwrap_or(1).max(8);
+        let col_ws: Vec<usize> = self.series.iter().map(|s| s.name.len().max(12)).collect();
         let _ = write!(out, "{:<label_w$}  ", "");
         for (s, w) in self.series.iter().zip(&col_ws) {
             let _ = write!(out, "{:>w$}  ", s.name, w = w);
@@ -124,7 +115,12 @@ impl Report {
             ("title".into(), JsonValue::from(self.title.as_str())),
             (
                 "notes".into(),
-                JsonValue::Array(self.notes.iter().map(|n| JsonValue::from(n.as_str())).collect()),
+                JsonValue::Array(
+                    self.notes
+                        .iter()
+                        .map(|n| JsonValue::from(n.as_str()))
+                        .collect(),
+                ),
             ),
             (
                 "series".into(),

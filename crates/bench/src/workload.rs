@@ -8,8 +8,8 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use maxson::{MaxsonPipeline, OnlineLruRewriter, PipelineConfig, ScoringStrategy};
 use maxson::mpjp::PredictorKind;
+use maxson::{MaxsonPipeline, OnlineLruRewriter, PipelineConfig, ScoringStrategy};
 use maxson_datagen::tables::{load_workload_tables, QuerySpec, WorkloadConfig};
 use maxson_engine::session::{JsonParserKind, Session};
 use maxson_engine::ExecMetrics;
@@ -116,7 +116,9 @@ pub fn workload_history(queries: &[QuerySpec], days: u32) -> Vec<QueryRecord> {
             let paths: Vec<JsonPathLocation> = q
                 .paths
                 .iter()
-                .map(|p| JsonPathLocation::new(q.database.clone(), q.table.clone(), "payload", p.clone()))
+                .map(|p| {
+                    JsonPathLocation::new(q.database.clone(), q.table.clone(), "payload", p.clone())
+                })
                 .collect();
             // Two submissions per day (different "users" with spatially
             // correlated queries), so every path crosses the MPJP bar.

@@ -7,13 +7,12 @@
 //! Fig. 3 study.
 
 use maxson_json::{to_string, JsonValue};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use maxson_testkit::rng::Rng;
 
 /// Deterministic NoBench-like record generator.
 #[derive(Debug)]
 pub struct NobenchGenerator {
-    rng: SmallRng,
+    rng: Rng,
     /// How many of the 100 sparse attribute slots each record samples.
     sparse_per_record: usize,
 }
@@ -22,7 +21,7 @@ impl NobenchGenerator {
     /// Create a generator with a fixed seed.
     pub fn new(seed: u64) -> Self {
         NobenchGenerator {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             sparse_per_record: 2,
         }
     }
@@ -31,10 +30,7 @@ impl NobenchGenerator {
     pub fn record(&mut self, i: u64) -> JsonValue {
         let mut fields: Vec<(String, JsonValue)> = Vec::with_capacity(12);
         fields.push(("str1".into(), JsonValue::from(format!("str-{i}"))));
-        fields.push((
-            "str2".into(),
-            JsonValue::from(format!("group-{}", i % 100)),
-        ));
+        fields.push(("str2".into(), JsonValue::from(format!("group-{}", i % 100))));
         fields.push(("num".into(), JsonValue::from(i as i64)));
         fields.push(("bool".into(), JsonValue::from(i.is_multiple_of(2))));
         // Dynamically typed attributes: alternate string/number.
@@ -106,7 +102,12 @@ mod tests {
             assert!(doc.get("str1").is_some());
             assert!(doc.get("num").unwrap().as_i64().is_some());
             assert!(doc.get("nested_obj").unwrap().get("str").is_some());
-            assert!(!doc.get("nested_arr").unwrap().as_array().unwrap().is_empty());
+            assert!(!doc
+                .get("nested_arr")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .is_empty());
         }
     }
 

@@ -13,8 +13,7 @@
 use maxson_json::{to_string, JsonValue};
 use maxson_storage::file::WriteOptions;
 use maxson_storage::{Catalog, Cell, ColumnType, Field, Schema};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use maxson_testkit::rng::Rng;
 
 /// Shape parameters for one workload table (one row of Table II).
 #[derive(Debug, Clone)]
@@ -40,16 +39,86 @@ pub struct TableSpec {
 /// Q6 gets near-zero variance, big-document tables get moderate variance.
 pub fn table_specs() -> Vec<TableSpec> {
     vec![
-        TableSpec { name: "q1", json_paths: 11, properties: 11, nesting: 1, avg_size: 408, schema_variance: 0.1 },
-        TableSpec { name: "q2", json_paths: 10, properties: 17, nesting: 1, avg_size: 655, schema_variance: 0.2 },
-        TableSpec { name: "q3", json_paths: 10, properties: 206, nesting: 4, avg_size: 4830, schema_variance: 0.3 },
-        TableSpec { name: "q4", json_paths: 1, properties: 215, nesting: 4, avg_size: 4736, schema_variance: 0.3 },
-        TableSpec { name: "q5", json_paths: 12, properties: 26, nesting: 3, avg_size: 582, schema_variance: 0.1 },
-        TableSpec { name: "q6", json_paths: 29, properties: 107, nesting: 5, avg_size: 2031, schema_variance: 0.0 },
-        TableSpec { name: "q7", json_paths: 3, properties: 12, nesting: 2, avg_size: 252, schema_variance: 0.1 },
-        TableSpec { name: "q8", json_paths: 5, properties: 17, nesting: 1, avg_size: 368, schema_variance: 0.1 },
-        TableSpec { name: "q9", json_paths: 1, properties: 319, nesting: 3, avg_size: 21459, schema_variance: 0.4 },
-        TableSpec { name: "q10", json_paths: 8, properties: 90, nesting: 1, avg_size: 8692, schema_variance: 0.2 },
+        TableSpec {
+            name: "q1",
+            json_paths: 11,
+            properties: 11,
+            nesting: 1,
+            avg_size: 408,
+            schema_variance: 0.1,
+        },
+        TableSpec {
+            name: "q2",
+            json_paths: 10,
+            properties: 17,
+            nesting: 1,
+            avg_size: 655,
+            schema_variance: 0.2,
+        },
+        TableSpec {
+            name: "q3",
+            json_paths: 10,
+            properties: 206,
+            nesting: 4,
+            avg_size: 4830,
+            schema_variance: 0.3,
+        },
+        TableSpec {
+            name: "q4",
+            json_paths: 1,
+            properties: 215,
+            nesting: 4,
+            avg_size: 4736,
+            schema_variance: 0.3,
+        },
+        TableSpec {
+            name: "q5",
+            json_paths: 12,
+            properties: 26,
+            nesting: 3,
+            avg_size: 582,
+            schema_variance: 0.1,
+        },
+        TableSpec {
+            name: "q6",
+            json_paths: 29,
+            properties: 107,
+            nesting: 5,
+            avg_size: 2031,
+            schema_variance: 0.0,
+        },
+        TableSpec {
+            name: "q7",
+            json_paths: 3,
+            properties: 12,
+            nesting: 2,
+            avg_size: 252,
+            schema_variance: 0.1,
+        },
+        TableSpec {
+            name: "q8",
+            json_paths: 5,
+            properties: 17,
+            nesting: 1,
+            avg_size: 368,
+            schema_variance: 0.1,
+        },
+        TableSpec {
+            name: "q9",
+            json_paths: 1,
+            properties: 319,
+            nesting: 3,
+            avg_size: 21459,
+            schema_variance: 0.4,
+        },
+        TableSpec {
+            name: "q10",
+            json_paths: 8,
+            properties: 90,
+            nesting: 1,
+            avg_size: 8692,
+            schema_variance: 0.2,
+        },
     ]
 }
 
@@ -142,7 +211,7 @@ pub fn query_paths(spec: &TableSpec) -> Vec<String> {
 }
 
 /// Generate one JSON document for `spec`.
-fn generate_document(spec: &TableSpec, rng: &mut SmallRng, row: u64) -> String {
+fn generate_document(spec: &TableSpec, rng: &mut Rng, row: u64) -> String {
     let paths = schema_paths(spec);
     // Build nested objects level by level.
     fn insert(obj: &mut Vec<(String, JsonValue)>, steps: &[&str], value: JsonValue) {
@@ -151,8 +220,9 @@ fn generate_document(spec: &TableSpec, rng: &mut SmallRng, row: u64) -> String {
             return;
         }
         // Find or create the nested object.
-        if let Some((_, JsonValue::Object(inner))) =
-            obj.iter_mut().find(|(k, v)| k == steps[0] && matches!(v, JsonValue::Object(_)))
+        if let Some((_, JsonValue::Object(inner))) = obj
+            .iter_mut()
+            .find(|(k, v)| k == steps[0] && matches!(v, JsonValue::Object(_)))
         {
             insert(inner, &steps[1..], value);
             return;
@@ -231,7 +301,7 @@ pub fn load_workload_tables(
     config: &WorkloadConfig,
 ) -> Result<Vec<QuerySpec>, maxson_storage::StorageError> {
     let specs = table_specs();
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     for spec in &specs {
         if catalog.has_table(&config.database, spec.name) {
             continue;
@@ -384,11 +454,7 @@ mod tests {
         for spec in table_specs() {
             let paths = schema_paths(&spec);
             assert_eq!(paths.len(), spec.properties, "{}", spec.name);
-            let max_depth = paths
-                .iter()
-                .map(|p| p.matches('.').count())
-                .max()
-                .unwrap();
+            let max_depth = paths.iter().map(|p| p.matches('.').count()).max().unwrap();
             assert_eq!(max_depth, spec.nesting, "{}", spec.name);
         }
     }
@@ -406,7 +472,7 @@ mod tests {
 
     #[test]
     fn documents_are_valid_and_close_to_target_size() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for spec in table_specs() {
             let sizes: Vec<usize> = (0..30)
                 .map(|i| {
@@ -430,7 +496,7 @@ mod tests {
 
     #[test]
     fn query_paths_resolve_in_generated_documents() {
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         // Zero variance => every path must resolve.
         let mut spec = table_specs()[5].clone();
         spec.schema_variance = 0.0;
@@ -462,10 +528,8 @@ mod tests {
             .duration_since(UNIX_EPOCH)
             .unwrap()
             .subsec_nanos();
-        let root = std::env::temp_dir().join(format!(
-            "maxson-datagen-{}-{nanos}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("maxson-datagen-{}-{nanos}", std::process::id()));
         let mut catalog = Catalog::open(&root).unwrap();
         let cfg = WorkloadConfig {
             rows_per_table: 40,

@@ -93,10 +93,18 @@ pub fn execute_plan(
 enum AggState {
     Count(i64),
     CountDistinct(std::collections::HashSet<String>),
-    Sum { sum: f64, any: bool, all_int: bool, isum: i64 },
+    Sum {
+        sum: f64,
+        any: bool,
+        all_int: bool,
+        isum: i64,
+    },
     Min(Option<Cell>),
     Max(Option<Cell>),
-    Avg { sum: f64, n: i64 },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
 }
 
 impl AggState {
@@ -410,7 +418,10 @@ mod tests {
 
     #[test]
     fn grouped_aggregates_preserve_first_seen_order() {
-        let aggs = vec![(AggFunc::Count, None), (AggFunc::Sum, Some(Expr::Column(1)))];
+        let aggs = vec![
+            (AggFunc::Count, None),
+            (AggFunc::Sum, Some(Expr::Column(1))),
+        ];
         let out = aggregate(
             rows3(),
             &[Expr::Column(0)],
@@ -420,9 +431,18 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.len(), 3);
-        assert_eq!(out[0], vec![Cell::Str("a".into()), Cell::Int(2), Cell::Int(4)]);
-        assert_eq!(out[1], vec![Cell::Str("b".into()), Cell::Int(1), Cell::Int(2)]);
-        assert_eq!(out[2], vec![Cell::Str("c".into()), Cell::Int(1), Cell::Null]);
+        assert_eq!(
+            out[0],
+            vec![Cell::Str("a".into()), Cell::Int(2), Cell::Int(4)]
+        );
+        assert_eq!(
+            out[1],
+            vec![Cell::Str("b".into()), Cell::Int(1), Cell::Int(2)]
+        );
+        assert_eq!(
+            out[2],
+            vec![Cell::Str("c".into()), Cell::Int(1), Cell::Null]
+        );
     }
 
     #[test]

@@ -402,10 +402,7 @@ fn eval_scalar(func: ScalarFunc, args: &[Cell]) -> Cell {
             let Some(x) = args[0].coerce_f64() else {
                 return Cell::Null;
             };
-            let digits = args
-                .get(1)
-                .and_then(Cell::coerce_i64)
-                .unwrap_or(0);
+            let digits = args.get(1).and_then(Cell::coerce_i64).unwrap_or(0);
             let factor = 10f64.powi(digits as i32);
             let rounded = (x * factor).round() / factor;
             if digits <= 0 {
@@ -605,21 +602,45 @@ mod tests {
         let t = Expr::Literal(Cell::Bool(true));
         let f = Expr::Literal(Cell::Bool(false));
         let n = Expr::Literal(Cell::Null);
-        assert_eq!(eval(&bin(f.clone(), BinaryOp::And, n.clone()), &[]), Cell::Bool(false));
-        assert_eq!(eval(&bin(t.clone(), BinaryOp::And, n.clone()), &[]), Cell::Null);
-        assert_eq!(eval(&bin(t.clone(), BinaryOp::Or, n.clone()), &[]), Cell::Bool(true));
-        assert_eq!(eval(&bin(f.clone(), BinaryOp::Or, n.clone()), &[]), Cell::Null);
+        assert_eq!(
+            eval(&bin(f.clone(), BinaryOp::And, n.clone()), &[]),
+            Cell::Bool(false)
+        );
+        assert_eq!(
+            eval(&bin(t.clone(), BinaryOp::And, n.clone()), &[]),
+            Cell::Null
+        );
+        assert_eq!(
+            eval(&bin(t.clone(), BinaryOp::Or, n.clone()), &[]),
+            Cell::Bool(true)
+        );
+        assert_eq!(
+            eval(&bin(f.clone(), BinaryOp::Or, n.clone()), &[]),
+            Cell::Null
+        );
         assert_eq!(eval(&Expr::Not(Box::new(n)), &[]), Cell::Null);
         assert_eq!(eval(&Expr::Not(Box::new(t)), &[]), Cell::Bool(false));
     }
 
     #[test]
     fn arithmetic() {
-        let add = bin(Expr::Literal(Cell::Int(2)), BinaryOp::Add, Expr::Literal(Cell::Int(3)));
+        let add = bin(
+            Expr::Literal(Cell::Int(2)),
+            BinaryOp::Add,
+            Expr::Literal(Cell::Int(3)),
+        );
         assert_eq!(eval(&add, &[]), Cell::Int(5));
-        let div = bin(Expr::Literal(Cell::Int(7)), BinaryOp::Div, Expr::Literal(Cell::Int(2)));
+        let div = bin(
+            Expr::Literal(Cell::Int(7)),
+            BinaryOp::Div,
+            Expr::Literal(Cell::Int(2)),
+        );
         assert_eq!(eval(&div, &[]), Cell::Float(3.5));
-        let div0 = bin(Expr::Literal(Cell::Int(7)), BinaryOp::Div, Expr::Literal(Cell::Int(0)));
+        let div0 = bin(
+            Expr::Literal(Cell::Int(7)),
+            BinaryOp::Div,
+            Expr::Literal(Cell::Int(0)),
+        );
         assert_eq!(eval(&div0, &[]), Cell::Null);
         let mixed = bin(
             Expr::Literal(Cell::Str("4".into())),
@@ -665,12 +686,21 @@ mod tests {
 
     #[test]
     fn neg() {
-        assert_eq!(eval(&Expr::Neg(Box::new(Expr::Literal(Cell::Int(3)))), &[]), Cell::Int(-3));
         assert_eq!(
-            eval(&Expr::Neg(Box::new(Expr::Literal(Cell::Str("2.5".into())))), &[]),
+            eval(&Expr::Neg(Box::new(Expr::Literal(Cell::Int(3)))), &[]),
+            Cell::Int(-3)
+        );
+        assert_eq!(
+            eval(
+                &Expr::Neg(Box::new(Expr::Literal(Cell::Str("2.5".into())))),
+                &[]
+            ),
             Cell::Float(-2.5)
         );
-        assert_eq!(eval(&Expr::Neg(Box::new(Expr::Literal(Cell::Null))), &[]), Cell::Null);
+        assert_eq!(
+            eval(&Expr::Neg(Box::new(Expr::Literal(Cell::Null))), &[]),
+            Cell::Null
+        );
     }
 
     #[test]
@@ -740,11 +770,7 @@ mod new_op_tests {
 
     #[test]
     fn in_list_null_member_gives_null_on_miss() {
-        let e = in_list(
-            Expr::Column(0),
-            vec![Cell::Int(1), Cell::Null],
-            false,
-        );
+        let e = in_list(Expr::Column(0), vec![Cell::Int(1), Cell::Null], false);
         assert_eq!(eval(&e, &[Cell::Int(1)]), Cell::Bool(true));
         assert_eq!(eval(&e, &[Cell::Int(9)]), Cell::Null);
         // NOT IN with a NULL member is never TRUE.
@@ -760,14 +786,32 @@ mod new_op_tests {
             pattern: pat.to_string(),
             negated,
         };
-        assert_eq!(eval(&like("ba%", false), &[Cell::Str("banana".into())]), Cell::Bool(true));
-        assert_eq!(eval(&like("%na", false), &[Cell::Str("banana".into())]), Cell::Bool(true));
-        assert_eq!(eval(&like("b_n%", false), &[Cell::Str("banana".into())]), Cell::Bool(true));
-        assert_eq!(eval(&like("x%", false), &[Cell::Str("banana".into())]), Cell::Bool(false));
-        assert_eq!(eval(&like("x%", true), &[Cell::Str("banana".into())]), Cell::Bool(true));
+        assert_eq!(
+            eval(&like("ba%", false), &[Cell::Str("banana".into())]),
+            Cell::Bool(true)
+        );
+        assert_eq!(
+            eval(&like("%na", false), &[Cell::Str("banana".into())]),
+            Cell::Bool(true)
+        );
+        assert_eq!(
+            eval(&like("b_n%", false), &[Cell::Str("banana".into())]),
+            Cell::Bool(true)
+        );
+        assert_eq!(
+            eval(&like("x%", false), &[Cell::Str("banana".into())]),
+            Cell::Bool(false)
+        );
+        assert_eq!(
+            eval(&like("x%", true), &[Cell::Str("banana".into())]),
+            Cell::Bool(true)
+        );
         assert_eq!(eval(&like("%", false), &[Cell::Null]), Cell::Null);
         // Non-string values match against their rendering.
-        assert_eq!(eval(&like("12%", false), &[Cell::Int(123)]), Cell::Bool(true));
+        assert_eq!(
+            eval(&like("12%", false), &[Cell::Int(123)]),
+            Cell::Bool(true)
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub struct ExecMetrics {
 impl ExecMetrics {
     /// Compute phase: total minus read and parse (clamped at zero).
     pub fn compute(&self) -> Duration {
-        self.total.saturating_sub(self.read).saturating_sub(self.parse)
+        self.total
+            .saturating_sub(self.read)
+            .saturating_sub(self.parse)
     }
 
     /// Fraction of total time spent parsing (0 when total is zero).

@@ -229,7 +229,10 @@ mod tests {
         fn schema(&self) -> &Schema {
             &self.0
         }
-        fn scan(&self, _m: &mut crate::metrics::ExecMetrics) -> crate::error::Result<Vec<Vec<Cell>>> {
+        fn scan(
+            &self,
+            _m: &mut crate::metrics::ExecMetrics,
+        ) -> crate::error::Result<Vec<Vec<Cell>>> {
             Ok(vec![])
         }
         fn label(&self) -> String {

@@ -10,7 +10,7 @@ use std::fmt::Debug;
 use std::time::Instant;
 
 use maxson_json::RawFilter;
-use maxson_storage::{Cell, SearchArgument, Schema, Table};
+use maxson_storage::{Cell, Schema, SearchArgument, Table};
 
 use crate::error::Result;
 use crate::metrics::ExecMetrics;
@@ -136,7 +136,11 @@ impl ScanProvider for NorcScanProvider {
             } else {
                 ""
             }
-        ) + if self.prefilter.is_some() { " +prefilter" } else { "" }
+        ) + if self.prefilter.is_some() {
+            " +prefilter"
+        } else {
+            ""
+        }
     }
 }
 

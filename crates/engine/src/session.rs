@@ -22,9 +22,7 @@ pub use crate::expr::JsonParserKind;
 use crate::metrics::ExecMetrics;
 use crate::plan::LogicalPlan;
 use crate::scan::{NorcScanProvider, ScanProvider};
-use crate::sql::ast::{
-    AggFunc, BinaryOp, SelectItem, SelectStatement, SqlExpr, TableRef,
-};
+use crate::sql::ast::{AggFunc, BinaryOp, SelectItem, SelectStatement, SqlExpr, TableRef};
 use crate::sql::parse_select;
 
 /// Everything a [`TableScanRewriter`] gets to see about a scan being
@@ -220,10 +218,7 @@ impl Session {
     fn plan_statement(&self, stmt: &SelectStatement) -> Result<(LogicalPlan, Vec<String>)> {
         // 1. Gather every expression in the query (for column analysis).
         let mut all_exprs: Vec<&SqlExpr> = Vec::new();
-        let has_wildcard = stmt
-            .items
-            .iter()
-            .any(|i| matches!(i, SelectItem::Wildcard));
+        let has_wildcard = stmt.items.iter().any(|i| matches!(i, SelectItem::Wildcard));
         for item in &stmt.items {
             if let SelectItem::Expr { expr, .. } = item {
                 all_exprs.push(expr);
@@ -245,8 +240,13 @@ impl Session {
         // 2. Build the input plan (scan or join of two scans).
         let (input, resolver) = match &stmt.join {
             None => {
-                let (plan, res) =
-                    self.plan_table_scan(&stmt.from, &all_exprs, stmt.where_clause.as_ref(), None, has_wildcard)?;
+                let (plan, res) = self.plan_table_scan(
+                    &stmt.from,
+                    &all_exprs,
+                    stmt.where_clause.as_ref(),
+                    None,
+                    has_wildcard,
+                )?;
                 (plan, res)
             }
             Some(join) => {
@@ -313,9 +313,7 @@ impl Session {
                     }
                 }
                 SelectItem::Expr { expr, alias } => {
-                    let name = alias
-                        .clone()
-                        .unwrap_or_else(|| expr.default_name(pos));
+                    let name = alias.clone().unwrap_or_else(|| expr.default_name(pos));
                     select_exprs.push((expr.clone(), name));
                 }
             }
@@ -350,9 +348,7 @@ impl Session {
             || select_exprs.iter().any(|(e, _)| e.contains_aggregate())
             || stmt.having.is_some();
         if stmt.having.is_some() && stmt.group_by.is_empty() {
-            return Err(EngineError::plan(
-                "HAVING requires GROUP BY".to_string(),
-            ));
+            return Err(EngineError::plan("HAVING requires GROUP BY".to_string()));
         }
 
         // 6. Aggregate + project, or plain project.
@@ -378,12 +374,7 @@ impl Session {
             }
             let compiled_aggs: Vec<(AggFunc, Option<Expr>)> = agg_calls
                 .iter()
-                .map(|(f, arg)| {
-                    Ok((
-                        *f,
-                        arg.as_ref().map(|a| resolver.compile(a)).transpose()?,
-                    ))
-                })
+                .map(|(f, arg)| Ok((*f, arg.as_ref().map(|a| resolver.compile(a)).transpose()?)))
                 .collect::<Result<_>>()?;
             // Aggregate output schema: keys then aggs (all dynamically typed
             // as strings — the engine is value-typed at runtime).
@@ -404,8 +395,13 @@ impl Session {
             };
             // HAVING filters the aggregate output (keys then agg columns).
             if let Some(h) = &stmt.having {
-                let predicate =
-                    compile_post_agg(h, &stmt.group_by, &agg_calls, nkeys_of(&stmt.group_by), &resolver)?;
+                let predicate = compile_post_agg(
+                    h,
+                    &stmt.group_by,
+                    &agg_calls,
+                    nkeys_of(&stmt.group_by),
+                    &resolver,
+                )?;
                 plan = LogicalPlan::Filter {
                     input: Box::new(plan),
                     predicate,
@@ -510,9 +506,7 @@ impl Session {
         alias: Option<&str>,
         include_all_columns: bool,
     ) -> Result<(LogicalPlan, Resolver)> {
-        let table = self
-            .catalog
-            .table(&table_ref.database, &table_ref.table)?;
+        let table = self.catalog.table(&table_ref.database, &table_ref.table)?;
         let schema = table.schema().clone();
 
         // Which expressions belong to this table? With an alias, qualified
@@ -534,10 +528,11 @@ impl Session {
         }
         for e in all_exprs {
             e.walk(&mut |node| match node {
-                SqlExpr::Column { qualifier, name } if belongs(qualifier, name)
-                    && !raw_columns.contains(name) => {
-                        raw_columns.push(name.clone());
-                    }
+                SqlExpr::Column { qualifier, name }
+                    if belongs(qualifier, name) && !raw_columns.contains(name) =>
+                {
+                    raw_columns.push(name.clone());
+                }
                 SqlExpr::GetJsonObject { column, path } => {
                     if let SqlExpr::Column { qualifier, name } = column.as_ref() {
                         if belongs(qualifier, name) {
@@ -622,8 +617,8 @@ impl Session {
                 for (ci, field) in provider.schema().fields().iter().enumerate() {
                     let needles = equality_needles(p, &field.name, alias);
                     if !needles.is_empty() {
-                        provider = provider
-                            .with_prefilter(ci, maxson_json::RawFilter::new(needles));
+                        provider =
+                            provider.with_prefilter(ci, maxson_json::RawFilter::new(needles));
                         break; // one prefilter column is enough in practice
                     }
                 }
@@ -734,10 +729,8 @@ fn equality_needles(predicate: &SqlExpr, json_column: &str, alias: Option<&str>)
         {
             let pairs = [(left, right), (right, left)];
             for (call, lit) in pairs {
-                if let (
-                    SqlExpr::GetJsonObject { column, .. },
-                    SqlExpr::Literal(Cell::Str(value)),
-                ) = (call.as_ref(), lit.as_ref())
+                if let (SqlExpr::GetJsonObject { column, .. }, SqlExpr::Literal(Cell::Str(value))) =
+                    (call.as_ref(), lit.as_ref())
                 {
                     if let SqlExpr::Column { qualifier, name } = column.as_ref() {
                         if name == json_column && qualifier_matches(qualifier, alias) {
@@ -756,7 +749,11 @@ fn equality_needles(predicate: &SqlExpr, json_column: &str, alias: Option<&str>)
 /// Extract a conjunction of `column op literal` leaves usable as a SARG on
 /// the raw table (JSON calls are *not* extracted here — that is Maxson's
 /// cache-side pushdown).
-fn extract_sarg(predicate: &SqlExpr, schema: &Schema, alias: Option<&str>) -> Option<SearchArgument> {
+fn extract_sarg(
+    predicate: &SqlExpr,
+    schema: &Schema,
+    alias: Option<&str>,
+) -> Option<SearchArgument> {
     let mut sarg = SearchArgument::new();
     collect_sarg_conjuncts(predicate, schema, alias, &mut sarg);
     if sarg.is_empty() {
@@ -793,30 +790,35 @@ fn collect_sarg_conjuncts(
             };
             match (left.as_ref(), right.as_ref()) {
                 (SqlExpr::Column { qualifier, name }, SqlExpr::Literal(lit))
-                    if qualifier_matches(qualifier, alias) => {
-                        if let Some(idx) = schema.index_of(name) {
-                            *sarg = std::mem::take(sarg).with(idx, cmp, lit.clone());
-                        }
+                    if qualifier_matches(qualifier, alias) =>
+                {
+                    if let Some(idx) = schema.index_of(name) {
+                        *sarg = std::mem::take(sarg).with(idx, cmp, lit.clone());
                     }
+                }
                 (SqlExpr::Literal(lit), SqlExpr::Column { qualifier, name })
-                    if qualifier_matches(qualifier, alias) => {
-                        if let Some(idx) = schema.index_of(name) {
-                            let flipped = match cmp {
-                                CmpOp::Lt => CmpOp::Gt,
-                                CmpOp::LtEq => CmpOp::GtEq,
-                                CmpOp::Gt => CmpOp::Lt,
-                                CmpOp::GtEq => CmpOp::LtEq,
-                                other => other,
-                            };
-                            *sarg = std::mem::take(sarg).with(idx, flipped, lit.clone());
-                        }
+                    if qualifier_matches(qualifier, alias) =>
+                {
+                    if let Some(idx) = schema.index_of(name) {
+                        let flipped = match cmp {
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::LtEq => CmpOp::GtEq,
+                            CmpOp::Gt => CmpOp::Lt,
+                            CmpOp::GtEq => CmpOp::LtEq,
+                            other => other,
+                        };
+                        *sarg = std::mem::take(sarg).with(idx, flipped, lit.clone());
                     }
+                }
                 _ => {}
             }
         }
         SqlExpr::Between { expr, low, high } => {
-            if let (SqlExpr::Column { qualifier, name }, SqlExpr::Literal(lo), SqlExpr::Literal(hi)) =
-                (expr.as_ref(), low.as_ref(), high.as_ref())
+            if let (
+                SqlExpr::Column { qualifier, name },
+                SqlExpr::Literal(lo),
+                SqlExpr::Literal(hi),
+            ) = (expr.as_ref(), low.as_ref(), high.as_ref())
             {
                 if qualifier_matches(qualifier, alias) {
                     if let Some(idx) = schema.index_of(name) {
@@ -893,9 +895,10 @@ impl Resolver {
             // Join schema: names are "alias.column".
             if let Some(q) = qualifier {
                 let qualified = format!("{q}.{name}");
-                return self.schema.index_of(&qualified).ok_or_else(|| {
-                    EngineError::plan(format!("unknown column '{qualified}'"))
-                });
+                return self
+                    .schema
+                    .index_of(&qualified)
+                    .ok_or_else(|| EngineError::plan(format!("unknown column '{qualified}'")));
             }
             // Unqualified in a join: unique suffix match.
             let matches: Vec<usize> = self
@@ -914,9 +917,7 @@ impl Resolver {
         }
         if let Some(q) = qualifier {
             if self.alias.as_deref() != Some(q.as_str()) {
-                return Err(EngineError::plan(format!(
-                    "unknown table qualifier '{q}'"
-                )));
+                return Err(EngineError::plan(format!("unknown table qualifier '{q}'")));
             }
         }
         self.schema
@@ -1090,9 +1091,13 @@ fn compile_post_agg(
     }
     match e {
         SqlExpr::Binary { left, op, right } => Ok(Expr::Binary {
-            left: Box::new(compile_post_agg(left, group_by, agg_calls, nkeys, resolver)?),
+            left: Box::new(compile_post_agg(
+                left, group_by, agg_calls, nkeys, resolver,
+            )?),
             op: *op,
-            right: Box::new(compile_post_agg(right, group_by, agg_calls, nkeys, resolver)?),
+            right: Box::new(compile_post_agg(
+                right, group_by, agg_calls, nkeys, resolver,
+            )?),
         }),
         SqlExpr::Not(x) => Ok(Expr::Not(Box::new(compile_post_agg(
             x, group_by, agg_calls, nkeys, resolver,
@@ -1102,20 +1107,28 @@ fn compile_post_agg(
         )?))),
         SqlExpr::Literal(c) => Ok(Expr::Literal(c.clone())),
         SqlExpr::IsNull { expr, negated } => Ok(Expr::IsNull {
-            expr: Box::new(compile_post_agg(expr, group_by, agg_calls, nkeys, resolver)?),
+            expr: Box::new(compile_post_agg(
+                expr, group_by, agg_calls, nkeys, resolver,
+            )?),
             negated: *negated,
         }),
         SqlExpr::Between { expr, low, high } => Ok(Expr::Between {
-            expr: Box::new(compile_post_agg(expr, group_by, agg_calls, nkeys, resolver)?),
+            expr: Box::new(compile_post_agg(
+                expr, group_by, agg_calls, nkeys, resolver,
+            )?),
             low: Box::new(compile_post_agg(low, group_by, agg_calls, nkeys, resolver)?),
-            high: Box::new(compile_post_agg(high, group_by, agg_calls, nkeys, resolver)?),
+            high: Box::new(compile_post_agg(
+                high, group_by, agg_calls, nkeys, resolver,
+            )?),
         }),
         SqlExpr::InList {
             expr,
             items,
             negated,
         } => Ok(Expr::InList {
-            expr: Box::new(compile_post_agg(expr, group_by, agg_calls, nkeys, resolver)?),
+            expr: Box::new(compile_post_agg(
+                expr, group_by, agg_calls, nkeys, resolver,
+            )?),
             items: items
                 .iter()
                 .map(|i| compile_post_agg(i, group_by, agg_calls, nkeys, resolver))
@@ -1127,7 +1140,9 @@ fn compile_post_agg(
             pattern,
             negated,
         } => Ok(Expr::Like {
-            expr: Box::new(compile_post_agg(expr, group_by, agg_calls, nkeys, resolver)?),
+            expr: Box::new(compile_post_agg(
+                expr, group_by, agg_calls, nkeys, resolver,
+            )?),
             pattern: pattern.clone(),
             negated: *negated,
         }),

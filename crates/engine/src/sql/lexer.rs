@@ -81,7 +81,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -136,8 +139,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                     });
                     i += 1;
                 } else {
-                    while i < bytes.len()
-                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
                     {
                         i += 1;
                     }

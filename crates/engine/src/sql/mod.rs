@@ -4,8 +4,6 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{
-    AggFunc, BinaryOp, OrderItem, SelectItem, SelectStatement, SqlExpr, TableRef,
-};
+pub use ast::{AggFunc, BinaryOp, OrderItem, SelectItem, SelectStatement, SqlExpr, TableRef};
 pub use lexer::{tokenize, Token, TokenKind};
 pub use parser::parse_select;

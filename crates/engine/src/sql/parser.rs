@@ -88,9 +88,25 @@ impl SqlParser {
         match self.peek() {
             Some(TokenKind::Ident(s)) => matches!(
                 s.to_ascii_lowercase().as_str(),
-                "from" | "where" | "group" | "order" | "limit" | "join" | "on" | "as"
-                    | "and" | "or" | "asc" | "desc" | "inner" | "having" | "in" | "like"
-                    | "not" | "between" | "is"
+                "from"
+                    | "where"
+                    | "group"
+                    | "order"
+                    | "limit"
+                    | "join"
+                    | "on"
+                    | "as"
+                    | "and"
+                    | "or"
+                    | "asc"
+                    | "desc"
+                    | "inner"
+                    | "having"
+                    | "in"
+                    | "like"
+                    | "not"
+                    | "between"
+                    | "is"
             ),
             _ => false,
         }
@@ -430,11 +446,7 @@ impl SqlParser {
                         self.expect_sym(",")?;
                         let path = match self.next() {
                             Some(TokenKind::StringLit(s)) => s,
-                            _ => {
-                                return Err(
-                                    self.err("get_json_object requires a string JSONPath")
-                                )
-                            }
+                            _ => return Err(self.err("get_json_object requires a string JSONPath")),
                         };
                         self.expect_sym(")")?;
                         return Ok(SqlExpr::GetJsonObject {
@@ -509,10 +521,7 @@ mod tests {
         assert_eq!(stmt.items.len(), 3);
         assert_eq!(stmt.from.database, "mydb");
         assert_eq!(stmt.from.table, "T");
-        assert!(matches!(
-            stmt.where_clause,
-            Some(SqlExpr::Between { .. })
-        ));
+        assert!(matches!(stmt.where_clause, Some(SqlExpr::Between { .. })));
         assert_eq!(stmt.order_by.len(), 1);
         assert_eq!(stmt.limit, Some(1));
     }
@@ -598,8 +607,7 @@ mod tests {
 
     #[test]
     fn is_null_and_not() {
-        let stmt =
-            parse_select("select v from t where v is not null and not (v > 3)").unwrap();
+        let stmt = parse_select("select v from t where v is not null and not (v > 3)").unwrap();
         let w = stmt.where_clause.unwrap();
         let SqlExpr::Binary { left, right, .. } = &w else {
             panic!()
@@ -630,10 +638,9 @@ mod tests {
 
     #[test]
     fn distinct_and_having() {
-        let stmt = parse_select(
-            "select distinct k, count(*) as n from t group by k having count(*) > 2",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("select distinct k, count(*) as n from t group by k having count(*) > 2")
+                .unwrap();
         assert!(stmt.distinct);
         assert!(stmt.having.is_some());
         let plain = parse_select("select k from t").unwrap();
@@ -656,7 +663,9 @@ mod tests {
                     assert_eq!(items.len(), 3);
                 }
             }
-            SqlExpr::Like { pattern, negated, .. } => {
+            SqlExpr::Like {
+                pattern, negated, ..
+            } => {
                 like_count += 1;
                 if !negated {
                     assert_eq!(pattern, "x%");

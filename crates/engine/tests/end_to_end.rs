@@ -64,7 +64,10 @@ fn fig1_top_turnover_query() {
                from mydb.t where date between 20190101 and 20190103 \
                order by get_json_object(sale_logs, '$.turnover') desc limit 1";
     let result = session.execute(sql).unwrap();
-    assert_eq!(result.columns, vec!["mall_id", "item_id", "item_name", "turnover"]);
+    assert_eq!(
+        result.columns,
+        vec!["mall_id", "item_id", "item_name", "turnover"]
+    );
     assert_eq!(result.rows.len(), 1);
     assert_eq!(result.rows[0][2], Cell::Str("banana".into()));
     assert_eq!(result.rows[0][3], Cell::Str("90".into()));
@@ -79,8 +82,14 @@ fn count_group_by_json_field() {
                from mydb.t group by get_json_object(sale_logs, '$.item_name') \
                order by n desc, item limit 10";
     let result = session.execute(sql).unwrap();
-    assert_eq!(result.rows[0], vec![Cell::Str("apple".into()), Cell::Int(2)]);
-    assert_eq!(result.rows[1], vec![Cell::Str("banana".into()), Cell::Int(2)]);
+    assert_eq!(
+        result.rows[0],
+        vec![Cell::Str("apple".into()), Cell::Int(2)]
+    );
+    assert_eq!(
+        result.rows[1],
+        vec![Cell::Str("banana".into()), Cell::Int(2)]
+    );
     assert_eq!(result.rows.len(), 4);
     std::fs::remove_dir_all(&root).ok();
 }
@@ -461,7 +470,9 @@ fn scalar_functions_null_and_error_semantics() {
     assert_eq!(result.rows[0][0], Cell::Null);
     assert_eq!(result.rows[0][1], Cell::Null);
     // Arity errors are planning/parse errors.
-    assert!(session.execute("select substr(mall_id) from mydb.t").is_err());
+    assert!(session
+        .execute("select substr(mall_id) from mydb.t")
+        .is_err());
     assert!(session.execute("select length() from mydb.t").is_err());
     std::fs::remove_dir_all(&root).ok();
 }
@@ -488,11 +499,7 @@ fn explain_returns_plan_without_executing() {
         .execute("EXPLAIN select date from mydb.t where date = 20190101 limit 2")
         .unwrap();
     assert_eq!(result.columns, vec!["plan"]);
-    let text: Vec<String> = result
-        .rows
-        .iter()
-        .map(|r| r[0].render())
-        .collect();
+    let text: Vec<String> = result.rows.iter().map(|r| r[0].render()).collect();
     assert!(text[0].starts_with("Limit"));
     assert!(text.iter().any(|l| l.contains("Scan")));
     // No rows were scanned.

@@ -64,7 +64,10 @@ impl fmt::Display for JsonError {
                     "unexpected byte {:?} at offset {offset}, expected {expected}",
                     *b as char
                 ),
-                None => write!(f, "unexpected end of input at offset {offset}, expected {expected}"),
+                None => write!(
+                    f,
+                    "unexpected end of input at offset {offset}, expected {expected}"
+                ),
             },
             JsonError::UnexpectedEof { context } => {
                 write!(f, "unexpected end of input while parsing {context}")

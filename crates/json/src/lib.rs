@@ -29,17 +29,17 @@
 pub mod error;
 pub mod mison;
 pub mod parser;
-pub mod sparser;
 pub mod path;
 pub mod serializer;
+pub mod sparser;
 pub mod value;
 pub mod xml;
 
 pub use error::{JsonError, Result};
 pub use parser::{parse, Parser};
 pub use path::JsonPath;
-pub use sparser::RawFilter;
 pub use serializer::{to_string, to_string_pretty};
+pub use sparser::RawFilter;
 pub use value::JsonValue;
 
 /// Parse a document and evaluate a JSONPath against it, returning the value

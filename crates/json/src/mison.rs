@@ -148,9 +148,7 @@ impl<'a> StructuralIndex<'a> {
         }
         let level = self.inner_depth[pair_idx];
         // Colons are sorted by position: binary search the window.
-        let lo = self
-            .colons
-            .partition_point(|&(p, _)| p <= obj_start as u32);
+        let lo = self.colons.partition_point(|&(p, _)| p <= obj_start as u32);
         let hi = self.colons.partition_point(|&(p, _)| p < obj_end);
         for &(colon, d) in &self.colons[lo..hi] {
             if d != level {
@@ -229,9 +227,7 @@ impl<'a> StructuralIndex<'a> {
                     i += 1;
                 }
                 let mut end = i;
-                while end > vstart
-                    && matches!(self.input[end - 1], b' ' | b'\t' | b'\n' | b'\r')
-                {
+                while end > vstart && matches!(self.input[end - 1], b' ' | b'\t' | b'\n' | b'\r') {
                     end -= 1;
                 }
                 Some(end)
@@ -425,7 +421,16 @@ mod tests {
             r#"{ "s" : "he said \"hi\"" , "n" : -2.5e3 }"#,
             r#"{"empty":{},"arr":[],"deep":{"x":{"y":{"z":"w"}}}}"#,
         ];
-        let paths = ["$.a", "$.a.b.c", "$.d", "$.s", "$.n", "$.empty", "$.arr", "$.deep.x.y.z"];
+        let paths = [
+            "$.a",
+            "$.a.b.c",
+            "$.d",
+            "$.s",
+            "$.n",
+            "$.empty",
+            "$.arr",
+            "$.deep.x.y.z",
+        ];
         for rec in records {
             for path in paths {
                 let p = JsonPath::parse(path).unwrap();
@@ -492,14 +497,14 @@ mod tests {
         let s = r#"{"we\"ird": "va\\l", "x": 1}"#;
         let idx = StructuralIndex::build(s);
         let p = JsonPath::parse("$.x").unwrap();
-        assert_eq!(
-            project_one(s, &idx, 0, p.steps()).unwrap(),
-            "1"
-        );
+        assert_eq!(project_one(s, &idx, 0, p.steps()).unwrap(), "1");
     }
 
     #[test]
-    #[cfg_attr(debug_assertions, ignore = "perf comparison only meaningful with optimizations")]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "perf comparison only meaningful with optimizations"
+    )]
     fn faster_than_dom_on_single_field_projection() {
         // Build a moderately large record (~4KB, 200 fields) and project a
         // single early field many times. The structural index must beat the

@@ -180,8 +180,8 @@ impl<'a> Parser<'a> {
             if b == b'"' {
                 // Safety of from_utf8: input came from &str and contains no
                 // escape, so the slice is valid UTF-8 on char boundaries.
-                let s = std::str::from_utf8(&self.bytes[start..i])
-                    .expect("slice of valid UTF-8 input");
+                let s =
+                    std::str::from_utf8(&self.bytes[start..i]).expect("slice of valid UTF-8 input");
                 self.pos = i + 1;
                 return Ok(s.to_string());
             }
@@ -233,9 +233,7 @@ impl<'a> Parser<'a> {
                                             reason: "unpaired surrogate",
                                         });
                                     }
-                                    let c = 0x10000
-                                        + ((cp - 0xD800) << 10)
-                                        + (low - 0xDC00);
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
                                     out.push(char::from_u32(c).ok_or(
                                         JsonError::InvalidString {
                                             offset: self.pos,
@@ -351,8 +349,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number literal is ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number literal is ASCII");
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(JsonValue::Number(JsonNumber::Int(i)));
@@ -385,7 +383,14 @@ mod tests {
     fn nested_structures_parse() {
         let v = parse(r#" { "a" : [1, {"b": null}, "s"] , "c": {} } "#).unwrap();
         assert_eq!(v.get("a").unwrap().len(), 3);
-        assert!(v.get("a").unwrap().index(1).unwrap().get("b").unwrap().is_null());
+        assert!(v
+            .get("a")
+            .unwrap()
+            .index(1)
+            .unwrap()
+            .get("b")
+            .unwrap()
+            .is_null());
         assert_eq!(v.get("c").unwrap().len(), 0);
     }
 
@@ -410,8 +415,22 @@ mod tests {
     #[test]
     fn malformed_inputs_error() {
         for bad in [
-            "", "{", "[", "{\"a\"}", "{\"a\":}", "[1,]", "{\"a\":1,}", "tru", "01", "1.",
-            "1e", "\"abc", "{\"a\":1} x", "nul", "+1", "\u{1}",
+            "",
+            "{",
+            "[",
+            "{\"a\"}",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1,}",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "\"abc",
+            "{\"a\":1} x",
+            "nul",
+            "+1",
+            "\u{1}",
         ] {
             assert!(parse(bad).is_err(), "expected error for {bad:?}");
         }
@@ -424,10 +443,7 @@ mod tests {
         let v = parse("9223372036854775807").unwrap();
         assert_eq!(v.as_i64(), Some(i64::MAX));
         let v = parse("92233720368547758080").unwrap();
-        assert!(matches!(
-            v,
-            JsonValue::Number(JsonNumber::Float(_))
-        ));
+        assert!(matches!(v, JsonValue::Number(JsonNumber::Float(_))));
     }
 
     #[test]

@@ -300,7 +300,9 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        for bad in ["", "a.b", "$.", "$[", "$[x]", "$['a", "$['a']x", "$..a", "$[*"] {
+        for bad in [
+            "", "a.b", "$.", "$[", "$[x]", "$['a", "$['a']x", "$..a", "$[*",
+        ] {
             assert!(JsonPath::parse(bad).is_err(), "expected error for {bad:?}");
         }
     }

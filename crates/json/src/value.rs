@@ -325,10 +325,7 @@ mod tests {
         assert_eq!(JsonValue::from(3i64).to_hive_string(), "3");
         assert_eq!(JsonValue::Bool(true).to_hive_string(), "true");
         assert_eq!(JsonValue::Null.to_hive_string(), "null");
-        assert_eq!(
-            JsonValue::from(vec![1i64, 2]).to_hive_string(),
-            "[1,2]"
-        );
+        assert_eq!(JsonValue::from(vec![1i64, 2]).to_hive_string(), "[1,2]");
     }
 
     #[test]

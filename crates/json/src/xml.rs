@@ -61,10 +61,7 @@ impl<'a> XmlParser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b' ' | b'\t' | b'\n' | b'\r')
-        ) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
     }
@@ -167,7 +164,11 @@ impl<'a> XmlParser<'a> {
                     }
                     let raw = &self.input[start..self.pos];
                     self.pos += 1;
-                    push_child(&mut fields, format!("@{attr}"), JsonValue::from(decode_entities(raw)?));
+                    push_child(
+                        &mut fields,
+                        format!("@{attr}"),
+                        JsonValue::from(decode_entities(raw)?),
+                    );
                 }
                 None => {
                     return Err(JsonError::UnexpectedEof {
@@ -213,11 +214,7 @@ impl<'a> XmlParser<'a> {
                 }
                 Some(_) => {
                     let start = self.pos;
-                    while self
-                        .bytes
-                        .get(self.pos)
-                        .is_some_and(|&b| b != b'<')
-                    {
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != b'<') {
                         self.pos += 1;
                     }
                     text.push_str(&decode_entities(&self.input[start..self.pos])?);
@@ -330,8 +327,8 @@ mod tests {
 
     #[test]
     fn attributes_and_children() {
-        let v = xml_to_value(r#"<order id="7"><item>apple</item><total>12</total></order>"#)
-            .unwrap();
+        let v =
+            xml_to_value(r#"<order id="7"><item>apple</item><total>12</total></order>"#).unwrap();
         let order = v.get("order").unwrap();
         assert_eq!(order.get("@id").unwrap().as_str(), Some("7"));
         assert_eq!(order.get("item").unwrap().as_str(), Some("apple"));
@@ -376,10 +373,8 @@ mod tests {
 
     #[test]
     fn entities_and_cdata() {
-        let v = xml_to_value(
-            r#"<t a="&lt;x&gt;">&amp;&#65;&#x42;<![CDATA[<raw & stuff>]]></t>"#,
-        )
-        .unwrap();
+        let v = xml_to_value(r#"<t a="&lt;x&gt;">&amp;&#65;&#x42;<![CDATA[<raw & stuff>]]></t>"#)
+            .unwrap();
         let t = v.get("t").unwrap();
         assert_eq!(t.get("@a").unwrap().as_str(), Some("<x>"));
         assert_eq!(t.get("#text").unwrap().as_str(), Some("&AB<raw & stuff>"));
@@ -423,7 +418,13 @@ mod tests {
         let json = xml_to_json(r#"<o id="1"><i>a</i><i>b</i></o>"#).unwrap();
         let doc = crate::parse(&json).unwrap();
         assert_eq!(
-            doc.get("o").unwrap().get("i").unwrap().as_array().unwrap().len(),
+            doc.get("o")
+                .unwrap()
+                .get("i")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
             2
         );
     }

@@ -102,12 +102,21 @@ impl CacheRegistry {
                 .values()
                 .map(|e| {
                     JsonValue::Object(vec![
-                        ("database".into(), JsonValue::from(e.location.database.as_str())),
+                        (
+                            "database".into(),
+                            JsonValue::from(e.location.database.as_str()),
+                        ),
                         ("table".into(), JsonValue::from(e.location.table.as_str())),
                         ("column".into(), JsonValue::from(e.location.column.as_str())),
                         ("path".into(), JsonValue::from(e.location.path.as_str())),
-                        ("cache_table".into(), JsonValue::from(e.cache_table.as_str())),
-                        ("cache_field".into(), JsonValue::from(e.cache_field.as_str())),
+                        (
+                            "cache_table".into(),
+                            JsonValue::from(e.cache_table.as_str()),
+                        ),
+                        (
+                            "cache_field".into(),
+                            JsonValue::from(e.cache_field.as_str()),
+                        ),
                         ("cached_at".into(), JsonValue::from(e.cached_at as i64)),
                         ("bytes".into(), JsonValue::from(e.bytes as i64)),
                     ])
@@ -136,7 +145,12 @@ impl CacheRegistry {
                     .ok_or_else(|| MaxsonError::invalid(format!("registry entry missing {k}")))
             };
             reg.insert(CachedEntry {
-                location: JsonPathLocation::new(get("database")?, get("table")?, get("column")?, get("path")?),
+                location: JsonPathLocation::new(
+                    get("database")?,
+                    get("table")?,
+                    get("column")?,
+                    get("path")?,
+                ),
                 cache_table: get("cache_table")?,
                 cache_field: get("cache_field")?,
                 cached_at: geti("cached_at")?,
@@ -261,7 +275,8 @@ impl JsonPathCacher {
                 .push(cand);
         }
         for ((db, table_name), cands) in by_table {
-            let bytes = self.materialize_table(catalog, &db, &table_name, &cands, now, &mut registry)?;
+            let bytes =
+                self.materialize_table(catalog, &db, &table_name, &cands, now, &mut registry)?;
             report.bytes_used += bytes;
             report
                 .cached
@@ -316,35 +331,32 @@ impl JsonPathCacher {
             v.dedup();
             v
         };
-        let split_results: Vec<Result<ParsedSplit>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..raw.file_count())
-                    .map(|split| {
-                        let raw = &raw;
-                        let compiled = &compiled;
-                        let needed = &needed;
-                        scope.spawn(move || parse_split(raw, split, compiled, needed))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("parse worker must not panic"))
-                    .collect()
-            });
+        let split_results: Vec<Result<ParsedSplit>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..raw.file_count())
+                .map(|split| {
+                    let raw = &raw;
+                    let compiled = &compiled;
+                    let needed = &needed;
+                    scope.spawn(move || parse_split(raw, split, compiled, needed))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parse worker must not panic"))
+                .collect()
+        });
         let mut total_bytes = 0u64;
         for result in split_results {
             let (rows, rg_size, bytes) = result?;
             total_bytes += bytes;
-            catalog
-                .table_mut(CACHE_DB, &ct_name)?
-                .append_file(
-                    &rows,
-                    WriteOptions {
-                        row_group_size: rg_size,
-                        ..Default::default()
-                    },
-                    now,
-                )?;
+            catalog.table_mut(CACHE_DB, &ct_name)?.append_file(
+                &rows,
+                WriteOptions {
+                    row_group_size: rg_size,
+                    ..Default::default()
+                },
+                now,
+            )?;
         }
         for cand in cands {
             registry.insert(CachedEntry {
@@ -378,8 +390,12 @@ fn parse_split(
         .unwrap_or(maxson_storage::DEFAULT_ROW_GROUP_SIZE);
     let cols = file.read_columns(needed, None)?;
     let n = cols.first().map_or(0, |c| c.len());
-    let col_of =
-        |idx: usize| -> usize { needed.iter().position(|&c| c == idx).expect("requested column") };
+    let col_of = |idx: usize| -> usize {
+        needed
+            .iter()
+            .position(|&c| c == idx)
+            .expect("requested column")
+    };
     let mut bytes = 0u64;
     let mut rows: Vec<Vec<Cell>> = Vec::with_capacity(n);
     for i in 0..n {
@@ -414,7 +430,10 @@ mod tests {
             .duration_since(UNIX_EPOCH)
             .unwrap()
             .subsec_nanos();
-        std::env::temp_dir().join(format!("maxson-cacher-{}-{nanos}-{name}", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "maxson-cacher-{}-{nanos}-{name}",
+            std::process::id()
+        ))
     }
 
     fn loc(path: &str) -> JsonPathLocation {
@@ -495,7 +514,10 @@ mod tests {
             assert_eq!(rf.row_group_count(), cf.row_group_count());
             // Values parsed correctly.
             let rows = cf.read_all_rows().unwrap();
-            let a_field = ct.schema().index_of(&cache_field_name("payload", "$.a")).unwrap();
+            let a_field = ct
+                .schema()
+                .index_of(&cache_field_name("payload", "$.a"))
+                .unwrap();
             assert_eq!(rows[0][a_field], Cell::Str(format!("{}", split * 20)));
         }
         std::fs::remove_dir_all(&root).ok();
@@ -674,7 +696,10 @@ impl JsonPathCacher {
                 let cols = file.read_columns(&needed, None)?;
                 let n = cols.first().map_or(0, |c| c.len());
                 let col_of = |idx: usize| -> usize {
-                    needed.iter().position(|&c| c == idx).expect("requested column")
+                    needed
+                        .iter()
+                        .position(|&c| c == idx)
+                        .expect("requested column")
                 };
                 let mut rows: Vec<Vec<Cell>> = Vec::with_capacity(n);
                 for i in 0..n {

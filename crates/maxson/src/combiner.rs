@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use maxson_engine::metrics::ExecMetrics;
 use maxson_engine::scan::ScanProvider;
-use maxson_storage::{Cell, SearchArgument, Schema, Table};
+use maxson_storage::{Cell, Schema, SearchArgument, Table};
 
 /// Scan provider combining a raw table with its cache table.
 #[derive(Debug)]
@@ -135,9 +135,7 @@ impl ScanProvider for CombinedScanProvider {
             });
             let shared_keep: Option<Vec<bool>> = if aligned_groups {
                 match (&raw_keep, &cache_keep) {
-                    (Some(r), Some(c)) => {
-                        Some(r.iter().zip(c).map(|(a, b)| *a && *b).collect())
-                    }
+                    (Some(r), Some(c)) => Some(r.iter().zip(c).map(|(a, b)| *a && *b).collect()),
                     (Some(r), None) => Some(r.clone()),
                     (None, Some(c)) => Some(c.clone()),
                     (None, None) => None,
@@ -192,7 +190,11 @@ impl ScanProvider for CombinedScanProvider {
             } else {
                 ""
             },
-            if self.is_cache_only() { ", cache-only" } else { "" },
+            if self.is_cache_only() {
+                ", cache-only"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -278,15 +280,8 @@ mod tests {
     #[test]
     fn stitches_rows_positionally() {
         let (raw, cache, rd, cd) = setup("stitch");
-        let p = CombinedScanProvider::new(
-            Some(raw),
-            vec![0],
-            cache,
-            vec![0],
-            out_schema(),
-            None,
-            None,
-        );
+        let p =
+            CombinedScanProvider::new(Some(raw), vec![0], cache, vec![0], out_schema(), None, None);
         let mut m = ExecMetrics::default();
         let rows = p.scan(&mut m).unwrap();
         assert_eq!(rows.len(), 40);
@@ -375,15 +370,8 @@ mod tests {
         let rows: Vec<Vec<Cell>> = (0..7).map(|i| vec![Cell::Str(format!("{i}"))]).collect();
         bad.append_file(&rows, WriteOptions::default(), 1).unwrap();
         bad.append_file(&rows, WriteOptions::default(), 1).unwrap();
-        let p = CombinedScanProvider::new(
-            Some(raw),
-            vec![0],
-            bad,
-            vec![0],
-            out_schema(),
-            None,
-            None,
-        );
+        let p =
+            CombinedScanProvider::new(Some(raw), vec![0], bad, vec![0], out_schema(), None, None);
         let mut m = ExecMetrics::default();
         let err = p.scan(&mut m).unwrap_err();
         assert!(err.to_string().contains("misalignment"));
@@ -402,8 +390,7 @@ mod tests {
         let mut raw = Table::create(&rd, raw_schema, 0).unwrap();
         let mut cache = Table::create(&cd, cache_schema, 0).unwrap();
         let raw_rows: Vec<Vec<Cell>> = (0..20).map(|i| vec![Cell::Int(i)]).collect();
-        let cache_rows: Vec<Vec<Cell>> =
-            (0..20).map(|i| vec![Cell::Str(format!("{i}"))]).collect();
+        let cache_rows: Vec<Vec<Cell>> = (0..20).map(|i| vec![Cell::Str(format!("{i}"))]).collect();
         raw.append_file(
             &raw_rows,
             WriteOptions {
@@ -429,15 +416,8 @@ mod tests {
             Field::new("va", ColumnType::Utf8),
         ])
         .unwrap();
-        let p = CombinedScanProvider::new(
-            Some(raw),
-            vec![0],
-            cache,
-            vec![0],
-            schema,
-            None,
-            Some(sarg),
-        );
+        let p =
+            CombinedScanProvider::new(Some(raw), vec![0], cache, vec![0], schema, None, Some(sarg));
         let mut m = ExecMetrics::default();
         let rows = p.scan(&mut m).unwrap();
         assert_eq!(rows.len(), 20, "no skipping on multi-stripe files");

@@ -210,12 +210,8 @@ mod tests {
         let bad_dir = temp_dir("mismatch-bad");
         let schema = Schema::new(vec![Field::new("va", ColumnType::Utf8)]).unwrap();
         let mut bad = Table::create(&bad_dir, schema, 0).unwrap();
-        bad.append_file(
-            &[vec![Cell::Str("x".into())]],
-            WriteOptions::default(),
-            1,
-        )
-        .unwrap();
+        bad.append_file(&[vec![Cell::Str("x".into())]], WriteOptions::default(), 1)
+            .unwrap();
         let join = JoinStitchProvider::new(raw, vec![0], bad, vec![0], out_schema());
         let mut m = ExecMetrics::default();
         assert!(join.scan(&mut m).is_err());

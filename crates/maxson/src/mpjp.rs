@@ -6,10 +6,10 @@
 //! builds the feature window for each path ending *today*, and asks a
 //! predictor for tomorrow's label.
 
-use maxson_predictor::features::{FeatureConfig, SequenceExample};
 use maxson_predictor::crf::LstmCrf;
-use maxson_predictor::lstm::{LstmConfig, LstmLabeler};
+use maxson_predictor::features::{FeatureConfig, SequenceExample};
 use maxson_predictor::linear::{LinearConfig, LinearModel, Loss};
+use maxson_predictor::lstm::{LstmConfig, LstmLabeler};
 use maxson_predictor::mlp::{MlpClassifier, MlpConfig};
 use maxson_predictor::{build_dataset, MpjpModel};
 use maxson_trace::{JsonPathCollector, JsonPathLocation};
@@ -120,7 +120,11 @@ pub enum TrainedPredictor {
 impl TrainedPredictor {
     /// Train `kind` on the history in `collector` (all days up to
     /// `collector.max_day()`).
-    pub fn train(kind: PredictorKind, collector: &JsonPathCollector, config: &FeatureConfig) -> Self {
+    pub fn train(
+        kind: PredictorKind,
+        collector: &JsonPathCollector,
+        config: &FeatureConfig,
+    ) -> Self {
         match kind {
             PredictorKind::Oracle | PredictorKind::RepeatYesterday => {
                 TrainedPredictor::Heuristic(kind)
@@ -166,9 +170,7 @@ impl TrainedPredictor {
         config: &FeatureConfig,
     ) -> bool {
         match self {
-            TrainedPredictor::Heuristic(PredictorKind::Oracle) => {
-                collector.is_mpjp(loc, today + 1)
-            }
+            TrainedPredictor::Heuristic(PredictorKind::Oracle) => collector.is_mpjp(loc, today + 1),
             TrainedPredictor::Heuristic(_) => collector.is_mpjp(loc, today),
             model => {
                 let ex = window_example(collector, loc, today, config);
@@ -250,10 +252,7 @@ mod tests {
             assert_eq!(cand.target_day, today + 1);
         }
         // And completeness: every true MPJP tomorrow is predicted.
-        let truth = c
-            .locations()
-            .filter(|l| c.is_mpjp(l, today + 1))
-            .count();
+        let truth = c.locations().filter(|l| c.is_mpjp(l, today + 1)).count();
         assert_eq!(predicted.len(), truth);
     }
 
@@ -293,8 +292,16 @@ mod tests {
                 _ => {}
             }
         }
-        let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let precision = if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {

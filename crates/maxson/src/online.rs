@@ -101,10 +101,7 @@ impl TableScanRewriter for OnlineLruRewriter {
         "OnlineLRU"
     }
 
-    fn rewrite_scan(
-        &self,
-        ctx: &ScanContext<'_>,
-    ) -> maxson_engine::Result<Option<ScanRewrite>> {
+    fn rewrite_scan(&self, ctx: &ScanContext<'_>) -> maxson_engine::Result<Option<ScanRewrite>> {
         if ctx.json_calls.is_empty() {
             return Ok(None);
         }
@@ -166,7 +163,11 @@ struct LruBackedProvider {
 
 impl std::fmt::Debug for LruBackedProvider {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "LruBackedProvider({}.{})", self.database, self.table_name)
+        write!(
+            f,
+            "LruBackedProvider({}.{})",
+            self.database, self.table_name
+        )
     }
 }
 
@@ -219,9 +220,11 @@ impl ScanProvider for LruBackedProvider {
             }
             // Miss: parse the whole column (the first query pays, §III-A).
             self.state.borrow_mut().misses += 1;
-            let col_idx = self.table.schema().index_of(column).ok_or_else(|| {
-                EngineError::plan(format!("column '{column}' missing"))
-            })?;
+            let col_idx = self
+                .table
+                .schema()
+                .index_of(column)
+                .ok_or_else(|| EngineError::plan(format!("column '{column}' missing")))?;
             let compiled = JsonPath::parse(path)
                 .map_err(|e| EngineError::plan(format!("bad path '{path}': {e}")))?;
             let mut values = Vec::new();
@@ -283,10 +286,7 @@ impl ScanProvider for LruBackedProvider {
         for cols in &raw_cols {
             let n = if cols.is_empty() {
                 // No raw output columns: derive length from call columns.
-                call_columns
-                    .first()
-                    .map(|c| c.len() - offset)
-                    .unwrap_or(0)
+                call_columns.first().map(|c| c.len() - offset).unwrap_or(0)
             } else {
                 cols[0].len()
             };

@@ -114,7 +114,11 @@ impl MaxsonPipeline {
         now: u64,
     ) -> Result<CycleReport> {
         // 1. Predict MPJPs.
-        let predictor = TrainedPredictor::train(self.config.predictor, &self.collector, &self.config.features);
+        let predictor = TrainedPredictor::train(
+            self.config.predictor,
+            &self.collector,
+            &self.config.features,
+        );
         let candidates: Vec<MpjpCandidate> =
             predict_mpjps(&self.collector, &predictor, today, &self.config.features);
 
@@ -136,8 +140,7 @@ impl MaxsonPipeline {
 
         // 3. Populate the cache.
         let cacher = JsonPathCacher::new(self.config.budget_bytes);
-        let (registry, cache_report) =
-            cacher.populate(session.catalog_mut(), &ranked, now)?;
+        let (registry, cache_report) = cacher.populate(session.catalog_mut(), &ranked, now)?;
 
         // 4. Install the rewriter (fresh catalog handle sees the new cache
         //    tables).
@@ -214,8 +217,15 @@ mod tests {
                 ]
             })
             .collect();
-        t.append_file(&rows, WriteOptions { row_group_size: 10, ..Default::default() }, 1)
-            .unwrap();
+        t.append_file(
+            &rows,
+            WriteOptions {
+                row_group_size: 10,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
         (session, root)
     }
 
@@ -330,7 +340,11 @@ mod tests {
                    where get_json_object(payload, '$.a') >= 45";
         let result = session.execute(sql).unwrap();
         assert_eq!(result.rows.len(), 5);
-        assert!(result.metrics.row_groups_skipped >= 4, "skipped {} groups", result.metrics.row_groups_skipped);
+        assert!(
+            result.metrics.row_groups_skipped >= 4,
+            "skipped {} groups",
+            result.metrics.row_groups_skipped
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 

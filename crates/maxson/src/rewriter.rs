@@ -95,10 +95,7 @@ impl TableScanRewriter for MaxsonScanRewriter {
         "Maxson"
     }
 
-    fn rewrite_scan(
-        &self,
-        ctx: &ScanContext<'_>,
-    ) -> maxson_engine::Result<Option<ScanRewrite>> {
+    fn rewrite_scan(&self, ctx: &ScanContext<'_>) -> maxson_engine::Result<Option<ScanRewrite>> {
         if ctx.json_calls.is_empty() || ctx.database == CACHE_DB {
             return Ok(None);
         }
@@ -122,10 +119,7 @@ impl TableScanRewriter for MaxsonScanRewriter {
                         unresolved.push((column.clone(), path.clone()));
                     } else {
                         cache_table_name = Some(entry.cache_table.clone());
-                        resolved.push((
-                            (column.clone(), path.clone()),
-                            entry.cache_field.clone(),
-                        ));
+                        resolved.push(((column.clone(), path.clone()), entry.cache_field.clone()));
                     }
                 }
                 None => unresolved.push((column.clone(), path.clone())),
@@ -158,7 +152,10 @@ impl TableScanRewriter for MaxsonScanRewriter {
             .iter()
             .map(|c| {
                 ctx.table_schema.index_of(c).ok_or_else(|| {
-                    EngineError::plan(format!("column '{c}' missing in {}.{}", ctx.database, ctx.table))
+                    EngineError::plan(format!(
+                        "column '{c}' missing in {}.{}",
+                        ctx.database, ctx.table
+                    ))
                 })
             })
             .collect::<maxson_engine::Result<_>>()?;
@@ -245,35 +242,76 @@ fn extract_sargs(
     let mut raw_sarg = SearchArgument::new();
     let mut cache_sarg = SearchArgument::new();
     if let Some(p) = predicate {
-        walk_conjuncts(p, &mut |conjunct| {
-            match conjunct {
-                SqlExpr::Binary { left, op, right } => {
-                    let Some(cmp) = cmp_of(*op) else { return };
-                    match (left.as_ref(), right.as_ref()) {
-                        (lhs, SqlExpr::Literal(lit)) => {
-                            push_leaf(lhs, cmp, lit, raw_schema, cache_schema, resolved, &mut raw_sarg, &mut cache_sarg);
-                        }
-                        (SqlExpr::Literal(lit), rhs) => {
-                            push_leaf(rhs, flip(cmp), lit, raw_schema, cache_schema, resolved, &mut raw_sarg, &mut cache_sarg);
-                        }
-                        _ => {}
+        walk_conjuncts(p, &mut |conjunct| match conjunct {
+            SqlExpr::Binary { left, op, right } => {
+                let Some(cmp) = cmp_of(*op) else { return };
+                match (left.as_ref(), right.as_ref()) {
+                    (lhs, SqlExpr::Literal(lit)) => {
+                        push_leaf(
+                            lhs,
+                            cmp,
+                            lit,
+                            raw_schema,
+                            cache_schema,
+                            resolved,
+                            &mut raw_sarg,
+                            &mut cache_sarg,
+                        );
                     }
-                }
-                SqlExpr::Between { expr, low, high } => {
-                    if let (SqlExpr::Literal(lo), SqlExpr::Literal(hi)) =
-                        (low.as_ref(), high.as_ref())
-                    {
-                        push_leaf(expr, CmpOp::GtEq, lo, raw_schema, cache_schema, resolved, &mut raw_sarg, &mut cache_sarg);
-                        push_leaf(expr, CmpOp::LtEq, hi, raw_schema, cache_schema, resolved, &mut raw_sarg, &mut cache_sarg);
+                    (SqlExpr::Literal(lit), rhs) => {
+                        push_leaf(
+                            rhs,
+                            flip(cmp),
+                            lit,
+                            raw_schema,
+                            cache_schema,
+                            resolved,
+                            &mut raw_sarg,
+                            &mut cache_sarg,
+                        );
                     }
+                    _ => {}
                 }
-                _ => {}
             }
+            SqlExpr::Between { expr, low, high } => {
+                if let (SqlExpr::Literal(lo), SqlExpr::Literal(hi)) = (low.as_ref(), high.as_ref())
+                {
+                    push_leaf(
+                        expr,
+                        CmpOp::GtEq,
+                        lo,
+                        raw_schema,
+                        cache_schema,
+                        resolved,
+                        &mut raw_sarg,
+                        &mut cache_sarg,
+                    );
+                    push_leaf(
+                        expr,
+                        CmpOp::LtEq,
+                        hi,
+                        raw_schema,
+                        cache_schema,
+                        resolved,
+                        &mut raw_sarg,
+                        &mut cache_sarg,
+                    );
+                }
+            }
+            _ => {}
         });
     }
     (
-        if raw_sarg.is_empty() { None } else { Some(raw_sarg) },
-        if cache_sarg.is_empty() { None } else { Some(cache_sarg) },
+        if raw_sarg.is_empty() {
+            None
+        } else {
+            Some(raw_sarg)
+        },
+        if cache_sarg.is_empty() {
+            None
+        } else {
+            Some(cache_sarg)
+        },
     )
 }
 
@@ -305,9 +343,7 @@ fn push_leaf(
                 name,
             } = column.as_ref()
             {
-                if let Some((_, field)) = resolved
-                    .iter()
-                    .find(|((c, p), _)| c == name && p == path)
+                if let Some((_, field)) = resolved.iter().find(|((c, p), _)| c == name && p == path)
                 {
                     if let Some(idx) = cache_schema.index_of(field) {
                         *cache_sarg = std::mem::take(cache_sarg).with(idx, cmp, lit.clone());
@@ -360,8 +396,8 @@ fn walk_conjuncts<'a>(e: &'a SqlExpr, f: &mut impl FnMut(&'a SqlExpr)) {
 mod tests {
     use super::*;
     use crate::cacher::{cache_field_name, cache_table_name, CachedEntry};
-    use crate::score::score_candidates;
     use crate::mpjp::MpjpCandidate;
+    use crate::score::score_candidates;
     use maxson_engine::session::Session;
     use maxson_storage::file::WriteOptions;
     use maxson_storage::{ColumnType, Field};
@@ -427,7 +463,9 @@ mod tests {
         }];
         let ranked = score_candidates(session.catalog(), &cands, &history).unwrap();
         let cacher = crate::cacher::JsonPathCacher::new(u64::MAX);
-        cacher.populate(session.catalog_mut(), &ranked, 100).unwrap();
+        cacher
+            .populate(session.catalog_mut(), &ranked, 100)
+            .unwrap();
         (session, root)
     }
 
@@ -541,7 +579,10 @@ mod tests {
         };
         let rewrite = rewriter.rewrite_scan(&ctx).unwrap().expect("hit rewrites");
         assert_eq!(rewrite.resolved_paths.len(), 1);
-        assert_eq!(rewrite.resolved_paths[0].0, ("payload".to_string(), "$.a".to_string()));
+        assert_eq!(
+            rewrite.resolved_paths[0].0,
+            ("payload".to_string(), "$.a".to_string())
+        );
         // Output schema: id + payload (for the $.b miss) + cache field.
         let names: Vec<&str> = rewrite
             .provider

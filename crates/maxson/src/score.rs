@@ -52,10 +52,7 @@ pub fn score_candidates(
     candidates: &[MpjpCandidate],
     history: &[QueryRecord],
 ) -> Result<Vec<ScoredMpjp>> {
-    let mpjp_set: BTreeSet<String> = candidates
-        .iter()
-        .map(|c| c.location.key())
-        .collect();
+    let mpjp_set: BTreeSet<String> = candidates.iter().map(|c| c.location.key()).collect();
 
     // Per-query M_i (MPJPs among its paths) and N_i (paths).
     // Also O_j per path.
@@ -100,10 +97,9 @@ pub fn score_candidates(
     let mut scored = Vec::with_capacity(candidates.len());
     for ((db, table_name, column), cands) in by_source {
         let table = catalog.table(&db, &table_name)?;
-        let col_idx = table
-            .schema()
-            .index_of(&column)
-            .ok_or_else(|| MaxsonError::invalid(format!("column {column} missing in {db}.{table_name}")))?;
+        let col_idx = table.schema().index_of(&column).ok_or_else(|| {
+            MaxsonError::invalid(format!("column {column} missing in {db}.{table_name}"))
+        })?;
         let total_rows = table.num_rows()? as u64;
         // Sample the first rows of the first split.
         let mut sample: Vec<String> = Vec::new();
@@ -185,7 +181,10 @@ mod tests {
             .duration_since(UNIX_EPOCH)
             .unwrap()
             .subsec_nanos();
-        std::env::temp_dir().join(format!("maxson-score-{}-{nanos}-{name}", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "maxson-score-{}-{nanos}-{name}",
+            std::process::id()
+        ))
     }
 
     fn loc(path: &str) -> JsonPathLocation {
@@ -233,7 +232,10 @@ mod tests {
         let cands = vec![cand("$.small"), cand("$.big")];
         let history = vec![query(&["$.small"]), query(&["$.big"])];
         let scored = score_candidates(&cat, &cands, &history).unwrap();
-        let small = scored.iter().find(|s| s.location.path == "$.small").unwrap();
+        let small = scored
+            .iter()
+            .find(|s| s.location.path == "$.small")
+            .unwrap();
         let big = scored.iter().find(|s| s.location.path == "$.big").unwrap();
         // Same parse cost regime but far smaller value => higher A_j.
         assert!(small.acceleration > big.acceleration);

@@ -37,7 +37,12 @@ fn stats_schema() -> Schema {
 /// written. Saving the same day twice appends a second partition — counts
 /// re-accumulate on load, so callers should save each day exactly once (as
 /// the nightly cycle naturally does).
-pub fn save_day(catalog: &mut Catalog, collector: &JsonPathCollector, day: u32, now: u64) -> Result<usize> {
+pub fn save_day(
+    catalog: &mut Catalog,
+    collector: &JsonPathCollector,
+    day: u32,
+    now: u64,
+) -> Result<usize> {
     if !catalog.has_table(STATS_DB, STATS_TABLE) {
         catalog.create_table(STATS_DB, STATS_TABLE, stats_schema(), now)?;
     }
@@ -107,7 +112,10 @@ mod tests {
             .duration_since(UNIX_EPOCH)
             .unwrap()
             .subsec_nanos();
-        std::env::temp_dir().join(format!("maxson-stats-{}-{nanos}-{name}", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "maxson-stats-{}-{nanos}-{name}",
+            std::process::id()
+        ))
     }
 
     fn loc(path: &str) -> JsonPathLocation {
@@ -160,7 +168,11 @@ mod tests {
             save_day(&mut catalog, &collector, day, u64::from(day) + 1).unwrap();
         }
         let table = catalog.table(STATS_DB, STATS_TABLE).unwrap();
-        assert_eq!(table.file_count(), 3, "date partitioning = one file per day");
+        assert_eq!(
+            table.file_count(),
+            3,
+            "date partitioning = one file per day"
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 
@@ -190,10 +202,7 @@ mod tests {
                 "select path, count from {STATS_DB}.{STATS_TABLE} order by count desc, path"
             ))
             .unwrap();
-        assert_eq!(
-            result.rows[0],
-            vec![Cell::Str("$.a".into()), Cell::Int(2)]
-        );
+        assert_eq!(result.rows[0], vec![Cell::Str("$.a".into()), Cell::Int(2)]);
         std::fs::remove_dir_all(&root).ok();
     }
 }

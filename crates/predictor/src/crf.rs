@@ -147,10 +147,7 @@ pub struct LstmCrf {
 impl LstmCrf {
     /// Train the LSTM on `examples`, then fit the CRF on their gold label
     /// sequences.
-    pub fn train(
-        examples: &[&SequenceExample],
-        lstm_config: crate::lstm::LstmConfig,
-    ) -> Self {
+    pub fn train(examples: &[&SequenceExample], lstm_config: crate::lstm::LstmConfig) -> Self {
         let lstm = LstmLabeler::train(examples, lstm_config);
         let label_seqs: Vec<&[bool]> = examples.iter().map(|e| e.labels.as_slice()).collect();
         let crf = CrfLayer::fit(&label_seqs);

@@ -4,8 +4,7 @@ use crate::features::SequenceExample;
 use crate::MpjpModel;
 
 /// Binary classification metrics.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Metrics {
     /// True positives.
     pub tp: u64,
@@ -69,7 +68,6 @@ impl Metrics {
         }
     }
 }
-
 
 /// Evaluate a model over the final-step labels of `examples`.
 pub fn evaluate<M: MpjpModel + ?Sized>(model: &M, examples: &[&SequenceExample]) -> Metrics {

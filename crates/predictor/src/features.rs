@@ -95,12 +95,7 @@ impl SequenceExample {
         let mean = counts.iter().sum::<f64>() / n;
         let max = counts.iter().copied().fold(0.0f64, f64::max);
         let active = counts.iter().filter(|&&c| c > 0.0).count() as f64 / n;
-        let mpjp_days = self
-            .steps
-            .iter()
-            .filter(|s| s[loc_dim + 2] > 0.5)
-            .count() as f64
-            / n;
+        let mpjp_days = self.steps.iter().filter(|s| s[loc_dim + 2] > 0.5).count() as f64 / n;
         v.extend_from_slice(&[mean, max, active, mpjp_days]);
         v
     }
@@ -163,10 +158,7 @@ pub fn build_dataset(collector: &JsonPathCollector, config: FeatureConfig) -> Da
     let max_day = collector.max_day();
     let w = config.window as u32;
     if max_day < w + 1 {
-        return Dataset {
-            examples,
-            config,
-        };
+        return Dataset { examples, config };
     }
     for loc in collector.locations() {
         // Prediction days stride by the window so examples don't overlap
@@ -232,7 +224,7 @@ impl Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use maxson_trace::{QueryRecord, SyntheticTrace, SynthConfig, TraceSynthesizer};
+    use maxson_trace::{QueryRecord, SynthConfig, SyntheticTrace, TraceSynthesizer};
 
     fn collector_from(trace: &SyntheticTrace) -> JsonPathCollector {
         let mut c = JsonPathCollector::new();

@@ -1,8 +1,7 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the math notation
 //! Minimal dense linear algebra on `Vec<f64>`.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use maxson_testkit::rng::Rng;
 
 /// A row-major dense matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +26,7 @@ impl Matrix {
 
     /// Xavier-style uniform initialization in `[-s, s]` with
     /// `s = sqrt(6 / (rows + cols))`.
-    pub fn xavier(rows: usize, cols: usize, rng: &mut SmallRng) -> Self {
+    pub fn xavier(rows: usize, cols: usize, rng: &mut Rng) -> Self {
         let s = (6.0 / (rows + cols) as f64).sqrt();
         Matrix {
             rows,
@@ -137,7 +136,6 @@ pub fn log_sum_exp(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn matvec_and_transpose() {
@@ -170,12 +168,15 @@ mod tests {
     fn log_sum_exp_stable() {
         let v = log_sum_exp(&[1000.0, 1000.0]);
         assert!((v - (1000.0 + 2f64.ln())).abs() < 1e-9);
-        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]
     fn xavier_bounds() {
-        let mut rng = SmallRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let w = Matrix::xavier(10, 10, &mut rng);
         let s = (6.0 / 20.0f64).sqrt();
         assert!(w.data.iter().all(|v| v.abs() <= s));

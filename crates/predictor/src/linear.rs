@@ -1,9 +1,7 @@
 //! Linear classifiers over flattened sequence features: logistic
 //! regression (LR) and a linear SVM — Table III's first two baselines.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use maxson_testkit::rng::{Rng, SliceRandom};
 
 use crate::features::SequenceExample;
 use crate::linalg::{dot, sgd_step_vec, sigmoid};
@@ -61,7 +59,7 @@ impl LinearModel {
         let dim = examples.first().map_or(0, |e| e.static_features().len());
         let mut weights = vec![0.0; dim];
         let mut bias = 0.0;
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = Rng::seed_from_u64(config.seed);
         let mut order: Vec<usize> = (0..examples.len()).collect();
         let flat: Vec<(Vec<f64>, bool)> = examples
             .iter()

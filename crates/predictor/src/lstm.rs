@@ -7,9 +7,7 @@
 //! minimizes per-step sigmoid cross-entropy, exactly the setup §IV-A
 //! describes.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use maxson_testkit::rng::{Rng, SliceRandom};
 
 use crate::features::SequenceExample;
 use crate::linalg::{sigmoid, Matrix};
@@ -82,12 +80,12 @@ impl LstmLabeler {
             .first()
             .map_or(1, |e| e.steps.first().map_or(1, Vec::len));
         let h = config.hidden;
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = Rng::seed_from_u64(config.seed);
         let mut model = LstmLabeler {
             wx: Matrix::xavier(4 * h, input_dim, &mut rng),
             wh: Matrix::xavier(4 * h, h, &mut rng),
             b: vec![0.0; 4 * h],
-            wy: (0..h).map(|_| 0.1 * (rng_gen(&mut rng) - 0.5)).collect(),
+            wy: (0..h).map(|_| 0.1 * (rng.gen::<f64>() - 0.5)).collect(),
             by: 0.0,
             hidden: h,
             threshold: 0.5,
@@ -226,11 +224,6 @@ impl LstmLabeler {
             })
             .collect()
     }
-}
-
-fn rng_gen(rng: &mut SmallRng) -> f64 {
-    use rand::Rng;
-    rng.gen::<f64>()
 }
 
 impl MpjpModel for LstmLabeler {

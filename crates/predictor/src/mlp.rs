@@ -1,9 +1,7 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the math notation
 //! A small feed-forward neural network (the MLPClassifier baseline).
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use maxson_testkit::rng::{Rng, SliceRandom};
 
 use crate::features::SequenceExample;
 use crate::linalg::{sigmoid, Matrix};
@@ -52,7 +50,7 @@ impl MlpClassifier {
     /// Train on the final-step labels of `examples`.
     pub fn train(examples: &[&SequenceExample], config: MlpConfig) -> Self {
         let input_dim = examples.first().map_or(1, |e| e.static_features().len());
-        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut rng = Rng::seed_from_u64(config.seed);
         let mut dims = vec![input_dim];
         dims.extend(&config.hidden);
         dims.push(1);

@@ -273,9 +273,7 @@ impl ColumnData {
                         }
                         let indexes = rle_decode_i64(buf, pos)?;
                         if indexes.len() != n {
-                            return Err(StorageError::corrupt(
-                                "dictionary index count mismatch",
-                            ));
+                            return Err(StorageError::corrupt("dictionary index count mismatch"));
                         }
                         indexes
                             .into_iter()
@@ -335,7 +333,13 @@ mod tests {
     #[test]
     fn int_column_round_trip_with_nulls() {
         let mut col = ColumnData::empty(ColumnType::Int64);
-        for c in [Cell::Int(1), Cell::Null, Cell::Int(-5), Cell::Int(-5), Cell::Int(-5)] {
+        for c in [
+            Cell::Int(1),
+            Cell::Null,
+            Cell::Int(-5),
+            Cell::Int(-5),
+            Cell::Int(-5),
+        ] {
             col.push(&c, "c").unwrap();
         }
         let back = round_trip(&col);

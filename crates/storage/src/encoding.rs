@@ -252,7 +252,11 @@ mod tests {
         let values = vec![42i64; 10_000];
         let mut buf = Vec::new();
         rle_encode_i64(&values, &mut buf);
-        assert!(buf.len() < 16, "run of 10k identical should be tiny, got {}", buf.len());
+        assert!(
+            buf.len() < 16,
+            "run of 10k identical should be tiny, got {}",
+            buf.len()
+        );
     }
 
     #[test]

@@ -19,9 +19,7 @@ use std::path::{Path, PathBuf};
 
 use crate::cell::Cell;
 use crate::column::ColumnData;
-use crate::encoding::{
-    fnv1a, read_f64, read_str, read_varint, write_f64, write_str, write_varint,
-};
+use crate::encoding::{fnv1a, read_f64, read_str, read_varint, write_f64, write_str, write_varint};
 use crate::error::{Result, StorageError};
 use crate::schema::{ColumnType, Schema};
 
@@ -373,7 +371,11 @@ impl NorcWriter {
             .iter()
             .map(|f| ColumnData::empty(f.ty))
             .collect();
-        let pending_stats = schema.fields().iter().map(|f| ColumnStats::new(f.ty)).collect();
+        let pending_stats = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnStats::new(f.ty))
+            .collect();
         Ok(NorcWriter {
             path: path.into(),
             schema,
@@ -426,7 +428,11 @@ impl NorcWriter {
         }
         let stats = std::mem::replace(
             &mut self.pending_stats,
-            self.schema.fields().iter().map(|f| ColumnStats::new(f.ty)).collect(),
+            self.schema
+                .fields()
+                .iter()
+                .map(|f| ColumnStats::new(f.ty))
+                .collect(),
         );
         let row_count = self.pending_rows;
         self.pending_cols = self
@@ -626,9 +632,12 @@ impl NorcFile {
             .ok_or_else(|| StorageError::NotFound {
                 what: format!("row group {row_group}"),
             })?;
-        let (off, len) = *rg.chunks.get(column).ok_or_else(|| StorageError::NotFound {
-            what: format!("column {column}"),
-        })?;
+        let (off, len) = *rg
+            .chunks
+            .get(column)
+            .ok_or_else(|| StorageError::NotFound {
+                what: format!("column {column}"),
+            })?;
         let start = MAGIC.len() + off as usize;
         let end = start + len as usize;
         if end > self.data.len() {
@@ -798,7 +807,9 @@ mod tests {
             other => panic!("unexpected stats {other:?}"),
         }
         match &rgs[0].columns[1] {
-            ColumnStats::Utf8 { nulls, all_numeric, .. } => {
+            ColumnStats::Utf8 {
+                nulls, all_numeric, ..
+            } => {
                 assert_eq!(*nulls, 2); // rows 0 and 7
                 assert!(!all_numeric);
             }

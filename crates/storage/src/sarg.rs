@@ -3,9 +3,10 @@
 //!
 //! A SARG never decides that a row *matches* — it only proves that an entire
 //! row group *cannot* contain matching rows, so it can be skipped. The
-//! soundness invariant (tested with proptest in the crate's integration
-//! tests) is: a row group containing any row satisfying the predicate is
-//! never skipped.
+//! soundness invariant (checked by the `maxson-testkit` property test
+//! `sarg_skipping_never_drops_qualifying_rows` in the workspace-level
+//! `tests/property_tests.rs`) is: a row group containing any row satisfying
+//! the predicate is never skipped.
 
 use crate::cell::Cell;
 use crate::file::{ColumnStats, RowGroupStats};
@@ -273,9 +274,10 @@ mod tests {
     #[test]
     fn conjunction_requires_all_leaves() {
         let rg = int_rg(10, 20, 0, 100);
-        let sarg = SearchArgument::new()
-            .with(0, CmpOp::Gt, Cell::Int(5))
-            .with(0, CmpOp::Lt, Cell::Int(8));
+        let sarg =
+            SearchArgument::new()
+                .with(0, CmpOp::Gt, Cell::Int(5))
+                .with(0, CmpOp::Lt, Cell::Int(8));
         assert!(!sarg.row_group_may_match(&rg));
     }
 
@@ -285,12 +287,7 @@ mod tests {
         assert!(SearchArgument::new().row_group_may_match(&rg));
     }
 
-    fn utf8_stats(
-        min: &str,
-        max: &str,
-        num: Option<(f64, f64)>,
-        all_numeric: bool,
-    ) -> ColumnStats {
+    fn utf8_stats(min: &str, max: &str, num: Option<(f64, f64)>, all_numeric: bool) -> ColumnStats {
         ColumnStats::Utf8 {
             min: Some(min.to_string()),
             max: Some(max.to_string()),
@@ -368,7 +365,11 @@ mod tests {
 
     #[test]
     fn keep_array_shape() {
-        let groups = [int_rg(0, 5, 0, 10), int_rg(10, 20, 0, 10), int_rg(30, 40, 0, 10)];
+        let groups = [
+            int_rg(0, 5, 0, 10),
+            int_rg(10, 20, 0, 10),
+            int_rg(30, 40, 0, 10),
+        ];
         let sarg = SearchArgument::new().with(0, CmpOp::Gt, Cell::Int(15));
         assert_eq!(sarg.keep_array(groups.iter()), vec![false, true, true]);
     }

@@ -12,7 +12,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use maxson_json::{JsonValue, parse as json_parse, to_string_pretty};
+use maxson_json::{parse as json_parse, to_string_pretty, JsonValue};
 
 use crate::cell::Cell;
 use crate::error::{Result, StorageError};
@@ -61,7 +61,9 @@ impl Table {
             what: format!("table metadata {}", meta_path.display()),
         })?;
         let doc = json_parse(&text).map_err(|e| StorageError::corrupt(e.to_string()))?;
-        let schema_val = doc.get("schema").ok_or_else(|| StorageError::corrupt("meta missing schema"))?;
+        let schema_val = doc
+            .get("schema")
+            .ok_or_else(|| StorageError::corrupt("meta missing schema"))?;
         let mut fields = Vec::new();
         for item in schema_val.as_array().unwrap_or(&[]) {
             let name = item
@@ -78,7 +80,8 @@ impl Table {
         let modified_at = doc
             .get("modified_at")
             .and_then(JsonValue::as_i64)
-            .ok_or_else(|| StorageError::corrupt("meta missing modified_at"))? as u64;
+            .ok_or_else(|| StorageError::corrupt("meta missing modified_at"))?
+            as u64;
         let files = doc
             .get("files")
             .and_then(JsonValue::as_array)
@@ -179,9 +182,12 @@ impl Table {
 
     /// Open split `index` (one file = one split).
     pub fn open_split(&self, index: usize) -> Result<NorcFile> {
-        let name = self.files.get(index).ok_or_else(|| StorageError::NotFound {
-            what: format!("split {index} of table {}", self.dir.display()),
-        })?;
+        let name = self
+            .files
+            .get(index)
+            .ok_or_else(|| StorageError::NotFound {
+                what: format!("split {index} of table {}", self.dir.display()),
+            })?;
         NorcFile::open(self.dir.join(name))
     }
 
@@ -276,8 +282,10 @@ mod tests {
     fn create_append_reopen() {
         let dir = temp_dir("car");
         let mut t = Table::create(&dir, schema(), 100).unwrap();
-        t.append_file(&rows(0, 10), WriteOptions::default(), 101).unwrap();
-        t.append_file(&rows(10, 5), WriteOptions::default(), 102).unwrap();
+        t.append_file(&rows(0, 10), WriteOptions::default(), 101)
+            .unwrap();
+        t.append_file(&rows(10, 5), WriteOptions::default(), 102)
+            .unwrap();
         assert_eq!(t.file_count(), 2);
         assert_eq!(t.modified_at(), 102);
         assert_eq!(t.num_rows().unwrap(), 15);
@@ -345,7 +353,8 @@ mod tests {
         let dir = temp_dir("bytes");
         let mut t = Table::create(&dir, schema(), 0).unwrap();
         assert_eq!(t.byte_size().unwrap(), 0);
-        t.append_file(&rows(0, 100), WriteOptions::default(), 1).unwrap();
+        t.append_file(&rows(0, 100), WriteOptions::default(), 1)
+            .unwrap();
         assert!(t.byte_size().unwrap() > 0);
         t.drop_table().unwrap();
     }

@@ -1,0 +1,681 @@
+//! A minimal property-testing harness: composable generators, configurable
+//! case counts, greedy shrinking, and seed-replayable failures.
+//!
+//! Every test case is generated from its own `u64` seed, derived
+//! deterministically from a per-property base seed and the case index. When
+//! a property fails, the harness greedily shrinks the failing input and
+//! panics with the case seed; exporting that seed via the
+//! `MAXSON_TESTKIT_SEED` environment variable makes every property in the
+//! binary replay exactly that case, so the failure reproduces from a cold
+//! cache with no other state.
+//!
+//! ```no_run
+//! use maxson_testkit::prop::{check, Config, Gen};
+//! use maxson_testkit::prop_assert_eq;
+//!
+//! let cfg = Config::with_cases(128);
+//! check("addition_commutes", &cfg, &Gen::tuple2(
+//!     Gen::i64_in(-100..=100), Gen::i64_in(-100..=100)),
+//!     |&(a, b)| {
+//!         prop_assert_eq!(a + b, b + a);
+//!         Ok(())
+//!     });
+//! ```
+
+use std::cell::Cell as StdCell;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use crate::rng::{splitmix64, Rng};
+
+/// Environment variable that replays a single failing case by seed.
+pub const SEED_ENV: &str = "MAXSON_TESTKIT_SEED";
+
+thread_local! {
+    /// Set while the harness probes a candidate, so the panic hook stays
+    /// quiet about panics the harness catches and converts into failures.
+    static QUIET_PANICS: StdCell<bool> = const { StdCell::new(false) };
+}
+
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(StdCell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Upper bound on accepted shrink steps (greedy descent length).
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases (the `ProptestConfig::with_cases`
+    /// equivalent).
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            max_shrink_steps: 512,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::with_cases(64)
+    }
+}
+
+type GenFn<T> = Rc<dyn Fn(&mut Rng) -> T>;
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
+/// A composable value generator with an attached (possibly empty) shrinker.
+///
+/// Generators are cheap to clone (reference-counted closures). Shrinkers
+/// return a list of strictly "smaller" candidates; the harness greedily
+/// walks to the first candidate that still fails.
+pub struct Gen<T> {
+    generate: GenFn<T>,
+    shrink: ShrinkFn<T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            generate: Rc::clone(&self.generate),
+            shrink: Rc::clone(&self.shrink),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Generator from a closure, with no shrinking.
+    pub fn new(f: impl Fn(&mut Rng) -> T + 'static) -> Self {
+        Gen {
+            generate: Rc::new(f),
+            shrink: Rc::new(|_| Vec::new()),
+        }
+    }
+
+    /// Generator with an explicit shrinker.
+    pub fn with_shrink(
+        f: impl Fn(&mut Rng) -> T + 'static,
+        s: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen {
+            generate: Rc::new(f),
+            shrink: Rc::new(s),
+        }
+    }
+
+    /// Draw one value.
+    pub fn generate(&self, rng: &mut Rng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Shrink candidates for `value` (possibly empty).
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Map the generated value. The mapping is not invertible, so shrinking
+    /// is dropped; attach a new shrinker with [`Gen::with_shrink`] if the
+    /// mapped domain supports one.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |rng| f(self.generate(rng)))
+    }
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    /// Always-the-same-value generator.
+    pub fn just(value: T) -> Self {
+        Gen::new(move |_| value.clone())
+    }
+
+    /// Uniformly pick one of the inner generators per case (the
+    /// `prop_oneof!` equivalent). Shrinking tries every variant's shrinker.
+    pub fn one_of(options: Vec<Gen<T>>) -> Self {
+        assert!(!options.is_empty(), "one_of: no options");
+        let gens = Rc::new(options);
+        let shrink_gens = Rc::clone(&gens);
+        Gen::with_shrink(
+            move |rng| {
+                let k = rng.below(gens.len() as u64) as usize;
+                gens[k].generate(rng)
+            },
+            move |v| shrink_gens.iter().flat_map(|g| g.shrink(v)).collect(),
+        )
+    }
+
+    /// Recursive generator: start from `leaf` and apply `grow` up to
+    /// `levels` times, mixing shallower cases back in at every level (the
+    /// `prop_recursive` equivalent).
+    pub fn recursive(leaf: Gen<T>, levels: usize, grow: impl Fn(Gen<T>) -> Gen<T>) -> Gen<T> {
+        let mut g = leaf.clone();
+        for _ in 0..levels {
+            g = Gen::one_of(vec![leaf.clone(), grow(g)]);
+        }
+        g
+    }
+
+    /// Pair generator with component-wise shrinking.
+    pub fn tuple2<U: Clone + 'static>(a: Gen<T>, b: Gen<U>) -> Gen<(T, U)> {
+        let (sa, sb) = (a.clone(), b.clone());
+        Gen::with_shrink(
+            move |rng| (a.generate(rng), b.generate(rng)),
+            move |(x, y)| {
+                let mut out: Vec<(T, U)> =
+                    sa.shrink(x).into_iter().map(|x2| (x2, y.clone())).collect();
+                out.extend(sb.shrink(y).into_iter().map(|y2| (x.clone(), y2)));
+                out
+            },
+        )
+    }
+
+    /// `Option<T>`: ~1-in-4 `None`. Shrinks toward `None`, then inside.
+    pub fn option_of(inner: Gen<T>) -> Gen<Option<T>> {
+        let s = inner.clone();
+        Gen::with_shrink(
+            move |rng| {
+                if rng.gen_bool(0.25) {
+                    None
+                } else {
+                    Some(inner.generate(rng))
+                }
+            },
+            move |v| match v {
+                None => Vec::new(),
+                Some(x) => {
+                    let mut out = vec![None];
+                    out.extend(s.shrink(x).into_iter().map(Some));
+                    out
+                }
+            },
+        )
+    }
+
+    /// Vector with a length drawn from `len`. Shrinks by halving, dropping
+    /// single elements, and shrinking elements in place.
+    pub fn vec_of(elem: Gen<T>, len: std::ops::Range<usize>) -> Gen<Vec<T>> {
+        assert!(!len.is_empty(), "vec_of: empty length range");
+        let min_len = len.start;
+        let s = elem.clone();
+        Gen::with_shrink(
+            move |rng| {
+                let n = rng.gen_range(len.clone());
+                (0..n).map(|_| elem.generate(rng)).collect()
+            },
+            move |v: &Vec<T>| {
+                let mut out: Vec<Vec<T>> = Vec::new();
+                // Halve.
+                if v.len() / 2 >= min_len && v.len() > min_len {
+                    out.push(v[..v.len() / 2].to_vec());
+                }
+                // Drop one element.
+                if v.len() > min_len {
+                    for i in 0..v.len() {
+                        let mut smaller = v.clone();
+                        smaller.remove(i);
+                        out.push(smaller);
+                        if v.len() > 8 {
+                            break; // One representative drop for long vecs.
+                        }
+                    }
+                }
+                // Shrink each element in place (first few positions).
+                for i in 0..v.len().min(8) {
+                    for cand in s.shrink(&v[i]) {
+                        let mut copy = v.clone();
+                        copy[i] = cand;
+                        out.push(copy);
+                    }
+                }
+                out
+            },
+        )
+    }
+}
+
+macro_rules! int_gen {
+    ($fn_name:ident, $any_name:ident, $t:ty) => {
+        impl Gen<$t> {
+            /// Uniform draw from an inclusive range; shrinks toward the
+            /// value in the range closest to zero.
+            #[allow(unused_comparisons)] // macro also expands for unsigned
+            pub fn $fn_name(range: std::ops::RangeInclusive<$t>) -> Gen<$t> {
+                let (lo, hi) = (*range.start(), *range.end());
+                let anchor: $t = if lo <= 0 && 0 <= hi {
+                    0
+                } else if lo > 0 {
+                    lo
+                } else {
+                    hi
+                };
+                Gen::with_shrink(
+                    move |rng| rng.gen_range(lo..=hi),
+                    move |&v| {
+                        let mut out = Vec::new();
+                        if v != anchor {
+                            out.push(anchor);
+                            let halfway = anchor + (v - anchor) / 2;
+                            if halfway != anchor && halfway != v {
+                                out.push(halfway);
+                            }
+                            let step = if v > anchor { v - 1 } else { v + 1 };
+                            if step != halfway {
+                                out.push(step);
+                            }
+                        }
+                        out
+                    },
+                )
+            }
+
+            /// Uniform draw over the whole domain, shrinking toward zero.
+            pub fn $any_name() -> Gen<$t> {
+                Gen::with_shrink(
+                    |rng| rng.gen(),
+                    |&v| {
+                        if v == 0 {
+                            Vec::new()
+                        } else {
+                            // Toward zero: zero itself, halfway, one step.
+                            let step = if v > 0 { v - 1 } else { v + 1 };
+                            vec![0, v / 2, step]
+                        }
+                    },
+                )
+            }
+        }
+    };
+}
+int_gen!(i64_in, i64_any, i64);
+int_gen!(i32_in, i32_any, i32);
+int_gen!(usize_in, usize_any, usize);
+
+impl Gen<u64> {
+    /// Uniform `u64`, shrinking toward zero.
+    pub fn u64_any() -> Gen<u64> {
+        Gen::with_shrink(
+            |rng| rng.gen(),
+            |&v| {
+                if v == 0 {
+                    Vec::new()
+                } else {
+                    vec![0, v / 2, v - 1]
+                }
+            },
+        )
+    }
+}
+
+impl Gen<bool> {
+    /// Fair coin, shrinking toward `false`.
+    pub fn bool_any() -> Gen<bool> {
+        Gen::with_shrink(
+            |rng| rng.gen(),
+            |&v| if v { vec![false] } else { Vec::new() },
+        )
+    }
+}
+
+impl Gen<f64> {
+    /// Uniform draw from `[lo, hi)`, shrinking toward the in-range value
+    /// closest to zero.
+    pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+        let anchor = if lo <= 0.0 && 0.0 < hi {
+            0.0
+        } else if lo > 0.0 {
+            lo
+        } else {
+            hi - (hi - lo) * f64::EPSILON.max(1e-12)
+        };
+        Gen::with_shrink(
+            move |rng| rng.gen_range(lo..hi),
+            move |&v| {
+                if v == anchor {
+                    Vec::new()
+                } else {
+                    let halfway = anchor + (v - anchor) / 2.0;
+                    vec![anchor, halfway]
+                }
+            },
+        )
+    }
+}
+
+impl Gen<String> {
+    /// String of `len` chars drawn uniformly from `alphabet` (the
+    /// regex-class-style generator, e.g. `"[a-z0-9]{0,8}"` becomes
+    /// `Gen::string_of(&alphabet("a-z0-9"), 0..9)`). Shrinks by dropping
+    /// characters.
+    pub fn string_of(alphabet: &[char], len: std::ops::Range<usize>) -> Gen<String> {
+        assert!(!alphabet.is_empty(), "string_of: empty alphabet");
+        let chars: Rc<[char]> = alphabet.into();
+        let min_len = len.start;
+        Gen::with_shrink(
+            move |rng| {
+                let n = rng.gen_range(len.clone());
+                (0..n)
+                    .map(|_| chars[rng.below(chars.len() as u64) as usize])
+                    .collect()
+            },
+            move |s: &String| shrink_string(s, min_len),
+        )
+    }
+
+    /// Arbitrary printable text up to `max_len` chars: ASCII-heavy with a
+    /// sprinkling of multi-byte code points — the `"\\PC{0,n}"` stand-in
+    /// used by never-panics properties.
+    pub fn printable(max_len: usize) -> Gen<String> {
+        Gen::with_shrink(
+            move |rng| {
+                let n = rng.gen_range(0..=max_len);
+                (0..n)
+                    .map(|_| match rng.below(8) {
+                        0..=5 => rng.gen_range(0x20u32..0x7F), // printable ASCII
+                        6 => rng.gen_range(0xA1u32..0x250),    // Latin supplements
+                        _ => rng.gen_range(0x4E00u32..0x4F00), // CJK block
+                    })
+                    .filter_map(char::from_u32)
+                    .collect()
+            },
+            |s: &String| shrink_string(s, 0),
+        )
+    }
+}
+
+fn shrink_string(s: &str, min_len: usize) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = Vec::new();
+    if chars.len() > min_len {
+        if chars.len() / 2 >= min_len {
+            out.push(chars[..chars.len() / 2].iter().collect());
+        }
+        for i in 0..chars.len().min(8) {
+            let mut smaller = chars.clone();
+            smaller.remove(i);
+            out.push(smaller.into_iter().collect());
+        }
+    }
+    out
+}
+
+/// Expand a compact `a-z0-9_`-style class description into its characters.
+/// `-` between two characters denotes an inclusive range; a leading or
+/// trailing `-` is literal.
+pub fn alphabet(class: &str) -> Vec<char> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            assert!(lo <= hi, "alphabet: inverted range in {class}");
+            out.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// One property failure: what to report and what to shrink.
+struct Failure {
+    message: String,
+}
+
+fn run_case<T, P>(prop: &P, value: &T) -> Option<Failure>
+where
+    P: Fn(&T) -> Result<(), String>,
+{
+    install_quiet_hook();
+    QUIET_PANICS.with(|q| q.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| prop(value)));
+    QUIET_PANICS.with(|q| q.set(false));
+    match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(msg)) => Some(Failure { message: msg }),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            Some(Failure {
+                message: format!("panicked: {msg}"),
+            })
+        }
+    }
+}
+
+/// Check `prop` against `config.cases` generated inputs.
+///
+/// On failure the input is greedily shrunk and the harness panics with the
+/// case seed; set `MAXSON_TESTKIT_SEED=<seed>` to replay exactly that case
+/// (each property then runs that single case).
+pub fn check<T, P>(name: &str, config: &Config, gen: &Gen<T>, prop: P)
+where
+    T: Debug + Clone + 'static,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let replay_seed = std::env::var(SEED_ENV).ok().map(|raw| {
+        let raw = raw.trim();
+        let parsed = raw.strip_prefix("0x").map_or_else(
+            || raw.parse::<u64>().ok(),
+            |hex| u64::from_str_radix(hex, 16).ok(),
+        );
+        parsed.unwrap_or_else(|| panic!("{SEED_ENV}={raw} is not a u64 (decimal or 0x-hex)"))
+    });
+
+    // Per-property base stream: stable across runs, distinct per property.
+    let mut base = 0x4D41_5853_4F4E_u64; // "MAXSON"
+    for b in name.bytes() {
+        base = splitmix64(&mut base) ^ u64::from(b);
+    }
+
+    let cases = if replay_seed.is_some() {
+        1
+    } else {
+        config.cases
+    };
+    for case in 0..cases {
+        let case_seed = replay_seed.unwrap_or_else(|| {
+            let mut s = base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            splitmix64(&mut s)
+        });
+        let mut rng = Rng::seed_from_u64(case_seed);
+        let value = gen.generate(&mut rng);
+        let Some(failure) = run_case(&prop, &value) else {
+            continue;
+        };
+
+        // Greedy shrink: walk to the first still-failing candidate until no
+        // candidate fails or the step budget runs out.
+        let mut minimal = value;
+        let mut message = failure.message;
+        let mut steps = 0;
+        'outer: while steps < config.max_shrink_steps {
+            for candidate in gen.shrink(&minimal) {
+                if let Some(f) = run_case(&prop, &candidate) {
+                    minimal = candidate;
+                    message = f.message;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+
+        panic!(
+            "property '{name}' failed at case {case}/{cases} (seed 0x{case_seed:016x})\n\
+             \x20 {message}\n\
+             \x20 minimal failing input ({steps} shrink steps): {minimal:?}\n\
+             replay exactly this case with: {SEED_ENV}=0x{case_seed:016x}"
+        );
+    }
+}
+
+/// Property-scoped assertion: evaluates to `Err` (with location and text)
+/// instead of panicking, so the harness can shrink and report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!("[{}:{}] {}", file!(), line!(), format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "{:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "both sides equal {:?}", l);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counted = std::cell::Cell::new(0u32);
+        let cfg = Config::with_cases(50);
+        check("counts", &cfg, &Gen::i64_in(-10..=10), |_| {
+            counted.set(counted.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counted.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let cfg = Config::with_cases(200);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check("fails_over_100", &cfg, &Gen::i64_in(0..=1000), |&v| {
+                crate::prop_assert!(v <= 100, "{v} > 100");
+                Ok(())
+            });
+        }));
+        let payload = outcome.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        assert!(
+            msg.contains("MAXSON_TESTKIT_SEED=0x"),
+            "seed missing: {msg}"
+        );
+        // Greedy shrink on `v > 100` bottoms out at the boundary 101.
+        assert!(
+            msg.contains("minimal failing input"),
+            "no shrink report: {msg}"
+        );
+        assert!(
+            msg.contains("101"),
+            "expected shrink to boundary 101: {msg}"
+        );
+    }
+
+    #[test]
+    fn replayed_seed_reproduces_the_same_value() {
+        // Generate once, remember the value for a fixed seed; then check
+        // determinism of the generator under that seed.
+        let g = Gen::tuple2(
+            Gen::i64_in(-1000..=1000),
+            Gen::string_of(&alphabet("a-z0-9"), 0..12),
+        );
+        let mut a = Rng::seed_from_u64(0xDEAD_BEEF);
+        let mut b = Rng::seed_from_u64(0xDEAD_BEEF);
+        assert_eq!(g.generate(&mut a), g.generate(&mut b));
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_reported() {
+        let cfg = Config::with_cases(10);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check("panics", &cfg, &Gen::i64_in(0..=10), |&v| {
+                assert!(v < 0, "boom {v}"); // always panics
+                Ok(())
+            });
+        }));
+        let payload = outcome.expect_err("must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("panicked"), "panic not converted: {msg}");
+        assert!(msg.contains("seed 0x"), "seed missing: {msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_reaches_small_witness() {
+        // Property: no vector contains a negative number. Minimal failing
+        // input should shrink down to a single-element vector.
+        let cfg = Config {
+            cases: 300,
+            max_shrink_steps: 2000,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "no_negatives",
+                &cfg,
+                &Gen::vec_of(Gen::i64_in(-5..=50), 0..20),
+                |v| {
+                    crate::prop_assert!(v.iter().all(|&x| x >= 0), "found negative in {v:?}");
+                    Ok(())
+                },
+            );
+        }));
+        let payload = outcome.expect_err("must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        // The witness should have been shrunk to exactly [-1].
+        assert!(msg.contains("[-1]"), "expected minimal witness [-1]: {msg}");
+    }
+
+    #[test]
+    fn alphabet_expands_ranges() {
+        assert_eq!(alphabet("a-e"), vec!['a', 'b', 'c', 'd', 'e']);
+        let digits = alphabet("0-9_");
+        assert_eq!(digits.len(), 11);
+        assert!(digits.contains(&'_'));
+        assert_eq!(alphabet("-x"), vec!['-', 'x']);
+    }
+
+    #[test]
+    fn one_of_and_recursive_generate_all_variants() {
+        let g = Gen::one_of(vec![Gen::just(1u8), Gen::just(2), Gen::just(3)]);
+        let mut rng = Rng::seed_from_u64(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(g.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

@@ -25,4 +25,4 @@ pub mod synth;
 
 pub use collector::JsonPathCollector;
 pub use model::{JsonPathLocation, QueryRecord, TableUpdate};
-pub use synth::{SynthConfig, TraceSynthesizer, SyntheticTrace};
+pub use synth::{SynthConfig, SyntheticTrace, TraceSynthesizer};

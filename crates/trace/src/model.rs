@@ -36,7 +36,10 @@ impl JsonPathLocation {
 
     /// A stable single-string key (used in hash maps and file names).
     pub fn key(&self) -> String {
-        format!("{}\u{1}{}\u{1}{}\u{1}{}", self.database, self.table, self.column, self.path)
+        format!(
+            "{}\u{1}{}\u{1}{}\u{1}{}",
+            self.database, self.table, self.column, self.path
+        )
     }
 }
 

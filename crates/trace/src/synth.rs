@@ -12,9 +12,7 @@
 //! * Table updates land with a mid-day peak (Fig. 2) the day before the
 //!   data is queried.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use maxson_testkit::rng::{Rng, SliceRandom};
 
 use crate::model::{JsonPathLocation, QueryRecord, RecurrenceClass, TableUpdate};
 
@@ -97,7 +95,7 @@ impl TraceSynthesizer {
     /// Generate the trace.
     pub fn generate(&self) -> SyntheticTrace {
         let cfg = &self.config;
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
 
         // 1. Path universe, grouped per table so templates are table-local
         //    (spatial correlation: queries over the same table share paths).
@@ -137,9 +135,8 @@ impl TraceSynthesizer {
             .map(|t| 1.0 / ((t + 1) as f64).powf(1.1))
             .collect();
         let table_ids: Vec<usize> = (0..cfg.tables).collect();
-        let pick_table = |rng: &mut SmallRng| -> usize {
-            weighted_sample(&table_ids, &table_weights, 1, rng)[0]
-        };
+        let pick_table =
+            |rng: &mut Rng| -> usize { weighted_sample(&table_ids, &table_weights, 1, rng)[0] };
 
         // 3. Recurring templates.
         struct Template {
@@ -248,12 +245,7 @@ impl TraceSynthesizer {
 }
 
 /// Sample `n` distinct path ids from `ids` proportionally to `weights`.
-fn weighted_sample(
-    ids: &[usize],
-    weights: &[f64],
-    n: usize,
-    rng: &mut SmallRng,
-) -> Vec<usize> {
+fn weighted_sample(ids: &[usize], weights: &[f64], n: usize, rng: &mut Rng) -> Vec<usize> {
     let n = n.min(ids.len());
     let mut available: Vec<usize> = ids.to_vec();
     let mut picked = Vec::with_capacity(n);
@@ -275,7 +267,7 @@ fn weighted_sample(
 
 /// Update hour with a mid-day peak and a midnight trough (Fig. 2 shape):
 /// a triangular-ish distribution centered at 13:00.
-fn sample_update_hour(rng: &mut SmallRng) -> u8 {
+fn sample_update_hour(rng: &mut Rng) -> u8 {
     // Sum of two uniforms over 0..12 gives a triangular peak at 12, shift
     // by 1h and add a thin uniform floor.
     if rng.gen_bool(0.15) {
@@ -343,7 +335,12 @@ mod tests {
             }
         }
         for (sig, days) in by_sig {
-            assert_eq!(days.len(), 28, "daily template {sig} fired {} times", days.len());
+            assert_eq!(
+                days.len(),
+                28,
+                "daily template {sig} fired {} times",
+                days.len()
+            );
         }
     }
 
@@ -394,7 +391,7 @@ mod tests {
 
     #[test]
     fn weighted_sample_distinct_and_bounded() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let ids: Vec<usize> = (0..10).collect();
         let weights: Vec<f64> = (0..10).map(|i| 1.0 / (i + 1) as f64).collect();
         let picked = weighted_sample(&ids, &weights, 20, &mut rng);

@@ -42,26 +42,59 @@ fn main() {
     );
 
     // 3. Train and evaluate every model class.
-    println!("{:>14}  {:>9}  {:>7}  {:>7}", "model", "precision", "recall", "F1");
+    println!(
+        "{:>14}  {:>9}  {:>7}  {:>7}",
+        "model", "precision", "recall", "F1"
+    );
     let lr = LinearModel::train(&split.train, Loss::Logistic, LinearConfig::default());
     let m = evaluate(&lr, &split.test);
-    println!("{:>14}  {:>9.3}  {:>7.3}  {:>7.3}", lr.name(), m.precision(), m.recall(), m.f1());
+    println!(
+        "{:>14}  {:>9.3}  {:>7.3}  {:>7.3}",
+        lr.name(),
+        m.precision(),
+        m.recall(),
+        m.f1()
+    );
 
     let svm = LinearModel::train(&split.train, Loss::Hinge, LinearConfig::default());
     let m = evaluate(&svm, &split.test);
-    println!("{:>14}  {:>9.3}  {:>7.3}  {:>7.3}", svm.name(), m.precision(), m.recall(), m.f1());
+    println!(
+        "{:>14}  {:>9.3}  {:>7.3}  {:>7.3}",
+        svm.name(),
+        m.precision(),
+        m.recall(),
+        m.f1()
+    );
 
     let mlp = MlpClassifier::train(&split.train, MlpConfig::default());
     let m = evaluate(&mlp, &split.test);
-    println!("{:>14}  {:>9.3}  {:>7.3}  {:>7.3}", mlp.name(), m.precision(), m.recall(), m.f1());
+    println!(
+        "{:>14}  {:>9.3}  {:>7.3}  {:>7.3}",
+        mlp.name(),
+        m.precision(),
+        m.recall(),
+        m.f1()
+    );
 
     let lstm = LstmLabeler::train(&split.train, LstmConfig::default());
     let m = evaluate(&lstm, &split.test);
-    println!("{:>14}  {:>9.3}  {:>7.3}  {:>7.3}", lstm.name(), m.precision(), m.recall(), m.f1());
+    println!(
+        "{:>14}  {:>9.3}  {:>7.3}  {:>7.3}",
+        lstm.name(),
+        m.precision(),
+        m.recall(),
+        m.f1()
+    );
 
     let hybrid = LstmCrf::train(&split.train, LstmConfig::default());
     let m = evaluate(&hybrid, &split.test);
-    println!("{:>14}  {:>9.3}  {:>7.3}  {:>7.3}", hybrid.name(), m.precision(), m.recall(), m.f1());
+    println!(
+        "{:>14}  {:>9.3}  {:>7.3}  {:>7.3}",
+        hybrid.name(),
+        m.precision(),
+        m.recall(),
+        m.f1()
+    );
 
     // 4. Show what the CRF layer does: a few test sequences where Viterbi
     //    smoothing changes the raw LSTM decision.

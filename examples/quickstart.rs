@@ -115,9 +115,15 @@ fn main() {
     println!("{}", after.to_display_string());
     println!("metrics: {}", after.metrics.summary());
     assert_eq!(before.rows, after.rows, "results must be identical");
-    assert_eq!(after.metrics.parse_calls, 0, "all JSONPaths served from cache");
+    assert_eq!(
+        after.metrics.parse_calls, 0,
+        "all JSONPaths served from cache"
+    );
     let speedup = before.metrics.total.as_secs_f64() / after.metrics.total.as_secs_f64().max(1e-9);
-    println!("\nspeedup: {speedup:.1}x (parse eliminated: {:?} -> 0)", before.metrics.parse);
+    println!(
+        "\nspeedup: {speedup:.1}x (parse eliminated: {:?} -> 0)",
+        before.metrics.parse
+    );
 
     let _ = std::fs::remove_dir_all(&root);
 }

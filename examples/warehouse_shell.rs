@@ -32,7 +32,10 @@ fn main() {
     let root = std::env::var_os("MAXSON_BENCH_DATA")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|| std::path::PathBuf::from("bench-data"));
-    println!("warehouse: {} (override with MAXSON_BENCH_DATA)", root.display());
+    println!(
+        "warehouse: {} (override with MAXSON_BENCH_DATA)",
+        root.display()
+    );
 
     // Ensure the workload tables exist.
     let queries = {
@@ -100,15 +103,13 @@ fn main() {
                     println!("  {db}.{t}");
                 }
             }
-            "\\cache on" => {
-                match MaxsonScanRewriter::open(&root) {
-                    Ok(rw) => {
-                        session.set_scan_rewriter(Some(Box::new(rw)));
-                        println!("Maxson rewriter installed");
-                    }
-                    Err(e) => println!("error: {e}"),
+            "\\cache on" => match MaxsonScanRewriter::open(&root) {
+                Ok(rw) => {
+                    session.set_scan_rewriter(Some(Box::new(rw)));
+                    println!("Maxson rewriter installed");
                 }
-            }
+                Err(e) => println!("error: {e}"),
+            },
             "\\cache off" => {
                 session.set_scan_rewriter(None);
                 println!("Maxson rewriter removed");
@@ -135,12 +136,16 @@ fn main() {
                     match session.execute(&sql) {
                         Ok(result) => {
                             let show = result.rows.len().min(20);
-                            println!("{}", maxson_engine::QueryResult {
-                                columns: result.columns.clone(),
-                                rows: result.rows[..show].to_vec(),
-                                metrics: result.metrics.clone(),
-                                plan_display: String::new(),
-                            }.to_display_string());
+                            println!(
+                                "{}",
+                                maxson_engine::QueryResult {
+                                    columns: result.columns.clone(),
+                                    rows: result.rows[..show].to_vec(),
+                                    metrics: result.metrics.clone(),
+                                    plan_display: String::new(),
+                                }
+                                .to_display_string()
+                            );
                             if result.rows.len() > show {
                                 println!("... ({} rows total)", result.rows.len());
                             }

@@ -116,7 +116,11 @@ fn cached_results_match_uncached_results_for_every_query() {
         let result = session
             .execute(&q.sql)
             .unwrap_or_else(|e| panic!("{} failed cached: {e}", q.name));
-        assert_eq!(&result.rows, expected, "{} rows diverged with cache", q.name);
+        assert_eq!(
+            &result.rows, expected,
+            "{} rows diverged with cache",
+            q.name
+        );
     }
     std::fs::remove_dir_all(&root).ok();
 }
@@ -216,7 +220,10 @@ fn rewriter_reloads_registry_from_disk() {
     session2.set_scan_rewriter(Some(Box::new(rewriter)));
     let q = &queries[5]; // Q6: all paths cached
     let result = session2.execute(&q.sql).unwrap();
-    assert_eq!(result.metrics.parse_calls, 0, "Q6 fully cached after reload");
+    assert_eq!(
+        result.metrics.parse_calls, 0,
+        "Q6 fully cached after reload"
+    );
     std::fs::remove_dir_all(&root).ok();
 }
 
@@ -307,7 +314,11 @@ fn mid_day_append_invalidates_until_next_cycle() {
         .table_mut("mydb", "q4")
         .unwrap()
         .append_file(
-            &[vec![Cell::Int(9999), Cell::Int(20190120), Cell::Str(payload.into())]],
+            &[vec![
+                Cell::Int(9999),
+                Cell::Int(20190120),
+                Cell::Str(payload.into()),
+            ]],
             maxson_storage::file::WriteOptions::default(),
             200,
         )
@@ -316,7 +327,10 @@ fn mid_day_append_invalidates_until_next_cycle() {
     let rewriter = MaxsonScanRewriter::open(&root).unwrap();
     session.set_scan_rewriter(Some(Box::new(rewriter)));
     let stale_run = session.execute(&q.sql).unwrap();
-    assert!(stale_run.metrics.parse_calls > 0, "stale cache must not serve");
+    assert!(
+        stale_run.metrics.parse_calls > 0,
+        "stale cache must not serve"
+    );
 
     // Next midnight cycle re-caches; served again.
     pipeline

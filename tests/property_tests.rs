@@ -1,6 +1,8 @@
-//! Property-based tests over the core invariants of the stack.
-
-use proptest::prelude::*;
+//! Property-based tests over the core invariants of the stack, running on
+//! the in-repo `maxson-testkit` harness (hermetic: no registry deps).
+//!
+//! A failing property prints its case seed; replay exactly that case with
+//! `MAXSON_TESTKIT_SEED=<seed> cargo test <property_name>`.
 
 use maxson_json::mison::MisonProjector;
 use maxson_json::value::{JsonNumber, JsonValue};
@@ -11,269 +13,392 @@ use maxson_storage::encoding::{
 };
 use maxson_storage::file::{write_rows, NorcFile, WriteOptions};
 use maxson_storage::{Cell, CmpOp, ColumnType, Field, Schema, SearchArgument};
+use maxson_testkit::prop::{alphabet, check, Config, Gen};
+use maxson_testkit::{prop_assert, prop_assert_eq, prop_assert_ne};
 
 // ---------------------------------------------------------------------
 // Generators
 // ---------------------------------------------------------------------
 
 /// Arbitrary JSON values (bounded depth / width).
-fn arb_json() -> impl Strategy<Value = JsonValue> {
-    let leaf = prop_oneof![
-        Just(JsonValue::Null),
-        any::<bool>().prop_map(JsonValue::Bool),
-        any::<i64>().prop_map(|i| JsonValue::Number(JsonNumber::Int(i))),
-        (-1e9f64..1e9f64).prop_map(|f| JsonValue::Number(JsonNumber::Float(f))),
-        "[a-zA-Z0-9 _\\-\\.\"\\\\/\u{00e9}\u{4e16}]{0,12}".prop_map(JsonValue::String),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(JsonValue::Array),
-            prop::collection::vec(("[a-z][a-z0-9_]{0,6}", inner), 0..4)
-                .prop_map(JsonValue::Object),
-        ]
+fn arb_json() -> Gen<JsonValue> {
+    let mut string_chars = alphabet("a-zA-Z0-9");
+    string_chars.extend([' ', '_', '-', '.', '"', '\\', '/', '\u{00e9}', '\u{4e16}']);
+    let leaf = Gen::one_of(vec![
+        Gen::just(JsonValue::Null),
+        Gen::bool_any().map(JsonValue::Bool),
+        Gen::i64_any().map(|i| JsonValue::Number(JsonNumber::Int(i))),
+        Gen::f64_in(-1e9, 1e9).map(|f| JsonValue::Number(JsonNumber::Float(f))),
+        Gen::string_of(&string_chars, 0..13).map(JsonValue::String),
+    ]);
+    let key = arb_key();
+    Gen::recursive(leaf, 3, move |inner| {
+        Gen::one_of(vec![
+            Gen::vec_of(inner.clone(), 0..4).map(JsonValue::Array),
+            Gen::vec_of(Gen::tuple2(key.clone(), inner), 0..4).map(JsonValue::Object),
+        ])
     })
 }
 
-/// Simple field names for path-navigable objects (distinct keys).
-fn arb_flat_object() -> impl Strategy<Value = JsonValue> {
-    prop::collection::btree_map(
-        "[a-z][a-z0-9]{0,5}",
-        prop_oneof![
-            any::<i32>().prop_map(|i| JsonValue::Number(JsonNumber::Int(i64::from(i)))),
-            "[a-zA-Z0-9,:{}\\[\\] ]{0,10}".prop_map(JsonValue::String),
-            Just(JsonValue::Null),
-            any::<bool>().prop_map(JsonValue::Bool),
-        ],
-        1..8,
-    )
-    .prop_map(|m| JsonValue::Object(m.into_iter().collect()))
+/// Object keys: `[a-z][a-z0-9_]{0,6}`.
+fn arb_key() -> Gen<String> {
+    let first = Gen::string_of(&alphabet("a-z"), 1..2);
+    let rest = Gen::string_of(&alphabet("a-z0-9_"), 0..7);
+    Gen::tuple2(first, rest).map(|(a, b)| format!("{a}{b}"))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Path-navigable flat objects with distinct keys.
+fn arb_flat_object() -> Gen<JsonValue> {
+    let mut value_chars = alphabet("a-zA-Z0-9");
+    value_chars.extend([',', ':', '{', '}', '[', ']', ' ']);
+    let key = Gen::tuple2(
+        Gen::string_of(&alphabet("a-z"), 1..2),
+        Gen::string_of(&alphabet("a-z0-9"), 0..6),
+    )
+    .map(|(a, b)| format!("{a}{b}"));
+    let value = Gen::one_of(vec![
+        Gen::i32_any().map(|i| JsonValue::Number(JsonNumber::Int(i64::from(i)))),
+        Gen::string_of(&value_chars, 0..11).map(JsonValue::String),
+        Gen::just(JsonValue::Null),
+        Gen::bool_any().map(JsonValue::Bool),
+    ]);
+    // BTreeMap keeps keys distinct, matching the original btree_map strategy.
+    Gen::vec_of(Gen::tuple2(key, value), 1..8).map(|pairs| {
+        let map: std::collections::BTreeMap<String, JsonValue> = pairs.into_iter().collect();
+        JsonValue::Object(map.into_iter().collect())
+    })
+}
 
-    // -------------------------------------------------------------
-    // JSON substrate
-    // -------------------------------------------------------------
+fn arb_cell() -> Gen<Cell> {
+    Gen::one_of(vec![
+        Gen::just(Cell::Null),
+        Gen::bool_any().map(Cell::Bool),
+        Gen::i64_in(-1000..=999).map(Cell::Int),
+        Gen::f64_in(-1000.0, 1000.0).map(Cell::Float),
+        Gen::one_of(vec![
+            Gen::string_of(&alphabet("a-z"), 0..7),
+            Gen::i64_in(-1000..=999).map(|i| i.to_string()),
+        ])
+        .map(Cell::Str),
+    ])
+}
 
-    #[test]
-    fn json_compact_round_trip(v in arb_json()) {
-        let text = to_string(&v);
+// ---------------------------------------------------------------------
+// JSON substrate (128 cases, mirroring the original proptest block)
+// ---------------------------------------------------------------------
+
+fn cfg128() -> Config {
+    Config::with_cases(128)
+}
+
+#[test]
+fn json_compact_round_trip() {
+    check("json_compact_round_trip", &cfg128(), &arb_json(), |v| {
+        let text = to_string(v);
         let back = parse(&text).expect("serializer output parses");
-        prop_assert_eq!(back, v);
-    }
+        prop_assert_eq!(&back, v);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn json_pretty_round_trip(v in arb_json()) {
-        let text = to_string_pretty(&v);
+#[test]
+fn json_pretty_round_trip() {
+    check("json_pretty_round_trip", &cfg128(), &arb_json(), |v| {
+        let text = to_string_pretty(v);
         let back = parse(&text).expect("pretty output parses");
-        prop_assert_eq!(back, v);
-    }
+        prop_assert_eq!(&back, v);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
-        let _ = parse(&s); // must not panic
-    }
+#[test]
+fn parser_never_panics_on_arbitrary_input() {
+    check(
+        "parser_never_panics_on_arbitrary_input",
+        &cfg128(),
+        &Gen::printable(64),
+        |s| {
+            let _ = parse(s); // must not panic
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn mison_matches_dom_on_flat_objects(doc in arb_flat_object()) {
-        let text = to_string(&doc);
-        for (key, _) in doc.as_object().unwrap() {
-            let path = JsonPath::parse(&format!("$.{key}")).unwrap();
-            let dom = maxson_json::get_json_object(&text, &path);
-            let mison = MisonProjector::project_path(&text, &path);
-            prop_assert_eq!(mison, dom, "path $.{} over {}", key, text);
-        }
-        // A key that does not exist misses in both.
-        let path = JsonPath::parse("$.zzzzzz9").unwrap();
-        prop_assert_eq!(
-            MisonProjector::project_path(&text, &path),
-            maxson_json::get_json_object(&text, &path)
-        );
-    }
+#[test]
+fn mison_matches_dom_on_flat_objects() {
+    check(
+        "mison_matches_dom_on_flat_objects",
+        &cfg128(),
+        &arb_flat_object(),
+        |doc| {
+            let text = to_string(doc);
+            for (key, _) in doc.as_object().unwrap() {
+                let path = JsonPath::parse(&format!("$.{key}")).unwrap();
+                let dom = maxson_json::get_json_object(&text, &path);
+                let mison = MisonProjector::project_path(&text, &path);
+                prop_assert_eq!(mison, dom, "path $.{} over {}", key, text);
+            }
+            // A key that does not exist misses in both.
+            let path = JsonPath::parse("$.zzzzzz9").unwrap();
+            prop_assert_eq!(
+                MisonProjector::project_path(&text, &path),
+                maxson_json::get_json_object(&text, &path)
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn path_eval_agrees_with_manual_navigation(
-        doc in arb_json(),
-    ) {
-        // Walk every leaf path the document reports and evaluate it.
-        for path_text in doc.leaf_paths().into_iter().take(16) {
-            let path = JsonPath::parse(&path_text).unwrap();
-            let result = path.eval(&doc);
-            prop_assert!(result.is_some(), "leaf path {} must resolve", path_text);
-        }
-    }
+#[test]
+fn path_eval_agrees_with_manual_navigation() {
+    check(
+        "path_eval_agrees_with_manual_navigation",
+        &cfg128(),
+        &arb_json(),
+        |doc| {
+            // Walk every leaf path the document reports and evaluate it.
+            for path_text in doc.leaf_paths().into_iter().take(16) {
+                let path = JsonPath::parse(&path_text).unwrap();
+                let result = path.eval(doc);
+                prop_assert!(result.is_some(), "leaf path {} must resolve", path_text);
+            }
+            Ok(())
+        },
+    );
+}
 
-    // -------------------------------------------------------------
-    // Encodings
-    // -------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Encodings
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn varint_round_trip(values in prop::collection::vec(any::<u64>(), 0..64)) {
+#[test]
+fn varint_round_trip() {
+    let gen = Gen::vec_of(Gen::u64_any(), 0..64);
+    check("varint_round_trip", &cfg128(), &gen, |values| {
         let mut buf = Vec::new();
-        for &v in &values {
+        for &v in values {
             write_varint(&mut buf, v);
         }
         let mut pos = 0;
-        for &v in &values {
+        for &v in values {
             prop_assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
         }
         prop_assert_eq!(pos, buf.len());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn zigzag_round_trip(v in any::<i64>()) {
+#[test]
+fn zigzag_round_trip() {
+    check("zigzag_round_trip", &cfg128(), &Gen::i64_any(), |&v| {
         prop_assert_eq!(unzigzag(zigzag(v)), v);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rle_round_trip(values in prop::collection::vec(-1000i64..1000, 0..200)) {
+#[test]
+fn rle_round_trip() {
+    let gen = Gen::vec_of(Gen::i64_in(-1000..=999), 0..200);
+    check("rle_round_trip", &cfg128(), &gen, |values| {
         let mut buf = Vec::new();
-        rle_encode_i64(&values, &mut buf);
+        rle_encode_i64(values, &mut buf);
         let mut pos = 0;
-        prop_assert_eq!(rle_decode_i64(&buf, &mut pos).unwrap(), values);
+        prop_assert_eq!(rle_decode_i64(&buf, &mut pos).unwrap(), values.clone());
         prop_assert_eq!(pos, buf.len());
-    }
-
-    #[test]
-    fn string_and_bitmap_round_trip(
-        s in "\\PC{0,32}",
-        bits in prop::collection::vec(any::<bool>(), 0..70),
-    ) {
-        let mut buf = Vec::new();
-        write_str(&mut buf, &s);
-        write_bitmap(&mut buf, &bits);
-        let mut pos = 0;
-        prop_assert_eq!(read_str(&buf, &mut pos).unwrap(), s);
-        prop_assert_eq!(read_bitmap(&buf, &mut pos).unwrap(), bits);
-    }
-
-    // -------------------------------------------------------------
-    // Cell ordering invariants
-    // -------------------------------------------------------------
-
-    #[test]
-    fn cell_total_cmp_is_antisymmetric_and_transitive(
-        a in arb_cell(), b in arb_cell(), c in arb_cell(),
-    ) {
-        use std::cmp::Ordering;
-        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
-        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
-        // Transitivity: a<=b and b<=c => a<=c.
-        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
-        }
-    }
+        Ok(())
+    });
 }
 
-fn arb_cell() -> impl Strategy<Value = Cell> {
-    prop_oneof![
-        Just(Cell::Null),
-        any::<bool>().prop_map(Cell::Bool),
-        (-1000i64..1000).prop_map(Cell::Int),
-        (-1000.0f64..1000.0).prop_map(Cell::Float),
-        prop_oneof![
-            "[a-z]{0,6}",
-            (-1000i64..1000).prop_map(|i| i.to_string()),
-        ]
-        .prop_map(Cell::Str),
-    ]
+#[test]
+fn string_and_bitmap_round_trip() {
+    let gen = Gen::tuple2(Gen::printable(32), Gen::vec_of(Gen::bool_any(), 0..70));
+    check(
+        "string_and_bitmap_round_trip",
+        &cfg128(),
+        &gen,
+        |(s, bits)| {
+            let mut buf = Vec::new();
+            write_str(&mut buf, s);
+            write_bitmap(&mut buf, bits);
+            let mut pos = 0;
+            prop_assert_eq!(read_str(&buf, &mut pos).unwrap(), s.clone());
+            prop_assert_eq!(read_bitmap(&buf, &mut pos).unwrap(), bits.clone());
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
-// Norc + SARG soundness (own proptest block: filesystem-heavy, fewer cases)
+// Cell ordering invariants
 // ---------------------------------------------------------------------
 
-fn temp_file(name: &str, case: u64) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join("maxson-proptest");
-    std::fs::create_dir_all(&dir).unwrap();
-    dir.join(format!("{name}-{}-{case}.norc", std::process::id()))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn norc_round_trip_arbitrary_rows(
-        case in any::<u64>(),
-        raw_rows in prop::collection::vec(
-            (any::<Option<i64>>(), prop::option::of("[a-zA-Z0-9]{0,8}")),
-            0..60,
-        ),
-        rg_size in 1usize..20,
-    ) {
-        let schema = Schema::new(vec![
-            Field::new("i", ColumnType::Int64),
-            Field::new("s", ColumnType::Utf8),
-        ])
-        .unwrap();
-        let rows: Vec<Vec<Cell>> = raw_rows
-            .iter()
-            .map(|(i, s)| vec![Cell::from(*i), Cell::from(s.clone())])
-            .collect();
-        let path = temp_file("roundtrip", case);
-        write_rows(&path, schema, &rows, WriteOptions {
-            row_group_size: rg_size,
-            ..Default::default()
-        })
-        .unwrap();
-        let file = NorcFile::open(&path).unwrap();
-        prop_assert_eq!(file.read_all_rows().unwrap(), rows);
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn sarg_skipping_never_drops_qualifying_rows(
-        case in any::<u64>(),
-        values in prop::collection::vec(prop::option::of(-50i64..50), 1..80),
-        rg_size in 1usize..16,
-        lit in -60i64..60,
-        op_idx in 0usize..6,
-    ) {
-        let op = [CmpOp::Eq, CmpOp::NotEq, CmpOp::Lt, CmpOp::LtEq, CmpOp::Gt, CmpOp::GtEq][op_idx];
-        let schema = Schema::new(vec![Field::new("v", ColumnType::Int64)]).unwrap();
-        let rows: Vec<Vec<Cell>> = values.iter().map(|v| vec![Cell::from(*v)]).collect();
-        let path = temp_file("sarg", case);
-        write_rows(&path, schema, &rows, WriteOptions {
-            row_group_size: rg_size,
-            ..Default::default()
-        })
-        .unwrap();
-        let file = NorcFile::open(&path).unwrap();
-        let sarg = SearchArgument::new().with(0, op, Cell::Int(lit));
-        let keep = sarg.keep_array(file.row_groups());
-        let cols = file.read_columns(&[0], Some(&keep)).unwrap();
-        // Collect the surviving values.
-        let survived: Vec<Cell> = (0..cols[0].len()).map(|i| cols[0].get(i)).collect();
-        // Every row that truly satisfies the predicate must be present.
-        use std::cmp::Ordering;
-        let qualifies = |c: &Cell| -> bool {
-            match c.sql_cmp(&Cell::Int(lit)) {
-                None => false,
-                Some(ord) => match op {
-                    CmpOp::Eq => ord == Ordering::Equal,
-                    CmpOp::NotEq => ord != Ordering::Equal,
-                    CmpOp::Lt => ord == Ordering::Less,
-                    CmpOp::LtEq => ord != Ordering::Greater,
-                    CmpOp::Gt => ord == Ordering::Greater,
-                    CmpOp::GtEq => ord != Ordering::Less,
-                },
+#[test]
+fn cell_total_cmp_is_antisymmetric_and_transitive() {
+    let gen = Gen::tuple2(arb_cell(), Gen::tuple2(arb_cell(), arb_cell()));
+    check(
+        "cell_total_cmp_is_antisymmetric_and_transitive",
+        &cfg128(),
+        &gen,
+        |(a, (b, c))| {
+            use std::cmp::Ordering;
+            prop_assert_eq!(a.total_cmp(b), b.total_cmp(a).reverse());
+            prop_assert_eq!(a.total_cmp(a), Ordering::Equal);
+            // Transitivity: a<=b and b<=c => a<=c.
+            if a.total_cmp(b) != Ordering::Greater && b.total_cmp(c) != Ordering::Greater {
+                prop_assert_ne!(a.total_cmp(c), Ordering::Greater);
             }
-        };
-        let expected: Vec<Cell> = rows
-            .iter()
-            .map(|r| r[0].clone())
-            .filter(qualifies)
-            .collect();
-        let got: Vec<Cell> = survived.iter().filter(|c| qualifies(c)).cloned().collect();
-        prop_assert_eq!(got, expected, "SARG {:?} {} dropped qualifying rows", op, lit);
-        std::fs::remove_file(&path).ok();
-    }
+            Ok(())
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
-// SQL LIKE matcher vs a naive oracle
+// Norc + SARG soundness (own config: filesystem-heavy, fewer cases)
 // ---------------------------------------------------------------------
+
+fn cfg24() -> Config {
+    Config::with_cases(24)
+}
+
+/// Per-process subdirectory so parallel test binaries never collide on
+/// file names; `case` keeps files distinct within one property run.
+fn temp_file(name: &str, case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("maxson-proptest")
+        .join(format!("pid-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{case}.norc"))
+}
+
+#[test]
+fn norc_round_trip_arbitrary_rows() {
+    let row = Gen::tuple2(
+        Gen::option_of(Gen::i64_any()),
+        Gen::option_of(Gen::string_of(&alphabet("a-zA-Z0-9"), 0..9)),
+    );
+    let gen = Gen::tuple2(
+        Gen::tuple2(Gen::u64_any(), Gen::vec_of(row, 0..60)),
+        Gen::usize_in(1..=19),
+    );
+    check(
+        "norc_round_trip_arbitrary_rows",
+        &cfg24(),
+        &gen,
+        |((case, raw_rows), rg_size)| {
+            let schema = Schema::new(vec![
+                Field::new("i", ColumnType::Int64),
+                Field::new("s", ColumnType::Utf8),
+            ])
+            .unwrap();
+            let rows: Vec<Vec<Cell>> = raw_rows
+                .iter()
+                .map(|(i, s)| vec![Cell::from(*i), Cell::from(s.clone())])
+                .collect();
+            let path = temp_file("roundtrip", *case);
+            write_rows(
+                &path,
+                schema,
+                &rows,
+                WriteOptions {
+                    row_group_size: *rg_size,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let file = NorcFile::open(&path).unwrap();
+            prop_assert_eq!(file.read_all_rows().unwrap(), rows);
+            std::fs::remove_file(&path).ok();
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sarg_skipping_never_drops_qualifying_rows() {
+    let gen = Gen::tuple2(
+        Gen::tuple2(
+            Gen::u64_any(),
+            Gen::vec_of(Gen::option_of(Gen::i64_in(-50..=49)), 1..80),
+        ),
+        Gen::tuple2(
+            Gen::tuple2(Gen::usize_in(1..=15), Gen::i64_in(-60..=59)),
+            Gen::usize_in(0..=5),
+        ),
+    );
+    check(
+        "sarg_skipping_never_drops_qualifying_rows",
+        &cfg24(),
+        &gen,
+        |((case, values), ((rg_size, lit), op_idx))| {
+            let lit = *lit;
+            let op = [
+                CmpOp::Eq,
+                CmpOp::NotEq,
+                CmpOp::Lt,
+                CmpOp::LtEq,
+                CmpOp::Gt,
+                CmpOp::GtEq,
+            ][*op_idx];
+            let schema = Schema::new(vec![Field::new("v", ColumnType::Int64)]).unwrap();
+            let rows: Vec<Vec<Cell>> = values.iter().map(|v| vec![Cell::from(*v)]).collect();
+            let path = temp_file("sarg", *case);
+            write_rows(
+                &path,
+                schema,
+                &rows,
+                WriteOptions {
+                    row_group_size: *rg_size,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let file = NorcFile::open(&path).unwrap();
+            let sarg = SearchArgument::new().with(0, op, Cell::Int(lit));
+            let keep = sarg.keep_array(file.row_groups());
+            let cols = file.read_columns(&[0], Some(&keep)).unwrap();
+            // Collect the surviving values.
+            let survived: Vec<Cell> = (0..cols[0].len()).map(|i| cols[0].get(i)).collect();
+            // Every row that truly satisfies the predicate must be present.
+            use std::cmp::Ordering;
+            let qualifies = |c: &Cell| -> bool {
+                match c.sql_cmp(&Cell::Int(lit)) {
+                    None => false,
+                    Some(ord) => match op {
+                        CmpOp::Eq => ord == Ordering::Equal,
+                        CmpOp::NotEq => ord != Ordering::Equal,
+                        CmpOp::Lt => ord == Ordering::Less,
+                        CmpOp::LtEq => ord != Ordering::Greater,
+                        CmpOp::Gt => ord == Ordering::Greater,
+                        CmpOp::GtEq => ord != Ordering::Less,
+                    },
+                }
+            };
+            let expected: Vec<Cell> = rows
+                .iter()
+                .map(|r| r[0].clone())
+                .filter(qualifies)
+                .collect();
+            let got: Vec<Cell> = survived.iter().filter(|c| qualifies(c)).cloned().collect();
+            prop_assert_eq!(
+                got,
+                expected,
+                "SARG {:?} {} dropped qualifying rows",
+                op,
+                lit
+            );
+            std::fs::remove_file(&path).ok();
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// SQL LIKE matcher vs a naive oracle (256 cases)
+// ---------------------------------------------------------------------
+
+fn cfg256() -> Config {
+    Config::with_cases(256)
+}
 
 /// Reference implementation: dynamic programming over chars.
 fn like_oracle(text: &str, pattern: &str) -> bool {
@@ -296,52 +421,85 @@ fn like_oracle(text: &str, pattern: &str) -> bool {
     dp[t.len()][p.len()]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn like_match_agrees_with_dp_oracle() {
+    let like_chars = ['a', 'b', '%', '_'];
+    let gen = Gen::tuple2(
+        Gen::string_of(&like_chars, 0..9),
+        Gen::string_of(&like_chars, 0..7),
+    );
+    check(
+        "like_match_agrees_with_dp_oracle",
+        &cfg256(),
+        &gen,
+        |(text, pattern)| {
+            prop_assert_eq!(
+                maxson_engine::expr::like_match(text, pattern),
+                like_oracle(text, pattern),
+                "text={:?} pattern={:?}",
+                text,
+                pattern
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn like_match_agrees_with_dp_oracle(
-        text in "[ab%_]{0,8}",
-        pattern in "[ab%_]{0,6}",
-    ) {
-        prop_assert_eq!(
-            maxson_engine::expr::like_match(&text, &pattern),
-            like_oracle(&text, &pattern),
-            "text={:?} pattern={:?}", text, pattern
-        );
-    }
+#[test]
+fn sql_parser_never_panics() {
+    check(
+        "sql_parser_never_panics",
+        &cfg256(),
+        &Gen::printable(80),
+        |s| {
+            let _ = maxson_engine::sql::parse_select(s); // must not panic
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn sql_parser_never_panics(s in "\\PC{0,80}") {
-        let _ = maxson_engine::sql::parse_select(&s); // must not panic
-    }
+#[test]
+fn xml_parser_never_panics() {
+    check(
+        "xml_parser_never_panics",
+        &cfg256(),
+        &Gen::printable(80),
+        |s| {
+            let _ = maxson_json::xml::xml_to_value(s); // must not panic
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn xml_parser_never_panics(s in "\\PC{0,80}") {
-        let _ = maxson_json::xml::xml_to_value(&s); // must not panic
-    }
-
-    #[test]
-    fn xml_round_trip_preserves_structure(
-        items in prop::collection::vec("[a-z]{1,6}", 1..5),
-        attr in "[a-z0-9]{1,6}",
-    ) {
-        let mut xml = format!("<root id=\"{attr}\">");
-        for item in &items {
-            xml.push_str(&format!("<item>{item}</item>"));
-        }
-        xml.push_str("</root>");
-        let v = maxson_json::xml::xml_to_value(&xml).unwrap();
-        let root = v.get("root").unwrap();
-        prop_assert_eq!(root.get("@id").unwrap().as_str(), Some(attr.as_str()));
-        if items.len() == 1 {
-            prop_assert_eq!(root.get("item").unwrap().as_str(), Some(items[0].as_str()));
-        } else {
-            let arr = root.get("item").unwrap().as_array().unwrap();
-            prop_assert_eq!(arr.len(), items.len());
-            for (got, want) in arr.iter().zip(&items) {
-                prop_assert_eq!(got.as_str(), Some(want.as_str()));
+#[test]
+fn xml_round_trip_preserves_structure() {
+    let gen = Gen::tuple2(
+        Gen::vec_of(Gen::string_of(&alphabet("a-z"), 1..7), 1..5),
+        Gen::string_of(&alphabet("a-z0-9"), 1..7),
+    );
+    check(
+        "xml_round_trip_preserves_structure",
+        &cfg256(),
+        &gen,
+        |(items, attr)| {
+            let mut xml = format!("<root id=\"{attr}\">");
+            for item in items {
+                xml.push_str(&format!("<item>{item}</item>"));
             }
-        }
-    }
+            xml.push_str("</root>");
+            let v = maxson_json::xml::xml_to_value(&xml).unwrap();
+            let root = v.get("root").unwrap();
+            prop_assert_eq!(root.get("@id").unwrap().as_str(), Some(attr.as_str()));
+            if items.len() == 1 {
+                prop_assert_eq!(root.get("item").unwrap().as_str(), Some(items[0].as_str()));
+            } else {
+                let arr = root.get("item").unwrap().as_array().unwrap();
+                prop_assert_eq!(arr.len(), items.len());
+                for (got, want) in arr.iter().zip(items) {
+                    prop_assert_eq!(got.as_str(), Some(want.as_str()));
+                }
+            }
+            Ok(())
+        },
+    );
 }

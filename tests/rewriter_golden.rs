@@ -1,0 +1,153 @@
+//! Golden tests for the Maxson plan rewriter over the checked-in
+//! `bench-data/` warehouse (read-only: nothing here mutates the data).
+//!
+//! The warehouse ships with a valid cache for `mydb`: every `qN` table has
+//! a `__maxson_cache.mydb__qN` companion whose `cached_at` postdates the
+//! table's `modified_at`. `q2` caches `$.f0`..`$.f9` while its documents
+//! also carry `$.f10`..`$.f16`, which makes it the stitching case: a query
+//! touching both sides must read the cache table for the cached paths and
+//! fall back to raw JSON parsing for the rest.
+
+use maxson::rewriter::MaxsonScanRewriter;
+use maxson_engine::session::Session;
+use std::path::PathBuf;
+
+fn bench_data_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("bench-data")
+}
+
+fn plain_session() -> Session {
+    Session::open(bench_data_root()).unwrap()
+}
+
+fn rewriting_session() -> Session {
+    let root = bench_data_root();
+    let mut session = Session::open(&root).unwrap();
+    let rewriter = MaxsonScanRewriter::open(&root).unwrap();
+    session.set_scan_rewriter(Some(Box::new(rewriter)));
+    session
+}
+
+/// Fully cached paths only: plan must read the cache table, not parse JSON.
+const Q_FULLY_CACHED: &str = "select get_json_object(payload, '$.f0') as f0, \
+     get_json_object(payload, '$.f1') as f1 from mydb.q1";
+
+/// Mixed: `$.f0` is cached on q2, `$.f10` exists only in the raw payload.
+const Q_STITCHED: &str = "select get_json_object(payload, '$.f0') as f0, \
+     get_json_object(payload, '$.f10') as f10 from mydb.q2";
+
+/// Predicate on a cached numeric path (exercises SARG pushdown to the
+/// cache table, Algorithm 3).
+const Q_PUSHDOWN: &str = "select get_json_object(payload, '$.f0') as f0 \
+     from mydb.q1 where get_json_object(payload, '$.f0') > 900";
+
+/// Query touching only uncached paths of a cached table: the rewriter
+/// must still leave results intact.
+const Q_UNCACHED_PATH: &str = "select get_json_object(payload, '$.f12') as f12 from mydb.q2";
+
+const GOLDEN_QUERIES: [&str; 4] = [Q_FULLY_CACHED, Q_STITCHED, Q_PUSHDOWN, Q_UNCACHED_PATH];
+
+#[test]
+fn fully_cached_query_reads_cache_table_without_parsing() {
+    let session = rewriting_session();
+    let result = session.execute(Q_FULLY_CACHED).unwrap();
+    assert!(
+        result.plan_display.contains("MaxsonCombinedScan"),
+        "plan not rewritten:\n{}",
+        result.plan_display
+    );
+    assert!(
+        result.plan_display.contains("cache-only") && result.plan_display.contains("raw_cols=[]"),
+        "plan still touches the raw table:\n{}",
+        result.plan_display
+    );
+    assert_eq!(
+        result.metrics.parse_calls, 0,
+        "fully cached query must not parse JSON: {:?}",
+        result.metrics
+    );
+    assert!(
+        result.metrics.cache_hits > 0,
+        "expected cache hits: {:?}",
+        result.metrics
+    );
+    assert!(!result.rows.is_empty(), "q1 has rows");
+}
+
+#[test]
+fn partially_cached_query_stitches_uncached_columns_from_raw() {
+    let session = rewriting_session();
+    let result = session.execute(Q_STITCHED).unwrap();
+    assert!(
+        result.plan_display.contains("MaxsonCombinedScan"),
+        "plan not rewritten:\n{}",
+        result.plan_display
+    );
+    assert!(
+        !result.plan_display.contains("raw_cols=[]")
+            && result.plan_display.contains("cache_cols=["),
+        "combined scan must stitch raw and cached columns:\n{}",
+        result.plan_display
+    );
+    assert!(
+        result.metrics.cache_hits > 0,
+        "cached side ($.f0) must hit the cache: {:?}",
+        result.metrics
+    );
+    assert!(
+        result.metrics.parse_calls > 0,
+        "uncached side ($.f10) must parse raw JSON: {:?}",
+        result.metrics
+    );
+    // The stitched column carries real values, not a column of nulls.
+    let f10_idx = result.columns.iter().position(|c| c == "f10").unwrap();
+    assert!(
+        result
+            .rows
+            .iter()
+            .any(|r| !matches!(r[f10_idx], maxson_storage::Cell::Null)),
+        "$.f10 should produce non-null values"
+    );
+}
+
+#[test]
+fn rewritten_results_are_byte_identical_to_unrewritten() {
+    let plain = plain_session();
+    let rewritten = rewriting_session();
+    for sql in GOLDEN_QUERIES {
+        let reference = plain.execute(sql).unwrap();
+        let result = rewritten.execute(sql).unwrap();
+        assert!(
+            reference.metrics.parse_calls > 0,
+            "unrewritten run must parse JSON for {sql}"
+        );
+        assert_eq!(
+            result.to_display_string(),
+            reference.to_display_string(),
+            "rewritten output diverged for {sql}"
+        );
+    }
+}
+
+#[test]
+fn pushdown_query_stays_rewritten_and_correct() {
+    let plain = plain_session();
+    let rewritten = rewriting_session();
+    let reference = plain.execute(Q_PUSHDOWN).unwrap();
+    let result = rewritten.execute(Q_PUSHDOWN).unwrap();
+    assert!(
+        result.plan_display.contains("MaxsonCombinedScan"),
+        "plan not rewritten:\n{}",
+        result.plan_display
+    );
+    assert_eq!(result.to_display_string(), reference.to_display_string());
+    // The filter keeps only rows with f0 > 900; both engines agree on the
+    // (non-trivial, non-empty) selection.
+    assert!(!result.rows.is_empty(), "some rows satisfy f0 > 900");
+    assert!(
+        (result.rows.len() as u64) < reference.metrics.rows_scanned,
+        "filter must be selective: {} rows out of {} scanned",
+        result.rows.len(),
+        reference.metrics.rows_scanned
+    );
+}

@@ -128,7 +128,9 @@ fn attribute_paths_are_cacheable_too() {
     let rows: Vec<Vec<Cell>> = (0..20)
         .map(|i| vec![Cell::Str(xml_to_json(&xml_record(i)).unwrap())])
         .collect();
-    table.append_file(&rows, WriteOptions::default(), 1).unwrap();
+    table
+        .append_file(&rows, WriteOptions::default(), 1)
+        .unwrap();
 
     let sql = "select get_json_object(payload, '$.order.@region') as region, count(*) as n \
                from xmldb.t group by get_json_object(payload, '$.order.@region') order by region";
