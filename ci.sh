@@ -7,4 +7,14 @@ cd "$(dirname "$0")"
 
 cargo fmt --check
 cargo build --release --offline
-cargo test -q --offline
+
+# The whole suite runs twice: once on the serial reference path and once
+# split-parallel, so every test doubles as a differential check. Note the
+# root Cargo.toml is both a workspace and a package, so bare `cargo test`
+# would only run the root integration tests; --workspace covers the crates.
+MAXSON_THREADS=1 cargo test -q --offline --workspace
+MAXSON_THREADS=4 cargo test -q --offline --workspace
+
+# Smoke-run the scaling benchmark (fast mode: 1 run per point); it asserts
+# rows are byte-identical across thread counts before reporting walls.
+MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_scaling

@@ -45,13 +45,23 @@ pub struct Report {
 
 impl Report {
     /// Create an empty report.
+    ///
+    /// Every report opens with a note recording the engine's configured
+    /// thread count, so benchmark numbers are always interpretable (serial
+    /// vs split-parallel runs produce identical rows but different walls).
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
-        Report {
+        let mut report = Report {
             id: id.into(),
             title: title.into(),
             notes: Vec::new(),
             series: Vec::new(),
-        }
+        };
+        report.note(format!(
+            "engine threads: {} (MAXSON_THREADS; {} cores available)",
+            maxson_engine::ExecOptions::from_env().threads,
+            maxson_engine::exec::default_threads()
+        ));
+        report
     }
 
     /// Add a note line.

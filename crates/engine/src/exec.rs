@@ -1,4 +1,34 @@
-//! Volcano-style (materialized) plan execution.
+//! Volcano-style (materialized) plan execution, with optional
+//! split-parallel scan pipelines.
+//!
+//! ## Parallel execution model
+//!
+//! The executor recognizes *scan pipeline segments* — `Scan`,
+//! `Filter(Scan)`, `Project([Filter](Scan))`, and
+//! `Aggregate([Filter](Scan))` — and, when the scan provider exposes more
+//! than one split and [`ExecOptions::threads`] allows it, fans the segment
+//! out one task per split on a scoped-thread pool
+//! ([`crate::pool::run_split_tasks`]). Each task runs
+//! scan→filter→project (or scan→filter→partial-aggregate) against its own
+//! [`ExecMetrics`]; the barrier absorbs task metrics and reassembles rows
+//! (or merges aggregate partials) **in split order**, which makes the
+//! output byte-identical to the serial path:
+//!
+//! * row pipelines: the serial scan visits splits in index order, so
+//!   concatenating per-split outputs in index order reproduces the exact
+//!   serial row sequence;
+//! * aggregates: partial states merge in split order. `SUM`/`AVG` over
+//!   floats defer their addends and fold them at finish time in input
+//!   order, so the float additions happen in exactly the sequence the
+//!   serial accumulator would use (float addition is not associative —
+//!   summing per-split subtotals would *not* be bit-identical). Integer
+//!   sums use wrapping i64 arithmetic, which is associative. Grouped
+//!   output keeps first-seen group order because split 0's groups are
+//!   merged first.
+//!
+//! Plans that are not segment-shaped (joins, sorts, HAVING chains, …) run
+//! serially at the top but still parallelize any segment found deeper in
+//! their inputs.
 
 use std::collections::HashMap;
 
@@ -8,37 +38,87 @@ use crate::error::{EngineError, Result};
 use crate::expr::{truthy, Expr, JsonParserKind};
 use crate::metrics::ExecMetrics;
 use crate::plan::LogicalPlan;
+use crate::pool;
+use crate::scan::ScanProvider;
 use crate::sql::ast::AggFunc;
 
-/// Execute a plan to completion, returning the output rows.
+/// Knobs controlling one plan execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Maximum worker threads for split-parallel segments. `1` is the
+    /// serial reference path (no pool involvement at all).
+    pub threads: usize,
+}
+
+impl ExecOptions {
+    /// The serial reference configuration.
+    pub fn serial() -> Self {
+        ExecOptions { threads: 1 }
+    }
+
+    /// Explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Resolve from the environment: `MAXSON_THREADS` if set to a positive
+    /// integer, otherwise the number of available cores.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("MAXSON_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(default_threads);
+        ExecOptions { threads }
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions::from_env()
+    }
+}
+
+/// Available hardware parallelism (1 when it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Execute a plan to completion, returning the output rows. Threading is
+/// resolved from the environment ([`ExecOptions::from_env`]).
 pub fn execute_plan(
     plan: &LogicalPlan,
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
 ) -> Result<Vec<Vec<Cell>>> {
+    execute_plan_with(plan, parser, metrics, ExecOptions::from_env())
+}
+
+/// Execute a plan to completion with explicit options.
+pub fn execute_plan_with(
+    plan: &LogicalPlan,
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+    opts: ExecOptions,
+) -> Result<Vec<Vec<Cell>>> {
+    if opts.threads > 1 {
+        if let Some(rows) = try_split_parallel(plan, parser, metrics, opts.threads)? {
+            return Ok(rows);
+        }
+    }
     match plan {
         LogicalPlan::Scan { provider } => provider.scan(metrics),
         LogicalPlan::Filter { input, predicate } => {
-            let rows = execute_plan(input, parser, metrics)?;
-            let mut out = Vec::new();
-            for row in rows {
-                if truthy(&predicate.eval(&row, parser, metrics)?) {
-                    out.push(row);
-                }
-            }
-            Ok(out)
+            let rows = execute_plan_with(input, parser, metrics, opts)?;
+            filter_rows(rows, predicate, parser, metrics)
         }
         LogicalPlan::Project { input, exprs, .. } => {
-            let rows = execute_plan(input, parser, metrics)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut projected = Vec::with_capacity(exprs.len());
-                for (e, _) in exprs {
-                    projected.push(e.eval(&row, parser, metrics)?);
-                }
-                out.push(projected);
-            }
-            Ok(out)
+            let rows = execute_plan_with(input, parser, metrics, opts)?;
+            project_exprs(rows, exprs, parser, metrics)
         }
         LogicalPlan::Aggregate {
             input,
@@ -46,7 +126,7 @@ pub fn execute_plan(
             aggs,
             ..
         } => {
-            let rows = execute_plan(input, parser, metrics)?;
+            let rows = execute_plan_with(input, parser, metrics, opts)?;
             aggregate(rows, group_by, aggs, parser, metrics)
         }
         LogicalPlan::Join {
@@ -56,21 +136,21 @@ pub fn execute_plan(
             right_key,
             ..
         } => {
-            let left_rows = execute_plan(left, parser, metrics)?;
-            let right_rows = execute_plan(right, parser, metrics)?;
+            let left_rows = execute_plan_with(left, parser, metrics, opts)?;
+            let right_rows = execute_plan_with(right, parser, metrics, opts)?;
             hash_join(left_rows, right_rows, left_key, right_key, parser, metrics)
         }
         LogicalPlan::Sort { input, keys } => {
-            let rows = execute_plan(input, parser, metrics)?;
+            let rows = execute_plan_with(input, parser, metrics, opts)?;
             sort_rows(rows, keys, parser, metrics)
         }
         LogicalPlan::Limit { input, n } => {
-            let mut rows = execute_plan(input, parser, metrics)?;
+            let mut rows = execute_plan_with(input, parser, metrics, opts)?;
             rows.truncate(*n);
             Ok(rows)
         }
         LogicalPlan::Distinct { input } => {
-            let rows = execute_plan(input, parser, metrics)?;
+            let rows = execute_plan_with(input, parser, metrics, opts)?;
             let mut seen = std::collections::HashSet::new();
             let mut out = Vec::new();
             for row in rows {
@@ -88,22 +168,216 @@ pub fn execute_plan(
     }
 }
 
+fn filter_rows(
+    rows: Vec<Vec<Cell>>,
+    predicate: &Expr,
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+) -> Result<Vec<Vec<Cell>>> {
+    let mut out = Vec::new();
+    for row in rows {
+        if truthy(&predicate.eval(&row, parser, metrics)?) {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+fn project_exprs(
+    rows: Vec<Vec<Cell>>,
+    exprs: &[(Expr, String)],
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+) -> Result<Vec<Vec<Cell>>> {
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut projected = Vec::with_capacity(exprs.len());
+        for (e, _) in exprs {
+            projected.push(e.eval(&row, parser, metrics)?);
+        }
+        out.push(projected);
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// Split-parallel scan pipeline
+// ----------------------------------------------------------------------
+
+/// A parallelizable plan prefix: scan, optional filter, then either a
+/// projection or an aggregation (never both — the planner puts the
+/// post-aggregate projection above the Aggregate node, where it stays
+/// serial because it only touches a handful of result rows).
+struct PipelineSegment<'a> {
+    provider: &'a dyn ScanProvider,
+    filter: Option<&'a Expr>,
+    project: Option<&'a [(Expr, String)]>,
+    agg: Option<(&'a [Expr], &'a [(AggFunc, Option<Expr>)])>,
+}
+
+impl<'a> PipelineSegment<'a> {
+    fn extract(plan: &'a LogicalPlan) -> Option<Self> {
+        fn base(plan: &LogicalPlan) -> Option<(&dyn ScanProvider, Option<&Expr>)> {
+            match plan {
+                LogicalPlan::Scan { provider } => Some((provider.as_ref(), None)),
+                LogicalPlan::Filter { input, predicate } => match input.as_ref() {
+                    LogicalPlan::Scan { provider } => Some((provider.as_ref(), Some(predicate))),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        match plan {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => {
+                let (provider, filter) = base(input)?;
+                Some(PipelineSegment {
+                    provider,
+                    filter,
+                    project: None,
+                    agg: Some((group_by, aggs)),
+                })
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                let (provider, filter) = base(input)?;
+                Some(PipelineSegment {
+                    provider,
+                    filter,
+                    project: Some(exprs),
+                    agg: None,
+                })
+            }
+            other => {
+                let (provider, filter) = base(other)?;
+                Some(PipelineSegment {
+                    provider,
+                    filter,
+                    project: None,
+                    agg: None,
+                })
+            }
+        }
+    }
+
+    /// Scan one split and run the filter (and projection, if any) over it.
+    fn run_rows(
+        &self,
+        split: usize,
+        parser: JsonParserKind,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Vec<Vec<Cell>>> {
+        let mut rows = self.provider.scan_split(split, metrics)?;
+        if let Some(predicate) = self.filter {
+            rows = filter_rows(rows, predicate, parser, metrics)?;
+        }
+        if let Some(exprs) = self.project {
+            rows = project_exprs(rows, exprs, parser, metrics)?;
+        }
+        Ok(rows)
+    }
+}
+
+/// Record one pool run's shape in the query metrics.
+fn note_pool_run(metrics: &mut ExecMetrics, threads_spawned: usize, walls: &[std::time::Duration]) {
+    let (p50, p95, skew) = pool::wall_stats(walls);
+    let run = ExecMetrics {
+        threads_used: threads_spawned as u64,
+        par_tasks: walls.len() as u64,
+        task_wall_p50: p50,
+        task_wall_p95: p95,
+        task_skew: skew,
+        ..Default::default()
+    };
+    metrics.absorb(&run);
+}
+
+/// Try to run `plan` as a split-parallel pipeline segment. Returns
+/// `Ok(None)` when the plan shape or split count does not qualify, in which
+/// case the caller falls back to the serial operators.
+fn try_split_parallel(
+    plan: &LogicalPlan,
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+    threads: usize,
+) -> Result<Option<Vec<Vec<Cell>>>> {
+    let Some(segment) = PipelineSegment::extract(plan) else {
+        return Ok(None);
+    };
+    let splits = segment.provider.split_count();
+    // Single-split (and empty) tables stay serial: spawning threads for one
+    // task buys nothing and must not change observable behavior.
+    if splits <= 1 {
+        return Ok(None);
+    }
+    match segment.agg {
+        None => {
+            let run = pool::run_split_tasks(splits, threads, |split| {
+                let mut task_metrics = ExecMetrics::default();
+                let rows = segment.run_rows(split, parser, &mut task_metrics)?;
+                Ok((rows, task_metrics))
+            })?;
+            note_pool_run(metrics, run.threads_spawned, &run.task_walls);
+            let mut out = Vec::new();
+            for (rows, task_metrics) in run.results {
+                metrics.absorb(&task_metrics);
+                out.extend(rows);
+            }
+            Ok(Some(out))
+        }
+        Some((group_by, aggs)) => {
+            let run = pool::run_split_tasks(splits, threads, |split| {
+                let mut task_metrics = ExecMetrics::default();
+                let rows = segment.run_rows(split, parser, &mut task_metrics)?;
+                let partial = partial_aggregate(&rows, group_by, aggs, parser, &mut task_metrics)?;
+                Ok((partial, task_metrics))
+            })?;
+            note_pool_run(metrics, run.threads_spawned, &run.task_walls);
+            let mut merged: Option<AggPartial> = None;
+            for (partial, task_metrics) in run.results {
+                metrics.absorb(&task_metrics);
+                merged = Some(match merged {
+                    None => partial,
+                    Some(mut acc) => {
+                        acc.merge(partial);
+                        acc
+                    }
+                });
+            }
+            let merged = merged.expect("split count >= 2 yields partials");
+            Ok(Some(finish_aggregate(merged)))
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Aggregation
+// ----------------------------------------------------------------------
+
 /// Running state of one aggregate call.
+///
+/// `Sum` and `Avg` **defer** their float addends instead of accumulating a
+/// running `f64`: float addition is not associative, so the only way
+/// parallel partials can finish to the exact bits of the serial result is
+/// to replay the additions in serial input order at `finish` time. Partial
+/// merge is then just addend concatenation (split order = input order).
 #[derive(Debug, Clone)]
 enum AggState {
     Count(i64),
     CountDistinct(std::collections::HashSet<String>),
     Sum {
-        sum: f64,
-        any: bool,
+        /// Coerced float value of every non-null input, in input order.
+        addends: Vec<f64>,
         all_int: bool,
         isum: i64,
     },
     Min(Option<Cell>),
     Max(Option<Cell>),
     Avg {
-        sum: f64,
-        n: i64,
+        addends: Vec<f64>,
     },
 }
 
@@ -113,14 +387,15 @@ impl AggState {
             AggFunc::Count => AggState::Count(0),
             AggFunc::CountDistinct => AggState::CountDistinct(std::collections::HashSet::new()),
             AggFunc::Sum => AggState::Sum {
-                sum: 0.0,
-                any: false,
+                addends: Vec::new(),
                 all_int: true,
                 isum: 0,
             },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
-            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Avg => AggState::Avg {
+                addends: Vec::new(),
+            },
         }
     }
 
@@ -142,15 +417,13 @@ impl AggState {
                 }
             }
             AggState::Sum {
-                sum,
-                any,
+                addends,
                 all_int,
                 isum,
             } => {
                 if let Some(c) = value {
                     if let Some(f) = c.coerce_f64() {
-                        *sum += f;
-                        *any = true;
+                        addends.push(f);
                         match c {
                             Cell::Int(i) => *isum = isum.wrapping_add(*i),
                             _ => *all_int = false,
@@ -180,14 +453,74 @@ impl AggState {
                     }
                 }
             }
-            AggState::Avg { sum, n } => {
+            AggState::Avg { addends } => {
                 if let Some(c) = value {
                     if let Some(f) = c.coerce_f64() {
-                        *sum += f;
-                        *n += 1;
+                        addends.push(f);
                     }
                 }
             }
+        }
+    }
+
+    /// Merge a later split's state into this one. `other` must come from
+    /// the same aggregate call (same variant), built over rows that follow
+    /// this state's rows in input order.
+    ///
+    /// Every operation here is exact: counters add, sets union, addend
+    /// lists concatenate (float folding is deferred to [`AggState::finish`]
+    /// so it happens in global input order), and MIN/MAX treat the other
+    /// side's extremum as one more update candidate. The single caveat is
+    /// `sql_cmp` returning `None` for incomparable mixed-type pairs, where
+    /// MIN/MAX keep the incumbent exactly like the serial fold does when it
+    /// meets the same pair in the same order.
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::CountDistinct(a), AggState::CountDistinct(b)) => a.extend(b),
+            (
+                AggState::Sum {
+                    addends,
+                    all_int,
+                    isum,
+                },
+                AggState::Sum {
+                    addends: other_addends,
+                    all_int: other_all_int,
+                    isum: other_isum,
+                },
+            ) => {
+                addends.extend(other_addends);
+                *all_int &= other_all_int;
+                *isum = isum.wrapping_add(other_isum);
+            }
+            (AggState::Min(cur), AggState::Min(candidate)) => {
+                if let Some(c) = candidate {
+                    if cur
+                        .as_ref()
+                        .is_none_or(|m| c.sql_cmp(m) == Some(std::cmp::Ordering::Less))
+                    {
+                        *cur = Some(c);
+                    }
+                }
+            }
+            (AggState::Max(cur), AggState::Max(candidate)) => {
+                if let Some(c) = candidate {
+                    if cur
+                        .as_ref()
+                        .is_none_or(|m| c.sql_cmp(m) == Some(std::cmp::Ordering::Greater))
+                    {
+                        *cur = Some(c);
+                    }
+                }
+            }
+            (
+                AggState::Avg { addends },
+                AggState::Avg {
+                    addends: other_addends,
+                },
+            ) => addends.extend(other_addends),
+            _ => unreachable!("merging mismatched aggregate states"),
         }
     }
 
@@ -196,42 +529,96 @@ impl AggState {
             AggState::Count(n) => Cell::Int(n),
             AggState::CountDistinct(set) => Cell::Int(set.len() as i64),
             AggState::Sum {
-                sum,
-                any,
+                addends,
                 all_int,
                 isum,
             } => {
-                if !any {
+                if addends.is_empty() {
                     Cell::Null
                 } else if all_int {
                     Cell::Int(isum)
                 } else {
-                    Cell::Float(sum)
+                    // Left fold from 0.0 in input order: bit-identical to the
+                    // incremental serial accumulator.
+                    Cell::Float(addends.iter().fold(0.0, |acc, &x| acc + x))
                 }
             }
             AggState::Min(c) | AggState::Max(c) => c.unwrap_or(Cell::Null),
-            AggState::Avg { sum, n } => {
-                if n == 0 {
+            AggState::Avg { addends } => {
+                if addends.is_empty() {
                     Cell::Null
                 } else {
-                    Cell::Float(sum / n as f64)
+                    let sum = addends.iter().fold(0.0, |acc, &x| acc + x);
+                    Cell::Float(sum / addends.len() as f64)
                 }
             }
         }
     }
 }
 
-fn aggregate(
-    rows: Vec<Vec<Cell>>,
+/// Aggregate state over one slice of input rows, mergeable across splits.
+#[derive(Debug)]
+enum AggPartial {
+    Global(Vec<AggState>),
+    Grouped {
+        /// Group keys in first-seen order.
+        order: Vec<String>,
+        groups: HashMap<String, (Vec<Cell>, Vec<AggState>)>,
+    },
+}
+
+impl AggPartial {
+    /// Merge a later split's partial into this one, preserving this side's
+    /// first-seen group order and appending the other side's new groups in
+    /// their own first-seen order — exactly the order a serial pass over
+    /// the concatenated input would have discovered them in.
+    fn merge(&mut self, other: AggPartial) {
+        match (self, other) {
+            (AggPartial::Global(states), AggPartial::Global(other_states)) => {
+                for (state, other_state) in states.iter_mut().zip(other_states) {
+                    state.merge(other_state);
+                }
+            }
+            (
+                AggPartial::Grouped { order, groups },
+                AggPartial::Grouped {
+                    order: other_order,
+                    groups: mut other_groups,
+                },
+            ) => {
+                for key in other_order {
+                    let (keys, states) = other_groups
+                        .remove(&key)
+                        .expect("group key recorded in order list");
+                    match groups.entry(key.clone()) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            for (state, other_state) in e.get_mut().1.iter_mut().zip(states) {
+                                state.merge(other_state);
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert((keys, states));
+                            order.push(key);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("merging mismatched aggregate partials"),
+        }
+    }
+}
+
+/// Build the aggregate partial for one slice of input rows.
+fn partial_aggregate(
+    rows: &[Vec<Cell>],
     group_by: &[Expr],
     aggs: &[(AggFunc, Option<Expr>)],
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
-) -> Result<Vec<Vec<Cell>>> {
-    // Global aggregate (no GROUP BY): exactly one output row.
+) -> Result<AggPartial> {
     if group_by.is_empty() {
         let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
-        for row in &rows {
+        for row in rows {
             for (state, (_, arg)) in states.iter_mut().zip(aggs) {
                 match arg {
                     None => state.update(None),
@@ -242,12 +629,12 @@ fn aggregate(
                 }
             }
         }
-        return Ok(vec![states.into_iter().map(AggState::finish).collect()]);
+        return Ok(AggPartial::Global(states));
     }
     // Hash grouping; remember first-seen order for deterministic output.
     let mut groups: HashMap<String, (Vec<Cell>, Vec<AggState>)> = HashMap::new();
     let mut order: Vec<String> = Vec::new();
-    for row in &rows {
+    for row in rows {
         let mut keys = Vec::with_capacity(group_by.len());
         let mut key_str = String::new();
         for g in group_by {
@@ -270,16 +657,43 @@ fn aggregate(
             }
         }
     }
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let (keys, states) = groups
-            .remove(&key)
-            .expect("group key recorded in order list");
-        let mut row = keys;
-        row.extend(states.into_iter().map(AggState::finish));
-        out.push(row);
+    Ok(AggPartial::Grouped { order, groups })
+}
+
+/// Finish a (possibly merged) partial into output rows.
+fn finish_aggregate(partial: AggPartial) -> Vec<Vec<Cell>> {
+    match partial {
+        AggPartial::Global(states) => {
+            vec![states.into_iter().map(AggState::finish).collect()]
+        }
+        AggPartial::Grouped { order, mut groups } => {
+            let mut out = Vec::with_capacity(order.len());
+            for key in order {
+                let (keys, states) = groups
+                    .remove(&key)
+                    .expect("group key recorded in order list");
+                let mut row = keys;
+                row.extend(states.into_iter().map(AggState::finish));
+                out.push(row);
+            }
+            out
+        }
     }
-    Ok(out)
+}
+
+/// Serial aggregation: one partial over the whole input, finished. The
+/// parallel path goes through the same `partial_aggregate` /
+/// `finish_aggregate` pair, so there is a single aggregation
+/// implementation to trust.
+fn aggregate(
+    rows: Vec<Vec<Cell>>,
+    group_by: &[Expr],
+    aggs: &[(AggFunc, Option<Expr>)],
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+) -> Result<Vec<Vec<Cell>>> {
+    let partial = partial_aggregate(&rows, group_by, aggs, parser, metrics)?;
+    Ok(finish_aggregate(partial))
 }
 
 fn hash_join(
@@ -367,6 +781,7 @@ pub fn project_rows(
 mod tests {
     use super::*;
     use crate::sql::ast::BinaryOp;
+    use maxson_storage::{ColumnType, Field, Schema};
 
     fn rows3() -> Vec<Vec<Cell>> {
         vec![
@@ -379,6 +794,79 @@ mod tests {
 
     fn m() -> ExecMetrics {
         ExecMetrics::default()
+    }
+
+    /// Test provider with an explicit split structure.
+    #[derive(Debug)]
+    struct SplitFixed {
+        schema: Schema,
+        splits: Vec<Vec<Vec<Cell>>>,
+        /// Index of a split whose scan should panic (poisoned data).
+        poisoned: Option<usize>,
+    }
+
+    impl SplitFixed {
+        fn new(splits: Vec<Vec<Vec<Cell>>>) -> Self {
+            SplitFixed {
+                schema: Schema::new(vec![
+                    Field::new("tag", ColumnType::Utf8),
+                    Field::new("v", ColumnType::Int64),
+                ])
+                .unwrap(),
+                splits,
+                poisoned: None,
+            }
+        }
+    }
+
+    impl ScanProvider for SplitFixed {
+        fn schema(&self) -> &Schema {
+            &self.schema
+        }
+        fn scan(&self, m: &mut ExecMetrics) -> crate::error::Result<Vec<Vec<Cell>>> {
+            let mut rows = Vec::new();
+            for s in 0..self.splits.len() {
+                rows.extend(self.scan_split(s, m)?);
+            }
+            Ok(rows)
+        }
+        fn split_count(&self) -> usize {
+            self.splits.len()
+        }
+        fn scan_split(
+            &self,
+            split: usize,
+            m: &mut ExecMetrics,
+        ) -> crate::error::Result<Vec<Vec<Cell>>> {
+            if self.poisoned == Some(split) {
+                panic!("corrupt split body");
+            }
+            let rows = self.splits[split].clone();
+            m.rows_scanned += rows.len() as u64;
+            Ok(rows)
+        }
+        fn label(&self) -> String {
+            "SplitFixed".into()
+        }
+    }
+
+    fn ten_split_plan(poisoned: Option<usize>) -> LogicalPlan {
+        // 10 splits x 8 rows with cycling tags and float-ish values.
+        let splits: Vec<Vec<Vec<Cell>>> = (0..10)
+            .map(|s| {
+                (0..8)
+                    .map(|i| {
+                        let n = (s * 8 + i) as i64;
+                        vec![Cell::Str(format!("g{}", n % 3)), Cell::Int(n)]
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut provider = SplitFixed::new(splits);
+        provider.poisoned = poisoned;
+        LogicalPlan::Scan {
+            provider: Box::new(provider),
+        }
     }
 
     #[test]
@@ -443,6 +931,94 @@ mod tests {
             out[2],
             vec![Cell::Str("c".into()), Cell::Int(1), Cell::Null]
         );
+    }
+
+    /// Float SUM/AVG must be bitwise identical however the input is split
+    /// into merged partials — the property the whole deferred-addend design
+    /// exists for (0.1 + 0.2 + 0.3 famously re-associates differently).
+    #[test]
+    fn float_sum_is_bitwise_identical_across_split_boundaries() {
+        let values: Vec<f64> = (1..=23).map(|i| 0.1 * i as f64).collect();
+        let rows: Vec<Vec<Cell>> = values.iter().map(|&v| vec![Cell::Float(v)]).collect();
+        let aggs = vec![
+            (AggFunc::Sum, Some(Expr::Column(0))),
+            (AggFunc::Avg, Some(Expr::Column(0))),
+        ];
+        let serial =
+            aggregate(rows.clone(), &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        for cut1 in 0..rows.len() {
+            for cut2 in cut1..rows.len() {
+                let mut acc =
+                    partial_aggregate(&rows[..cut1], &[], &aggs, JsonParserKind::Jackson, &mut m())
+                        .unwrap();
+                for chunk in [&rows[cut1..cut2], &rows[cut2..]] {
+                    let part =
+                        partial_aggregate(chunk, &[], &aggs, JsonParserKind::Jackson, &mut m())
+                            .unwrap();
+                    acc.merge(part);
+                }
+                let merged = finish_aggregate(acc);
+                // Compare exact bits, not approximate equality.
+                let (Cell::Float(a), Cell::Float(b)) = (&serial[0][0], &merged[0][0]) else {
+                    panic!("expected float sums");
+                };
+                assert_eq!(a.to_bits(), b.to_bits(), "cut at {cut1}/{cut2}");
+                assert_eq!(serial[0], merged[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_merge_preserves_global_first_seen_order() {
+        let rows = rows3();
+        let aggs = vec![
+            (AggFunc::Count, None),
+            (AggFunc::Sum, Some(Expr::Column(1))),
+        ];
+        let group = vec![Expr::Column(0)];
+        let serial = aggregate(
+            rows.clone(),
+            &group,
+            &aggs,
+            JsonParserKind::Jackson,
+            &mut m(),
+        )
+        .unwrap();
+        for cut in 0..=rows.len() {
+            let mut acc = partial_aggregate(
+                &rows[..cut],
+                &group,
+                &aggs,
+                JsonParserKind::Jackson,
+                &mut m(),
+            )
+            .unwrap();
+            let rest = partial_aggregate(
+                &rows[cut..],
+                &group,
+                &aggs,
+                JsonParserKind::Jackson,
+                &mut m(),
+            )
+            .unwrap();
+            acc.merge(rest);
+            assert_eq!(finish_aggregate(acc), serial, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn count_distinct_merges_as_set_union() {
+        let rows = rows3();
+        let aggs = vec![(AggFunc::CountDistinct, Some(Expr::Column(0)))];
+        let serial =
+            aggregate(rows.clone(), &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        let mut acc =
+            partial_aggregate(&rows[..2], &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        let rest =
+            partial_aggregate(&rows[2..], &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        acc.merge(rest);
+        assert_eq!(finish_aggregate(acc), serial);
+        assert_eq!(serial[0][0], Cell::Int(3));
     }
 
     #[test]
@@ -539,7 +1115,6 @@ mod tests {
     fn filter_and_limit_via_execute_plan() {
         // Build a plan over a fake provider.
         use crate::scan::ScanProvider;
-        use maxson_storage::{ColumnType, Field, Schema};
 
         #[derive(Debug)]
         struct Fixed(Schema, Vec<Vec<Cell>>);
@@ -574,5 +1149,141 @@ mod tests {
             out,
             vec![vec![Cell::Int(4)], vec![Cell::Int(5)], vec![Cell::Int(6)]]
         );
+    }
+
+    #[test]
+    fn exec_options_resolution() {
+        assert_eq!(ExecOptions::serial().threads, 1);
+        assert_eq!(ExecOptions::with_threads(0).threads, 1);
+        assert_eq!(ExecOptions::with_threads(7).threads, 7);
+        assert!(default_threads() >= 1);
+    }
+
+    /// The same multi-split plan at 1/2/4/8 threads: identical rows and
+    /// identical absorbed counters, with pool gauges set only when threads
+    /// were actually used.
+    #[test]
+    fn parallel_scan_filter_matches_serial_exactly() {
+        let predicate = Expr::Binary {
+            left: Box::new(Expr::Column(1)),
+            op: BinaryOp::GtEq,
+            right: Box::new(Expr::Literal(Cell::Int(13))),
+        };
+        let plan = LogicalPlan::Filter {
+            predicate,
+            input: Box::new(ten_split_plan(None)),
+        };
+        let mut serial_m = m();
+        let serial = execute_plan_with(
+            &plan,
+            JsonParserKind::Jackson,
+            &mut serial_m,
+            ExecOptions::serial(),
+        )
+        .unwrap();
+        assert_eq!(serial_m.threads_used, 0, "serial path never touches pool");
+        for threads in [2, 4, 8] {
+            let mut par_m = m();
+            let parallel = execute_plan_with(
+                &plan,
+                JsonParserKind::Jackson,
+                &mut par_m,
+                ExecOptions::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(parallel, serial, "{threads} threads");
+            assert_eq!(par_m.rows_scanned, serial_m.rows_scanned);
+            assert_eq!(par_m.threads_used, threads as u64);
+            assert_eq!(par_m.par_tasks, 10);
+            assert!(par_m.task_skew >= 1.0);
+        }
+    }
+
+    #[test]
+    fn parallel_grouped_aggregate_matches_serial_exactly() {
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(ten_split_plan(None)),
+            group_by: vec![Expr::Column(0)],
+            aggs: vec![
+                (AggFunc::Count, None),
+                (AggFunc::Sum, Some(Expr::Column(1))),
+                (AggFunc::Min, Some(Expr::Column(1))),
+                (AggFunc::Max, Some(Expr::Column(1))),
+                (AggFunc::Avg, Some(Expr::Column(1))),
+            ],
+            schema: Schema::new(vec![Field::new("g", ColumnType::Utf8)]).unwrap(),
+        };
+        let mut serial_m = m();
+        let serial = execute_plan_with(
+            &plan,
+            JsonParserKind::Jackson,
+            &mut serial_m,
+            ExecOptions::serial(),
+        )
+        .unwrap();
+        let mut par_m = m();
+        let parallel = execute_plan_with(
+            &plan,
+            JsonParserKind::Jackson,
+            &mut par_m,
+            ExecOptions::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(parallel, serial);
+        assert_eq!(par_m.rows_scanned, serial_m.rows_scanned);
+    }
+
+    #[test]
+    fn poisoned_split_propagates_error_with_split_index() {
+        let plan = ten_split_plan(Some(7));
+        let mut metrics = m();
+        let err = execute_plan_with(
+            &plan,
+            JsonParserKind::Jackson,
+            &mut metrics,
+            ExecOptions::with_threads(4),
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("split 7"), "error must name the split: {msg}");
+        assert!(msg.contains("corrupt split body"), "{msg}");
+    }
+
+    #[test]
+    fn single_split_scan_stays_serial_even_with_many_threads() {
+        let splits = vec![(0..5)
+            .map(|i| vec![Cell::Str("g0".into()), Cell::Int(i)])
+            .collect()];
+        let plan = LogicalPlan::Scan {
+            provider: Box::new(SplitFixed::new(splits)),
+        };
+        let mut metrics = m();
+        let rows = execute_plan_with(
+            &plan,
+            JsonParserKind::Jackson,
+            &mut metrics,
+            ExecOptions::with_threads(8),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(metrics.threads_used, 0, "single split must not use pool");
+        assert_eq!(metrics.par_tasks, 0);
+    }
+
+    #[test]
+    fn empty_table_stays_serial() {
+        let plan = LogicalPlan::Scan {
+            provider: Box::new(SplitFixed::new(Vec::new())),
+        };
+        let mut metrics = m();
+        let rows = execute_plan_with(
+            &plan,
+            JsonParserKind::Jackson,
+            &mut metrics,
+            ExecOptions::with_threads(8),
+        )
+        .unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(metrics.threads_used, 0);
     }
 }

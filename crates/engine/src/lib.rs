@@ -35,11 +35,13 @@ pub mod exec;
 pub mod expr;
 pub mod metrics;
 pub mod plan;
+pub mod pool;
 pub mod scan;
 pub mod session;
 pub mod sql;
 
 pub use error::{EngineError, Result};
+pub use exec::ExecOptions;
 pub use expr::Expr;
 pub use metrics::ExecMetrics;
 pub use plan::LogicalPlan;

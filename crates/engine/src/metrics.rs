@@ -6,15 +6,23 @@
 //! threads one [`ExecMetrics`] through a query; the scan operator charges
 //! read time and bytes, the JSON expression charges parse time, and compute
 //! is derived as `total - read - parse`.
+//!
+//! Under split-parallel execution each worker task accumulates into its own
+//! `ExecMetrics` instance; the barrier merges them into the query's metrics
+//! via [`ExecMetrics::absorb`], so `absorb` must be commutative and
+//! associative over every field it touches (counters sum, gauges max —
+//! both orders are order-insensitive; see the shuffled-order test below).
 
 use std::time::Duration;
 
 /// Counters accumulated during one query execution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecMetrics {
-    /// Time spent reading/decoding storage.
+    /// Time spent reading/decoding storage. Under parallel execution this is
+    /// the *sum across tasks*, so it can exceed wall-clock time.
     pub read: Duration,
-    /// Time spent parsing JSON inside `get_json_object`.
+    /// Time spent parsing JSON inside `get_json_object` (summed across
+    /// tasks, like `read`).
     pub parse: Duration,
     /// Wall-clock for the whole execution (set by the session).
     pub total: Duration,
@@ -34,6 +42,17 @@ pub struct ExecMetrics {
     pub row_groups_read: u64,
     /// Rows rejected by the Sparser-style raw prefilter before parsing.
     pub prefilter_dropped: u64,
+    /// Worker threads used by the widest parallel pool run (0 = serial).
+    pub threads_used: u64,
+    /// Split tasks executed by parallel pool runs.
+    pub par_tasks: u64,
+    /// Median per-task wall time of the slowest-skewed pool run.
+    pub task_wall_p50: Duration,
+    /// 95th-percentile per-task wall time of the slowest-skewed pool run.
+    pub task_wall_p95: Duration,
+    /// Task skew: max task wall over mean task wall (1.0 = perfectly even,
+    /// 0.0 = no parallel run happened).
+    pub task_skew: f64,
 }
 
 impl ExecMetrics {
@@ -53,7 +72,14 @@ impl ExecMetrics {
         }
     }
 
-    /// Merge counters from another execution (e.g. both sides of a join).
+    /// Merge counters from another execution (both sides of a join, or one
+    /// worker task's metrics at the parallel barrier).
+    ///
+    /// Every field this touches combines with a commutative, associative
+    /// operation (`+` for counters and phase times, `max` for the pool
+    /// gauges), so the merged result does not depend on the order tasks
+    /// finish in. `total` and `planning` are deliberately untouched: they
+    /// are whole-query wall clocks owned by the session, not per-task work.
     pub fn absorb(&mut self, other: &ExecMetrics) {
         self.read += other.read;
         self.parse += other.parse;
@@ -64,11 +90,16 @@ impl ExecMetrics {
         self.row_groups_skipped += other.row_groups_skipped;
         self.row_groups_read += other.row_groups_read;
         self.prefilter_dropped += other.prefilter_dropped;
+        self.threads_used = self.threads_used.max(other.threads_used);
+        self.par_tasks += other.par_tasks;
+        self.task_wall_p50 = self.task_wall_p50.max(other.task_wall_p50);
+        self.task_wall_p95 = self.task_wall_p95.max(other.task_wall_p95);
+        self.task_skew = self.task_skew.max(other.task_skew);
     }
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "total={:?} read={:?} parse={:?} compute={:?} rows={} bytes={} parse_calls={} cache_hits={} rg_skipped={}/{}",
             self.total,
             self.read,
@@ -80,7 +111,18 @@ impl ExecMetrics {
             self.cache_hits,
             self.row_groups_skipped,
             self.row_groups_skipped + self.row_groups_read,
-        )
+        );
+        if self.threads_used > 0 {
+            s.push_str(&format!(
+                " threads={} tasks={} task_p50={:?} task_p95={:?} skew={:.2}",
+                self.threads_used,
+                self.par_tasks,
+                self.task_wall_p50,
+                self.task_wall_p95,
+                self.task_skew,
+            ));
+        }
+        s
     }
 }
 
@@ -130,11 +172,120 @@ mod tests {
     }
 
     #[test]
+    fn absorb_maxes_pool_gauges() {
+        let mut a = ExecMetrics {
+            threads_used: 4,
+            par_tasks: 4,
+            task_wall_p50: Duration::from_millis(3),
+            task_skew: 1.5,
+            ..Default::default()
+        };
+        let b = ExecMetrics {
+            threads_used: 2,
+            par_tasks: 2,
+            task_wall_p50: Duration::from_millis(9),
+            task_skew: 1.1,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.threads_used, 4);
+        assert_eq!(a.par_tasks, 6);
+        assert_eq!(a.task_wall_p50, Duration::from_millis(9));
+        assert!((a.task_skew - 1.5).abs() < 1e-12);
+    }
+
+    /// One deterministic pseudo-random metrics instance per seed,
+    /// exercising every field `absorb` touches.
+    fn arb_metrics(seed: u64) -> ExecMetrics {
+        // splitmix64: cheap, deterministic, good dispersion.
+        let mut x = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        ExecMetrics {
+            read: Duration::from_micros(next() % 10_000),
+            parse: Duration::from_micros(next() % 10_000),
+            // total/planning are not absorbed; leave zero so equality of the
+            // merged structs is meaningful.
+            total: Duration::ZERO,
+            planning: Duration::ZERO,
+            rows_scanned: next() % 1000,
+            bytes_read: next() % 100_000,
+            parse_calls: next() % 500,
+            cache_hits: next() % 500,
+            row_groups_skipped: next() % 64,
+            row_groups_read: next() % 64,
+            prefilter_dropped: next() % 100,
+            threads_used: next() % 16,
+            par_tasks: next() % 16,
+            task_wall_p50: Duration::from_micros(next() % 5_000),
+            task_wall_p95: Duration::from_micros(next() % 5_000),
+            task_skew: 1.0 + (next() % 1000) as f64 / 250.0,
+        }
+    }
+
+    fn absorb_all(parts: &[ExecMetrics]) -> ExecMetrics {
+        let mut acc = ExecMetrics::default();
+        for p in parts {
+            acc.absorb(p);
+        }
+        acc
+    }
+
+    /// The parallel barrier absorbs task metrics in whatever order is
+    /// convenient; the result must not depend on it.
+    #[test]
+    fn absorb_is_commutative_and_associative_under_shuffles() {
+        let parts: Vec<ExecMetrics> = (0..8).map(arb_metrics).collect();
+        let reference = absorb_all(&parts);
+
+        // A handful of deterministic shuffles (rotations + reversal +
+        // interleavings) covers both pairwise swaps and regroupings.
+        for rot in 0..parts.len() {
+            let mut shuffled = parts.clone();
+            shuffled.rotate_left(rot);
+            assert_eq!(absorb_all(&shuffled), reference, "rotation {rot}");
+            shuffled.reverse();
+            assert_eq!(absorb_all(&shuffled), reference, "reversed rotation {rot}");
+        }
+
+        // Associativity: fold pairs first, then absorb the pair-sums.
+        let mut pairs: Vec<ExecMetrics> = Vec::new();
+        for chunk in parts.chunks(2) {
+            pairs.push(absorb_all(chunk));
+        }
+        assert_eq!(absorb_all(&pairs), reference, "pairwise regrouping");
+
+        // Tree-shaped merge (as a work-stealing barrier might do it).
+        let left = absorb_all(&parts[..3]);
+        let right = absorb_all(&parts[3..]);
+        let mut tree = ExecMetrics::default();
+        tree.absorb(&right);
+        tree.absorb(&left);
+        assert_eq!(tree, reference, "tree merge");
+    }
+
+    #[test]
     fn summary_mentions_fields() {
         let m = ExecMetrics {
             rows_scanned: 42,
             ..Default::default()
         };
         assert!(m.summary().contains("rows=42"));
+        assert!(
+            !m.summary().contains("threads="),
+            "serial omits pool gauges"
+        );
+        let p = ExecMetrics {
+            threads_used: 4,
+            par_tasks: 8,
+            ..Default::default()
+        };
+        assert!(p.summary().contains("threads=4"));
+        assert!(p.summary().contains("tasks=8"));
     }
 }

@@ -1,0 +1,266 @@
+//! A scoped-thread worker pool for split-level parallelism.
+//!
+//! The executor fans the scan+filter+project phase out one task per Norc
+//! split (morsel-style). This module owns the threading mechanics: a shared
+//! atomic cursor hands out split indexes, each worker runs tasks until the
+//! cursor is exhausted, and results land in per-task slots so the caller
+//! reassembles them **in split order** — the property the differential
+//! tests lean on for byte-identical output.
+//!
+//! Built on `std::thread::scope` only (hermetic policy: no crates-io
+//! dependencies). Panics inside a task are caught and surfaced as
+//! [`EngineError`]s naming the split, never as a hang or a poisoned lock.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::error::{EngineError, Result};
+
+/// Outcome of one pool run.
+#[derive(Debug)]
+pub struct PoolRun<T> {
+    /// Per-task results, indexed by task (= split) index.
+    pub results: Vec<T>,
+    /// Worker threads actually spawned (0 when the run was inline).
+    pub threads_spawned: usize,
+    /// Wall time of each task, indexed like `results`.
+    pub task_walls: Vec<Duration>,
+}
+
+/// Run `tasks` closures, at most `max_threads` at a time, returning their
+/// results in task order.
+///
+/// * `max_threads <= 1` or `tasks <= 1` runs everything inline on the
+///   caller's thread — no threads are spawned, making 1-thread execution
+///   exactly the serial reference path.
+/// * A task returning `Err` or panicking aborts the run; the error for the
+///   **lowest failing task index** is returned so failure is deterministic
+///   regardless of scheduling. Remaining queued tasks are skipped once a
+///   failure is recorded.
+pub fn run_split_tasks<T, F>(tasks: usize, max_threads: usize, task: F) -> Result<PoolRun<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    if tasks <= 1 || max_threads <= 1 {
+        let mut results = Vec::with_capacity(tasks);
+        let mut task_walls = Vec::with_capacity(tasks);
+        for i in 0..tasks {
+            let start = Instant::now();
+            results.push(run_one(&task, i)?);
+            task_walls.push(start.elapsed());
+        }
+        return Ok(PoolRun {
+            results,
+            threads_spawned: 0,
+            task_walls,
+        });
+    }
+
+    let workers = max_threads.min(tasks);
+    let cursor = AtomicUsize::new(0);
+    // One slot per task; a Mutex around the whole vector keeps this simple
+    // (contention is negligible: one lock per task completion).
+    let slots: Mutex<Vec<Option<Result<(T, Duration)>>>> =
+        Mutex::new((0..tasks).map(|_| None).collect());
+    let failed = std::sync::atomic::AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks || failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let start = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| task(i)))
+                    .unwrap_or_else(|payload| Err(panic_error(i, payload.as_ref())));
+                if outcome.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                let wall = start.elapsed();
+                slots.lock().expect("pool slots lock")[i] = Some(outcome.map(|t| (t, wall)));
+            });
+        }
+    });
+
+    let slots = slots.into_inner().expect("pool slots lock");
+    let mut results = Vec::with_capacity(tasks);
+    let mut task_walls = Vec::with_capacity(tasks);
+    for slot in slots {
+        match slot {
+            Some(Ok((value, wall))) => {
+                results.push(value);
+                task_walls.push(wall);
+            }
+            // Lowest failing index wins: slots are visited in task order.
+            Some(Err(e)) => return Err(e),
+            // Skipped after a failure elsewhere; keep scanning for the error.
+            None => {}
+        }
+    }
+    debug_assert_eq!(results.len(), tasks, "no failure implies every slot ran");
+    Ok(PoolRun {
+        results,
+        threads_spawned: workers,
+        task_walls,
+    })
+}
+
+/// Inline task execution with the same panic containment as workers get.
+fn run_one<T>(task: &(impl Fn(usize) -> Result<T> + Sync), i: usize) -> Result<T> {
+    catch_unwind(AssertUnwindSafe(|| task(i)))
+        .unwrap_or_else(|payload| Err(panic_error(i, payload.as_ref())))
+}
+
+fn panic_error(split: usize, payload: &(dyn std::any::Any + Send)) -> EngineError {
+    let message = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    EngineError::exec(format!("task for split {split} panicked: {message}"))
+}
+
+/// Percentiles and skew over the per-task wall times of one pool run
+/// (nearest-rank; skew = max/mean). Returns `(p50, p95, skew)`.
+pub fn wall_stats(walls: &[Duration]) -> (Duration, Duration, f64) {
+    if walls.is_empty() {
+        return (Duration::ZERO, Duration::ZERO, 0.0);
+    }
+    let mut sorted = walls.to_vec();
+    sorted.sort();
+    // Classic nearest-rank: the ceil(n*q)-th smallest value.
+    let rank = |q: f64| {
+        let idx = (sorted.len() as f64 * q).ceil() as usize;
+        sorted[idx.clamp(1, sorted.len()) - 1]
+    };
+    let total: Duration = sorted.iter().sum();
+    let mean = total.as_secs_f64() / sorted.len() as f64;
+    let max = sorted.last().expect("non-empty").as_secs_f64();
+    let skew = if mean > 0.0 { max / mean } else { 1.0 };
+    (rank(0.5), rank(0.95), skew)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let run = run_split_tasks(16, 4, |i| {
+            // Stagger completion so out-of-order finishes are likely.
+            std::thread::sleep(Duration::from_micros(((16 - i) * 50) as u64));
+            Ok(i * 10)
+        })
+        .unwrap();
+        assert_eq!(run.results, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(run.threads_spawned, 4);
+        assert_eq!(run.task_walls.len(), 16);
+    }
+
+    #[test]
+    fn single_task_runs_inline_without_spawning() {
+        let run = run_split_tasks(1, 8, |i| Ok(i)).unwrap();
+        assert_eq!(run.results, vec![0]);
+        assert_eq!(run.threads_spawned, 0, "one task must not spawn threads");
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let run = run_split_tasks(0, 8, |_| -> Result<()> {
+            panic!("no task should run for an empty table");
+        })
+        .unwrap();
+        assert!(run.results.is_empty());
+        assert_eq!(run.threads_spawned, 0);
+    }
+
+    #[test]
+    fn one_thread_runs_inline_on_caller() {
+        let caller = std::thread::current().id();
+        let run = run_split_tasks(4, 1, |i| {
+            assert_eq!(std::thread::current().id(), caller);
+            Ok(i)
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![0, 1, 2, 3]);
+        assert_eq!(run.threads_spawned, 0);
+    }
+
+    #[test]
+    fn workers_capped_by_task_count() {
+        let run = run_split_tasks(2, 16, |i| Ok(i)).unwrap();
+        assert_eq!(run.threads_spawned, 2);
+    }
+
+    #[test]
+    fn task_panic_becomes_error_naming_the_split() {
+        let err = run_split_tasks(8, 4, |i| -> Result<usize> {
+            if i == 5 {
+                panic!("poisoned split data");
+            }
+            Ok(i)
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("split 5"), "error must name the split: {msg}");
+        assert!(msg.contains("poisoned split data"), "{msg}");
+    }
+
+    #[test]
+    fn inline_panic_becomes_error_too() {
+        let err =
+            run_split_tasks(1, 8, |_| -> Result<usize> { panic!("inline boom") }).unwrap_err();
+        assert!(err.to_string().contains("split 0"), "{err}");
+    }
+
+    #[test]
+    fn task_error_aborts_with_lowest_failing_index() {
+        // Every task fails; the reported index must be deterministic.
+        for _ in 0..8 {
+            let err = run_split_tasks(6, 3, |i| -> Result<usize> {
+                Err(EngineError::exec(format!("bad split {i}")))
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("bad split 0"), "{err}");
+        }
+    }
+
+    #[test]
+    fn failure_skips_remaining_queued_tasks() {
+        let ran = AtomicUsize::new(0);
+        let _ = run_split_tasks(1000, 2, |i| -> Result<usize> {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                return Err(EngineError::exec("early failure"));
+            }
+            // Sleeping yields the CPU, so the failing task gets scheduled
+            // promptly even on a single-core machine.
+            std::thread::sleep(Duration::from_millis(1));
+            Ok(i)
+        });
+        // Not all 1000 tasks should have run after the failure flag flipped.
+        assert!(
+            ran.load(Ordering::Relaxed) < 1000,
+            "failure must short-circuit"
+        );
+    }
+
+    #[test]
+    fn wall_stats_quantiles_and_skew() {
+        let walls: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        let (p50, p95, skew) = wall_stats(&walls);
+        assert_eq!(p50, Duration::from_millis(5));
+        assert_eq!(p95, Duration::from_millis(10));
+        // mean = 5.5ms, max = 10ms.
+        assert!((skew - 10.0 / 5.5).abs() < 1e-9);
+        assert_eq!(wall_stats(&[]), (Duration::ZERO, Duration::ZERO, 0.0));
+        let (p50, _, skew) = wall_stats(&[Duration::from_millis(7)]);
+        assert_eq!(p50, Duration::from_millis(7));
+        assert!((skew - 1.0).abs() < 1e-9);
+    }
+}

@@ -16,13 +16,33 @@ use crate::error::Result;
 use crate::metrics::ExecMetrics;
 
 /// Supplies rows for a scan node.
-pub trait ScanProvider: Debug {
+///
+/// `Send + Sync` is a supertrait because the split-parallel executor shares
+/// one provider across scoped worker threads, each calling
+/// [`ScanProvider::scan_split`] for a different split.
+pub trait ScanProvider: Debug + Send + Sync {
     /// Output schema of the scan (what downstream expressions resolve
     /// against).
     fn schema(&self) -> &Schema;
 
     /// Read all rows, charging read time/bytes to `metrics`.
     fn scan(&self, metrics: &mut ExecMetrics) -> Result<Vec<Vec<Cell>>>;
+
+    /// Number of independently scannable splits. The default of 1 keeps a
+    /// provider on the serial path; providers that can read splits
+    /// independently override this together with [`ScanProvider::scan_split`].
+    fn split_count(&self) -> usize {
+        1
+    }
+
+    /// Read the rows of one split (`0 <= split < split_count()`), charging
+    /// that split's read time/bytes to `metrics`. Concatenating the outputs
+    /// of every split in index order must equal [`ScanProvider::scan`].
+    fn scan_split(&self, split: usize, metrics: &mut ExecMetrics) -> Result<Vec<Vec<Cell>>> {
+        debug_assert_eq!(split, 0, "default provider has a single split");
+        let _ = split;
+        self.scan(metrics)
+    }
 
     /// Short label for plan display.
     fn label(&self) -> String;
@@ -83,43 +103,53 @@ impl ScanProvider for NorcScanProvider {
     }
 
     fn scan(&self, metrics: &mut ExecMetrics) -> Result<Vec<Vec<Cell>>> {
-        let start = Instant::now();
         let mut rows = Vec::new();
         for split_idx in 0..self.table.file_count() {
-            let file = self.table.open_split(split_idx)?;
-            let keep: Option<Vec<bool>> = self.sarg.as_ref().map(|s| {
-                // Match ORC: only single-stripe files support skipping here,
-                // mirroring the restriction the paper inherits (§IV-F).
-                if file.stripe_count() <= 1 {
-                    s.keep_array(file.row_groups())
-                } else {
-                    vec![true; file.row_group_count()]
-                }
-            });
-            if let Some(keep) = &keep {
-                let skipped = keep.iter().filter(|k| !**k).count() as u64;
-                metrics.row_groups_skipped += skipped;
-                metrics.row_groups_read += keep.len() as u64 - skipped;
+            rows.extend(self.scan_split(split_idx, metrics)?);
+        }
+        Ok(rows)
+    }
+
+    fn split_count(&self) -> usize {
+        self.table.file_count()
+    }
+
+    fn scan_split(&self, split: usize, metrics: &mut ExecMetrics) -> Result<Vec<Vec<Cell>>> {
+        let start = Instant::now();
+        let mut rows = Vec::new();
+        let file = self.table.open_split(split)?;
+        let keep: Option<Vec<bool>> = self.sarg.as_ref().map(|s| {
+            // Match ORC: only single-stripe files support skipping here,
+            // mirroring the restriction the paper inherits (§IV-F).
+            if file.stripe_count() <= 1 {
+                s.keep_array(file.row_groups())
             } else {
-                metrics.row_groups_read += file.row_group_count() as u64;
+                vec![true; file.row_group_count()]
             }
-            let cols = file.read_columns(&self.projection, keep.as_deref())?;
-            let n = cols.first().map_or(0, |c| c.len());
-            for i in 0..n {
-                if let Some((ci, filter)) = &self.prefilter {
-                    // Sparser-style raw rejection: sound because the needles
-                    // are required by the predicate the Filter re-checks.
-                    if let Cell::Str(json) = cols[*ci].get(i) {
-                        if !filter.maybe_matches(&json) {
-                            metrics.prefilter_dropped += 1;
-                            continue;
-                        }
+        });
+        if let Some(keep) = &keep {
+            let skipped = keep.iter().filter(|k| !**k).count() as u64;
+            metrics.row_groups_skipped += skipped;
+            metrics.row_groups_read += keep.len() as u64 - skipped;
+        } else {
+            metrics.row_groups_read += file.row_group_count() as u64;
+        }
+        let cols = file.read_columns(&self.projection, keep.as_deref())?;
+        let n = cols.first().map_or(0, |c| c.len());
+        for i in 0..n {
+            if let Some((ci, filter)) = &self.prefilter {
+                // Sparser-style raw rejection: sound because the needles
+                // are required by the predicate the Filter re-checks.
+                if let Cell::Str(json) = cols[*ci].get(i) {
+                    if !filter.maybe_matches(&json) {
+                        metrics.prefilter_dropped += 1;
+                        continue;
                     }
                 }
-                let row: Vec<Cell> = cols.iter().map(|c| c.get(i)).collect();
-                metrics.bytes_read += row.iter().map(Cell::byte_size).sum::<usize>() as u64;
-                rows.push(row);
             }
+            let row: Vec<Cell> = cols.iter().map(|c| c.get(i)).collect();
+            metrics.bytes_read += row.iter().map(Cell::byte_size).sum::<usize>() as u64;
+            rows.push(row);
         }
         metrics.rows_scanned += rows.len() as u64;
         metrics.read += start.elapsed();
@@ -248,6 +278,25 @@ mod tests {
         let rows = p.scan(&mut m).unwrap();
         assert_eq!(m.row_groups_skipped, 0, "multi-stripe file must not skip");
         assert_eq!(rows.len(), 20);
+        p.table.drop_table().unwrap();
+    }
+
+    #[test]
+    fn split_scan_concatenation_matches_whole_scan() {
+        let t = make_table("splits", &[7, 5, 9], 4);
+        let p = NorcScanProvider::new(t, vec![0, 1], None).unwrap();
+        assert_eq!(p.split_count(), 3);
+        let mut whole_m = ExecMetrics::default();
+        let whole = p.scan(&mut whole_m).unwrap();
+        let mut split_m = ExecMetrics::default();
+        let mut stitched = Vec::new();
+        for s in 0..p.split_count() {
+            stitched.extend(p.scan_split(s, &mut split_m).unwrap());
+        }
+        assert_eq!(stitched, whole);
+        assert_eq!(split_m.rows_scanned, whole_m.rows_scanned);
+        assert_eq!(split_m.bytes_read, whole_m.bytes_read);
+        assert_eq!(split_m.row_groups_read, whole_m.row_groups_read);
         p.table.drop_table().unwrap();
     }
 

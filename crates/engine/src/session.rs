@@ -16,7 +16,7 @@ use maxson_json::JsonPath;
 use maxson_storage::{Catalog, Cell, CmpOp, ColumnType, Field, Schema, SearchArgument};
 
 use crate::error::{EngineError, Result};
-use crate::exec::execute_plan;
+use crate::exec::{execute_plan_with, ExecOptions};
 use crate::expr::Expr;
 pub use crate::expr::JsonParserKind;
 use crate::metrics::ExecMetrics;
@@ -120,6 +120,9 @@ pub struct Session {
     rewriter: Option<Box<dyn TableScanRewriter>>,
     /// Sparser-style raw prefiltering on JSON equality predicates.
     prefilter_enabled: bool,
+    /// Explicit worker-thread override. `None` defers to `MAXSON_THREADS`
+    /// (default: available cores); `Some(1)` forces the serial path.
+    threads: Option<usize>,
 }
 
 impl Session {
@@ -130,7 +133,29 @@ impl Session {
             parser_kind: JsonParserKind::Jackson,
             rewriter: None,
             prefilter_enabled: false,
+            threads: None,
         })
+    }
+
+    /// Set (or clear) the worker-thread count for split-parallel execution.
+    /// `None` resolves from the environment at each `execute` call
+    /// (`MAXSON_THREADS`, defaulting to available cores); `Some(1)` pins the
+    /// serial reference path. Tests prefer this over the env var to avoid
+    /// process-global races.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+    }
+
+    /// Current explicit thread override, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    fn exec_options(&self) -> ExecOptions {
+        match self.threads {
+            Some(n) => ExecOptions::with_threads(n),
+            None => ExecOptions::from_env(),
+        }
     }
 
     /// Enable/disable the Sparser-style raw prefilter: when a predicate
@@ -201,7 +226,7 @@ impl Session {
             ..Default::default()
         };
         let start = Instant::now();
-        let rows = execute_plan(&plan, self.parser_kind, &mut metrics)?;
+        let rows = execute_plan_with(&plan, self.parser_kind, &mut metrics, self.exec_options())?;
         metrics.total = start.elapsed();
         Ok(QueryResult {
             columns: names,

@@ -75,105 +75,127 @@ impl ScanProvider for CombinedScanProvider {
     }
 
     fn scan(&self, metrics: &mut ExecMetrics) -> maxson_engine::Result<Vec<Vec<Cell>>> {
+        let mut rows: Vec<Vec<Cell>> = Vec::new();
+        for split in 0..self.split_count() {
+            rows.extend(self.scan_split(split, metrics)?);
+        }
+        Ok(rows)
+    }
+
+    fn split_count(&self) -> usize {
+        // Cache files are written one per raw file, so the cache file count
+        // IS the split count (and covers cache-only scans too).
+        self.cache.file_count()
+    }
+
+    /// One split = the raw file and cache file with the same index, read by
+    /// the paired PrimaryReader/CacheReader. Keeping the pair inside a
+    /// single split task is what lets the split-parallel executor fan scans
+    /// out without touching Algorithm 2 (positional stitch) or Algorithm 3
+    /// (shared SARG skips): both stay split-local.
+    fn scan_split(
+        &self,
+        split: usize,
+        metrics: &mut ExecMetrics,
+    ) -> maxson_engine::Result<Vec<Vec<Cell>>> {
         let start = Instant::now();
         let mut rows: Vec<Vec<Cell>> = Vec::new();
-        let split_count = self.cache.file_count();
-        for split in 0..split_count {
-            let cache_file = self.cache.open_split(split).map_err(engine_err)?;
+        let cache_file = self.cache.open_split(split).map_err(engine_err)?;
 
-            // Algorithm 3: evaluate the cache-side SARG against the cache
-            // file's row-group stats (single-stripe files only).
-            let cache_keep: Option<Vec<bool>> = self.cache_sarg.as_ref().map(|sarg| {
-                if cache_file.stripe_count() <= 1 {
-                    sarg.keep_array(cache_file.row_groups())
-                } else {
-                    vec![true; cache_file.row_group_count()]
-                }
-            });
-
-            if self.is_cache_only() {
-                let keep = cache_keep;
-                count_rg(metrics, &keep, cache_file.row_group_count());
-                let cols = cache_file
-                    .read_columns(&self.cache_projection, keep.as_deref())
-                    .map_err(engine_err)?;
-                let n = cols.first().map_or(0, |c| c.len());
-                for i in 0..n {
-                    let row: Vec<Cell> = cols.iter().map(|c| c.get(i)).collect();
-                    metrics.bytes_read += row.iter().map(Cell::byte_size).sum::<usize>() as u64;
-                    metrics.cache_hits += self.cache_projection.len() as u64;
-                    rows.push(row);
-                }
-                continue;
-            }
-
-            let raw_table = self.raw.as_ref().expect("raw table present");
-            let raw_file = raw_table.open_split(split).map_err(engine_err)?;
-
-            // The alignment invariant of §IV-C. If it does not hold (e.g.
-            // the raw table changed underneath us) fail loudly rather than
-            // stitch misaligned rows.
-            if raw_file.num_rows() != cache_file.num_rows() {
-                return Err(maxson_engine::EngineError::exec(format!(
-                    "cache misalignment on split {split}: raw has {} rows, cache has {}",
-                    raw_file.num_rows(),
-                    cache_file.num_rows()
-                )));
-            }
-
-            // Combine keep arrays. Sharing requires identical row-group
-            // boundaries; otherwise fall back to reading everything.
-            let aligned_groups = raw_file.row_group_count() == cache_file.row_group_count()
-                && raw_file.stripe_count() <= 1
-                && cache_file.stripe_count() <= 1;
-            let raw_keep: Option<Vec<bool>> = self.raw_sarg.as_ref().map(|sarg| {
-                if raw_file.stripe_count() <= 1 {
-                    sarg.keep_array(raw_file.row_groups())
-                } else {
-                    vec![true; raw_file.row_group_count()]
-                }
-            });
-            let shared_keep: Option<Vec<bool>> = if aligned_groups {
-                match (&raw_keep, &cache_keep) {
-                    (Some(r), Some(c)) => Some(r.iter().zip(c).map(|(a, b)| *a && *b).collect()),
-                    (Some(r), None) => Some(r.clone()),
-                    (None, Some(c)) => Some(c.clone()),
-                    (None, None) => None,
-                }
+        // Algorithm 3: evaluate the cache-side SARG against the cache
+        // file's row-group stats (single-stripe files only).
+        let cache_keep: Option<Vec<bool>> = self.cache_sarg.as_ref().map(|sarg| {
+            if cache_file.stripe_count() <= 1 {
+                sarg.keep_array(cache_file.row_groups())
             } else {
-                // Cannot share: only the raw-side SARG can be applied, and
-                // only consistently on both readers, so read everything.
-                None
-            };
-            count_rg(metrics, &shared_keep, cache_file.row_group_count());
+                vec![true; cache_file.row_group_count()]
+            }
+        });
 
-            let raw_cols = raw_file
-                .read_columns(&self.raw_projection, shared_keep.as_deref())
+        if self.is_cache_only() {
+            let keep = cache_keep;
+            count_rg(metrics, &keep, cache_file.row_group_count());
+            let cols = cache_file
+                .read_columns(&self.cache_projection, keep.as_deref())
                 .map_err(engine_err)?;
-            let cache_cols = cache_file
-                .read_columns(&self.cache_projection, shared_keep.as_deref())
-                .map_err(engine_err)?;
-            let n = raw_cols
-                .first()
-                .map(|c| c.len())
-                .or_else(|| cache_cols.first().map(|c| c.len()))
-                .unwrap_or(0);
-
-            // Algorithm 2: positional stitch of the two readers' outputs
-            // into the output schema (raw fields then cache fields).
+            let n = cols.first().map_or(0, |c| c.len());
             for i in 0..n {
-                let mut row: Vec<Cell> =
-                    Vec::with_capacity(self.raw_projection.len() + self.cache_projection.len());
-                for c in &raw_cols {
-                    row.push(c.get(i));
-                }
-                for c in &cache_cols {
-                    row.push(c.get(i));
-                }
+                let row: Vec<Cell> = cols.iter().map(|c| c.get(i)).collect();
                 metrics.bytes_read += row.iter().map(Cell::byte_size).sum::<usize>() as u64;
                 metrics.cache_hits += self.cache_projection.len() as u64;
                 rows.push(row);
             }
+            metrics.rows_scanned += rows.len() as u64;
+            metrics.read += start.elapsed();
+            return Ok(rows);
+        }
+
+        let raw_table = self.raw.as_ref().expect("raw table present");
+        let raw_file = raw_table.open_split(split).map_err(engine_err)?;
+
+        // The alignment invariant of §IV-C. If it does not hold (e.g.
+        // the raw table changed underneath us) fail loudly rather than
+        // stitch misaligned rows.
+        if raw_file.num_rows() != cache_file.num_rows() {
+            return Err(maxson_engine::EngineError::exec(format!(
+                "cache misalignment on split {split}: raw has {} rows, cache has {}",
+                raw_file.num_rows(),
+                cache_file.num_rows()
+            )));
+        }
+
+        // Combine keep arrays. Sharing requires identical row-group
+        // boundaries; otherwise fall back to reading everything.
+        let aligned_groups = raw_file.row_group_count() == cache_file.row_group_count()
+            && raw_file.stripe_count() <= 1
+            && cache_file.stripe_count() <= 1;
+        let raw_keep: Option<Vec<bool>> = self.raw_sarg.as_ref().map(|sarg| {
+            if raw_file.stripe_count() <= 1 {
+                sarg.keep_array(raw_file.row_groups())
+            } else {
+                vec![true; raw_file.row_group_count()]
+            }
+        });
+        let shared_keep: Option<Vec<bool>> = if aligned_groups {
+            match (&raw_keep, &cache_keep) {
+                (Some(r), Some(c)) => Some(r.iter().zip(c).map(|(a, b)| *a && *b).collect()),
+                (Some(r), None) => Some(r.clone()),
+                (None, Some(c)) => Some(c.clone()),
+                (None, None) => None,
+            }
+        } else {
+            // Cannot share: only the raw-side SARG can be applied, and
+            // only consistently on both readers, so read everything.
+            None
+        };
+        count_rg(metrics, &shared_keep, cache_file.row_group_count());
+
+        let raw_cols = raw_file
+            .read_columns(&self.raw_projection, shared_keep.as_deref())
+            .map_err(engine_err)?;
+        let cache_cols = cache_file
+            .read_columns(&self.cache_projection, shared_keep.as_deref())
+            .map_err(engine_err)?;
+        let n = raw_cols
+            .first()
+            .map(|c| c.len())
+            .or_else(|| cache_cols.first().map(|c| c.len()))
+            .unwrap_or(0);
+
+        // Algorithm 2: positional stitch of the two readers' outputs
+        // into the output schema (raw fields then cache fields).
+        for i in 0..n {
+            let mut row: Vec<Cell> =
+                Vec::with_capacity(self.raw_projection.len() + self.cache_projection.len());
+            for c in &raw_cols {
+                row.push(c.get(i));
+            }
+            for c in &cache_cols {
+                row.push(c.get(i));
+            }
+            metrics.bytes_read += row.iter().map(Cell::byte_size).sum::<usize>() as u64;
+            metrics.cache_hits += self.cache_projection.len() as u64;
+            rows.push(row);
         }
         metrics.rows_scanned += rows.len() as u64;
         metrics.read += start.elapsed();
@@ -356,6 +378,36 @@ mod tests {
         assert_eq!(rows.len(), 40);
         assert_eq!(m.cache_hits, 40);
         assert!(p.label().contains("cache-only"));
+        std::fs::remove_dir_all(rd).ok();
+        std::fs::remove_dir_all(cd).ok();
+    }
+
+    #[test]
+    fn split_scan_concatenation_matches_whole_scan() {
+        let (raw, cache, rd, cd) = setup("splitpair");
+        let sarg = SearchArgument::new().with(0, CmpOp::GtEq, Cell::Int(150));
+        let p = CombinedScanProvider::new(
+            Some(raw),
+            vec![0],
+            cache,
+            vec![0],
+            out_schema(),
+            None,
+            Some(sarg),
+        );
+        assert_eq!(p.split_count(), 2);
+        let mut whole_m = ExecMetrics::default();
+        let whole = p.scan(&mut whole_m).unwrap();
+        let mut split_m = ExecMetrics::default();
+        let mut stitched = Vec::new();
+        for s in 0..p.split_count() {
+            stitched.extend(p.scan_split(s, &mut split_m).unwrap());
+        }
+        assert_eq!(stitched, whole);
+        assert_eq!(split_m.rows_scanned, whole_m.rows_scanned);
+        assert_eq!(split_m.row_groups_skipped, whole_m.row_groups_skipped);
+        assert_eq!(split_m.row_groups_read, whole_m.row_groups_read);
+        assert_eq!(split_m.cache_hits, whole_m.cache_hits);
         std::fs::remove_dir_all(rd).ok();
         std::fs::remove_dir_all(cd).ok();
     }

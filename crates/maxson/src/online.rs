@@ -7,10 +7,9 @@
 //! serves cached columns from memory, parses misses on the spot (charging
 //! parse time), and inserts them into the LRU.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use maxson_engine::metrics::ExecMetrics;
@@ -24,7 +23,7 @@ use maxson_trace::JsonPathLocation;
 /// One cached value column.
 #[derive(Debug)]
 struct LruEntry {
-    values: Rc<Vec<Cell>>,
+    values: Arc<Vec<Cell>>,
     bytes: u64,
     /// Raw table modification time at insert (for invalidation).
     table_version: u64,
@@ -71,7 +70,7 @@ impl LruStats {
 pub struct OnlineLruRewriter {
     catalog: Catalog,
     budget_bytes: u64,
-    state: Rc<RefCell<LruState>>,
+    state: Arc<Mutex<LruState>>,
 }
 
 impl OnlineLruRewriter {
@@ -80,13 +79,13 @@ impl OnlineLruRewriter {
         Ok(OnlineLruRewriter {
             catalog: Catalog::open(root.into())?,
             budget_bytes,
-            state: Rc::new(RefCell::new(LruState::default())),
+            state: Arc::new(Mutex::new(LruState::default())),
         })
     }
 
     /// Current counters.
     pub fn stats(&self) -> LruStats {
-        let s = self.state.borrow();
+        let s = self.state.lock().expect("lru state lock");
         LruStats {
             hits: s.hits,
             misses: s.misses,
@@ -139,7 +138,7 @@ impl TableScanRewriter for OnlineLruRewriter {
             raw_projection,
             calls: call_fields,
             out_schema,
-            state: Rc::clone(&self.state),
+            state: Arc::clone(&self.state),
             budget_bytes: self.budget_bytes,
         };
         Ok(Some(ScanRewrite {
@@ -157,7 +156,7 @@ struct LruBackedProvider {
     raw_projection: Vec<usize>,
     calls: Vec<(String, String)>,
     out_schema: Schema,
-    state: Rc<RefCell<LruState>>,
+    state: Arc<Mutex<LruState>>,
     budget_bytes: u64,
 }
 
@@ -191,7 +190,7 @@ impl ScanProvider for LruBackedProvider {
 
         // Resolve every call: hit -> cached column; miss -> parse now.
         let version = self.table.modified_at();
-        let mut call_columns: Vec<Rc<Vec<Cell>>> = Vec::with_capacity(self.calls.len());
+        let mut call_columns: Vec<Arc<Vec<Cell>>> = Vec::with_capacity(self.calls.len());
         for (column, path) in &self.calls {
             let loc = JsonPathLocation::new(
                 self.database.clone(),
@@ -201,25 +200,25 @@ impl ScanProvider for LruBackedProvider {
             );
             let key = loc.key();
             let hit = {
-                let mut st = self.state.borrow_mut();
+                let mut st = self.state.lock().expect("lru state lock");
                 st.clock += 1;
                 let clock = st.clock;
                 match st.entries.get_mut(&key) {
                     Some(e) if e.table_version == version => {
                         e.last_used = clock;
-                        Some(Rc::clone(&e.values))
+                        Some(Arc::clone(&e.values))
                     }
                     _ => None,
                 }
             };
             if let Some(values) = hit {
-                self.state.borrow_mut().hits += 1;
+                self.state.lock().expect("lru state lock").hits += 1;
                 metrics.cache_hits += values.len() as u64;
                 call_columns.push(values);
                 continue;
             }
             // Miss: parse the whole column (the first query pays, §III-A).
-            self.state.borrow_mut().misses += 1;
+            self.state.lock().expect("lru state lock").misses += 1;
             let col_idx = self
                 .table
                 .schema()
@@ -247,10 +246,10 @@ impl ScanProvider for LruBackedProvider {
                 }
                 metrics.parse += parse_start.elapsed();
             }
-            let values = Rc::new(values);
+            let values = Arc::new(values);
             // Insert with LRU eviction.
             {
-                let mut st = self.state.borrow_mut();
+                let mut st = self.state.lock().expect("lru state lock");
                 st.clock += 1;
                 let clock = st.clock;
                 while st.used_bytes + bytes > self.budget_bytes && !st.entries.is_empty() {
@@ -269,7 +268,7 @@ impl ScanProvider for LruBackedProvider {
                     st.entries.insert(
                         key,
                         LruEntry {
-                            values: Rc::clone(&values),
+                            values: Arc::clone(&values),
                             bytes,
                             table_version: version,
                             last_used: clock,
@@ -357,21 +356,21 @@ mod tests {
     fn first_access_misses_then_hits() {
         let (mut session, root) = setup("hits");
         let lru = OnlineLruRewriter::open(&root, u64::MAX).unwrap();
-        let stats_handle = Rc::clone(&lru.state);
+        let stats_handle = Arc::clone(&lru.state);
         session.set_scan_rewriter(Some(Box::new(lru)));
         let sql = "select get_json_object(payload, '$.a') as a from db.t";
         let r1 = session.execute(sql).unwrap();
         assert_eq!(r1.rows.len(), 30);
         assert_eq!(r1.rows[5][0], Cell::Str("5".into()));
         {
-            let st = stats_handle.borrow();
+            let st = stats_handle.lock().unwrap();
             assert_eq!(st.misses, 1);
             assert_eq!(st.hits, 0);
         }
         let r2 = session.execute(sql).unwrap();
         assert_eq!(r2.rows, r1.rows);
         {
-            let st = stats_handle.borrow();
+            let st = stats_handle.lock().unwrap();
             assert_eq!(st.misses, 1);
             assert_eq!(st.hits, 1);
         }
@@ -385,7 +384,7 @@ mod tests {
         let (mut session, root) = setup("evict");
         // Budget fits roughly one column of small values.
         let lru = OnlineLruRewriter::open(&root, 80).unwrap();
-        let state = Rc::clone(&lru.state);
+        let state = Arc::clone(&lru.state);
         session.set_scan_rewriter(Some(Box::new(lru)));
         session
             .execute("select get_json_object(payload, '$.a') as a from db.t")
@@ -394,7 +393,7 @@ mod tests {
             .execute("select get_json_object(payload, '$.b') as b from db.t")
             .unwrap();
         {
-            let st = state.borrow();
+            let st = state.lock().unwrap();
             assert!(st.entries.len() <= 1, "budget forces eviction");
             assert!(st.used_bytes <= 80);
         }
@@ -402,7 +401,7 @@ mod tests {
         session
             .execute("select get_json_object(payload, '$.a') as a from db.t")
             .unwrap();
-        assert_eq!(state.borrow().misses, 3);
+        assert_eq!(state.lock().unwrap().misses, 3);
         std::fs::remove_dir_all(&root).ok();
     }
 
@@ -410,11 +409,11 @@ mod tests {
     fn table_update_invalidates_entries() {
         let (mut session, root) = setup("invalidate");
         let lru = OnlineLruRewriter::open(&root, u64::MAX).unwrap();
-        let state = Rc::clone(&lru.state);
+        let state = Arc::clone(&lru.state);
         session.set_scan_rewriter(Some(Box::new(lru)));
         let sql = "select get_json_object(payload, '$.a') as a from db.t";
         session.execute(sql).unwrap();
-        assert_eq!(state.borrow().misses, 1);
+        assert_eq!(state.lock().unwrap().misses, 1);
         // Append new data: version bump.
         session
             .catalog_mut()
@@ -431,12 +430,16 @@ mod tests {
         // is stale — reopen to simulate the next planning cycle.
         let lru2 = OnlineLruRewriter::open(&root, u64::MAX).unwrap();
         // Carry over the old state to prove invalidation (versions differ).
-        *lru2.state.borrow_mut() = std::mem::take(&mut state.borrow_mut());
-        let state2 = Rc::clone(&lru2.state);
+        *lru2.state.lock().unwrap() = std::mem::take(&mut state.lock().unwrap());
+        let state2 = Arc::clone(&lru2.state);
         session.set_scan_rewriter(Some(Box::new(lru2)));
         let r = session.execute(sql).unwrap();
         assert_eq!(r.rows.len(), 31);
-        assert_eq!(state2.borrow().misses, 2, "stale entry must not be served");
+        assert_eq!(
+            state2.lock().unwrap().misses,
+            2,
+            "stale entry must not be served"
+        );
         std::fs::remove_dir_all(&root).ok();
     }
 
