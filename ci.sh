@@ -15,6 +15,15 @@ cargo build --release --offline
 MAXSON_THREADS=1 cargo test -q --offline --workspace
 MAXSON_THREADS=4 cargo test -q --offline --workspace
 
+# And twice more across the shared-parse toggle, so every test also checks
+# the naive parse-per-call path against intra-query shared parsing.
+MAXSON_SHARED_PARSE=0 cargo test -q --offline --workspace
+MAXSON_SHARED_PARSE=1 cargo test -q --offline --workspace
+
 # Smoke-run the scaling benchmark (fast mode: 1 run per point); it asserts
 # rows are byte-identical across thread counts before reporting walls.
 MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_scaling
+
+# Smoke-run the parser benchmark (fast mode); it asserts the shared-parse
+# accounting invariant docs_parsed <= parse_calls on every query.
+MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig15_parsers

@@ -27,13 +27,16 @@ fn main() {
     let mut compute_s = Series::new("compute");
     let mut input_s = Series::new("input bytes");
 
+    let fast = std::env::var("MAXSON_BENCH_FAST").as_deref() == Ok("1");
+    let runs = if fast { 1 } else { 2 };
+
     for q in &picks {
         // Spark baseline.
         let spark = maxson_bench::fresh_session();
-        let (_, sm) = run_query_avg(&spark, &q.sql, 2);
+        let (_, sm) = run_query_avg(&spark, &q.sql, runs);
         // Maxson with a full-budget cache.
         let (maxson, _cached) = session_for(SystemKind::Maxson, &queries, u64::MAX, true);
-        let (_, mm) = run_query_avg(&maxson, &q.sql, 2);
+        let (_, mm) = run_query_avg(&maxson, &q.sql, runs);
 
         for (label, m) in [
             (format!("{} Spark", q.name), &sm),
@@ -44,6 +47,8 @@ fn main() {
             compute_s.push(label.clone(), m.compute().as_secs_f64());
             input_s.push(label, m.bytes_read as f64);
         }
+        report.note_parse_dedup(&format!("{} Spark", q.name), &sm);
+        report.note_parse_dedup(&format!("{} Maxson", q.name), &mm);
         println!(
             "{}: Spark parse {:.4}s / {} B input; Maxson parse {:.4}s / {} B input (rg skipped {})",
             q.name,

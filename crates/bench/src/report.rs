@@ -61,12 +61,31 @@ impl Report {
             maxson_engine::ExecOptions::from_env().threads,
             maxson_engine::exec::default_threads()
         ));
+        report.note(format!(
+            "shared parse: {} (MAXSON_SHARED_PARSE)",
+            if maxson_engine::ExecOptions::from_env().shared_parse {
+                "on"
+            } else {
+                "off"
+            }
+        ));
         report
     }
 
     /// Add a note line.
     pub fn note(&mut self, line: impl Into<String>) {
         self.notes.push(line.into());
+    }
+
+    /// Add a note recording one measured query's parse-dedup counters:
+    /// `parse_calls` evaluations served by `docs_parsed` actual parses.
+    pub fn note_parse_dedup(&mut self, label: &str, metrics: &maxson_engine::ExecMetrics) {
+        self.note(format!(
+            "{label}: parse_calls={} docs_parsed={} dedup={:.2}x",
+            metrics.parse_calls,
+            metrics.docs_parsed,
+            metrics.parse_dedup_factor()
+        ));
     }
 
     /// Add a series.

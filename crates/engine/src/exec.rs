@@ -36,6 +36,7 @@ use maxson_storage::Cell;
 
 use crate::error::{EngineError, Result};
 use crate::expr::{truthy, Expr, JsonParserKind};
+use crate::extract::{JsonExtractor, RowSlots};
 use crate::metrics::ExecMetrics;
 use crate::plan::LogicalPlan;
 use crate::pool;
@@ -48,30 +49,49 @@ pub struct ExecOptions {
     /// Maximum worker threads for split-parallel segments. `1` is the
     /// serial reference path (no pool involvement at all).
     pub threads: usize,
+    /// Intra-query shared-parse extraction: parse each JSON document once
+    /// per row and answer every path the query needs from that single
+    /// parse. Off = the naive one-parse-per-`get_json_object` baseline.
+    pub shared_parse: bool,
 }
 
 impl ExecOptions {
-    /// The serial reference configuration.
+    /// The serial reference configuration (shared-parse still follows the
+    /// `MAXSON_SHARED_PARSE` environment toggle).
     pub fn serial() -> Self {
-        ExecOptions { threads: 1 }
+        ExecOptions {
+            threads: 1,
+            shared_parse: shared_parse_from_env(),
+        }
     }
 
     /// Explicit thread count (clamped to at least 1).
     pub fn with_threads(threads: usize) -> Self {
         ExecOptions {
             threads: threads.max(1),
+            shared_parse: shared_parse_from_env(),
         }
     }
 
+    /// Override the shared-parse toggle (builder style).
+    pub fn with_shared_parse(mut self, on: bool) -> Self {
+        self.shared_parse = on;
+        self
+    }
+
     /// Resolve from the environment: `MAXSON_THREADS` if set to a positive
-    /// integer, otherwise the number of available cores.
+    /// integer (otherwise the number of available cores), and
+    /// `MAXSON_SHARED_PARSE` (default on; `0` disables).
     pub fn from_env() -> Self {
         let threads = std::env::var("MAXSON_THREADS")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or_else(default_threads);
-        ExecOptions { threads }
+        ExecOptions {
+            threads,
+            shared_parse: shared_parse_from_env(),
+        }
     }
 }
 
@@ -86,6 +106,13 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Resolve the `MAXSON_SHARED_PARSE` toggle: default on, `0` disables.
+pub fn shared_parse_from_env() -> bool {
+    std::env::var("MAXSON_SHARED_PARSE")
+        .map(|v| v.trim() != "0")
+        .unwrap_or(true)
 }
 
 /// Execute a plan to completion, returning the output rows. Threading is
@@ -105,20 +132,21 @@ pub fn execute_plan_with(
     metrics: &mut ExecMetrics,
     opts: ExecOptions,
 ) -> Result<Vec<Vec<Cell>>> {
-    if opts.threads > 1 {
-        if let Some(rows) = try_split_parallel(plan, parser, metrics, opts.threads)? {
-            return Ok(rows);
-        }
+    // Segment-shaped plans run through the unified scan pipeline at every
+    // thread count: it is what lets one row's parse be shared across the
+    // filter *and* the projection/aggregation above it.
+    if let Some(rows) = run_pipeline(plan, parser, metrics, opts)? {
+        return Ok(rows);
     }
     match plan {
         LogicalPlan::Scan { provider } => provider.scan(metrics),
         LogicalPlan::Filter { input, predicate } => {
             let rows = execute_plan_with(input, parser, metrics, opts)?;
-            filter_rows(rows, predicate, parser, metrics)
+            filter_rows(rows, predicate, parser, metrics, opts.shared_parse)
         }
         LogicalPlan::Project { input, exprs, .. } => {
             let rows = execute_plan_with(input, parser, metrics, opts)?;
-            project_exprs(rows, exprs, parser, metrics)
+            project_exprs(rows, exprs, parser, metrics, opts.shared_parse)
         }
         LogicalPlan::Aggregate {
             input,
@@ -127,7 +155,7 @@ pub fn execute_plan_with(
             ..
         } => {
             let rows = execute_plan_with(input, parser, metrics, opts)?;
-            aggregate(rows, group_by, aggs, parser, metrics)
+            aggregate(rows, group_by, aggs, parser, metrics, opts.shared_parse)
         }
         LogicalPlan::Join {
             left,
@@ -138,11 +166,19 @@ pub fn execute_plan_with(
         } => {
             let left_rows = execute_plan_with(left, parser, metrics, opts)?;
             let right_rows = execute_plan_with(right, parser, metrics, opts)?;
-            hash_join(left_rows, right_rows, left_key, right_key, parser, metrics)
+            hash_join(
+                left_rows,
+                right_rows,
+                left_key,
+                right_key,
+                parser,
+                metrics,
+                opts.shared_parse,
+            )
         }
         LogicalPlan::Sort { input, keys } => {
             let rows = execute_plan_with(input, parser, metrics, opts)?;
-            sort_rows(rows, keys, parser, metrics)
+            sort_rows(rows, keys, parser, metrics, opts.shared_parse)
         }
         LogicalPlan::Limit { input, n } => {
             let mut rows = execute_plan_with(input, parser, metrics, opts)?;
@@ -173,10 +209,13 @@ fn filter_rows(
     predicate: &Expr,
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
+    shared_parse: bool,
 ) -> Result<Vec<Vec<Cell>>> {
+    let extractor = shared_extractor(shared_parse, [predicate]);
     let mut out = Vec::new();
     for row in rows {
-        if truthy(&predicate.eval(&row, parser, metrics)?) {
+        let slots = extractor.as_ref().map(RowSlots::new);
+        if truthy(&predicate.eval_with(&row, parser, metrics, slots.as_ref())?) {
             out.push(row);
         }
     }
@@ -188,16 +227,32 @@ fn project_exprs(
     exprs: &[(Expr, String)],
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
+    shared_parse: bool,
 ) -> Result<Vec<Vec<Cell>>> {
+    let extractor = shared_extractor(shared_parse, exprs.iter().map(|(e, _)| e));
     let mut out = Vec::with_capacity(rows.len());
     for row in rows {
+        let slots = extractor.as_ref().map(RowSlots::new);
         let mut projected = Vec::with_capacity(exprs.len());
         for (e, _) in exprs {
-            projected.push(e.eval(&row, parser, metrics)?);
+            projected.push(e.eval_with(&row, parser, metrics, slots.as_ref())?);
         }
         out.push(projected);
     }
     Ok(out)
+}
+
+/// Build a shared-parse extractor over `exprs` when the toggle is on (and
+/// the expressions contain any JSON path at all).
+fn shared_extractor<'a>(
+    shared_parse: bool,
+    exprs: impl IntoIterator<Item = &'a Expr>,
+) -> Option<JsonExtractor> {
+    if shared_parse {
+        JsonExtractor::from_exprs(exprs)
+    } else {
+        None
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -213,10 +268,15 @@ struct PipelineSegment<'a> {
     filter: Option<&'a Expr>,
     project: Option<&'a [(Expr, String)]>,
     agg: Option<(&'a [Expr], &'a [(AggFunc, Option<Expr>)])>,
+    /// Shared-parse extraction sites across the *whole* segment (filter
+    /// plus projection or aggregation), so one row-parse serves every
+    /// stage. `None` when the toggle is off or no stage touches JSON.
+    /// Read-only, hence safely shared across split tasks.
+    extractor: Option<JsonExtractor>,
 }
 
 impl<'a> PipelineSegment<'a> {
-    fn extract(plan: &'a LogicalPlan) -> Option<Self> {
+    fn extract(plan: &'a LogicalPlan, shared_parse: bool) -> Option<Self> {
         fn base(plan: &LogicalPlan) -> Option<(&dyn ScanProvider, Option<&Expr>)> {
             match plan {
                 LogicalPlan::Scan { provider } => Some((provider.as_ref(), None)),
@@ -227,7 +287,7 @@ impl<'a> PipelineSegment<'a> {
                 _ => None,
             }
         }
-        match plan {
+        let mut segment = match plan {
             LogicalPlan::Aggregate {
                 input,
                 group_by,
@@ -235,49 +295,115 @@ impl<'a> PipelineSegment<'a> {
                 ..
             } => {
                 let (provider, filter) = base(input)?;
-                Some(PipelineSegment {
+                PipelineSegment {
                     provider,
                     filter,
                     project: None,
                     agg: Some((group_by, aggs)),
-                })
+                    extractor: None,
+                }
             }
             LogicalPlan::Project { input, exprs, .. } => {
                 let (provider, filter) = base(input)?;
-                Some(PipelineSegment {
+                PipelineSegment {
                     provider,
                     filter,
                     project: Some(exprs),
                     agg: None,
-                })
+                    extractor: None,
+                }
             }
             other => {
                 let (provider, filter) = base(other)?;
-                Some(PipelineSegment {
+                PipelineSegment {
                     provider,
                     filter,
                     project: None,
                     agg: None,
-                })
+                    extractor: None,
+                }
             }
+        };
+        if shared_parse {
+            let mut exprs: Vec<&Expr> = Vec::new();
+            if let Some(p) = segment.filter {
+                exprs.push(p);
+            }
+            if let Some(list) = segment.project {
+                exprs.extend(list.iter().map(|(e, _)| e));
+            }
+            if let Some((group_by, aggs)) = segment.agg {
+                exprs.extend(group_by.iter());
+                exprs.extend(aggs.iter().filter_map(|(_, a)| a.as_ref()));
+            }
+            segment.extractor = JsonExtractor::from_exprs(exprs);
+        }
+        Some(segment)
+    }
+
+    /// Rows of one split (`None` = the provider's whole-table scan, used
+    /// for degenerate zero-split providers).
+    fn scan_rows(&self, split: Option<usize>, metrics: &mut ExecMetrics) -> Result<Vec<Vec<Cell>>> {
+        match split {
+            Some(s) => self.provider.scan_split(s, metrics),
+            None => self.provider.scan(metrics),
         }
     }
 
-    /// Scan one split and run the filter (and projection, if any) over it.
+    /// Scan one split and run the filter (and projection, if any) over it,
+    /// row at a time so both stages share one [`RowSlots`] — the filter's
+    /// parse is reused by the projection.
     fn run_rows(
         &self,
-        split: usize,
+        split: Option<usize>,
         parser: JsonParserKind,
         metrics: &mut ExecMetrics,
     ) -> Result<Vec<Vec<Cell>>> {
-        let mut rows = self.provider.scan_split(split, metrics)?;
-        if let Some(predicate) = self.filter {
-            rows = filter_rows(rows, predicate, parser, metrics)?;
+        let rows = self.scan_rows(split, metrics)?;
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let slots = self.extractor.as_ref().map(RowSlots::new);
+            if let Some(predicate) = self.filter {
+                if !truthy(&predicate.eval_with(&row, parser, metrics, slots.as_ref())?) {
+                    continue;
+                }
+            }
+            match self.project {
+                Some(exprs) => {
+                    let mut projected = Vec::with_capacity(exprs.len());
+                    for (e, _) in exprs {
+                        projected.push(e.eval_with(&row, parser, metrics, slots.as_ref())?);
+                    }
+                    out.push(projected);
+                }
+                None => out.push(row),
+            }
         }
-        if let Some(exprs) = self.project {
-            rows = project_exprs(rows, exprs, parser, metrics)?;
+        Ok(out)
+    }
+
+    /// Scan one split and fold it into an aggregate partial, sharing each
+    /// row's parse between the filter and the group-key/argument
+    /// evaluations.
+    fn run_agg(
+        &self,
+        split: Option<usize>,
+        partial: &mut AggPartial,
+        parser: JsonParserKind,
+        metrics: &mut ExecMetrics,
+    ) -> Result<()> {
+        let (group_by, aggs) = self.agg.expect("run_agg requires an aggregate segment");
+        let rows = self.scan_rows(split, metrics)?;
+        for row in rows {
+            let slots = self.extractor.as_ref().map(RowSlots::new);
+            if let Some(predicate) = self.filter {
+                if !truthy(&predicate.eval_with(&row, parser, metrics, slots.as_ref())?) {
+                    continue;
+                }
+            }
+            partial.update(&row, group_by, aggs, parser, metrics, slots.as_ref())?;
         }
-        Ok(rows)
+        Ok(())
     }
 }
 
@@ -295,29 +421,56 @@ fn note_pool_run(metrics: &mut ExecMetrics, threads_spawned: usize, walls: &[std
     metrics.absorb(&run);
 }
 
-/// Try to run `plan` as a split-parallel pipeline segment. Returns
-/// `Ok(None)` when the plan shape or split count does not qualify, in which
-/// case the caller falls back to the serial operators.
-fn try_split_parallel(
+/// Run `plan` through the unified scan pipeline if it has segment shape.
+/// Returns `Ok(None)` when the plan shape does not qualify, in which case
+/// the caller falls back to the per-operator path. Serial execution (one
+/// thread, or fewer than two splits) walks the splits sequentially on the
+/// calling thread in index order — provably the same rows and metrics as
+/// the old chained operators, since `scan()` is exactly that loop — while
+/// parallel execution fans splits out over the pool.
+fn run_pipeline(
     plan: &LogicalPlan,
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
-    threads: usize,
+    opts: ExecOptions,
 ) -> Result<Option<Vec<Vec<Cell>>>> {
-    let Some(segment) = PipelineSegment::extract(plan) else {
+    let Some(segment) = PipelineSegment::extract(plan, opts.shared_parse) else {
         return Ok(None);
     };
     let splits = segment.provider.split_count();
-    // Single-split (and empty) tables stay serial: spawning threads for one
-    // task buys nothing and must not change observable behavior.
-    if splits <= 1 {
-        return Ok(None);
+    // Single-split (and empty) tables stay serial even with many threads:
+    // spawning threads for one task buys nothing and must not change
+    // observable behavior (threads_used stays 0).
+    if opts.threads <= 1 || splits <= 1 {
+        // Degenerate providers report zero splits; run their whole-table
+        // `scan()` as one pseudo-split to preserve their behavior.
+        let split_ids: Vec<Option<usize>> = if splits == 0 {
+            vec![None]
+        } else {
+            (0..splits).map(Some).collect()
+        };
+        match segment.agg {
+            None => {
+                let mut out = Vec::new();
+                for split in split_ids {
+                    out.extend(segment.run_rows(split, parser, metrics)?);
+                }
+                return Ok(Some(out));
+            }
+            Some((group_by, aggs)) => {
+                let mut partial = AggPartial::new(group_by, aggs);
+                for split in split_ids {
+                    segment.run_agg(split, &mut partial, parser, metrics)?;
+                }
+                return Ok(Some(finish_aggregate(partial)));
+            }
+        }
     }
     match segment.agg {
         None => {
-            let run = pool::run_split_tasks(splits, threads, |split| {
+            let run = pool::run_split_tasks(splits, opts.threads, |split| {
                 let mut task_metrics = ExecMetrics::default();
-                let rows = segment.run_rows(split, parser, &mut task_metrics)?;
+                let rows = segment.run_rows(Some(split), parser, &mut task_metrics)?;
                 Ok((rows, task_metrics))
             })?;
             note_pool_run(metrics, run.threads_spawned, &run.task_walls);
@@ -329,10 +482,10 @@ fn try_split_parallel(
             Ok(Some(out))
         }
         Some((group_by, aggs)) => {
-            let run = pool::run_split_tasks(splits, threads, |split| {
+            let run = pool::run_split_tasks(splits, opts.threads, |split| {
                 let mut task_metrics = ExecMetrics::default();
-                let rows = segment.run_rows(split, parser, &mut task_metrics)?;
-                let partial = partial_aggregate(&rows, group_by, aggs, parser, &mut task_metrics)?;
+                let mut partial = AggPartial::new(group_by, aggs);
+                segment.run_agg(Some(split), &mut partial, parser, &mut task_metrics)?;
                 Ok((partial, task_metrics))
             })?;
             note_pool_run(metrics, run.threads_spawned, &run.task_walls);
@@ -568,6 +721,60 @@ enum AggPartial {
 }
 
 impl AggPartial {
+    /// Empty partial of the right shape for `group_by` / `aggs`.
+    fn new(group_by: &[Expr], aggs: &[(AggFunc, Option<Expr>)]) -> AggPartial {
+        if group_by.is_empty() {
+            AggPartial::Global(aggs.iter().map(|(f, _)| AggState::new(*f)).collect())
+        } else {
+            AggPartial::Grouped {
+                order: Vec::new(),
+                groups: HashMap::new(),
+            }
+        }
+    }
+
+    /// Fold one input row into this partial. `slots` (when present) shares
+    /// the row's JSON parse across group keys, aggregate arguments, and the
+    /// caller's already-evaluated filter.
+    fn update(
+        &mut self,
+        row: &[Cell],
+        group_by: &[Expr],
+        aggs: &[(AggFunc, Option<Expr>)],
+        parser: JsonParserKind,
+        metrics: &mut ExecMetrics,
+        slots: Option<&RowSlots<'_>>,
+    ) -> Result<()> {
+        let states = match self {
+            AggPartial::Global(states) => states,
+            AggPartial::Grouped { order, groups } => {
+                let mut keys = Vec::with_capacity(group_by.len());
+                let mut key_str = String::new();
+                for g in group_by {
+                    let k = g.eval_with(row, parser, metrics, slots)?;
+                    key_str.push_str(&k.key_string());
+                    key_str.push('\u{1}');
+                    keys.push(k);
+                }
+                let entry = groups.entry(key_str.clone()).or_insert_with(|| {
+                    order.push(key_str.clone());
+                    (keys, aggs.iter().map(|(f, _)| AggState::new(*f)).collect())
+                });
+                &mut entry.1
+            }
+        };
+        for (state, (_, arg)) in states.iter_mut().zip(aggs) {
+            match arg {
+                None => state.update(None),
+                Some(e) => {
+                    let v = e.eval_with(row, parser, metrics, slots)?;
+                    state.update(Some(&v));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Merge a later split's partial into this one, preserving this side's
     /// first-seen group order and appending the other side's new groups in
     /// their own first-seen order — exactly the order a serial pass over
@@ -608,56 +815,29 @@ impl AggPartial {
     }
 }
 
-/// Build the aggregate partial for one slice of input rows.
+/// Build the aggregate partial for one slice of input rows (first-seen
+/// group order for deterministic output). With `shared_parse`, each row
+/// parses its JSON documents once across group keys and aggregate args.
 fn partial_aggregate(
     rows: &[Vec<Cell>],
     group_by: &[Expr],
     aggs: &[(AggFunc, Option<Expr>)],
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
+    shared_parse: bool,
 ) -> Result<AggPartial> {
-    if group_by.is_empty() {
-        let mut states: Vec<AggState> = aggs.iter().map(|(f, _)| AggState::new(*f)).collect();
-        for row in rows {
-            for (state, (_, arg)) in states.iter_mut().zip(aggs) {
-                match arg {
-                    None => state.update(None),
-                    Some(e) => {
-                        let v = e.eval(row, parser, metrics)?;
-                        state.update(Some(&v));
-                    }
-                }
-            }
-        }
-        return Ok(AggPartial::Global(states));
-    }
-    // Hash grouping; remember first-seen order for deterministic output.
-    let mut groups: HashMap<String, (Vec<Cell>, Vec<AggState>)> = HashMap::new();
-    let mut order: Vec<String> = Vec::new();
+    let extractor = shared_extractor(
+        shared_parse,
+        group_by
+            .iter()
+            .chain(aggs.iter().filter_map(|(_, a)| a.as_ref())),
+    );
+    let mut partial = AggPartial::new(group_by, aggs);
     for row in rows {
-        let mut keys = Vec::with_capacity(group_by.len());
-        let mut key_str = String::new();
-        for g in group_by {
-            let k = g.eval(row, parser, metrics)?;
-            key_str.push_str(&k.key_string());
-            key_str.push('\u{1}');
-            keys.push(k);
-        }
-        let entry = groups.entry(key_str.clone()).or_insert_with(|| {
-            order.push(key_str.clone());
-            (keys, aggs.iter().map(|(f, _)| AggState::new(*f)).collect())
-        });
-        for (state, (_, arg)) in entry.1.iter_mut().zip(aggs) {
-            match arg {
-                None => state.update(None),
-                Some(e) => {
-                    let v = e.eval(row, parser, metrics)?;
-                    state.update(Some(&v));
-                }
-            }
-        }
+        let slots = extractor.as_ref().map(RowSlots::new);
+        partial.update(row, group_by, aggs, parser, metrics, slots.as_ref())?;
     }
-    Ok(AggPartial::Grouped { order, groups })
+    Ok(partial)
 }
 
 /// Finish a (possibly merged) partial into output rows.
@@ -691,8 +871,9 @@ fn aggregate(
     aggs: &[(AggFunc, Option<Expr>)],
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
+    shared_parse: bool,
 ) -> Result<Vec<Vec<Cell>>> {
-    let partial = partial_aggregate(&rows, group_by, aggs, parser, metrics)?;
+    let partial = partial_aggregate(&rows, group_by, aggs, parser, metrics, shared_parse)?;
     Ok(finish_aggregate(partial))
 }
 
@@ -703,12 +884,19 @@ fn hash_join(
     right_key: &Expr,
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
+    shared_parse: bool,
 ) -> Result<Vec<Vec<Cell>>> {
+    // Each side keys on one expression over its own rows, so the shared
+    // extractor covers that single expression (still worthwhile: a path
+    // repeated inside one key expression parses once).
+    let right_extractor = shared_extractor(shared_parse, [right_key]);
+    let left_extractor = shared_extractor(shared_parse, [left_key]);
     // Build on the right side.
     let mut table: HashMap<String, Vec<usize>> = HashMap::new();
     let mut right_keys = Vec::with_capacity(right_rows.len());
     for (i, row) in right_rows.iter().enumerate() {
-        let k = right_key.eval(row, parser, metrics)?;
+        let slots = right_extractor.as_ref().map(RowSlots::new);
+        let k = right_key.eval_with(row, parser, metrics, slots.as_ref())?;
         if !k.is_null() {
             table.entry(k.key_string()).or_default().push(i);
         }
@@ -716,7 +904,8 @@ fn hash_join(
     }
     let mut out = Vec::new();
     for lrow in &left_rows {
-        let k = left_key.eval(lrow, parser, metrics)?;
+        let slots = left_extractor.as_ref().map(RowSlots::new);
+        let k = left_key.eval_with(lrow, parser, metrics, slots.as_ref())?;
         if k.is_null() {
             continue;
         }
@@ -736,13 +925,16 @@ fn sort_rows(
     keys: &[(Expr, bool)],
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
+    shared_parse: bool,
 ) -> Result<Vec<Vec<Cell>>> {
+    let extractor = shared_extractor(shared_parse, keys.iter().map(|(e, _)| e));
     // Precompute sort keys once per row (get_json_object keys are costly).
     let mut keyed: Vec<(Vec<Cell>, Vec<Cell>)> = Vec::with_capacity(rows.len());
     for row in rows {
+        let slots = extractor.as_ref().map(RowSlots::new);
         let mut ks = Vec::with_capacity(keys.len());
         for (e, _) in keys {
-            ks.push(e.eval(&row, parser, metrics)?);
+            ks.push(e.eval_with(&row, parser, metrics, slots.as_ref())?);
         }
         keyed.push((ks, row));
     }
@@ -879,7 +1071,7 @@ mod tests {
             (AggFunc::Max, Some(Expr::Column(1))),
             (AggFunc::Avg, Some(Expr::Column(1))),
         ];
-        let out = aggregate(rows3(), &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        let out = aggregate(rows3(), &[], &aggs, JsonParserKind::Jackson, &mut m(), true).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0][0], Cell::Int(4)); // COUNT(*)
         assert_eq!(out[0][1], Cell::Int(3)); // COUNT(v) skips null
@@ -897,7 +1089,7 @@ mod tests {
             (AggFunc::Avg, Some(Expr::Column(0))),
             (AggFunc::Min, Some(Expr::Column(0))),
         ];
-        let out = aggregate(vec![], &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        let out = aggregate(vec![], &[], &aggs, JsonParserKind::Jackson, &mut m(), true).unwrap();
         assert_eq!(
             out[0],
             vec![Cell::Int(0), Cell::Null, Cell::Null, Cell::Null]
@@ -916,6 +1108,7 @@ mod tests {
             &aggs,
             JsonParserKind::Jackson,
             &mut m(),
+            true,
         )
         .unwrap();
         assert_eq!(out.len(), 3);
@@ -944,17 +1137,36 @@ mod tests {
             (AggFunc::Sum, Some(Expr::Column(0))),
             (AggFunc::Avg, Some(Expr::Column(0))),
         ];
-        let serial =
-            aggregate(rows.clone(), &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        let serial = aggregate(
+            rows.clone(),
+            &[],
+            &aggs,
+            JsonParserKind::Jackson,
+            &mut m(),
+            true,
+        )
+        .unwrap();
         for cut1 in 0..rows.len() {
             for cut2 in cut1..rows.len() {
-                let mut acc =
-                    partial_aggregate(&rows[..cut1], &[], &aggs, JsonParserKind::Jackson, &mut m())
-                        .unwrap();
+                let mut acc = partial_aggregate(
+                    &rows[..cut1],
+                    &[],
+                    &aggs,
+                    JsonParserKind::Jackson,
+                    &mut m(),
+                    true,
+                )
+                .unwrap();
                 for chunk in [&rows[cut1..cut2], &rows[cut2..]] {
-                    let part =
-                        partial_aggregate(chunk, &[], &aggs, JsonParserKind::Jackson, &mut m())
-                            .unwrap();
+                    let part = partial_aggregate(
+                        chunk,
+                        &[],
+                        &aggs,
+                        JsonParserKind::Jackson,
+                        &mut m(),
+                        true,
+                    )
+                    .unwrap();
                     acc.merge(part);
                 }
                 let merged = finish_aggregate(acc);
@@ -982,6 +1194,7 @@ mod tests {
             &aggs,
             JsonParserKind::Jackson,
             &mut m(),
+            true,
         )
         .unwrap();
         for cut in 0..=rows.len() {
@@ -991,6 +1204,7 @@ mod tests {
                 &aggs,
                 JsonParserKind::Jackson,
                 &mut m(),
+                true,
             )
             .unwrap();
             let rest = partial_aggregate(
@@ -999,6 +1213,7 @@ mod tests {
                 &aggs,
                 JsonParserKind::Jackson,
                 &mut m(),
+                true,
             )
             .unwrap();
             acc.merge(rest);
@@ -1010,12 +1225,33 @@ mod tests {
     fn count_distinct_merges_as_set_union() {
         let rows = rows3();
         let aggs = vec![(AggFunc::CountDistinct, Some(Expr::Column(0)))];
-        let serial =
-            aggregate(rows.clone(), &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
-        let mut acc =
-            partial_aggregate(&rows[..2], &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
-        let rest =
-            partial_aggregate(&rows[2..], &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        let serial = aggregate(
+            rows.clone(),
+            &[],
+            &aggs,
+            JsonParserKind::Jackson,
+            &mut m(),
+            true,
+        )
+        .unwrap();
+        let mut acc = partial_aggregate(
+            &rows[..2],
+            &[],
+            &aggs,
+            JsonParserKind::Jackson,
+            &mut m(),
+            true,
+        )
+        .unwrap();
+        let rest = partial_aggregate(
+            &rows[2..],
+            &[],
+            &aggs,
+            JsonParserKind::Jackson,
+            &mut m(),
+            true,
+        )
+        .unwrap();
         acc.merge(rest);
         assert_eq!(finish_aggregate(acc), serial);
         assert_eq!(serial[0][0], Cell::Int(3));
@@ -1041,6 +1277,7 @@ mod tests {
             &Expr::Column(0),
             JsonParserKind::Jackson,
             &mut m(),
+            true,
         )
         .unwrap();
         // Only key 2 matches, twice.
@@ -1061,6 +1298,7 @@ mod tests {
             &Expr::Column(0),
             JsonParserKind::Jackson,
             &mut m(),
+            true,
         )
         .unwrap();
         assert_eq!(out.len(), 1);
@@ -1074,7 +1312,7 @@ mod tests {
             vec![Cell::Str("a".into()), Cell::Int(1)],
         ];
         let keys = vec![(Expr::Column(0), true), (Expr::Column(1), false)];
-        let out = sort_rows(rows, &keys, JsonParserKind::Jackson, &mut m()).unwrap();
+        let out = sort_rows(rows, &keys, JsonParserKind::Jackson, &mut m(), true).unwrap();
         assert_eq!(out[0], vec![Cell::Str("a".into()), Cell::Int(2)]);
         assert_eq!(out[1], vec![Cell::Str("a".into()), Cell::Int(1)]);
         assert_eq!(out[2], vec![Cell::Str("b".into()), Cell::Int(1)]);
@@ -1088,6 +1326,7 @@ mod tests {
             &[(Expr::Column(0), true)],
             JsonParserKind::Jackson,
             &mut m(),
+            true,
         )
         .unwrap();
         assert_eq!(out[0][0], Cell::Null);
@@ -1098,7 +1337,7 @@ mod tests {
     fn sum_mixed_int_float_is_float() {
         let rows = vec![vec![Cell::Int(1)], vec![Cell::Float(2.5)]];
         let aggs = vec![(AggFunc::Sum, Some(Expr::Column(0)))];
-        let out = aggregate(rows, &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        let out = aggregate(rows, &[], &aggs, JsonParserKind::Jackson, &mut m(), true).unwrap();
         assert_eq!(out[0][0], Cell::Float(3.5));
     }
 
@@ -1107,7 +1346,7 @@ mod tests {
         // JSON-extracted values arrive as strings; SUM must still work.
         let rows = vec![vec![Cell::Str("10".into())], vec![Cell::Str("5".into())]];
         let aggs = vec![(AggFunc::Sum, Some(Expr::Column(0)))];
-        let out = aggregate(rows, &[], &aggs, JsonParserKind::Jackson, &mut m()).unwrap();
+        let out = aggregate(rows, &[], &aggs, JsonParserKind::Jackson, &mut m(), true).unwrap();
         assert_eq!(out[0][0], Cell::Float(15.0));
     }
 
@@ -1285,5 +1524,172 @@ mod tests {
         .unwrap();
         assert!(rows.is_empty());
         assert_eq!(metrics.threads_used, 0);
+    }
+
+    fn jp(column: usize, path: &str) -> Expr {
+        Expr::GetJsonObject {
+            column,
+            path: maxson_json::JsonPath::parse(path).unwrap(),
+        }
+    }
+
+    /// 2 splits x 4 rows; col 0 is a JSON document, col 1 a raw int.
+    fn json_split_plan() -> LogicalPlan {
+        let splits: Vec<Vec<Vec<Cell>>> = (0..2)
+            .map(|s| {
+                (0..4)
+                    .map(|i| {
+                        let n = s * 4 + i;
+                        vec![
+                            Cell::Str(format!(r#"{{"a": {n}, "b": "t{n}", "v": {}}}"#, n % 3)),
+                            Cell::Int(n as i64),
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        LogicalPlan::Scan {
+            provider: Box::new(SplitFixed::new(splits)),
+        }
+    }
+
+    fn json_project(input: LogicalPlan, filter: Expr) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                predicate: filter,
+                input: Box::new(input),
+            }),
+            exprs: vec![
+                (jp(0, "$.a"), "a".into()),
+                (jp(0, "$.b"), "b".into()),
+                (jp(0, "$.v"), "v".into()),
+            ],
+            schema: Schema::new(vec![
+                Field::new("a", ColumnType::Utf8),
+                Field::new("b", ColumnType::Utf8),
+                Field::new("v", ColumnType::Utf8),
+            ])
+            .unwrap(),
+        }
+    }
+
+    /// Shared-parse must be invisible in the output (byte-identical rows,
+    /// same parse_calls) while collapsing docs_parsed to one per row across
+    /// the filter *and* the projection above it.
+    #[test]
+    fn shared_parse_pipeline_matches_naive_and_dedupes() {
+        let filter = Expr::Binary {
+            left: Box::new(jp(0, "$.v")),
+            op: BinaryOp::Gt,
+            right: Box::new(Expr::Literal(Cell::Int(0))),
+        };
+        let plan = json_project(json_split_plan(), filter);
+        for parser in [JsonParserKind::Jackson, JsonParserKind::Mison] {
+            let mut naive_m = m();
+            let naive = execute_plan_with(
+                &plan,
+                parser,
+                &mut naive_m,
+                ExecOptions::serial().with_shared_parse(false),
+            )
+            .unwrap();
+            let mut shared_m = m();
+            let shared = execute_plan_with(
+                &plan,
+                parser,
+                &mut shared_m,
+                ExecOptions::serial().with_shared_parse(true),
+            )
+            .unwrap();
+            assert_eq!(shared, naive, "{parser:?}");
+            assert_eq!(naive.len(), 5, "rows with $.v in {{1,2}}");
+            // 8 filter evals + 3 projected paths x 5 passing rows.
+            assert_eq!(naive_m.parse_calls, 23);
+            assert_eq!(shared_m.parse_calls, 23, "parse_calls must not change");
+            assert_eq!(naive_m.docs_parsed, 23, "naive parses once per call");
+            assert_eq!(shared_m.docs_parsed, 8, "shared parses once per row");
+            // Parallel shared run: same rows, same thread-invariant counters.
+            let mut par_m = m();
+            let parallel = execute_plan_with(
+                &plan,
+                parser,
+                &mut par_m,
+                ExecOptions::with_threads(4).with_shared_parse(true),
+            )
+            .unwrap();
+            assert_eq!(parallel, naive);
+            assert_eq!(par_m.parse_calls, 23);
+            assert_eq!(par_m.docs_parsed, 8);
+        }
+    }
+
+    /// Rows rejected by a raw-column predicate must not parse at all:
+    /// slots fill on first JSON access, which never happens for them.
+    #[test]
+    fn shared_parse_stays_lazy_for_filtered_rows() {
+        let filter = Expr::Binary {
+            left: Box::new(Expr::Column(1)),
+            op: BinaryOp::GtEq,
+            right: Box::new(Expr::Literal(Cell::Int(6))),
+        };
+        let plan = json_project(json_split_plan(), filter);
+        let mut shared_m = m();
+        let shared = execute_plan_with(
+            &plan,
+            JsonParserKind::Jackson,
+            &mut shared_m,
+            ExecOptions::serial().with_shared_parse(true),
+        )
+        .unwrap();
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared_m.parse_calls, 6, "3 paths x 2 passing rows");
+        assert_eq!(shared_m.docs_parsed, 2, "skipped rows parse nothing");
+    }
+
+    /// Aggregation over JSON group keys and arguments shares the filter's
+    /// parse too, and stays byte-identical to the naive path at any thread
+    /// count.
+    #[test]
+    fn shared_parse_aggregate_matches_naive() {
+        let filter = Expr::Binary {
+            left: Box::new(jp(0, "$.v")),
+            op: BinaryOp::GtEq,
+            right: Box::new(Expr::Literal(Cell::Int(0))),
+        };
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(LogicalPlan::Filter {
+                predicate: filter,
+                input: Box::new(json_split_plan()),
+            }),
+            group_by: vec![jp(0, "$.v")],
+            aggs: vec![(AggFunc::Count, None), (AggFunc::Sum, Some(jp(0, "$.a")))],
+            schema: Schema::new(vec![Field::new("v", ColumnType::Utf8)]).unwrap(),
+        };
+        for parser in [JsonParserKind::Jackson, JsonParserKind::Mison] {
+            let mut naive_m = m();
+            let naive = execute_plan_with(
+                &plan,
+                parser,
+                &mut naive_m,
+                ExecOptions::serial().with_shared_parse(false),
+            )
+            .unwrap();
+            for threads in [1, 4] {
+                let mut shared_m = m();
+                let shared = execute_plan_with(
+                    &plan,
+                    parser,
+                    &mut shared_m,
+                    ExecOptions::with_threads(threads).with_shared_parse(true),
+                )
+                .unwrap();
+                assert_eq!(shared, naive, "{parser:?} at {threads} threads");
+                // Filter + group key + SUM arg all served by one parse/row.
+                assert_eq!(shared_m.parse_calls, naive_m.parse_calls);
+                assert_eq!(shared_m.parse_calls, 24);
+                assert_eq!(shared_m.docs_parsed, 8);
+            }
+            assert_eq!(naive_m.docs_parsed, 24);
+        }
     }
 }

@@ -16,6 +16,7 @@ use maxson_json::JsonPath;
 use maxson_storage::Cell;
 
 use crate::error::{EngineError, Result};
+use crate::extract::RowSlots;
 use crate::metrics::ExecMetrics;
 use crate::sql::ast::{BinaryOp, ScalarFunc};
 
@@ -102,11 +103,26 @@ pub enum Expr {
 
 impl Expr {
     /// Evaluate against one row. JSON parse time is charged to `metrics`.
+    /// Every `get_json_object` runs its own full parse (the naive path);
+    /// use [`Expr::eval_with`] to share parses across calls via row slots.
     pub fn eval(
         &self,
         row: &[Cell],
         parser: JsonParserKind,
         metrics: &mut ExecMetrics,
+    ) -> Result<Cell> {
+        self.eval_with(row, parser, metrics, None)
+    }
+
+    /// Evaluate against one row, answering `GetJsonObject` nodes from the
+    /// shared-parse `slots` when provided (and covered); uncovered pairs —
+    /// and `slots: None` — fall back to a per-call parse.
+    pub fn eval_with(
+        &self,
+        row: &[Cell],
+        parser: JsonParserKind,
+        metrics: &mut ExecMetrics,
+        slots: Option<&RowSlots<'_>>,
     ) -> Result<Cell> {
         match self {
             Expr::Column(i) => row
@@ -121,6 +137,11 @@ impl Expr {
                 let Cell::Str(json) = cell else {
                     return Ok(Cell::Null);
                 };
+                if let Some(slots) = slots {
+                    if let Some(extracted) = slots.get(json, *column, path, parser, metrics) {
+                        return Ok(extracted.map_or(Cell::Null, Cell::Str));
+                    }
+                }
                 let start = Instant::now();
                 let extracted = match parser {
                     JsonParserKind::Jackson => maxson_json::get_json_object(json, path),
@@ -128,25 +149,26 @@ impl Expr {
                 };
                 metrics.parse += start.elapsed();
                 metrics.parse_calls += 1;
+                metrics.docs_parsed += 1;
                 Ok(extracted.map_or(Cell::Null, Cell::Str))
             }
             Expr::Binary { left, op, right } => {
-                let l = left.eval(row, parser, metrics)?;
-                let r = right.eval(row, parser, metrics)?;
+                let l = left.eval_with(row, parser, metrics, slots)?;
+                let r = right.eval_with(row, parser, metrics, slots)?;
                 eval_binary(&l, *op, &r)
             }
-            Expr::Not(e) => match e.eval(row, parser, metrics)? {
+            Expr::Not(e) => match e.eval_with(row, parser, metrics, slots)? {
                 Cell::Null => Ok(Cell::Null),
                 c => Ok(Cell::Bool(!truthy(&c))),
             },
             Expr::IsNull { expr, negated } => {
-                let v = expr.eval(row, parser, metrics)?;
+                let v = expr.eval_with(row, parser, metrics, slots)?;
                 Ok(Cell::Bool(v.is_null() != *negated))
             }
             Expr::Between { expr, low, high } => {
-                let v = expr.eval(row, parser, metrics)?;
-                let lo = low.eval(row, parser, metrics)?;
-                let hi = high.eval(row, parser, metrics)?;
+                let v = expr.eval_with(row, parser, metrics, slots)?;
+                let lo = low.eval_with(row, parser, metrics, slots)?;
+                let hi = high.eval_with(row, parser, metrics, slots)?;
                 match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
                     (Some(a), Some(b)) => {
                         Ok(Cell::Bool(a != Ordering::Less && b != Ordering::Greater))
@@ -154,7 +176,7 @@ impl Expr {
                     _ => Ok(Cell::Null),
                 }
             }
-            Expr::Neg(e) => match e.eval(row, parser, metrics)? {
+            Expr::Neg(e) => match e.eval_with(row, parser, metrics, slots)? {
                 Cell::Null => Ok(Cell::Null),
                 Cell::Int(i) => Ok(Cell::Int(-i)),
                 Cell::Float(f) => Ok(Cell::Float(-f)),
@@ -168,7 +190,7 @@ impl Expr {
                 items,
                 negated,
             } => {
-                let v = expr.eval(row, parser, metrics)?;
+                let v = expr.eval_with(row, parser, metrics, slots)?;
                 if v.is_null() {
                     return Ok(Cell::Null);
                 }
@@ -177,7 +199,7 @@ impl Expr {
                 let mut saw_null = false;
                 let mut found = false;
                 for item in items {
-                    let m = item.eval(row, parser, metrics)?;
+                    let m = item.eval_with(row, parser, metrics, slots)?;
                     if m.is_null() {
                         saw_null = true;
                         continue;
@@ -200,7 +222,7 @@ impl Expr {
                 pattern,
                 negated,
             } => {
-                let v = expr.eval(row, parser, metrics)?;
+                let v = expr.eval_with(row, parser, metrics, slots)?;
                 if v.is_null() {
                     return Ok(Cell::Null);
                 }
@@ -211,7 +233,7 @@ impl Expr {
             Expr::Function { func, args } => {
                 let mut values = Vec::with_capacity(args.len());
                 for a in args {
-                    values.push(a.eval(row, parser, metrics)?);
+                    values.push(a.eval_with(row, parser, metrics, slots)?);
                 }
                 Ok(eval_scalar(*func, &values))
             }
@@ -561,7 +583,45 @@ mod tests {
             );
         }
         assert_eq!(m.parse_calls, 10);
+        assert_eq!(m.docs_parsed, 10, "naive path parses per call");
         assert!(m.parse > std::time::Duration::ZERO);
+    }
+
+    /// Shared-parse slots must change the counters (one parse, many calls)
+    /// without changing any result.
+    #[test]
+    fn eval_with_slots_shares_one_parse_across_paths() {
+        use crate::extract::{JsonExtractor, RowSlots};
+        let row = vec![Cell::Str(r#"{"a": {"b": 42}, "c": "x"}"#.into())];
+        let paths = ["$.a.b", "$.c", "$.missing"];
+        let exprs: Vec<Expr> = paths
+            .iter()
+            .map(|p| Expr::GetJsonObject {
+                column: 0,
+                path: JsonPath::parse(p).unwrap(),
+            })
+            .collect();
+        let ex = JsonExtractor::from_exprs(exprs.iter()).unwrap();
+        for parser in [JsonParserKind::Jackson, JsonParserKind::Mison] {
+            let mut shared_m = ExecMetrics::default();
+            let slots = RowSlots::new(&ex);
+            let shared: Vec<Cell> = exprs
+                .iter()
+                .map(|e| {
+                    e.eval_with(&row, parser, &mut shared_m, Some(&slots))
+                        .unwrap()
+                })
+                .collect();
+            let mut naive_m = ExecMetrics::default();
+            let naive: Vec<Cell> = exprs
+                .iter()
+                .map(|e| e.eval(&row, parser, &mut naive_m).unwrap())
+                .collect();
+            assert_eq!(shared, naive, "{parser:?}");
+            assert_eq!(shared_m.parse_calls, naive_m.parse_calls);
+            assert_eq!(shared_m.docs_parsed, 1);
+            assert_eq!(naive_m.docs_parsed, 3);
+        }
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`expr`] — a physical expression tree with SQL NULL semantics; the
 //!   `get_json_object` expression is where JSON parse time is burned and
 //!   metered,
+//! * [`extract`] — intra-query shared-parse extraction: each JSON document
+//!   is parsed once per row and all the query's paths are answered from
+//!   that single parse (toggle: `MAXSON_SHARED_PARSE`),
 //! * [`plan`] — the logical plan with a [`scan::ScanProvider`]
 //!   extension point that Maxson's combined reader plugs into,
 //! * [`exec`] — volcano-style operators (scan, filter, project, hash
@@ -33,6 +36,7 @@
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod extract;
 pub mod metrics;
 pub mod plan;
 pub mod pool;

@@ -32,8 +32,16 @@ pub struct ExecMetrics {
     pub rows_scanned: u64,
     /// Bytes of storage input actually decoded.
     pub bytes_read: u64,
-    /// Number of `get_json_object` evaluations that ran a parser.
+    /// Number of `get_json_object` evaluations that reached a parser (the
+    /// input cell held a JSON string). Identical whether shared-parse
+    /// extraction is on or off — it counts path *evaluations*, not parses.
     pub parse_calls: u64,
+    /// Number of documents actually parsed (DOM builds in Jackson mode,
+    /// structural-index builds in Mison mode). With shared-parse extraction
+    /// a row is parsed once per JSON column however many paths the query
+    /// needs, so `parse_calls / docs_parsed` is the intra-query dedup
+    /// factor; naively the two counters are equal.
+    pub docs_parsed: u64,
     /// Number of JSON evaluations answered from a cache (Maxson hits).
     pub cache_hits: u64,
     /// Row groups skipped via SARG pushdown.
@@ -86,6 +94,7 @@ impl ExecMetrics {
         self.rows_scanned += other.rows_scanned;
         self.bytes_read += other.bytes_read;
         self.parse_calls += other.parse_calls;
+        self.docs_parsed += other.docs_parsed;
         self.cache_hits += other.cache_hits;
         self.row_groups_skipped += other.row_groups_skipped;
         self.row_groups_read += other.row_groups_read;
@@ -97,10 +106,22 @@ impl ExecMetrics {
         self.task_skew = self.task_skew.max(other.task_skew);
     }
 
+    /// Intra-query parse dedup factor: `parse_calls / docs_parsed`. 1.0
+    /// means every evaluation parsed its own document (the naive path);
+    /// K means K path evaluations were answered per parse. Returns 1.0
+    /// when nothing was parsed.
+    pub fn parse_dedup_factor(&self) -> f64 {
+        if self.docs_parsed == 0 {
+            1.0
+        } else {
+            self.parse_calls as f64 / self.docs_parsed as f64
+        }
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         let mut s = format!(
-            "total={:?} read={:?} parse={:?} compute={:?} rows={} bytes={} parse_calls={} cache_hits={} rg_skipped={}/{}",
+            "total={:?} read={:?} parse={:?} compute={:?} rows={} bytes={} parse_calls={} docs_parsed={} dedup={:.2}x cache_hits={} rg_skipped={}/{}",
             self.total,
             self.read,
             self.parse,
@@ -108,6 +129,8 @@ impl ExecMetrics {
             self.rows_scanned,
             self.bytes_read,
             self.parse_calls,
+            self.docs_parsed,
+            self.parse_dedup_factor(),
             self.cache_hits,
             self.row_groups_skipped,
             self.row_groups_skipped + self.row_groups_read,
@@ -172,6 +195,28 @@ mod tests {
     }
 
     #[test]
+    fn absorb_sums_docs_parsed() {
+        let mut a = ExecMetrics {
+            parse_calls: 12,
+            docs_parsed: 4,
+            ..Default::default()
+        };
+        let b = ExecMetrics {
+            parse_calls: 9,
+            docs_parsed: 3,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.docs_parsed, 7);
+        assert!((a.parse_dedup_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dedup_factor_defaults_to_one_without_parses() {
+        assert_eq!(ExecMetrics::default().parse_dedup_factor(), 1.0);
+    }
+
+    #[test]
     fn absorb_maxes_pool_gauges() {
         let mut a = ExecMetrics {
             threads_used: 4,
@@ -216,6 +261,7 @@ mod tests {
             rows_scanned: next() % 1000,
             bytes_read: next() % 100_000,
             parse_calls: next() % 500,
+            docs_parsed: next() % 500,
             cache_hits: next() % 500,
             row_groups_skipped: next() % 64,
             row_groups_read: next() % 64,
@@ -276,6 +322,7 @@ mod tests {
             ..Default::default()
         };
         assert!(m.summary().contains("rows=42"));
+        assert!(m.summary().contains("docs_parsed=0"));
         assert!(
             !m.summary().contains("threads="),
             "serial omits pool gauges"

@@ -123,6 +123,9 @@ pub struct Session {
     /// Explicit worker-thread override. `None` defers to `MAXSON_THREADS`
     /// (default: available cores); `Some(1)` forces the serial path.
     threads: Option<usize>,
+    /// Explicit shared-parse override. `None` defers to
+    /// `MAXSON_SHARED_PARSE` (default: on).
+    shared_parse: Option<bool>,
 }
 
 impl Session {
@@ -134,6 +137,7 @@ impl Session {
             rewriter: None,
             prefilter_enabled: false,
             threads: None,
+            shared_parse: None,
         })
     }
 
@@ -151,10 +155,27 @@ impl Session {
         self.threads
     }
 
+    /// Set (or clear) intra-query shared-parse extraction. `None` resolves
+    /// from `MAXSON_SHARED_PARSE` at each `execute` call (default: on);
+    /// `Some(false)` pins the naive parse-per-call reference path. Tests
+    /// prefer this over the env var to avoid process-global races.
+    pub fn set_shared_parse(&mut self, shared_parse: Option<bool>) {
+        self.shared_parse = shared_parse;
+    }
+
+    /// Current explicit shared-parse override, if any.
+    pub fn shared_parse(&self) -> Option<bool> {
+        self.shared_parse
+    }
+
     fn exec_options(&self) -> ExecOptions {
-        match self.threads {
+        let opts = match self.threads {
             Some(n) => ExecOptions::with_threads(n),
             None => ExecOptions::from_env(),
+        };
+        match self.shared_parse {
+            Some(on) => opts.with_shared_parse(on),
+            None => opts,
         }
     }
 

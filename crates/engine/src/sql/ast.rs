@@ -324,15 +324,20 @@ impl SqlExpr {
         found
     }
 
-    /// Collect every `get_json_object` call as `(column_name, path_text)`.
-    /// Only direct column arguments are reported (the form the paper's
-    /// workload uses).
+    /// Collect the distinct `get_json_object` calls as
+    /// `(column_name, path_text)`, in first-seen order. Repeated calls on
+    /// the same column/path are one extraction site — the unit both the
+    /// Maxson cache and shared-parse execution reason about — so they are
+    /// reported once. Only direct column arguments are reported (the form
+    /// the paper's workload uses).
     pub fn json_path_calls(&self) -> Vec<(String, String)> {
-        let mut out = Vec::new();
+        let mut out: Vec<(String, String)> = Vec::new();
         self.walk(&mut |e| {
             if let SqlExpr::GetJsonObject { column, path } = e {
                 if let SqlExpr::Column { name, .. } = column.as_ref() {
-                    out.push((name.clone(), path.clone()));
+                    if !out.iter().any(|(c, p)| c == name && p == path) {
+                        out.push((name.clone(), path.clone()));
+                    }
                 }
             }
         });
@@ -382,6 +387,35 @@ mod tests {
             right: Box::new(SqlExpr::Literal(Cell::Int(10))),
         };
         assert_eq!(e.json_path_calls(), vec![("logs".into(), "$.id".into())]);
+    }
+
+    #[test]
+    fn json_path_calls_dedupe_repeated_sites() {
+        let call = |name: &str, path: &str| SqlExpr::GetJsonObject {
+            column: Box::new(SqlExpr::Column {
+                qualifier: None,
+                name: name.into(),
+            }),
+            path: path.into(),
+        };
+        // `$.id` referenced twice on the same column is one extraction site;
+        // the same path on another column is a different one.
+        let e = SqlExpr::Binary {
+            left: Box::new(SqlExpr::Binary {
+                left: Box::new(call("logs", "$.id")),
+                op: BinaryOp::Add,
+                right: Box::new(call("logs", "$.id")),
+            }),
+            op: BinaryOp::Add,
+            right: Box::new(call("events", "$.id")),
+        };
+        assert_eq!(
+            e.json_path_calls(),
+            vec![
+                ("logs".into(), "$.id".into()),
+                ("events".into(), "$.id".into()),
+            ]
+        );
     }
 
     #[test]

@@ -54,6 +54,19 @@ pub fn get_json_object(json: &str, path: &JsonPath) -> Option<String> {
     Some(v.to_hive_string())
 }
 
+/// Parse a document **once** and evaluate every path against the shared DOM
+/// (entry `i` answers `paths[i]`). Invalid JSON yields all-`None`, matching
+/// what [`get_json_object`] returns per path.
+///
+/// This is the intra-query shared-parse entry point: a query needing K
+/// fields from one JSON column pays one parse instead of K.
+pub fn get_json_objects(json: &str, paths: &[JsonPath]) -> Vec<Option<String>> {
+    match parse(json) {
+        Ok(doc) => path::eval_many(&doc, paths),
+        Err(_) => vec![None; paths.len()],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +95,26 @@ mod tests {
     fn get_json_object_invalid_json_is_none() {
         let p = JsonPath::parse("$.a").unwrap();
         assert_eq!(get_json_object("{oops", &p), None);
+    }
+
+    /// The shared-parse entry point must agree per path with the per-call
+    /// one, including on misses and invalid documents.
+    #[test]
+    fn get_json_objects_matches_per_call_results() {
+        let paths: Vec<JsonPath> = ["$.a", "$.n", "$.zzz", "$.o.x"]
+            .iter()
+            .map(|p| JsonPath::parse(p).unwrap())
+            .collect();
+        for json in [
+            r#"{"a":"x","n":42,"o":{"x":[1,2]}}"#,
+            r#"{"a":null}"#,
+            "{oops",
+            "",
+        ] {
+            let shared = get_json_objects(json, &paths);
+            let naive: Vec<Option<String>> =
+                paths.iter().map(|p| get_json_object(json, p)).collect();
+            assert_eq!(shared, naive, "doc {json:?}");
+        }
     }
 }

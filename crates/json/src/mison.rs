@@ -276,6 +276,20 @@ impl MisonProjector {
         let root = index.skip_ws_after(0);
         project_one(record, &index, root, path.steps())
     }
+
+    /// Project many paths out of `record` over **one** structural index —
+    /// the Mison-mode half of intra-query shared parsing. Entry `i` answers
+    /// `paths[i]` and is byte-identical to what [`Self::project_path`] would
+    /// return for the same pair: both go through the same `project_one`
+    /// probe, only the index build is shared.
+    pub fn project_paths(record: &str, paths: &[JsonPath]) -> Vec<Option<String>> {
+        let index = StructuralIndex::build(record);
+        let root = index.skip_ws_after(0);
+        paths
+            .iter()
+            .map(|p| project_one(record, &index, root, p.steps()))
+            .collect()
+    }
 }
 
 fn project_one(
@@ -535,5 +549,29 @@ mod tests {
             mison < dom,
             "structural index ({mison:?}) should beat DOM parse ({dom:?})"
         );
+    }
+
+    /// One shared index must answer every path exactly like a fresh
+    /// per-path index does, including misses, nested fields, array steps,
+    /// and malformed records.
+    #[test]
+    fn project_paths_matches_per_path_projection() {
+        let paths: Vec<JsonPath> = ["$.a", "$.o.x", "$.arr[1]", "$.zzz"]
+            .iter()
+            .map(|p| JsonPath::parse(p).unwrap())
+            .collect();
+        for record in [
+            r#"{"a": "x", "o": {"x": 7}, "arr": [10, 20]}"#,
+            r#"{"a": null}"#,
+            "{broken",
+            "",
+        ] {
+            let shared = MisonProjector::project_paths(record, &paths);
+            let naive: Vec<Option<String>> = paths
+                .iter()
+                .map(|p| MisonProjector::project_path(record, p))
+                .collect();
+            assert_eq!(shared, naive, "record {record:?}");
+        }
     }
 }

@@ -183,6 +183,23 @@ impl JsonPath {
     }
 }
 
+/// Evaluate many paths against one already-parsed document, returning the
+/// Hive string rendering of each (entry `i` answers `paths[i]`; `None` on a
+/// miss).
+///
+/// This is the Jackson-mode half of intra-query shared parsing: the caller
+/// pays one DOM parse and amortizes it over every path the query needs from
+/// the document. Each entry is exactly what
+/// [`crate::get_json_object`] would return for the same `(json, path)`
+/// pair — the per-path evaluation is the same `eval` + `to_hive_string`
+/// machinery, only the parse is shared.
+pub fn eval_many(root: &JsonValue, paths: &[JsonPath]) -> Vec<Option<String>> {
+    paths
+        .iter()
+        .map(|p| p.eval(root).map(|v| v.to_hive_string()))
+        .collect()
+}
+
 fn eval_steps<'v>(root: &'v JsonValue, steps: &[Step]) -> Option<EvalResult<'v>> {
     let mut cur = root;
     for (si, step) in steps.iter().enumerate() {

@@ -12,6 +12,13 @@
 //! array is *shared* with the PrimaryReader so the raw file skips the same
 //! row groups. As in the paper, the optimization only applies when both
 //! files hold a single stripe.
+//!
+//! Composition with shared-parse execution (`MAXSON_SHARED_PARSE`) is
+//! automatic: cached paths were compiled down to plain column references
+//! against this provider's output schema, so only the *residual* uncached
+//! `get_json_object` calls reach the executor's per-row extractor — the
+//! combiner removes cross-query duplicate parsing, shared-parse dedupes
+//! whatever parsing remains within the query.
 
 use std::time::Instant;
 

@@ -243,6 +243,9 @@ impl ScanProvider for LruBackedProvider {
                     bytes += v.byte_size() as u64;
                     values.push(v);
                     metrics.parse_calls += 1;
+                    // One real parse per value: the LRU fills one path at a
+                    // time, so there is no intra-column sharing here.
+                    metrics.docs_parsed += 1;
                 }
                 metrics.parse += parse_start.elapsed();
             }

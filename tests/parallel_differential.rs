@@ -58,12 +58,14 @@ const GOLDEN_QUERIES: [&str; 4] = [
 
 /// Work-counting metrics that must be invariant under parallelism. Timing
 /// fields are excluded (they legitimately vary); everything that counts
-/// discrete work must not.
-fn work_counters(m: &ExecMetrics) -> [u64; 7] {
+/// discrete work must not — including `docs_parsed`, since shared-parse
+/// slots are per-row and rows never move between splits.
+fn work_counters(m: &ExecMetrics) -> [u64; 8] {
     [
         m.rows_scanned,
         m.bytes_read,
         m.parse_calls,
+        m.docs_parsed,
         m.cache_hits,
         m.row_groups_skipped,
         m.row_groups_read,
