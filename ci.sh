@@ -27,3 +27,8 @@ MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_scal
 # Smoke-run the parser benchmark (fast mode); it asserts the shared-parse
 # accounting invariant docs_parsed <= parse_calls on every query.
 MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig15_parsers
+
+# Tracing smoke: runs a fig12 query untraced and traced, fails on any
+# row/counter drift, and validates the exported Chrome trace JSON
+# (well-formed, >0 spans, nested parents, named thread tracks).
+MAXSON_BENCH_FAST=1 MAXSON_THREADS=4 cargo run --release --offline -p maxson-bench --bin trace_smoke

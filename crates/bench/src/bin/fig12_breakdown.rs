@@ -22,9 +22,13 @@ fn main() {
     );
     report.note("Paper: Maxson removes the Parse phase and reads far less input (JSON predicates push down into the cache table).");
 
-    let mut read_s = Series::new("read");
-    let mut parse_s = Series::new("parse");
-    let mut compute_s = Series::new("compute");
+    // Wall-clock gauges, not per-thread sums: under split-parallel
+    // execution `read + parse` can exceed the total runtime, so the
+    // breakdown uses the estimated wall share of each phase (see
+    // ExecMetrics::compute_wall).
+    let mut read_s = Series::new("read (wall)");
+    let mut parse_s = Series::new("parse (wall)");
+    let mut compute_s = Series::new("compute (wall)");
     let mut input_s = Series::new("input bytes");
 
     let fast = std::env::var("MAXSON_BENCH_FAST").as_deref() == Ok("1");
@@ -42,13 +46,20 @@ fn main() {
             (format!("{} Spark", q.name), &sm),
             (format!("{} Maxson", q.name), &mm),
         ] {
-            read_s.push(label.clone(), m.read.as_secs_f64());
-            parse_s.push(label.clone(), m.parse.as_secs_f64());
-            compute_s.push(label.clone(), m.compute().as_secs_f64());
+            read_s.push(label.clone(), m.read_wall.as_secs_f64());
+            parse_s.push(label.clone(), m.parse_wall.as_secs_f64());
+            compute_s.push(label.clone(), m.compute_wall().as_secs_f64());
             input_s.push(label, m.bytes_read as f64);
         }
         report.note_parse_dedup(&format!("{} Spark", q.name), &sm);
         report.note_parse_dedup(&format!("{} Maxson", q.name), &mm);
+        // One traced (untimed) run per system for the operator rollup.
+        for (label, session) in [("Spark", &spark), ("Maxson", &maxson)] {
+            session.set_trace_enabled(true);
+            let _ = session.execute(&q.sql);
+            report.note_top_operators(&format!("{} {label}", q.name), session.tracer());
+            session.set_trace_enabled(false);
+        }
         println!(
             "{}: Spark parse {:.4}s / {} B input; Maxson parse {:.4}s / {} B input (rg skipped {})",
             q.name,

@@ -46,5 +46,13 @@ fn main() {
     report.add(spark_s);
     report.add(maxson_s);
     report.add(overhead_s);
+    // One traced end-to-end run per system: shows where planning sits
+    // relative to the execution operators it precedes.
+    for (label, session) in [("Spark", &spark), ("Maxson", &maxson)] {
+        session.set_trace_enabled(true);
+        let _ = session.execute(&queries[0].sql);
+        report.note_top_operators(label, session.tracer());
+        session.set_trace_enabled(false);
+    }
     report.emit();
 }

@@ -8,8 +8,7 @@
 //! Maxson pre-parses before any query runs, so the first query already
 //! hits.
 
-use maxson::OnlineLruRewriter;
-use maxson_bench::workload::{session_for, workload_history};
+use maxson_bench::workload::{lru_session, session_for, workload_history};
 use maxson_bench::{load_tables, run_query, Report, Series, SystemKind};
 
 fn main() {
@@ -49,34 +48,29 @@ fn main() {
     let _ = (maxson_hits, maxson_accesses);
 
     // --- Online LRU at a comparable budget. -----------------------------
-    let mut lru_session = maxson_bench::fresh_session();
-    let lru = OnlineLruRewriter::open(maxson_bench::bench_root(), u64::MAX).expect("lru");
-    // Keep a stats probe alive: OnlineLruRewriter::stats reads shared state,
-    // but the rewriter moves into the session; re-create with shared Rc via
-    // a second handle is not exposed, so track hits from metrics instead.
-    lru_session.set_scan_rewriter(Some(Box::new(lru)));
+    let lru = lru_session(u64::MAX);
     let mut lru_total = 0.0;
-    let mut lru_hit_calls = 0u64;
-    let mut lru_total_calls = 0u64;
+    let mut lru_hits = 0u64;
+    let mut lru_misses = 0u64;
+    let mut lru_evictions = 0u64;
+    let mut lru_resident = 0u64;
     for _day in 0..replay_days {
         for q in &queries {
-            let (t, m) = run_query(&lru_session, &q.sql);
+            let (t, m) = run_query(&lru, &q.sql);
             lru_total += t.as_secs_f64();
-            // parse_calls > 0 indicates misses parsed inside the provider.
-            let paths = q.paths.len() as u64;
-            let missed = if m.parse_calls > 0 {
-                // Each miss parses the whole column once per path missed;
-                // approximate the missed-path count by parse volume.
-                (m.parse_calls / m.rows_scanned.max(1)).min(paths)
-            } else {
-                0
-            };
-            lru_hit_calls += paths - missed.min(paths);
-            lru_total_calls += paths;
+            // Exact per-query LRU telemetry from the provider's metrics.
+            lru_hits += m.lru_hits;
+            lru_misses += m.lru_misses;
+            lru_evictions += m.lru_evictions;
+            lru_resident = lru_resident.max(m.lru_resident_bytes);
         }
     }
-    let lru_hit_ratio = lru_hit_calls as f64 / lru_total_calls.max(1) as f64;
-    println!("Online LRU: total {lru_total:.3}s, hit ratio {lru_hit_ratio:.2}");
+    let lru_hit_ratio = lru_hits as f64 / (lru_hits + lru_misses).max(1) as f64;
+    println!(
+        "Online LRU: total {lru_total:.3}s, hit ratio {lru_hit_ratio:.2} \
+         ({lru_hits} hits / {lru_misses} misses, {lru_evictions} evictions, \
+         {lru_resident} resident bytes peak)"
+    );
 
     let _ = history;
     let mut time_series = Series::new("total time (s)");
@@ -87,5 +81,8 @@ fn main() {
     hit_series.push("Online LRU", lru_hit_ratio);
     report.add(time_series);
     report.add(hit_series);
+    report.note(&format!(
+        "LRU telemetry: {lru_hits} hits, {lru_misses} misses, {lru_evictions} evictions, peak resident {lru_resident} bytes"
+    ));
     report.emit();
 }

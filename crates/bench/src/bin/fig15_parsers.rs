@@ -86,6 +86,11 @@ fn main() {
                 fully
             );
         }
+        // One traced (untimed) replay of Q1 for the per-operator rollup.
+        session.set_trace_enabled(true);
+        let _ = session.execute(&queries[0].sql);
+        report.note_top_operators(system.name(), session.tracer());
+        session.set_trace_enabled(false);
         report.add(series);
     }
     report.emit();

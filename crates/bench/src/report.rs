@@ -88,6 +88,23 @@ impl Report {
         ));
     }
 
+    /// Add a note embedding the top-3 operators by total recorded wall
+    /// time from a tracer's span rollup (one traced run is enough; timed
+    /// runs stay untraced so the numbers are unperturbed).
+    pub fn note_top_operators(&mut self, label: &str, tracer: &maxson_engine::Tracer) {
+        let rollup = tracer.rollup();
+        if rollup.is_empty() {
+            self.note(format!("{label}: top operators: (no spans recorded)"));
+            return;
+        }
+        let top: Vec<String> = rollup
+            .iter()
+            .take(3)
+            .map(|op| format!("{}x{} {:.4}s", op.name, op.count, op.total.as_secs_f64()))
+            .collect();
+        self.note(format!("{label}: top operators: {}", top.join(", ")));
+    }
+
     /// Add a series.
     pub fn add(&mut self, series: Series) {
         self.series.push(series);
@@ -221,6 +238,26 @@ mod tests {
         assert!(text.contains("a note"));
         assert!(text.contains("Q2"));
         assert!(text.contains('-'), "missing point renders as dash");
+    }
+
+    #[test]
+    fn top_operator_note_ranks_by_wall_time() {
+        let mut r = Report::new("figY", "rollup");
+        let t = maxson_engine::Tracer::enabled();
+        {
+            let _a = t.span("scan");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let _b = t.span("filter");
+        }
+        r.note_top_operators("Q1", &t);
+        let text = r.to_text();
+        assert!(text.contains("Q1: top operators: scanx1"), "{text}");
+        assert!(text.contains("filterx1"));
+        let mut empty = Report::new("figZ", "empty");
+        empty.note_top_operators("Q2", &maxson_engine::Tracer::new());
+        assert!(empty.to_text().contains("no spans recorded"));
     }
 
     #[test]

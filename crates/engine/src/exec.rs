@@ -32,6 +32,7 @@
 
 use std::collections::HashMap;
 
+use maxson_obs::{SpanGuard, SpanId, Tracer};
 use maxson_storage::Cell;
 
 use crate::error::{EngineError, Result};
@@ -125,28 +126,63 @@ pub fn execute_plan(
     execute_plan_with(plan, parser, metrics, ExecOptions::from_env())
 }
 
-/// Execute a plan to completion with explicit options.
+/// Execute a plan to completion with explicit options (untraced).
 pub fn execute_plan_with(
     plan: &LogicalPlan,
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
     opts: ExecOptions,
 ) -> Result<Vec<Vec<Cell>>> {
+    execute_plan_traced(plan, parser, metrics, opts, &Tracer::disabled(), None)
+}
+
+/// Execute a plan to completion, recording one span per operator (and per
+/// split, inside scan pipelines) under `parent`. With a disabled tracer
+/// every hook is a branch on a bool — rows and metrics are identical to
+/// the untraced path (see `tests/tracing_differential.rs`).
+pub fn execute_plan_traced(
+    plan: &LogicalPlan,
+    parser: JsonParserKind,
+    metrics: &mut ExecMetrics,
+    opts: ExecOptions,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
+) -> Result<Vec<Vec<Cell>>> {
     // Segment-shaped plans run through the unified scan pipeline at every
     // thread count: it is what lets one row's parse be shared across the
     // filter *and* the projection/aggregation above it.
-    if let Some(rows) = run_pipeline(plan, parser, metrics, opts)? {
+    if let Some(rows) = run_pipeline(plan, parser, metrics, opts, tracer, parent)? {
         return Ok(rows);
     }
     match plan {
-        LogicalPlan::Scan { provider } => provider.scan(metrics),
+        LogicalPlan::Scan { provider } => {
+            let span = tracer.child("scan", parent);
+            span.attr("label", provider.label());
+            let before = counters_before(tracer, metrics);
+            let rows = provider.scan(metrics)?;
+            span.attr("rows_out", rows.len());
+            attr_counter_deltas(&span, before.as_ref(), metrics);
+            Ok(rows)
+        }
         LogicalPlan::Filter { input, predicate } => {
-            let rows = execute_plan_with(input, parser, metrics, opts)?;
-            filter_rows(rows, predicate, parser, metrics, opts.shared_parse)
+            let span = tracer.child("filter", parent);
+            let rows = execute_plan_traced(input, parser, metrics, opts, tracer, span.id())?;
+            span.attr("rows_in", rows.len());
+            let before = counters_before(tracer, metrics);
+            let out = filter_rows(rows, predicate, parser, metrics, opts.shared_parse)?;
+            span.attr("rows_out", out.len());
+            attr_counter_deltas(&span, before.as_ref(), metrics);
+            Ok(out)
         }
         LogicalPlan::Project { input, exprs, .. } => {
-            let rows = execute_plan_with(input, parser, metrics, opts)?;
-            project_exprs(rows, exprs, parser, metrics, opts.shared_parse)
+            let span = tracer.child("project", parent);
+            let rows = execute_plan_traced(input, parser, metrics, opts, tracer, span.id())?;
+            span.attr("rows_in", rows.len());
+            let before = counters_before(tracer, metrics);
+            let out = project_exprs(rows, exprs, parser, metrics, opts.shared_parse)?;
+            span.attr("rows_out", out.len());
+            attr_counter_deltas(&span, before.as_ref(), metrics);
+            Ok(out)
         }
         LogicalPlan::Aggregate {
             input,
@@ -154,8 +190,14 @@ pub fn execute_plan_with(
             aggs,
             ..
         } => {
-            let rows = execute_plan_with(input, parser, metrics, opts)?;
-            aggregate(rows, group_by, aggs, parser, metrics, opts.shared_parse)
+            let span = tracer.child("hash_agg", parent);
+            let rows = execute_plan_traced(input, parser, metrics, opts, tracer, span.id())?;
+            span.attr("rows_in", rows.len());
+            let before = counters_before(tracer, metrics);
+            let out = aggregate(rows, group_by, aggs, parser, metrics, opts.shared_parse)?;
+            span.attr("rows_out", out.len());
+            attr_counter_deltas(&span, before.as_ref(), metrics);
+            Ok(out)
         }
         LogicalPlan::Join {
             left,
@@ -164,9 +206,13 @@ pub fn execute_plan_with(
             right_key,
             ..
         } => {
-            let left_rows = execute_plan_with(left, parser, metrics, opts)?;
-            let right_rows = execute_plan_with(right, parser, metrics, opts)?;
-            hash_join(
+            let span = tracer.child("hash_join", parent);
+            let left_rows = execute_plan_traced(left, parser, metrics, opts, tracer, span.id())?;
+            let right_rows = execute_plan_traced(right, parser, metrics, opts, tracer, span.id())?;
+            span.attr("rows_left", left_rows.len());
+            span.attr("rows_right", right_rows.len());
+            let before = counters_before(tracer, metrics);
+            let out = hash_join(
                 left_rows,
                 right_rows,
                 left_key,
@@ -174,19 +220,32 @@ pub fn execute_plan_with(
                 parser,
                 metrics,
                 opts.shared_parse,
-            )
+            )?;
+            span.attr("rows_out", out.len());
+            attr_counter_deltas(&span, before.as_ref(), metrics);
+            Ok(out)
         }
         LogicalPlan::Sort { input, keys } => {
-            let rows = execute_plan_with(input, parser, metrics, opts)?;
-            sort_rows(rows, keys, parser, metrics, opts.shared_parse)
+            let span = tracer.child("sort", parent);
+            let rows = execute_plan_traced(input, parser, metrics, opts, tracer, span.id())?;
+            span.attr("rows_in", rows.len());
+            let before = counters_before(tracer, metrics);
+            let out = sort_rows(rows, keys, parser, metrics, opts.shared_parse)?;
+            attr_counter_deltas(&span, before.as_ref(), metrics);
+            Ok(out)
         }
         LogicalPlan::Limit { input, n } => {
-            let mut rows = execute_plan_with(input, parser, metrics, opts)?;
+            let span = tracer.child("limit", parent);
+            let mut rows = execute_plan_traced(input, parser, metrics, opts, tracer, span.id())?;
+            span.attr("rows_in", rows.len());
             rows.truncate(*n);
+            span.attr("rows_out", rows.len());
             Ok(rows)
         }
         LogicalPlan::Distinct { input } => {
-            let rows = execute_plan_with(input, parser, metrics, opts)?;
+            let span = tracer.child("distinct", parent);
+            let rows = execute_plan_traced(input, parser, metrics, opts, tracer, span.id())?;
+            span.attr("rows_in", rows.len());
             let mut seen = std::collections::HashSet::new();
             let mut out = Vec::new();
             for row in rows {
@@ -199,7 +258,44 @@ pub fn execute_plan_with(
                     out.push(row);
                 }
             }
+            span.attr("rows_out", out.len());
             Ok(out)
+        }
+    }
+}
+
+/// Snapshot the counters an operator span will diff against — only when
+/// tracing, so the untraced path never clones.
+fn counters_before(tracer: &Tracer, metrics: &ExecMetrics) -> Option<ExecMetrics> {
+    tracer.is_enabled().then(|| metrics.clone())
+}
+
+/// Annotate a span with the integer-counter deltas an operator charged
+/// (zero deltas are omitted, keeping rendered plans compact and
+/// deterministic across thread counts).
+fn attr_counter_deltas(span: &SpanGuard<'_>, before: Option<&ExecMetrics>, after: &ExecMetrics) {
+    let Some(b) = before else { return };
+    for (key, delta) in [
+        ("rows_scanned", after.rows_scanned - b.rows_scanned),
+        ("bytes_read", after.bytes_read - b.bytes_read),
+        ("parse_calls", after.parse_calls - b.parse_calls),
+        ("docs_parsed", after.docs_parsed - b.docs_parsed),
+        ("cache_hits", after.cache_hits - b.cache_hits),
+        ("rg_read", after.row_groups_read - b.row_groups_read),
+        (
+            "rg_skipped",
+            after.row_groups_skipped - b.row_groups_skipped,
+        ),
+        (
+            "prefilter_dropped",
+            after.prefilter_dropped - b.prefilter_dropped,
+        ),
+        ("lru_hits", after.lru_hits - b.lru_hits),
+        ("lru_misses", after.lru_misses - b.lru_misses),
+        ("lru_evictions", after.lru_evictions - b.lru_evictions),
+    ] {
+        if delta > 0 {
+            span.attr(key, delta);
         }
     }
 }
@@ -433,11 +529,29 @@ fn run_pipeline(
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
     opts: ExecOptions,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
 ) -> Result<Option<Vec<Vec<Cell>>>> {
     let Some(segment) = PipelineSegment::extract(plan, opts.shared_parse) else {
         return Ok(None);
     };
     let splits = segment.provider.split_count();
+    let span = tracer.child("scan_pipeline", parent);
+    if span.is_recording() {
+        span.attr("label", segment.provider.label());
+        let mut stages = String::from("scan");
+        if segment.filter.is_some() {
+            stages.push_str("+filter");
+        }
+        if segment.project.is_some() {
+            stages.push_str("+project");
+        }
+        if segment.agg.is_some() {
+            stages.push_str("+agg");
+        }
+        span.attr("stages", stages);
+        span.attr("splits", splits);
+    }
     // Single-split (and empty) tables stay serial even with many threads:
     // spawning threads for one task buys nothing and must not change
     // observable behavior (threads_used stays 0).
@@ -453,44 +567,79 @@ fn run_pipeline(
             None => {
                 let mut out = Vec::new();
                 for split in split_ids {
-                    out.extend(segment.run_rows(split, parser, metrics)?);
+                    let split_span = tracer.child("split", span.id());
+                    if let Some(s) = split {
+                        split_span.attr("split", s);
+                    }
+                    let before = counters_before(tracer, metrics);
+                    let rows = segment.run_rows(split, parser, metrics)?;
+                    split_span.attr("rows_out", rows.len());
+                    attr_counter_deltas(&split_span, before.as_ref(), metrics);
+                    out.extend(rows);
                 }
+                span.attr("rows_out", out.len());
                 return Ok(Some(out));
             }
             Some((group_by, aggs)) => {
                 let mut partial = AggPartial::new(group_by, aggs);
                 for split in split_ids {
+                    let split_span = tracer.child("split", span.id());
+                    if let Some(s) = split {
+                        split_span.attr("split", s);
+                    }
+                    let before = counters_before(tracer, metrics);
                     segment.run_agg(split, &mut partial, parser, metrics)?;
+                    attr_counter_deltas(&split_span, before.as_ref(), metrics);
                 }
-                return Ok(Some(finish_aggregate(partial)));
+                let out = finish_aggregate(partial);
+                span.attr("rows_out", out.len());
+                return Ok(Some(out));
             }
         }
     }
+    // Worker tasks parent their per-split spans on the pipeline span even
+    // though they record from pool threads — the guard id is Copy and the
+    // tracer is Sync, so each split lands on its own thread track.
+    let pipe_id = span.id();
     match segment.agg {
         None => {
             let run = pool::run_split_tasks(splits, opts.threads, |split| {
                 let mut task_metrics = ExecMetrics::default();
+                let split_span = tracer.child("split", pipe_id);
+                split_span.attr("split", split);
+                let zero = counters_before(tracer, &ExecMetrics::default());
                 let rows = segment.run_rows(Some(split), parser, &mut task_metrics)?;
+                split_span.attr("rows_out", rows.len());
+                attr_counter_deltas(&split_span, zero.as_ref(), &task_metrics);
                 Ok((rows, task_metrics))
             })?;
             note_pool_run(metrics, run.threads_spawned, &run.task_walls);
+            let workers = run.threads_spawned.max(1) as u32;
             let mut out = Vec::new();
-            for (rows, task_metrics) in run.results {
+            for (rows, mut task_metrics) in run.results {
+                scale_wall_gauges(&mut task_metrics, workers);
                 metrics.absorb(&task_metrics);
                 out.extend(rows);
             }
+            span.attr("rows_out", out.len());
             Ok(Some(out))
         }
         Some((group_by, aggs)) => {
             let run = pool::run_split_tasks(splits, opts.threads, |split| {
                 let mut task_metrics = ExecMetrics::default();
+                let split_span = tracer.child("split", pipe_id);
+                split_span.attr("split", split);
+                let zero = counters_before(tracer, &ExecMetrics::default());
                 let mut partial = AggPartial::new(group_by, aggs);
                 segment.run_agg(Some(split), &mut partial, parser, &mut task_metrics)?;
+                attr_counter_deltas(&split_span, zero.as_ref(), &task_metrics);
                 Ok((partial, task_metrics))
             })?;
             note_pool_run(metrics, run.threads_spawned, &run.task_walls);
+            let workers = run.threads_spawned.max(1) as u32;
             let mut merged: Option<AggPartial> = None;
-            for (partial, task_metrics) in run.results {
+            for (partial, mut task_metrics) in run.results {
+                scale_wall_gauges(&mut task_metrics, workers);
                 metrics.absorb(&task_metrics);
                 merged = Some(match merged {
                     None => partial,
@@ -501,9 +650,21 @@ fn run_pipeline(
                 });
             }
             let merged = merged.expect("split count >= 2 yields partials");
-            Ok(Some(finish_aggregate(merged)))
+            let out = finish_aggregate(merged);
+            span.attr("rows_out", out.len());
+            Ok(Some(out))
         }
     }
+}
+
+/// Turn a pool task's serially-charged wall gauges into this run's
+/// wall-clock estimate: `workers` tasks overlap, so each one contributes
+/// roughly `1/workers` of elapsed time. Applied before the barrier absorbs
+/// task metrics (division distributes over the per-task sum, so absorb
+/// stays order-insensitive).
+fn scale_wall_gauges(m: &mut ExecMetrics, workers: u32) {
+    m.read_wall /= workers;
+    m.parse_wall /= workers;
 }
 
 // ----------------------------------------------------------------------

@@ -147,7 +147,9 @@ impl Expr {
                     JsonParserKind::Jackson => maxson_json::get_json_object(json, path),
                     JsonParserKind::Mison => MisonProjector::project_path(json, path),
                 };
-                metrics.parse += start.elapsed();
+                let spent = start.elapsed();
+                metrics.parse += spent;
+                metrics.parse_wall += spent;
                 metrics.parse_calls += 1;
                 metrics.docs_parsed += 1;
                 Ok(extracted.map_or(Cell::Null, Cell::Str))

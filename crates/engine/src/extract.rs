@@ -155,7 +155,9 @@ impl<'e> RowSlots<'e> {
         if filled[gi].is_none() {
             let start = Instant::now();
             let values = self.extractor.extract_group(gi, json, parser);
-            metrics.parse += start.elapsed();
+            let spent = start.elapsed();
+            metrics.parse += spent;
+            metrics.parse_wall += spent;
             metrics.docs_parsed += 1;
             filled[gi] = Some(values);
         }

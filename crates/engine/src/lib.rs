@@ -20,8 +20,12 @@
 //!   aggregate, hash join, sort, limit) over materialized row batches,
 //! * [`metrics`] — per-phase instrumentation (Read / Parse / Compute), the
 //!   measurement behind the paper's Fig. 3 and Fig. 12,
+//! * [`explain`] — the `EXPLAIN ANALYZE` renderer: the recorded span tree
+//!   annotated with per-operator wall time, rows, and cache counters,
 //! * [`session`] — the user-facing entry point: a catalog plus
-//!   `execute(sql)` with pluggable plan rewriters.
+//!   `execute(sql)` with pluggable plan rewriters, a per-query span tracer
+//!   (`maxson-obs`), and Chrome-trace export via `MAXSON_TRACE=<path>` or
+//!   `Session::set_trace_path`.
 //!
 //! ```no_run
 //! use maxson_engine::session::Session;
@@ -35,6 +39,7 @@
 
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod expr;
 pub mod extract;
 pub mod metrics;
@@ -50,3 +55,6 @@ pub use expr::Expr;
 pub use metrics::ExecMetrics;
 pub use plan::LogicalPlan;
 pub use session::{JsonParserKind, QueryResult, Session};
+// Observability handles, re-exported so downstream crates don't need a
+// direct `maxson-obs` dependency to hold or inspect a tracer.
+pub use maxson_obs::{LatencyHistogram, OpRollup, SpanGuard, SpanId, TraceSnapshot, Tracer};

@@ -24,6 +24,15 @@ pub struct ExecMetrics {
     /// Time spent parsing JSON inside `get_json_object` (summed across
     /// tasks, like `read`).
     pub parse: Duration,
+    /// Wall-clock estimate of the read phase. Serial execution charges this
+    /// in lockstep with `read`; the parallel barrier divides each task's
+    /// contribution by the number of pool workers before absorbing it
+    /// (tasks overlap, so summed CPU time overstates elapsed time by about
+    /// that factor). Unlike `read`, this stays comparable to `total`.
+    pub read_wall: Duration,
+    /// Wall-clock estimate of the parse phase (same convention as
+    /// `read_wall`).
+    pub parse_wall: Duration,
     /// Wall-clock for the whole execution (set by the session).
     pub total: Duration,
     /// Time spent generating/rewriting the plan (set by the session).
@@ -61,14 +70,40 @@ pub struct ExecMetrics {
     /// Task skew: max task wall over mean task wall (1.0 = perfectly even,
     /// 0.0 = no parallel run happened).
     pub task_skew: f64,
+    /// Online-LRU cache: per-path-per-scan lookups answered from the cache.
+    pub lru_hits: u64,
+    /// Online-LRU cache: lookups that had to parse and fill.
+    pub lru_misses: u64,
+    /// Online-LRU cache: entries evicted to make room during this query.
+    pub lru_evictions: u64,
+    /// Online-LRU cache: resident bytes after the largest fill this query
+    /// observed (a gauge — `absorb` takes the max, not the sum).
+    pub lru_resident_bytes: u64,
 }
 
 impl ExecMetrics {
     /// Compute phase: total minus read and parse (clamped at zero).
+    ///
+    /// **Only meaningful for serial execution.** `read` and `parse` are
+    /// *sums across tasks*: with N workers they approach N× the elapsed
+    /// time, so this residual clamps to zero whenever threads > 1. Use
+    /// [`ExecMetrics::compute_wall`] for a breakdown that stays honest
+    /// under parallel execution.
     pub fn compute(&self) -> Duration {
         self.total
             .saturating_sub(self.read)
             .saturating_sub(self.parse)
+    }
+
+    /// Compute phase against the wall-clock gauges: total minus
+    /// `read_wall` and `parse_wall` (clamped at zero). Equals
+    /// [`ExecMetrics::compute`] for serial runs and remains a sane
+    /// residual under parallel execution, where cross-task CPU sums
+    /// exceed elapsed time.
+    pub fn compute_wall(&self) -> Duration {
+        self.total
+            .saturating_sub(self.read_wall)
+            .saturating_sub(self.parse_wall)
     }
 
     /// Fraction of total time spent parsing (0 when total is zero).
@@ -91,6 +126,8 @@ impl ExecMetrics {
     pub fn absorb(&mut self, other: &ExecMetrics) {
         self.read += other.read;
         self.parse += other.parse;
+        self.read_wall += other.read_wall;
+        self.parse_wall += other.parse_wall;
         self.rows_scanned += other.rows_scanned;
         self.bytes_read += other.bytes_read;
         self.parse_calls += other.parse_calls;
@@ -104,6 +141,21 @@ impl ExecMetrics {
         self.task_wall_p50 = self.task_wall_p50.max(other.task_wall_p50);
         self.task_wall_p95 = self.task_wall_p95.max(other.task_wall_p95);
         self.task_skew = self.task_skew.max(other.task_skew);
+        self.lru_hits += other.lru_hits;
+        self.lru_misses += other.lru_misses;
+        self.lru_evictions += other.lru_evictions;
+        self.lru_resident_bytes = self.lru_resident_bytes.max(other.lru_resident_bytes);
+    }
+
+    /// Online-LRU hit ratio over this query's lookups (0 when the LRU
+    /// never ran).
+    pub fn lru_hit_ratio(&self) -> f64 {
+        let lookups = self.lru_hits + self.lru_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.lru_hits as f64 / lookups as f64
+        }
     }
 
     /// Intra-query parse dedup factor: `parse_calls / docs_parsed`. 1.0
@@ -136,6 +188,15 @@ impl ExecMetrics {
             self.row_groups_skipped + self.row_groups_read,
         );
         if self.threads_used > 0 {
+            // Parallel runs: `read`/`parse` above are cross-task CPU sums
+            // (compute() clamps to zero), so print the honest wall-clock
+            // breakdown alongside the pool-shape gauges.
+            s.push_str(&format!(
+                " read_wall={:?} parse_wall={:?} compute_wall={:?}",
+                self.read_wall,
+                self.parse_wall,
+                self.compute_wall(),
+            ));
             s.push_str(&format!(
                 " threads={} tasks={} task_p50={:?} task_p95={:?} skew={:.2}",
                 self.threads_used,
@@ -143,6 +204,16 @@ impl ExecMetrics {
                 self.task_wall_p50,
                 self.task_wall_p95,
                 self.task_skew,
+            ));
+        }
+        if self.lru_hits + self.lru_misses > 0 {
+            s.push_str(&format!(
+                " lru_hits={} lru_misses={} lru_ratio={:.2} lru_evict={} lru_bytes={}",
+                self.lru_hits,
+                self.lru_misses,
+                self.lru_hit_ratio(),
+                self.lru_evictions,
+                self.lru_resident_bytes,
             ));
         }
         s
@@ -254,6 +325,8 @@ mod tests {
         ExecMetrics {
             read: Duration::from_micros(next() % 10_000),
             parse: Duration::from_micros(next() % 10_000),
+            read_wall: Duration::from_micros(next() % 10_000),
+            parse_wall: Duration::from_micros(next() % 10_000),
             // total/planning are not absorbed; leave zero so equality of the
             // merged structs is meaningful.
             total: Duration::ZERO,
@@ -271,6 +344,10 @@ mod tests {
             task_wall_p50: Duration::from_micros(next() % 5_000),
             task_wall_p95: Duration::from_micros(next() % 5_000),
             task_skew: 1.0 + (next() % 1000) as f64 / 250.0,
+            lru_hits: next() % 500,
+            lru_misses: next() % 500,
+            lru_evictions: next() % 100,
+            lru_resident_bytes: next() % 1_000_000,
         }
     }
 
@@ -334,5 +411,67 @@ mod tests {
         };
         assert!(p.summary().contains("threads=4"));
         assert!(p.summary().contains("tasks=8"));
+        assert!(
+            p.summary().contains("compute_wall="),
+            "parallel summary prints the honest wall breakdown"
+        );
+        assert!(
+            !m.summary().contains("lru_hits="),
+            "LRU fields only print when the LRU ran"
+        );
+        let l = ExecMetrics {
+            lru_hits: 3,
+            lru_misses: 1,
+            lru_evictions: 2,
+            lru_resident_bytes: 640,
+            ..Default::default()
+        };
+        assert!(l.summary().contains("lru_hits=3"));
+        assert!(l.summary().contains("lru_ratio=0.75"));
+        assert!(l.summary().contains("lru_evict=2"));
+        assert!(l.summary().contains("lru_bytes=640"));
+    }
+
+    #[test]
+    fn wall_gauges_track_serial_phases() {
+        let m = ExecMetrics {
+            total: Duration::from_millis(100),
+            read: Duration::from_millis(30),
+            parse: Duration::from_millis(50),
+            read_wall: Duration::from_millis(30),
+            parse_wall: Duration::from_millis(50),
+            ..Default::default()
+        };
+        // Serial runs charge wall gauges in lockstep with the sums.
+        assert_eq!(m.compute_wall(), m.compute());
+        // Parallel runs: sums exceed total, walls stay comparable.
+        let p = ExecMetrics {
+            total: Duration::from_millis(100),
+            read: Duration::from_millis(240),
+            parse: Duration::from_millis(160),
+            read_wall: Duration::from_millis(60),
+            parse_wall: Duration::from_millis(40),
+            threads_used: 4,
+            ..Default::default()
+        };
+        assert_eq!(p.compute(), Duration::ZERO, "the misleading residual");
+        assert_eq!(p.compute_wall(), Duration::from_millis(0));
+        let p2 = ExecMetrics {
+            read_wall: Duration::from_millis(20),
+            parse_wall: Duration::from_millis(30),
+            ..p
+        };
+        assert_eq!(p2.compute_wall(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn lru_hit_ratio_handles_empty_and_mixed() {
+        assert_eq!(ExecMetrics::default().lru_hit_ratio(), 0.0);
+        let m = ExecMetrics {
+            lru_hits: 9,
+            lru_misses: 3,
+            ..Default::default()
+        };
+        assert!((m.lru_hit_ratio() - 0.75).abs() < 1e-12);
     }
 }

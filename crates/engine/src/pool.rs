@@ -68,8 +68,8 @@ where
     let failed = std::sync::atomic::AtomicBool::new(false);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for w in 0..workers {
+            let body = || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= tasks || failed.load(Ordering::Relaxed) {
                     break;
@@ -82,7 +82,16 @@ where
                 }
                 let wall = start.elapsed();
                 slots.lock().expect("pool slots lock")[i] = Some(outcome.map(|t| (t, wall)));
-            });
+            };
+            // Named threads so trace exports get stable per-worker track
+            // names; fall back to an anonymous thread if the OS refuses.
+            if std::thread::Builder::new()
+                .name(format!("maxson-pool-{w}"))
+                .spawn_scoped(scope, body)
+                .is_err()
+            {
+                scope.spawn(body);
+            }
         }
     });
 

@@ -152,7 +152,9 @@ impl ScanProvider for NorcScanProvider {
             rows.push(row);
         }
         metrics.rows_scanned += rows.len() as u64;
-        metrics.read += start.elapsed();
+        let spent = start.elapsed();
+        metrics.read += spent;
+        metrics.read_wall += spent;
         Ok(rows)
     }
 

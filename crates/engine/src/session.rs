@@ -9,14 +9,15 @@
 //! rewriter claims are compiled to plain column references (the paper's
 //! *placeholders*) instead of parse expressions.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use maxson_json::JsonPath;
+use maxson_obs::{SpanId, Tracer};
 use maxson_storage::{Catalog, Cell, CmpOp, ColumnType, Field, Schema, SearchArgument};
 
 use crate::error::{EngineError, Result};
-use crate::exec::{execute_plan_with, ExecOptions};
+use crate::exec::{execute_plan_traced, ExecOptions};
 use crate::expr::Expr;
 pub use crate::expr::JsonParserKind;
 use crate::metrics::ExecMetrics;
@@ -113,6 +114,19 @@ impl QueryResult {
     }
 }
 
+/// Case-insensitively strip a leading SQL keyword (plus surrounding
+/// whitespace); `None` when `text` does not start with it as a whole word.
+fn strip_keyword<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
+    let t = text.trim_start();
+    if t.len() >= keyword.len() && t[..keyword.len()].eq_ignore_ascii_case(keyword) {
+        let rest = &t[keyword.len()..];
+        if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+            return Some(rest);
+        }
+    }
+    None
+}
+
 /// A warehouse session.
 pub struct Session {
     catalog: Catalog,
@@ -126,11 +140,27 @@ pub struct Session {
     /// Explicit shared-parse override. `None` defers to
     /// `MAXSON_SHARED_PARSE` (default: on).
     shared_parse: Option<bool>,
+    /// Span/counter collector. One buffer for the session's lifetime:
+    /// query executions, plan rewrites, and offline-pipeline stages all
+    /// record into it (clones share the buffer), so a single trace file
+    /// shows the daily job next to the queries it accelerated. Disabled
+    /// by default — every hook is then a branch on a bool.
+    tracer: Tracer,
+    /// Where to write the Chrome trace-event JSON (rewritten after every
+    /// execute). `None` = no export.
+    trace_path: Option<PathBuf>,
 }
 
 impl Session {
-    /// Open a session over a warehouse directory.
+    /// Open a session over a warehouse directory. When the `MAXSON_TRACE`
+    /// environment variable names a file, tracing starts enabled and every
+    /// execute rewrites that file with the accumulated Chrome trace.
     pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let trace_path = std::env::var_os("MAXSON_TRACE")
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        let tracer = Tracer::new();
+        tracer.set_enabled(trace_path.is_some());
         Ok(Session {
             catalog: Catalog::open(root.as_ref())?,
             parser_kind: JsonParserKind::Jackson,
@@ -138,7 +168,43 @@ impl Session {
             prefilter_enabled: false,
             threads: None,
             shared_parse: None,
+            tracer,
+            trace_path,
         })
+    }
+
+    /// The session's tracer. Clone it into rewriters/providers so their
+    /// spans and counters land in the same buffer; the clones follow this
+    /// session's enable toggle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Set (or clear) the Chrome trace-event export path. Setting a path
+    /// enables tracing; clearing it disables tracing (use
+    /// [`Session::set_trace_enabled`] for in-memory tracing without
+    /// export).
+    pub fn set_trace_path(&mut self, path: Option<PathBuf>) {
+        self.tracer.set_enabled(path.is_some());
+        self.trace_path = path;
+    }
+
+    /// Toggle in-memory tracing without touching the export path. The
+    /// buffer keeps accumulating across queries; use
+    /// `session.tracer().reset()` between queries for per-query rollups.
+    pub fn set_trace_enabled(&self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+
+    /// Write the accumulated trace to the export path, if one is set.
+    /// Called automatically after every `execute`.
+    pub fn flush_trace(&self) -> Result<()> {
+        if let Some(path) = &self.trace_path {
+            self.tracer.export_chrome(path).map_err(|e| {
+                EngineError::exec(format!("trace export to {}: {e}", path.display()))
+            })?;
+        }
+        Ok(())
     }
 
     /// Set (or clear) the worker-thread count for split-parallel execution.
@@ -221,11 +287,16 @@ impl Session {
     }
 
     /// Execute a SELECT statement. A leading `EXPLAIN` keyword returns the
-    /// plan tree (one row per line) instead of executing.
+    /// plan tree (one row per line) instead of executing; `EXPLAIN
+    /// ANALYZE` executes the query under a tracer and returns the recorded
+    /// span tree annotated with per-operator wall time, rows, and cache
+    /// counters.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        let trimmed = sql.trim_start();
-        if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("explain") {
-            let (plan, planning, _) = self.plan(&trimmed[7..])?;
+        if let Some(rest) = strip_keyword(sql, "explain") {
+            if let Some(inner) = strip_keyword(rest, "analyze") {
+                return self.explain_analyze(inner);
+            }
+            let (plan, planning, _) = self.plan(rest)?;
             let metrics = ExecMetrics {
                 planning,
                 ..Default::default()
@@ -241,19 +312,76 @@ impl Session {
                 plan_display: display,
             });
         }
-        let (plan, planning, names) = self.plan(sql)?;
+        let (result, _) = self.execute_traced(sql, &self.tracer)?;
+        self.flush_trace()?;
+        Ok(result)
+    }
+
+    /// Plan and run `sql` under `tracer`, recording a query-root span (with
+    /// a `planning` child covering compile + rewrite) over the whole
+    /// operator tree. Returns the root span id for rendering.
+    fn execute_traced(&self, sql: &str, tracer: &Tracer) -> Result<(QueryResult, Option<SpanId>)> {
+        let root = tracer.span("query");
+        if root.is_recording() {
+            root.attr("sql", sql.trim());
+        }
+        let (plan, planning, names) = {
+            let _planning_span = tracer.child("planning", root.id());
+            self.plan(sql)?
+        };
         let mut metrics = ExecMetrics {
             planning,
             ..Default::default()
         };
         let start = Instant::now();
-        let rows = execute_plan_with(&plan, self.parser_kind, &mut metrics, self.exec_options())?;
+        let rows = execute_plan_traced(
+            &plan,
+            self.parser_kind,
+            &mut metrics,
+            self.exec_options(),
+            tracer,
+            root.id(),
+        )?;
         metrics.total = start.elapsed();
+        tracer.observe("query_exec_us", metrics.total);
+        root.attr("rows", rows.len());
+        let root_id = root.id();
+        drop(root);
+        Ok((
+            QueryResult {
+                columns: names,
+                rows,
+                metrics,
+                plan_display: plan.display(),
+            },
+            root_id,
+        ))
+    }
+
+    /// `EXPLAIN ANALYZE <query>`: run the query traced and render the span
+    /// tree. Uses the session tracer when it is already enabled (so the
+    /// analyzed run also lands in the `MAXSON_TRACE` export); otherwise a
+    /// temporary tracer scoped to this call.
+    fn explain_analyze(&self, sql: &str) -> Result<QueryResult> {
+        let local;
+        let tracer = if self.tracer.is_enabled() {
+            &self.tracer
+        } else {
+            local = Tracer::enabled();
+            &local
+        };
+        let (result, root) = self.execute_traced(sql, tracer)?;
+        self.flush_trace()?;
+        let root = root.expect("tracer is enabled");
+        let text = crate::explain::render_analyze(&tracer.snapshot(), root.0);
         Ok(QueryResult {
-            columns: names,
-            rows,
-            metrics,
-            plan_display: plan.display(),
+            columns: vec!["explain analyze".to_string()],
+            rows: text
+                .lines()
+                .map(|l| vec![Cell::Str(l.to_string())])
+                .collect(),
+            metrics: result.metrics,
+            plan_display: result.plan_display,
         })
     }
 

@@ -24,6 +24,7 @@ use std::time::Instant;
 
 use maxson_engine::metrics::ExecMetrics;
 use maxson_engine::scan::ScanProvider;
+use maxson_obs::Tracer;
 use maxson_storage::{Cell, Schema, SearchArgument, Table};
 
 /// Scan provider combining a raw table with its cache table.
@@ -45,6 +46,8 @@ pub struct CombinedScanProvider {
     raw_sarg: Option<SearchArgument>,
     /// SARG over cache table columns (Algorithm 3).
     cache_sarg: Option<SearchArgument>,
+    /// Span/counter sink; inert unless the rewriter installs a live one.
+    tracer: Tracer,
 }
 
 impl CombinedScanProvider {
@@ -67,7 +70,13 @@ impl CombinedScanProvider {
             out_schema,
             raw_sarg,
             cache_sarg,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Install the tracer stitch counters are recorded into.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Whether this scan reads only the cache table.
@@ -133,7 +142,11 @@ impl ScanProvider for CombinedScanProvider {
                 rows.push(row);
             }
             metrics.rows_scanned += rows.len() as u64;
-            metrics.read += start.elapsed();
+            let spent = start.elapsed();
+            metrics.read += spent;
+            metrics.read_wall += spent;
+            self.tracer
+                .add("combiner.cache_only_rows", rows.len() as u64);
             return Ok(rows);
         }
 
@@ -205,7 +218,10 @@ impl ScanProvider for CombinedScanProvider {
             rows.push(row);
         }
         metrics.rows_scanned += rows.len() as u64;
-        metrics.read += start.elapsed();
+        let spent = start.elapsed();
+        metrics.read += spent;
+        metrics.read_wall += spent;
+        self.tracer.add("combiner.stitched_rows", rows.len() as u64);
         Ok(rows)
     }
 

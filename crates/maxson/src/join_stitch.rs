@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use maxson_engine::metrics::ExecMetrics;
 use maxson_engine::scan::ScanProvider;
+use maxson_obs::Tracer;
 use maxson_storage::{Cell, Schema, Table};
 
 /// Join-based stitching provider (ablation baseline).
@@ -31,6 +32,7 @@ pub struct JoinStitchProvider {
     cache: Table,
     cache_projection: Vec<usize>,
     out_schema: Schema,
+    tracer: Tracer,
 }
 
 impl JoinStitchProvider {
@@ -50,7 +52,13 @@ impl JoinStitchProvider {
             cache,
             cache_projection,
             out_schema,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Install the tracer stitch counters are recorded into.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -112,7 +120,10 @@ impl ScanProvider for JoinStitchProvider {
             out.push(combined);
         }
         metrics.rows_scanned += out.len() as u64;
-        metrics.read += start.elapsed();
+        let spent = start.elapsed();
+        metrics.read += spent;
+        metrics.read_wall += spent;
+        self.tracer.add("join_stitch.joined_rows", out.len() as u64);
         Ok(out)
     }
 

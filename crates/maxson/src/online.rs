@@ -17,6 +17,7 @@ use maxson_engine::scan::ScanProvider;
 use maxson_engine::session::{ScanContext, ScanRewrite, TableScanRewriter};
 use maxson_engine::EngineError;
 use maxson_json::JsonPath;
+use maxson_obs::Tracer;
 use maxson_storage::{Catalog, Cell, Field, Schema, Table};
 use maxson_trace::JsonPathLocation;
 
@@ -39,6 +40,7 @@ struct LruState {
     used_bytes: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// Counters reported for Fig. 14.
@@ -52,6 +54,8 @@ pub struct LruStats {
     pub used_bytes: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Entries evicted to make room since the rewriter opened.
+    pub evictions: u64,
 }
 
 impl LruStats {
@@ -71,6 +75,7 @@ pub struct OnlineLruRewriter {
     catalog: Catalog,
     budget_bytes: u64,
     state: Arc<Mutex<LruState>>,
+    tracer: Tracer,
 }
 
 impl OnlineLruRewriter {
@@ -80,7 +85,15 @@ impl OnlineLruRewriter {
             catalog: Catalog::open(root.into())?,
             budget_bytes,
             state: Arc::new(Mutex::new(LruState::default())),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Record hit/miss/evict events and per-scan spans into `tracer`
+    /// (normally a clone of the session's, so LRU activity shows up in the
+    /// same trace file as the queries that caused it).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Current counters.
@@ -91,6 +104,7 @@ impl OnlineLruRewriter {
             misses: s.misses,
             used_bytes: s.used_bytes,
             entries: s.entries.len(),
+            evictions: s.evictions,
         }
     }
 }
@@ -140,6 +154,7 @@ impl TableScanRewriter for OnlineLruRewriter {
             out_schema,
             state: Arc::clone(&self.state),
             budget_bytes: self.budget_bytes,
+            tracer: self.tracer.clone(),
         };
         Ok(Some(ScanRewrite {
             provider: Box::new(provider),
@@ -158,6 +173,7 @@ struct LruBackedProvider {
     out_schema: Schema,
     state: Arc<Mutex<LruState>>,
     budget_bytes: u64,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for LruBackedProvider {
@@ -176,6 +192,8 @@ impl ScanProvider for LruBackedProvider {
     }
 
     fn scan(&self, metrics: &mut ExecMetrics) -> maxson_engine::Result<Vec<Vec<Cell>>> {
+        let span = self.tracer.span("lru_scan");
+        span.attr("table", format!("{}.{}", self.database, self.table_name));
         let read_start = Instant::now();
         // Read raw output columns.
         let mut raw_cols = Vec::new();
@@ -186,7 +204,9 @@ impl ScanProvider for LruBackedProvider {
                 .map_err(EngineError::Storage)?;
             raw_cols.push(cols);
         }
-        metrics.read += read_start.elapsed();
+        let read_spent = read_start.elapsed();
+        metrics.read += read_spent;
+        metrics.read_wall += read_spent;
 
         // Resolve every call: hit -> cached column; miss -> parse now.
         let version = self.table.modified_at();
@@ -214,11 +234,15 @@ impl ScanProvider for LruBackedProvider {
             if let Some(values) = hit {
                 self.state.lock().expect("lru state lock").hits += 1;
                 metrics.cache_hits += values.len() as u64;
+                metrics.lru_hits += 1;
+                self.tracer.add("lru.hit", 1);
                 call_columns.push(values);
                 continue;
             }
             // Miss: parse the whole column (the first query pays, §III-A).
             self.state.lock().expect("lru state lock").misses += 1;
+            metrics.lru_misses += 1;
+            self.tracer.add("lru.miss", 1);
             let col_idx = self
                 .table
                 .schema()
@@ -247,7 +271,9 @@ impl ScanProvider for LruBackedProvider {
                     // time, so there is no intra-column sharing here.
                     metrics.docs_parsed += 1;
                 }
-                metrics.parse += parse_start.elapsed();
+                let parse_spent = parse_start.elapsed();
+                metrics.parse += parse_spent;
+                metrics.parse_wall += parse_spent;
             }
             let values = Arc::new(values);
             // Insert with LRU eviction.
@@ -264,6 +290,9 @@ impl ScanProvider for LruBackedProvider {
                         .expect("non-empty");
                     if let Some(e) = st.entries.remove(&victim) {
                         st.used_bytes -= e.bytes;
+                        st.evictions += 1;
+                        metrics.lru_evictions += 1;
+                        self.tracer.add("lru.evict", 1);
                     }
                 }
                 if bytes <= self.budget_bytes {
@@ -278,6 +307,7 @@ impl ScanProvider for LruBackedProvider {
                         },
                     );
                 }
+                metrics.lru_resident_bytes = metrics.lru_resident_bytes.max(st.used_bytes);
             }
             call_columns.push(values);
         }
@@ -306,6 +336,7 @@ impl ScanProvider for LruBackedProvider {
             }
         }
         metrics.rows_scanned += rows.len() as u64;
+        span.attr("rows_out", rows.len());
         Ok(rows)
     }
 
@@ -453,6 +484,7 @@ mod tests {
             misses: 1,
             used_bytes: 0,
             entries: 0,
+            evictions: 0,
         };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
         assert_eq!(LruStats::default().hit_ratio(), 0.0);

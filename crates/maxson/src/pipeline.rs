@@ -113,7 +113,14 @@ impl MaxsonPipeline {
         today: u32,
         now: u64,
     ) -> Result<CycleReport> {
+        // Stages record into the session's tracer, so the offline cycle
+        // shows up in the same Chrome trace as the queries it accelerates.
+        let tracer = session.tracer().clone();
+        let cycle = tracer.span("midnight_cycle");
+        cycle.attr("day", today);
+
         // 1. Predict MPJPs.
+        let stage = tracer.child("predict", cycle.id());
         let predictor = TrainedPredictor::train(
             self.config.predictor,
             &self.collector,
@@ -121,8 +128,11 @@ impl MaxsonPipeline {
         );
         let candidates: Vec<MpjpCandidate> =
             predict_mpjps(&self.collector, &predictor, today, &self.config.features);
+        stage.attr("candidates", candidates.len());
+        drop(stage);
 
         // 2. Score, then order per the configured strategy.
+        let stage = tracer.child("score", cycle.id());
         let mut ranked = score_candidates(session.catalog(), &candidates, history)?;
         match self.config.scoring {
             ScoringStrategy::Full => {}
@@ -137,17 +147,31 @@ impl MaxsonPipeline {
             }
             ScoringStrategy::Random => shuffle(&mut ranked, self.config.random_seed),
         }
+        stage.attr("ranked", ranked.len());
+        drop(stage);
 
         // 3. Populate the cache.
+        let stage = tracer.child("cache_build", cycle.id());
         let cacher = JsonPathCacher::new(self.config.budget_bytes);
         let (registry, cache_report) = cacher.populate(session.catalog_mut(), &ranked, now)?;
+        if stage.is_recording() {
+            stage.attr("cached", cache_report.cached.len());
+            stage.attr("bytes_used", cache_report.bytes_used);
+            stage.attr("skipped", cache_report.skipped.len());
+        }
+        drop(stage);
 
         // 4. Install the rewriter (fresh catalog handle sees the new cache
         //    tables).
+        let stage = tracer.child("install_rewriter", cycle.id());
         let catalog = Catalog::open(&self.root)?;
         let mut rewriter = MaxsonScanRewriter::with_registry(catalog, registry);
         rewriter.enable_pushdown = self.config.enable_pushdown;
+        rewriter.set_tracer(tracer.clone());
         session.set_scan_rewriter(Some(Box::new(rewriter)));
+        drop(stage);
+        drop(cycle);
+        session.flush_trace()?;
 
         Ok(CycleReport {
             predicted: candidates.len(),

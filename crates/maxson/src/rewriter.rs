@@ -21,6 +21,7 @@ use std::path::PathBuf;
 use maxson_engine::session::{ScanContext, ScanRewrite, TableScanRewriter};
 use maxson_engine::sql::ast::{BinaryOp, SqlExpr};
 use maxson_engine::EngineError;
+use maxson_obs::Tracer;
 use maxson_storage::{Catalog, Cell, CmpOp, Field, Schema, SearchArgument};
 use maxson_trace::JsonPathLocation;
 
@@ -51,6 +52,8 @@ pub struct MaxsonScanRewriter {
     stats: RefCell<RewriteStats>,
     /// Enable Algorithm 3 pushdown (ablation switch).
     pub enable_pushdown: bool,
+    /// Span/counter sink for rewrite decisions; inert unless installed.
+    tracer: Tracer,
 }
 
 impl MaxsonScanRewriter {
@@ -65,6 +68,7 @@ impl MaxsonScanRewriter {
             invalid: RefCell::new(Vec::new()),
             stats: RefCell::new(RewriteStats::default()),
             enable_pushdown: true,
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -76,7 +80,16 @@ impl MaxsonScanRewriter {
             invalid: RefCell::new(Vec::new()),
             stats: RefCell::new(RewriteStats::default()),
             enable_pushdown: true,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Install the tracer rewrite decisions are recorded into (normally a
+    /// clone of the session's). The installed tracer is also threaded into
+    /// every combined provider this rewriter builds, so stitch counters
+    /// land in the same trace.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Locations marked invalid so far.
@@ -99,12 +112,15 @@ impl TableScanRewriter for MaxsonScanRewriter {
         if ctx.json_calls.is_empty() || ctx.database == CACHE_DB {
             return Ok(None);
         }
+        let span = self.tracer.span("maxson_rewrite");
+        span.attr("table", format!("{}.{}", ctx.database, ctx.table));
         let raw_meta = self
             .catalog
             .table_meta(ctx.database, ctx.table)
             .map_err(EngineError::Storage)?;
 
         // Classify each call: valid hit, stale, or miss (Alg. 1 lines 14-23).
+        let invalidated_before = self.stats.borrow().invalidated;
         let mut resolved: Vec<((String, String), String)> = Vec::new();
         let mut unresolved: Vec<(String, String)> = Vec::new();
         let mut cache_table_name: Option<String> = None;
@@ -130,7 +146,18 @@ impl TableScanRewriter for MaxsonScanRewriter {
             stats.hits += resolved.len() as u64;
             stats.misses += unresolved.len() as u64;
         }
+        self.tracer.add("rewrite.hits", resolved.len() as u64);
+        self.tracer.add("rewrite.misses", unresolved.len() as u64);
+        self.tracer.add(
+            "rewrite.invalidated",
+            self.stats.borrow().invalidated - invalidated_before,
+        );
+        if span.is_recording() {
+            span.attr("hits", resolved.len());
+            span.attr("misses", unresolved.len());
+        }
         let Some(cache_table_name) = cache_table_name else {
+            span.attr("decision", "no_rewrite");
             return Ok(None); // No valid hits: keep the default scan.
         };
         let cache_table = self
@@ -203,7 +230,12 @@ impl TableScanRewriter for MaxsonScanRewriter {
         let cache_only = raw_projection.is_empty();
         if cache_only {
             self.stats.borrow_mut().cache_only_scans += 1;
+            self.tracer.add("rewrite.cache_only_scans", 1);
         }
+        span.attr(
+            "decision",
+            if cache_only { "cache_only" } else { "combined" },
+        );
         let raw = if cache_only {
             None
         } else {
@@ -214,7 +246,7 @@ impl TableScanRewriter for MaxsonScanRewriter {
                     .clone(),
             )
         };
-        let provider = CombinedScanProvider::new(
+        let mut provider = CombinedScanProvider::new(
             raw,
             raw_projection,
             cache_table,
@@ -223,6 +255,7 @@ impl TableScanRewriter for MaxsonScanRewriter {
             raw_sarg,
             cache_sarg,
         );
+        provider.set_tracer(self.tracer.clone());
         Ok(Some(ScanRewrite {
             provider: Box::new(provider),
             resolved_paths: resolved,

@@ -1,0 +1,179 @@
+//! Golden tests for `EXPLAIN ANALYZE`.
+//!
+//! The rendered span tree must be deterministic across thread counts: the
+//! same operator lines, the same per-split rows and counter deltas, the
+//! same child order. Only the `wall=` timing tokens vary run to run, so
+//! they (and the warehouse path inside provider labels) are normalized
+//! before comparison.
+
+use maxson::rewriter::MaxsonScanRewriter;
+use maxson_engine::session::Session;
+use maxson_storage::file::WriteOptions;
+use maxson_storage::{Cell, ColumnType, Field, Schema};
+use std::path::{Path, PathBuf};
+
+fn bench_data_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("bench-data")
+}
+
+fn temp_root(name: &str) -> PathBuf {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    std::env::temp_dir().join(format!("maxson-ea-{}-{nanos}-{name}", std::process::id()))
+}
+
+/// Join the result rows (one `Cell::Str` line each) and normalize the two
+/// nondeterministic parts: `wall=<duration>` tokens and the warehouse path
+/// embedded in provider labels.
+fn normalized(result: &maxson_engine::QueryResult, root: &Path) -> String {
+    let text: String = result
+        .rows
+        .iter()
+        .map(|r| match &r[0] {
+            Cell::Str(s) => s.clone(),
+            other => panic!("explain analyze rows must be strings: {other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let text = text.replace(&root.display().to_string(), "<root>");
+    text.lines()
+        .map(|line| {
+            line.split(' ')
+                .map(|tok| {
+                    if tok.starts_with("wall=") {
+                        "wall=_"
+                    } else {
+                        tok
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn run_explain_analyze(session: &Session, sql: &str, root: &Path) -> String {
+    let result = session
+        .execute(&format!("explain analyze {sql}"))
+        .unwrap_or_else(|e| panic!("explain analyze failed for {sql}: {e}"));
+    assert_eq!(result.columns, vec!["explain analyze".to_string()]);
+    normalized(&result, root)
+}
+
+/// Two-split table with plain columns only, so the golden text is
+/// independent of the JSON parser and shared-parse mode.
+fn two_split_table(name: &str) -> PathBuf {
+    let root = temp_root(name);
+    let mut session = Session::open(&root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("tag", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let t = session
+        .catalog_mut()
+        .create_table("db", "t", schema, 0)
+        .unwrap();
+    for f in 0..2i64 {
+        let rows: Vec<Vec<Cell>> = (0..10)
+            .map(|i| {
+                let n = f * 10 + i;
+                vec![Cell::Int(n), Cell::Str(format!("g{}", n % 3))]
+            })
+            .collect();
+        t.append_file(
+            &rows,
+            WriteOptions {
+                row_group_size: 5,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+    }
+    root
+}
+
+const GOLDEN: &str = "\
+query wall=_ rows=3
+  planning wall=_
+  sort wall=_ rows_in=3
+    project wall=_ rows_in=3 rows_out=3
+      scan_pipeline wall=_ label=NorcScan(<root>/db/t, cols=[0, 1], sarg) stages=scan+filter+agg splits=2 rows_out=3
+        split wall=_ split=0 rows_scanned=5 bytes_read=50 rg_read=1 rg_skipped=1
+        split wall=_ split=1 rows_scanned=10 bytes_read=100 rg_read=2";
+
+#[test]
+fn golden_tree_exact_at_one_and_four_threads() {
+    let root = two_split_table("golden");
+    let mut session = Session::open(&root).unwrap();
+    let sql = "select tag, count(*) from db.t where id >= 5 group by tag order by tag";
+    for threads in [1usize, 4] {
+        session.set_threads(Some(threads));
+        let text = run_explain_analyze(&session, sql, &root);
+        assert_eq!(
+            text, GOLDEN,
+            "explain analyze drifted at {threads} threads:\n{text}"
+        );
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Maxson-rewritten JSON queries over the checked-in warehouse: the
+/// normalized tree must be identical at 1 and 4 threads (same shape, same
+/// rows, same counter deltas, split children in split order).
+#[test]
+fn rewritten_queries_deterministic_across_threads() {
+    let root = bench_data_root();
+    let queries = [
+        "select get_json_object(payload, '$.f0') as f0, \
+         get_json_object(payload, '$.f1') as f1 from mydb.q1",
+        "select get_json_object(payload, '$.f0') as f0, \
+         get_json_object(payload, '$.f10') as f10 from mydb.q2",
+        "select get_json_object(payload, '$.f0') as f0 \
+         from mydb.q1 where get_json_object(payload, '$.f0') > 900",
+    ];
+    for sql in queries {
+        let mut make = || {
+            let mut session = Session::open(&root).unwrap();
+            let rewriter = MaxsonScanRewriter::open(&root).unwrap();
+            session.set_scan_rewriter(Some(Box::new(rewriter)));
+            session
+        };
+        let mut reference_session = make();
+        reference_session.set_threads(Some(1));
+        let reference = run_explain_analyze(&reference_session, sql, &root);
+        assert!(
+            reference.contains("scan_pipeline"),
+            "no pipeline span for {sql}:\n{reference}"
+        );
+        assert!(
+            reference.contains("split="),
+            "no split spans for {sql}:\n{reference}"
+        );
+        let mut session = make();
+        session.set_threads(Some(4));
+        let parallel = run_explain_analyze(&session, sql, &root);
+        assert_eq!(
+            parallel, reference,
+            "explain analyze differs between 1 and 4 threads for {sql}"
+        );
+    }
+}
+
+/// The plain `EXPLAIN` (no ANALYZE) path still renders the logical plan.
+#[test]
+fn plain_explain_still_renders_plan() {
+    let root = two_split_table("plainexplain");
+    let session = Session::open(&root).unwrap();
+    let result = session.execute("explain select id from db.t").unwrap();
+    assert_eq!(result.columns, vec!["plan".to_string()]);
+    let text = result.to_display_string();
+    assert!(text.contains("Scan"), "no scan node:\n{text}");
+    assert!(!text.contains("wall="), "EXPLAIN must not execute:\n{text}");
+    std::fs::remove_dir_all(&root).ok();
+}
