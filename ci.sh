@@ -28,6 +28,11 @@ MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_scal
 # accounting invariant docs_parsed <= parse_calls on every query.
 MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig15_parsers
 
+# Smoke-run the zero-copy scan benchmark (fast mode); it reports scan-only,
+# scan+filter, and scan+agg rows/s on the batched columnar pipeline and the
+# cells_materialized / batch_rows_skipped work counters.
+MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_scan_throughput
+
 # Tracing smoke: runs a fig12 query untraced and traced, fails on any
 # row/counter drift, and validates the exported Chrome trace JSON
 # (well-formed, >0 spans, nested parents, named thread tracks).

@@ -36,7 +36,7 @@ fn setup(cache: bool) -> (Session, PathBuf) {
         .map(|i| {
             vec![
                 Cell::Int(i),
-                Cell::Str(format!(r#"{{"a": {i}, "b": "value-{i}", "c": [1,2,3]}}"#)),
+                Cell::from(format!(r#"{{"a": {i}, "b": "value-{i}", "c": [1,2,3]}}"#)),
             ]
         })
         .collect();

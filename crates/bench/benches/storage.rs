@@ -23,7 +23,7 @@ fn rows(n: usize) -> Vec<Vec<Cell>> {
         .map(|i| {
             vec![
                 Cell::Int(i as i64),
-                Cell::Str(format!("{{\"a\": {i}, \"b\": \"text-{i}\"}}")),
+                Cell::from(format!("{{\"a\": {i}, \"b\": \"text-{i}\"}}")),
             ]
         })
         .collect()

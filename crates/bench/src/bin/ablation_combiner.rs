@@ -37,11 +37,11 @@ fn build_tables(rows: usize) -> (Table, Table, std::path::PathBuf) {
         .map(|i| {
             vec![
                 Cell::Int(i as i64),
-                Cell::Str(format!("{{\"a\": {i}, \"pad\": \"{}\"}}", "x".repeat(64))),
+                Cell::from(format!("{{\"a\": {i}, \"pad\": \"{}\"}}", "x".repeat(64))),
             ]
         })
         .collect();
-    let cache_rows: Vec<Vec<Cell>> = (0..rows).map(|i| vec![Cell::Str(i.to_string())]).collect();
+    let cache_rows: Vec<Vec<Cell>> = (0..rows).map(|i| vec![Cell::from(i.to_string())]).collect();
     raw.append_file(&raw_rows, opts, 1).unwrap();
     cache.append_file(&cache_rows, opts, 1).unwrap();
     (raw, cache, root)

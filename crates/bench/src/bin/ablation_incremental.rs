@@ -20,7 +20,7 @@ fn rows(from: i64, n: i64) -> Vec<Vec<Cell>> {
         .map(|i| {
             vec![
                 Cell::Int(i),
-                Cell::Str(format!(
+                Cell::from(format!(
                     r#"{{"a": {i}, "b": "value-{i}", "c": [1,2,3], "pad": "{}"}}"#,
                     "x".repeat(64)
                 )),

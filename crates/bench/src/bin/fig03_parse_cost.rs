@@ -32,7 +32,7 @@ fn main() {
         .expect("create table");
     let mut generator = NobenchGenerator::new(99);
     let rows: Vec<Vec<Cell>> = (0..rows_n)
-        .map(|i| vec![Cell::Int(i as i64), Cell::Str(generator.record_text(i))])
+        .map(|i| vec![Cell::Int(i as i64), Cell::from(generator.record_text(i))])
         .collect();
     table
         .append_file(

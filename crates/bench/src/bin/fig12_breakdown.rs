@@ -30,6 +30,11 @@ fn main() {
     let mut parse_s = Series::new("parse (wall)");
     let mut compute_s = Series::new("compute (wall)");
     let mut input_s = Series::new("input bytes");
+    // Zero-copy pipeline work counters: how many column values were
+    // materialized into row cells, and how many rows the batched scan
+    // dropped (selection vector + filter) before full materialization.
+    let mut cells_s = Series::new("cells materialized");
+    let mut skipped_s = Series::new("batch rows skipped");
 
     let fast = std::env::var("MAXSON_BENCH_FAST").as_deref() == Ok("1");
     let runs = if fast { 1 } else { 2 };
@@ -49,7 +54,9 @@ fn main() {
             read_s.push(label.clone(), m.read_wall.as_secs_f64());
             parse_s.push(label.clone(), m.parse_wall.as_secs_f64());
             compute_s.push(label.clone(), m.compute_wall().as_secs_f64());
-            input_s.push(label, m.bytes_read as f64);
+            input_s.push(label.clone(), m.bytes_read as f64);
+            cells_s.push(label.clone(), m.cells_materialized as f64);
+            skipped_s.push(label, m.batch_rows_skipped as f64);
         }
         report.note_parse_dedup(&format!("{} Spark", q.name), &sm);
         report.note_parse_dedup(&format!("{} Maxson", q.name), &mm);
@@ -74,5 +81,7 @@ fn main() {
     report.add(parse_s);
     report.add(compute_s);
     report.add(input_s);
+    report.add(cells_s);
+    report.add(skipped_s);
     report.emit();
 }

@@ -314,7 +314,7 @@ pub fn load_workload_tables(
                 .map(|_| {
                     let json = generate_document(spec, &mut rng, row_id);
                     let date = 20190101 + (row_id % 31) as i64;
-                    let row = vec![Cell::Int(row_id as i64), Cell::Int(date), Cell::Str(json)];
+                    let row = vec![Cell::Int(row_id as i64), Cell::Int(date), Cell::from(json)];
                     row_id += 1;
                     row
                 })

@@ -33,7 +33,7 @@
 use std::collections::HashMap;
 
 use maxson_obs::{SpanGuard, SpanId, Tracer};
-use maxson_storage::Cell;
+use maxson_storage::{Cell, CellKey, RowKey, RowKeySlice};
 
 use crate::error::{EngineError, Result};
 use crate::expr::{truthy, Expr, JsonParserKind};
@@ -41,7 +41,7 @@ use crate::extract::{JsonExtractor, RowSlots};
 use crate::metrics::ExecMetrics;
 use crate::plan::LogicalPlan;
 use crate::pool;
-use crate::scan::ScanProvider;
+use crate::scan::{Batch, BatchData, ScanProvider};
 use crate::sql::ast::AggFunc;
 
 /// Knobs controlling one plan execution.
@@ -246,15 +246,13 @@ pub fn execute_plan_traced(
             let span = tracer.child("distinct", parent);
             let rows = execute_plan_traced(input, parser, metrics, opts, tracer, span.id())?;
             span.attr("rows_in", rows.len());
-            let mut seen = std::collections::HashSet::new();
+            let mut seen: std::collections::HashSet<RowKey> = std::collections::HashSet::new();
             let mut out = Vec::new();
             for row in rows {
-                let key: String = row
-                    .iter()
-                    .map(Cell::key_string)
-                    .collect::<Vec<_>>()
-                    .join("\u{1}");
-                if seen.insert(key) {
+                // Probe with the borrowed row; own a key (cheap cell
+                // clones, no string build) only for first-seen rows.
+                if !seen.contains(RowKeySlice::new(&row)) {
+                    seen.insert(RowKey(row.clone()));
                     out.push(row);
                 }
             }
@@ -289,6 +287,14 @@ fn attr_counter_deltas(span: &SpanGuard<'_>, before: Option<&ExecMetrics>, after
         (
             "prefilter_dropped",
             after.prefilter_dropped - b.prefilter_dropped,
+        ),
+        (
+            "cells_materialized",
+            after.cells_materialized - b.cells_materialized,
+        ),
+        (
+            "batch_rows_skipped",
+            after.batch_rows_skipped - b.batch_rows_skipped,
         ),
         ("lru_hits", after.lru_hits - b.lru_hits),
         ("lru_misses", after.lru_misses - b.lru_misses),
@@ -369,6 +375,12 @@ struct PipelineSegment<'a> {
     /// stage. `None` when the toggle is off or no stage touches JSON.
     /// Read-only, hence safely shared across split tasks.
     extractor: Option<JsonExtractor>,
+    /// Scan-schema columns the filter reads (ascending). For columnar
+    /// batches only these are materialized before the filter runs.
+    filter_cols: Vec<usize>,
+    /// The complement of `filter_cols` over the scan schema (ascending):
+    /// materialized only for rows the filter keeps.
+    rest_cols: Vec<usize>,
 }
 
 impl<'a> PipelineSegment<'a> {
@@ -397,6 +409,8 @@ impl<'a> PipelineSegment<'a> {
                     project: None,
                     agg: Some((group_by, aggs)),
                     extractor: None,
+                    filter_cols: Vec::new(),
+                    rest_cols: Vec::new(),
                 }
             }
             LogicalPlan::Project { input, exprs, .. } => {
@@ -407,6 +421,8 @@ impl<'a> PipelineSegment<'a> {
                     project: Some(exprs),
                     agg: None,
                     extractor: None,
+                    filter_cols: Vec::new(),
+                    rest_cols: Vec::new(),
                 }
             }
             other => {
@@ -417,6 +433,8 @@ impl<'a> PipelineSegment<'a> {
                     project: None,
                     agg: None,
                     extractor: None,
+                    filter_cols: Vec::new(),
+                    rest_cols: Vec::new(),
                 }
             }
         };
@@ -434,45 +452,153 @@ impl<'a> PipelineSegment<'a> {
             }
             segment.extractor = JsonExtractor::from_exprs(exprs);
         }
+        if let Some(predicate) = segment.filter {
+            let mut referenced = std::collections::BTreeSet::new();
+            predicate.collect_columns(&mut referenced);
+            let width = segment.provider.schema().fields().len();
+            // Out-of-range references (a planner bug) are left out so the
+            // filter's own eval reports the error instead of an index panic.
+            segment.filter_cols = referenced.iter().copied().filter(|&c| c < width).collect();
+            segment.rest_cols = (0..width).filter(|c| !referenced.contains(c)).collect();
+        }
         Some(segment)
     }
 
-    /// Rows of one split (`None` = the provider's whole-table scan, used
+    /// One split as a batch (`None` = the provider's whole-table scan, used
     /// for degenerate zero-split providers).
-    fn scan_rows(&self, split: Option<usize>, metrics: &mut ExecMetrics) -> Result<Vec<Vec<Cell>>> {
+    fn scan_batch(&self, split: Option<usize>, metrics: &mut ExecMetrics) -> Result<Batch> {
         match split {
-            Some(s) => self.provider.scan_split(s, metrics),
-            None => self.provider.scan(metrics),
+            Some(s) => self.provider.scan_split_batch(s, metrics),
+            None => self.provider.scan_batch(metrics),
+        }
+    }
+
+    /// Materialize columnar row `i` into `scratch` with the filter applied
+    /// lazily: only the predicate's columns are built before it runs; the
+    /// rest are built only when the row survives. Returns `false` (and
+    /// charges `batch_rows_skipped`) for rejected rows — their non-predicate
+    /// slots then hold stale cells nothing reads.
+    fn fill_row(
+        &self,
+        cols: &[maxson_storage::ColumnData],
+        i: usize,
+        scratch: &mut [Cell],
+        parser: JsonParserKind,
+        metrics: &mut ExecMetrics,
+        slots: Option<&RowSlots<'_>>,
+    ) -> Result<bool> {
+        match self.filter {
+            Some(predicate) => {
+                for &c in &self.filter_cols {
+                    scratch[c] = cols[c].get(i);
+                }
+                metrics.cells_materialized += self.filter_cols.len() as u64;
+                if !truthy(&predicate.eval_with(scratch, parser, metrics, slots)?) {
+                    metrics.batch_rows_skipped += 1;
+                    return Ok(false);
+                }
+                for &c in &self.rest_cols {
+                    scratch[c] = cols[c].get(i);
+                }
+                metrics.cells_materialized += self.rest_cols.len() as u64;
+            }
+            None => {
+                for (c, col) in cols.iter().enumerate() {
+                    scratch[c] = col.get(i);
+                }
+                metrics.cells_materialized += cols.len() as u64;
+            }
+        }
+        Ok(true)
+    }
+
+    /// The surviving row indexes of a columnar batch, charging
+    /// `batch_rows_skipped` for rows the selection vector drops (they are
+    /// never materialized at all).
+    fn batch_indexes(n: usize, selection: Option<Vec<u32>>, metrics: &mut ExecMetrics) -> Vec<u32> {
+        match selection {
+            Some(sel) => {
+                metrics.batch_rows_skipped += (n - sel.len()) as u64;
+                sel
+            }
+            None => (0..n as u32).collect(),
         }
     }
 
     /// Scan one split and run the filter (and projection, if any) over it,
     /// row at a time so both stages share one [`RowSlots`] — the filter's
-    /// parse is reused by the projection.
+    /// parse is reused by the projection. Columnar batches reuse one
+    /// scratch row and materialize cells late; row-major batches keep the
+    /// pre-batching row loop byte for byte.
     fn run_rows(
         &self,
         split: Option<usize>,
         parser: JsonParserKind,
         metrics: &mut ExecMetrics,
     ) -> Result<Vec<Vec<Cell>>> {
-        let rows = self.scan_rows(split, metrics)?;
-        let mut out = Vec::with_capacity(rows.len());
-        for row in rows {
-            let slots = self.extractor.as_ref().map(RowSlots::new);
-            if let Some(predicate) = self.filter {
-                if !truthy(&predicate.eval_with(&row, parser, metrics, slots.as_ref())?) {
-                    continue;
+        let batch = self.scan_batch(split, metrics)?;
+        let selection = batch.selection;
+        let cols = match batch.data {
+            BatchData::Rows(rows) => {
+                let rows = Batch {
+                    data: BatchData::Rows(rows),
+                    selection,
                 }
+                .into_rows(metrics);
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let slots = self.extractor.as_ref().map(RowSlots::new);
+                    if let Some(predicate) = self.filter {
+                        if !truthy(&predicate.eval_with(&row, parser, metrics, slots.as_ref())?) {
+                            continue;
+                        }
+                    }
+                    match self.project {
+                        Some(exprs) => {
+                            let mut projected = Vec::with_capacity(exprs.len());
+                            for (e, _) in exprs {
+                                projected.push(e.eval_with(
+                                    &row,
+                                    parser,
+                                    metrics,
+                                    slots.as_ref(),
+                                )?);
+                            }
+                            out.push(projected);
+                        }
+                        None => out.push(row),
+                    }
+                }
+                return Ok(out);
+            }
+            BatchData::Columns(cols) => cols,
+        };
+        let n = cols.first().map_or(0, |c| c.len());
+        let indexes = Self::batch_indexes(n, selection, metrics);
+        let mut scratch: Vec<Cell> = vec![Cell::Null; cols.len()];
+        let mut out = Vec::new();
+        for &i in &indexes {
+            let slots = self.extractor.as_ref().map(RowSlots::new);
+            if !self.fill_row(
+                &cols,
+                i as usize,
+                &mut scratch,
+                parser,
+                metrics,
+                slots.as_ref(),
+            )? {
+                continue;
             }
             match self.project {
                 Some(exprs) => {
                     let mut projected = Vec::with_capacity(exprs.len());
                     for (e, _) in exprs {
-                        projected.push(e.eval_with(&row, parser, metrics, slots.as_ref())?);
+                        projected.push(e.eval_with(&scratch, parser, metrics, slots.as_ref())?);
                     }
                     out.push(projected);
                 }
-                None => out.push(row),
+                // Cheap: cell clones are refcount bumps on shared buffers.
+                None => out.push(scratch.clone()),
             }
         }
         Ok(out)
@@ -480,7 +606,8 @@ impl<'a> PipelineSegment<'a> {
 
     /// Scan one split and fold it into an aggregate partial, sharing each
     /// row's parse between the filter and the group-key/argument
-    /// evaluations.
+    /// evaluations. Columnar batches materialize cells late, as in
+    /// [`PipelineSegment::run_rows`].
     fn run_agg(
         &self,
         split: Option<usize>,
@@ -489,15 +616,44 @@ impl<'a> PipelineSegment<'a> {
         metrics: &mut ExecMetrics,
     ) -> Result<()> {
         let (group_by, aggs) = self.agg.expect("run_agg requires an aggregate segment");
-        let rows = self.scan_rows(split, metrics)?;
-        for row in rows {
-            let slots = self.extractor.as_ref().map(RowSlots::new);
-            if let Some(predicate) = self.filter {
-                if !truthy(&predicate.eval_with(&row, parser, metrics, slots.as_ref())?) {
-                    continue;
+        let batch = self.scan_batch(split, metrics)?;
+        let selection = batch.selection;
+        let cols = match batch.data {
+            BatchData::Rows(rows) => {
+                let rows = Batch {
+                    data: BatchData::Rows(rows),
+                    selection,
                 }
+                .into_rows(metrics);
+                for row in rows {
+                    let slots = self.extractor.as_ref().map(RowSlots::new);
+                    if let Some(predicate) = self.filter {
+                        if !truthy(&predicate.eval_with(&row, parser, metrics, slots.as_ref())?) {
+                            continue;
+                        }
+                    }
+                    partial.update(&row, group_by, aggs, parser, metrics, slots.as_ref())?;
+                }
+                return Ok(());
             }
-            partial.update(&row, group_by, aggs, parser, metrics, slots.as_ref())?;
+            BatchData::Columns(cols) => cols,
+        };
+        let n = cols.first().map_or(0, |c| c.len());
+        let indexes = Self::batch_indexes(n, selection, metrics);
+        let mut scratch: Vec<Cell> = vec![Cell::Null; cols.len()];
+        for &i in &indexes {
+            let slots = self.extractor.as_ref().map(RowSlots::new);
+            if !self.fill_row(
+                &cols,
+                i as usize,
+                &mut scratch,
+                parser,
+                metrics,
+                slots.as_ref(),
+            )? {
+                continue;
+            }
+            partial.update(&scratch, group_by, aggs, parser, metrics, slots.as_ref())?;
         }
         Ok(())
     }
@@ -681,7 +837,7 @@ fn scale_wall_gauges(m: &mut ExecMetrics, workers: u32) {
 #[derive(Debug, Clone)]
 enum AggState {
     Count(i64),
-    CountDistinct(std::collections::HashSet<String>),
+    CountDistinct(std::collections::HashSet<CellKey>),
     Sum {
         /// Coerced float value of every non-null input, in input order.
         addends: Vec<f64>,
@@ -726,7 +882,7 @@ impl AggState {
             AggState::CountDistinct(set) => {
                 if let Some(c) = value {
                     if !c.is_null() {
-                        set.insert(c.key_string());
+                        set.insert(CellKey(c.clone()));
                     }
                 }
             }
@@ -875,9 +1031,10 @@ impl AggState {
 enum AggPartial {
     Global(Vec<AggState>),
     Grouped {
-        /// Group keys in first-seen order.
-        order: Vec<String>,
-        groups: HashMap<String, (Vec<Cell>, Vec<AggState>)>,
+        /// Group keys in first-seen order. The key cells double as the
+        /// output key columns, so no separate per-group row is stored.
+        order: Vec<RowKey>,
+        groups: HashMap<RowKey, Vec<AggState>>,
     },
 }
 
@@ -910,18 +1067,20 @@ impl AggPartial {
             AggPartial::Global(states) => states,
             AggPartial::Grouped { order, groups } => {
                 let mut keys = Vec::with_capacity(group_by.len());
-                let mut key_str = String::new();
                 for g in group_by {
-                    let k = g.eval_with(row, parser, metrics, slots)?;
-                    key_str.push_str(&k.key_string());
-                    key_str.push('\u{1}');
-                    keys.push(k);
+                    keys.push(g.eval_with(row, parser, metrics, slots)?);
                 }
-                let entry = groups.entry(key_str.clone()).or_insert_with(|| {
-                    order.push(key_str.clone());
-                    (keys, aggs.iter().map(|(f, _)| AggState::new(*f)).collect())
-                });
-                &mut entry.1
+                // Probe with the evaluated cells directly — no per-row key
+                // string. Only a first-seen group owns its key (cheap cell
+                // clones).
+                if !groups.contains_key(RowKeySlice::new(&keys)) {
+                    let key = RowKey(keys.clone());
+                    order.push(key.clone());
+                    groups.insert(key, aggs.iter().map(|(f, _)| AggState::new(*f)).collect());
+                }
+                groups
+                    .get_mut(RowKeySlice::new(&keys))
+                    .expect("group inserted above")
             }
         };
         for (state, (_, arg)) in states.iter_mut().zip(aggs) {
@@ -955,18 +1114,18 @@ impl AggPartial {
                 },
             ) => {
                 for key in other_order {
-                    let (keys, states) = other_groups
+                    let states = other_groups
                         .remove(&key)
                         .expect("group key recorded in order list");
-                    match groups.entry(key.clone()) {
+                    match groups.entry(key) {
                         std::collections::hash_map::Entry::Occupied(mut e) => {
-                            for (state, other_state) in e.get_mut().1.iter_mut().zip(states) {
+                            for (state, other_state) in e.get_mut().iter_mut().zip(states) {
                                 state.merge(other_state);
                             }
                         }
                         std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert((keys, states));
-                            order.push(key);
+                            order.push(e.key().clone());
+                            e.insert(states);
                         }
                     }
                 }
@@ -1010,10 +1169,10 @@ fn finish_aggregate(partial: AggPartial) -> Vec<Vec<Cell>> {
         AggPartial::Grouped { order, mut groups } => {
             let mut out = Vec::with_capacity(order.len());
             for key in order {
-                let (keys, states) = groups
+                let states = groups
                     .remove(&key)
                     .expect("group key recorded in order list");
-                let mut row = keys;
+                let mut row = key.into_cells();
                 row.extend(states.into_iter().map(AggState::finish));
                 out.push(row);
             }
@@ -1053,13 +1212,13 @@ fn hash_join(
     let right_extractor = shared_extractor(shared_parse, [right_key]);
     let left_extractor = shared_extractor(shared_parse, [left_key]);
     // Build on the right side.
-    let mut table: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut table: HashMap<CellKey, Vec<usize>> = HashMap::new();
     let mut right_keys = Vec::with_capacity(right_rows.len());
     for (i, row) in right_rows.iter().enumerate() {
         let slots = right_extractor.as_ref().map(RowSlots::new);
         let k = right_key.eval_with(row, parser, metrics, slots.as_ref())?;
         if !k.is_null() {
-            table.entry(k.key_string()).or_default().push(i);
+            table.entry(CellKey(k.clone())).or_default().push(i);
         }
         right_keys.push(k);
     }
@@ -1070,7 +1229,7 @@ fn hash_join(
         if k.is_null() {
             continue;
         }
-        if let Some(matches) = table.get(&k.key_string()) {
+        if let Some(matches) = table.get(&CellKey(k.clone())) {
             for &ri in matches {
                 let mut combined = lrow.clone();
                 combined.extend(right_rows[ri].iter().cloned());
@@ -1210,7 +1369,7 @@ mod tests {
                 (0..8)
                     .map(|i| {
                         let n = (s * 8 + i) as i64;
-                        vec![Cell::Str(format!("g{}", n % 3)), Cell::Int(n)]
+                        vec![Cell::from(format!("g{}", n % 3)), Cell::Int(n)]
                     })
                     .collect()
             })
@@ -1702,7 +1861,7 @@ mod tests {
                     .map(|i| {
                         let n = s * 4 + i;
                         vec![
-                            Cell::Str(format!(r#"{{"a": {n}, "b": "t{n}", "v": {}}}"#, n % 3)),
+                            Cell::from(format!(r#"{{"a": {n}, "b": "t{n}", "v": {}}}"#, n % 3)),
                             Cell::Int(n as i64),
                         ]
                     })

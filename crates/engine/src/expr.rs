@@ -102,6 +102,45 @@ pub enum Expr {
 }
 
 impl Expr {
+    /// Record every input-column index this expression reads into `out`.
+    /// The batched scan pipeline uses this to materialize only the
+    /// predicate's columns before the filter runs; rows the filter rejects
+    /// never materialize the rest.
+    pub fn collect_columns(&self, out: &mut std::collections::BTreeSet<usize>) {
+        match self {
+            Expr::Column(i) => {
+                out.insert(*i);
+            }
+            Expr::Literal(_) => {}
+            Expr::GetJsonObject { column, .. } => {
+                out.insert(*column);
+            }
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.collect_columns(out),
+            Expr::IsNull { expr, .. } => expr.collect_columns(out),
+            Expr::Between { expr, low, high } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            Expr::InList { expr, items, .. } => {
+                expr.collect_columns(out);
+                for item in items {
+                    item.collect_columns(out);
+                }
+            }
+            Expr::Like { expr, .. } => expr.collect_columns(out),
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+
     /// Evaluate against one row. JSON parse time is charged to `metrics`.
     /// Every `get_json_object` runs its own full parse (the naive path);
     /// use [`Expr::eval_with`] to share parses across calls via row slots.
@@ -139,7 +178,7 @@ impl Expr {
                 };
                 if let Some(slots) = slots {
                     if let Some(extracted) = slots.get(json, *column, path, parser, metrics) {
-                        return Ok(extracted.map_or(Cell::Null, Cell::Str));
+                        return Ok(extracted.map_or(Cell::Null, Cell::from));
                     }
                 }
                 let start = Instant::now();
@@ -152,7 +191,7 @@ impl Expr {
                 metrics.parse_wall += spent;
                 metrics.parse_calls += 1;
                 metrics.docs_parsed += 1;
-                Ok(extracted.map_or(Cell::Null, Cell::Str))
+                Ok(extracted.map_or(Cell::Null, Cell::from))
             }
             Expr::Binary { left, op, right } => {
                 let l = left.eval_with(row, parser, metrics, slots)?;
@@ -368,11 +407,11 @@ fn eval_scalar(func: ScalarFunc, args: &[Cell]) -> Cell {
         },
         ScalarFunc::Lower => match &args[0] {
             Cell::Null => Cell::Null,
-            c => Cell::Str(c.render().to_lowercase()),
+            c => Cell::from(c.render().to_lowercase()),
         },
         ScalarFunc::Upper => match &args[0] {
             Cell::Null => Cell::Null,
-            c => Cell::Str(c.render().to_uppercase()),
+            c => Cell::from(c.render().to_uppercase()),
         },
         ScalarFunc::Concat => {
             let mut out = String::new();
@@ -382,7 +421,7 @@ fn eval_scalar(func: ScalarFunc, args: &[Cell]) -> Cell {
                 }
                 out.push_str(&a.render());
             }
-            Cell::Str(out)
+            Cell::from(out)
         }
         ScalarFunc::Coalesce => args
             .iter()
@@ -413,7 +452,7 @@ fn eval_scalar(func: ScalarFunc, args: &[Cell]) -> Cell {
                 },
                 None => usize::MAX,
             };
-            Cell::Str(chars.iter().skip(begin).take(len).collect())
+            Cell::from(chars.iter().skip(begin).take(len).collect::<String>())
         }
         ScalarFunc::Abs => match args[0].coerce_f64() {
             None => Cell::Null,

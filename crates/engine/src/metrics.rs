@@ -59,6 +59,15 @@ pub struct ExecMetrics {
     pub row_groups_read: u64,
     /// Rows rejected by the Sparser-style raw prefilter before parsing.
     pub prefilter_dropped: u64,
+    /// Cells converted out of columnar batches into row [`Cell`]s. Late
+    /// materialization keeps this below `rows × columns` whenever a filter
+    /// rejects rows: rejected rows only materialize the predicate's
+    /// columns. Zero for providers that produce rows directly.
+    pub cells_materialized: u64,
+    /// Rows of a columnar batch dropped before full-row materialization —
+    /// by the batch's selection vector (prefilter) or by the filter after
+    /// only its predicate columns were materialized.
+    pub batch_rows_skipped: u64,
     /// Worker threads used by the widest parallel pool run (0 = serial).
     pub threads_used: u64,
     /// Split tasks executed by parallel pool runs.
@@ -136,6 +145,8 @@ impl ExecMetrics {
         self.row_groups_skipped += other.row_groups_skipped;
         self.row_groups_read += other.row_groups_read;
         self.prefilter_dropped += other.prefilter_dropped;
+        self.cells_materialized += other.cells_materialized;
+        self.batch_rows_skipped += other.batch_rows_skipped;
         self.threads_used = self.threads_used.max(other.threads_used);
         self.par_tasks += other.par_tasks;
         self.task_wall_p50 = self.task_wall_p50.max(other.task_wall_p50);
@@ -204,6 +215,14 @@ impl ExecMetrics {
                 self.task_wall_p50,
                 self.task_wall_p95,
                 self.task_skew,
+            ));
+        }
+        if self.cells_materialized + self.batch_rows_skipped > 0 {
+            // Batch-mode scans only: how much row materialization the
+            // columnar path performed, and how much it avoided.
+            s.push_str(&format!(
+                " cells_mat={} batch_skipped={}",
+                self.cells_materialized, self.batch_rows_skipped,
             ));
         }
         if self.lru_hits + self.lru_misses > 0 {
@@ -339,6 +358,8 @@ mod tests {
             row_groups_skipped: next() % 64,
             row_groups_read: next() % 64,
             prefilter_dropped: next() % 100,
+            cells_materialized: next() % 10_000,
+            batch_rows_skipped: next() % 1000,
             threads_used: next() % 16,
             par_tasks: next() % 16,
             task_wall_p50: Duration::from_micros(next() % 5_000),
@@ -419,6 +440,17 @@ mod tests {
             !m.summary().contains("lru_hits="),
             "LRU fields only print when the LRU ran"
         );
+        assert!(
+            !m.summary().contains("cells_mat="),
+            "batch fields only print when a columnar batch ran"
+        );
+        let c = ExecMetrics {
+            cells_materialized: 12,
+            batch_rows_skipped: 5,
+            ..Default::default()
+        };
+        assert!(c.summary().contains("cells_mat=12"));
+        assert!(c.summary().contains("batch_skipped=5"));
         let l = ExecMetrics {
             lru_hits: 3,
             lru_misses: 1,

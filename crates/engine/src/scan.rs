@@ -10,10 +10,105 @@ use std::fmt::Debug;
 use std::time::Instant;
 
 use maxson_json::RawFilter;
-use maxson_storage::{Cell, Schema, SearchArgument, Table};
+use maxson_storage::{Cell, ColumnData, Schema, SearchArgument, Table};
 
 use crate::error::Result;
 use crate::metrics::ExecMetrics;
+
+/// Physical layout of one scanned batch.
+#[derive(Debug)]
+pub enum BatchData {
+    /// Row-major: providers that assemble rows directly (the Maxson
+    /// combiner's two synchronized readers, the online LRU, test stubs).
+    Rows(Vec<Vec<Cell>>),
+    /// Column-major: decoded storage chunks handed over without
+    /// materializing any row. Cells are built lazily by the consumer.
+    Columns(Vec<ColumnData>),
+}
+
+/// One split's worth of scanned data plus an optional selection vector.
+///
+/// `selection` lists the surviving row indexes in ascending order (rows a
+/// SARG/Sparser prefilter rejected are absent); `None` means every row
+/// survives. Consumers must visit only selected rows — a columnar batch's
+/// unselected rows hold decoded but logically dead data.
+#[derive(Debug)]
+pub struct Batch {
+    /// The scanned data.
+    pub data: BatchData,
+    /// Surviving row indexes, ascending; `None` keeps all rows.
+    pub selection: Option<Vec<u32>>,
+}
+
+impl Batch {
+    /// Wrap already-materialized rows (no selection).
+    pub fn from_rows(rows: Vec<Vec<Cell>>) -> Self {
+        Batch {
+            data: BatchData::Rows(rows),
+            selection: None,
+        }
+    }
+
+    /// Number of rows a consumer will see (after selection).
+    pub fn len(&self) -> usize {
+        match &self.selection {
+            Some(sel) => sel.len(),
+            None => match &self.data {
+                BatchData::Rows(rows) => rows.len(),
+                BatchData::Columns(cols) => cols.first().map_or(0, |c| c.len()),
+            },
+        }
+    }
+
+    /// `true` when no rows survive.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialize the selected rows, charging `cells_materialized` for
+    /// every column→cell conversion and `batch_rows_skipped` for rows the
+    /// selection vector drops. Row-major batches move through unchanged
+    /// (their cells were already built by the provider).
+    pub fn into_rows(self, metrics: &mut ExecMetrics) -> Vec<Vec<Cell>> {
+        match self.data {
+            BatchData::Rows(rows) => match self.selection {
+                None => rows,
+                Some(sel) => {
+                    metrics.batch_rows_skipped += (rows.len() - sel.len()) as u64;
+                    let mut keep = vec![false; rows.len()];
+                    for &i in &sel {
+                        keep[i as usize] = true;
+                    }
+                    rows.into_iter()
+                        .zip(keep)
+                        .filter_map(|(row, k)| k.then_some(row))
+                        .collect()
+                }
+            },
+            BatchData::Columns(cols) => {
+                let n = cols.first().map_or(0, |c| c.len());
+                let mut out = Vec::new();
+                match self.selection {
+                    None => {
+                        out.reserve(n);
+                        for i in 0..n {
+                            out.push(cols.iter().map(|c| c.get(i)).collect());
+                        }
+                    }
+                    Some(sel) => {
+                        metrics.batch_rows_skipped += (n - sel.len()) as u64;
+                        out.reserve(sel.len());
+                        for &i in &sel {
+                            out.push(cols.iter().map(|c| c.get(i as usize)).collect());
+                        }
+                    }
+                }
+                metrics.cells_materialized += (out.len() * cols.len()) as u64;
+                out
+            }
+        }
+    }
+}
 
 /// Supplies rows for a scan node.
 ///
@@ -42,6 +137,20 @@ pub trait ScanProvider: Debug + Send + Sync {
         debug_assert_eq!(split, 0, "default provider has a single split");
         let _ = split;
         self.scan(metrics)
+    }
+
+    /// Read all rows as one batch. The default wraps [`ScanProvider::scan`]
+    /// row-major; columnar providers override to hand decoded chunks to the
+    /// pipeline without materializing cells.
+    fn scan_batch(&self, metrics: &mut ExecMetrics) -> Result<Batch> {
+        Ok(Batch::from_rows(self.scan(metrics)?))
+    }
+
+    /// Read one split as a batch (same contract as
+    /// [`ScanProvider::scan_split`]: selected rows concatenated in split
+    /// index order must equal [`ScanProvider::scan`]).
+    fn scan_split_batch(&self, split: usize, metrics: &mut ExecMetrics) -> Result<Batch> {
+        Ok(Batch::from_rows(self.scan_split(split, metrics)?))
     }
 
     /// Short label for plan display.
@@ -115,8 +224,17 @@ impl ScanProvider for NorcScanProvider {
     }
 
     fn scan_split(&self, split: usize, metrics: &mut ExecMetrics) -> Result<Vec<Vec<Cell>>> {
+        Ok(self.scan_split_batch(split, metrics)?.into_rows(metrics))
+    }
+
+    fn scan_batch(&self, metrics: &mut ExecMetrics) -> Result<Batch> {
+        // Whole-table batch only makes sense for single-file tables; the
+        // pipeline walks splits individually otherwise.
+        Ok(Batch::from_rows(self.scan(metrics)?))
+    }
+
+    fn scan_split_batch(&self, split: usize, metrics: &mut ExecMetrics) -> Result<Batch> {
         let start = Instant::now();
-        let mut rows = Vec::new();
         let file = self.table.open_split(split)?;
         let keep: Option<Vec<bool>> = self.sarg.as_ref().map(|s| {
             // Match ORC: only single-stripe files support skipping here,
@@ -135,27 +253,43 @@ impl ScanProvider for NorcScanProvider {
             metrics.row_groups_read += file.row_group_count() as u64;
         }
         let cols = file.read_columns(&self.projection, keep.as_deref())?;
-        let n = cols.first().map_or(0, |c| c.len());
-        for i in 0..n {
-            if let Some((ci, filter)) = &self.prefilter {
-                // Sparser-style raw rejection: sound because the needles
-                // are required by the predicate the Filter re-checks.
-                if let Cell::Str(json) = cols[*ci].get(i) {
-                    if !filter.maybe_matches(&json) {
-                        metrics.prefilter_dropped += 1;
-                        continue;
-                    }
-                }
-            }
-            let row: Vec<Cell> = cols.iter().map(|c| c.get(i)).collect();
-            metrics.bytes_read += row.iter().map(Cell::byte_size).sum::<usize>() as u64;
-            rows.push(row);
+        // Charge bytes once per decoded column chunk — not per materialized
+        // row, which walked every cell on the hot path and missed rows the
+        // prefilter drops (their bytes were decoded all the same).
+        for c in &cols {
+            metrics.bytes_read += c.byte_size() as u64;
         }
-        metrics.rows_scanned += rows.len() as u64;
+        let n = cols.first().map_or(0, |c| c.len());
+        let selection = match &self.prefilter {
+            // Sparser-style raw rejection straight off the decoded column:
+            // sound because the needles are required by the predicate the
+            // Filter re-checks. NULL documents pass through (the filter
+            // decides), matching the row-at-a-time behavior.
+            Some((ci, filter)) => {
+                let mut sel: Vec<u32> = Vec::with_capacity(n);
+                if let Some(ColumnData::Utf8 { valid, values }) = cols.get(*ci) {
+                    for i in 0..n {
+                        if valid[i] && !filter.maybe_matches(&values[i]) {
+                            metrics.prefilter_dropped += 1;
+                        } else {
+                            sel.push(i as u32);
+                        }
+                    }
+                } else {
+                    sel.extend(0..n as u32);
+                }
+                Some(sel)
+            }
+            None => None,
+        };
+        metrics.rows_scanned += selection.as_ref().map_or(n, Vec::len) as u64;
         let spent = start.elapsed();
         metrics.read += spent;
         metrics.read_wall += spent;
-        Ok(rows)
+        Ok(Batch {
+            data: BatchData::Columns(cols),
+            selection,
+        })
     }
 
     fn label(&self) -> String {
@@ -202,7 +336,7 @@ mod tests {
         let mut next = 0i64;
         for &n in rows_per_file {
             let rows: Vec<Vec<Cell>> = (next..next + n)
-                .map(|i| vec![Cell::Int(i), Cell::Str(format!("t{i}"))])
+                .map(|i| vec![Cell::Int(i), Cell::from(format!("t{i}"))])
                 .collect();
             next += n;
             t.append_file(
@@ -300,6 +434,90 @@ mod tests {
         assert_eq!(split_m.bytes_read, whole_m.bytes_read);
         assert_eq!(split_m.row_groups_read, whole_m.row_groups_read);
         p.table.drop_table().unwrap();
+    }
+
+    #[test]
+    fn batch_scan_is_columnar_and_charges_bytes_per_chunk() {
+        let t = make_table("batch", &[8], 4);
+        let p = NorcScanProvider::new(t, vec![0, 1], None).unwrap();
+        let mut bm = ExecMetrics::default();
+        let batch = p.scan_split_batch(0, &mut bm).unwrap();
+        assert!(matches!(batch.data, BatchData::Columns(_)));
+        assert!(batch.selection.is_none());
+        assert_eq!(batch.len(), 8);
+        // Bytes are charged at decode time, before any cell exists.
+        assert!(bm.bytes_read > 0);
+        assert_eq!(bm.cells_materialized, 0);
+        assert_eq!(bm.rows_scanned, 8);
+        let rows = batch.into_rows(&mut bm);
+        assert_eq!(bm.cells_materialized, 16);
+        assert_eq!(bm.batch_rows_skipped, 0);
+        // The row API is the batch API plus materialization.
+        let mut rm = ExecMetrics::default();
+        let via_rows = p.scan_split(0, &mut rm).unwrap();
+        assert_eq!(rows, via_rows);
+        assert_eq!(rm.bytes_read, bm.bytes_read);
+        assert_eq!(rm.cells_materialized, 16);
+        p.table.drop_table().unwrap();
+    }
+
+    #[test]
+    fn prefilter_becomes_selection_vector() {
+        let schema = Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("doc", ColumnType::Utf8),
+        ])
+        .unwrap();
+        let mut t = Table::create(temp_dir("prefilter-batch"), schema, 0).unwrap();
+        let rows: Vec<Vec<Cell>> = (0..6i64)
+            .map(|i| {
+                let name = if i % 3 == 0 { "banana" } else { "apple" };
+                vec![
+                    Cell::Int(i),
+                    Cell::from(format!(r#"{{"name": "{name}", "n": {i}}}"#)),
+                ]
+            })
+            .collect();
+        t.append_file(&rows, WriteOptions::default(), 1).unwrap();
+        let filter = RawFilter::new(vec![RawFilter::equality_needle("banana").unwrap()]);
+        let p = NorcScanProvider::new(t, vec![0, 1], None)
+            .unwrap()
+            .with_prefilter(1, filter);
+        let mut m = ExecMetrics::default();
+        let batch = p.scan_split_batch(0, &mut m).unwrap();
+        assert_eq!(batch.selection, Some(vec![0, 3]));
+        assert_eq!(batch.len(), 2);
+        assert_eq!(m.prefilter_dropped, 4);
+        assert_eq!(m.rows_scanned, 2, "only selected rows count as scanned");
+        // Dropped rows' bytes were still decoded, so they are still charged.
+        let mut no_filter_m = ExecMetrics::default();
+        let p2 =
+            NorcScanProvider::new(Table::open(p.table.dir()).unwrap(), vec![0, 1], None).unwrap();
+        p2.scan(&mut no_filter_m).unwrap();
+        assert_eq!(m.bytes_read, no_filter_m.bytes_read);
+        // Materializing honors the selection and counts skipped rows.
+        let rows_out = batch.into_rows(&mut m);
+        assert_eq!(rows_out.len(), 2);
+        assert_eq!(rows_out[1][0], Cell::Int(3));
+        assert_eq!(m.batch_rows_skipped, 4);
+        assert_eq!(m.cells_materialized, 4);
+        p.table.drop_table().unwrap();
+    }
+
+    #[test]
+    fn row_major_batch_selection_filters_rows() {
+        let rows: Vec<Vec<Cell>> = (0..5).map(|i| vec![Cell::Int(i)]).collect();
+        let batch = Batch {
+            data: BatchData::Rows(rows),
+            selection: Some(vec![1, 4]),
+        };
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        let mut m = ExecMetrics::default();
+        let out = batch.into_rows(&mut m);
+        assert_eq!(out, vec![vec![Cell::Int(1)], vec![Cell::Int(4)]]);
+        assert_eq!(m.batch_rows_skipped, 3);
+        assert_eq!(m.cells_materialized, 0, "row-major cells pre-exist");
     }
 
     #[test]

@@ -304,10 +304,7 @@ impl Session {
             let display = plan.display();
             return Ok(QueryResult {
                 columns: vec!["plan".to_string()],
-                rows: display
-                    .lines()
-                    .map(|l| vec![Cell::Str(l.to_string())])
-                    .collect(),
+                rows: display.lines().map(|l| vec![Cell::from(l)]).collect(),
                 metrics,
                 plan_display: display,
             });
@@ -376,10 +373,7 @@ impl Session {
         let text = crate::explain::render_analyze(&tracer.snapshot(), root.0);
         Ok(QueryResult {
             columns: vec!["explain analyze".to_string()],
-            rows: text
-                .lines()
-                .map(|l| vec![Cell::Str(l.to_string())])
-                .collect(),
+            rows: text.lines().map(|l| vec![Cell::from(l)]).collect(),
             metrics: result.metrics,
             plan_display: result.plan_display,
         })

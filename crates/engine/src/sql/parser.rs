@@ -425,7 +425,7 @@ impl SqlParser {
         match self.next() {
             Some(TokenKind::IntLit(n)) => Ok(SqlExpr::Literal(Cell::Int(n))),
             Some(TokenKind::FloatLit(f)) => Ok(SqlExpr::Literal(Cell::Float(f))),
-            Some(TokenKind::StringLit(s)) => Ok(SqlExpr::Literal(Cell::Str(s))),
+            Some(TokenKind::StringLit(s)) => Ok(SqlExpr::Literal(Cell::from(s))),
             Some(TokenKind::Symbol("(")) => {
                 let e = self.expr()?;
                 self.expect_sym(")")?;

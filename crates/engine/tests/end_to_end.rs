@@ -43,7 +43,7 @@ fn sales_session(name: &str) -> (Session, PathBuf) {
             vec![
                 Cell::Str("0001".into()),
                 Cell::Int(20190101 + i as i64 % 3),
-                Cell::Str(format!(
+                Cell::from(format!(
                     r#"{{"item_id": {i}, "item_name": "{name}", "sale_count": {count}, "turnover": {turnover}, "price": {price}}}"#
                 )),
             ]
@@ -157,7 +157,7 @@ fn sarg_pushdown_skips_row_groups_on_raw_columns() {
         .create_table("db", "big", schema, 0)
         .unwrap();
     let rows: Vec<Vec<Cell>> = (0..100)
-        .map(|i| vec![Cell::Int(i), Cell::Str(format!("v{i}"))])
+        .map(|i| vec![Cell::Int(i), Cell::from(format!("v{i}"))])
         .collect();
     table
         .append_file(

@@ -403,7 +403,7 @@ fn parse_split(
         for (col_idx, path, _) in compiled {
             let value = match cols[col_of(*col_idx)].get(i) {
                 Cell::Str(json) => {
-                    maxson_json::get_json_object(&json, path).map_or(Cell::Null, Cell::Str)
+                    maxson_json::get_json_object(&json, path).map_or(Cell::Null, Cell::from)
                 }
                 _ => Cell::Null,
             };
@@ -455,7 +455,7 @@ mod tests {
                     let n = f * 20 + i;
                     vec![
                         Cell::Int(n),
-                        Cell::Str(format!(r#"{{"a": {n}, "b": "s{n}"}}"#)),
+                        Cell::from(format!(r#"{{"a": {n}, "b": "s{n}"}}"#)),
                     ]
                 })
                 .collect();
@@ -518,7 +518,7 @@ mod tests {
                 .schema()
                 .index_of(&cache_field_name("payload", "$.a"))
                 .unwrap();
-            assert_eq!(rows[0][a_field], Cell::Str(format!("{}", split * 20)));
+            assert_eq!(rows[0][a_field], Cell::from(format!("{}", split * 20)));
         }
         std::fs::remove_dir_all(&root).ok();
     }
@@ -707,7 +707,7 @@ impl JsonPathCacher {
                     for (col_idx, path) in &compiled {
                         let value = match cols[col_of(*col_idx)].get(i) {
                             Cell::Str(json) => maxson_json::get_json_object(&json, path)
-                                .map_or(Cell::Null, Cell::Str),
+                                .map_or(Cell::Null, Cell::from),
                             _ => Cell::Null,
                         };
                         row.push(value);
@@ -762,7 +762,7 @@ mod incremental_tests {
 
     fn rows(from: i64, n: i64) -> Vec<Vec<Cell>> {
         (from..from + n)
-            .map(|i| vec![Cell::Int(i), Cell::Str(format!(r#"{{"a": {i}}}"#))])
+            .map(|i| vec![Cell::Int(i), Cell::from(format!(r#"{{"a": {i}}}"#))])
             .collect()
     }
 

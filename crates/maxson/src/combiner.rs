@@ -299,13 +299,13 @@ mod tests {
             let raw_rows: Vec<Vec<Cell>> = (0..20)
                 .map(|i| {
                     let n = f * 20 + i;
-                    vec![Cell::Int(n), Cell::Str(format!("{{\"a\":{}}}", n * 10))]
+                    vec![Cell::Int(n), Cell::from(format!("{{\"a\":{}}}", n * 10))]
                 })
                 .collect();
             let cache_rows: Vec<Vec<Cell>> = (0..20)
                 .map(|i| {
                     let n = f * 20 + i;
-                    vec![Cell::Str(format!("{}", n * 10))]
+                    vec![Cell::from(format!("{}", n * 10))]
                 })
                 .collect();
             raw.append_file(&raw_rows, opts, 1).unwrap();
@@ -332,7 +332,7 @@ mod tests {
         assert_eq!(rows.len(), 40);
         for (i, row) in rows.iter().enumerate() {
             assert_eq!(row[0], Cell::Int(i as i64));
-            assert_eq!(row[1], Cell::Str(format!("{}", i * 10)));
+            assert_eq!(row[1], Cell::from(format!("{}", i * 10)));
         }
         assert_eq!(m.cache_hits, 40);
         assert_eq!(m.rows_scanned, 40);
@@ -442,7 +442,7 @@ mod tests {
         let bad_dir = temp_dir("misaligned-bad");
         let schema = Schema::new(vec![Field::new("va", ColumnType::Utf8)]).unwrap();
         let mut bad = Table::create(&bad_dir, schema, 0).unwrap();
-        let rows: Vec<Vec<Cell>> = (0..7).map(|i| vec![Cell::Str(format!("{i}"))]).collect();
+        let rows: Vec<Vec<Cell>> = (0..7).map(|i| vec![Cell::from(format!("{i}"))]).collect();
         bad.append_file(&rows, WriteOptions::default(), 1).unwrap();
         bad.append_file(&rows, WriteOptions::default(), 1).unwrap();
         let p =
@@ -465,7 +465,8 @@ mod tests {
         let mut raw = Table::create(&rd, raw_schema, 0).unwrap();
         let mut cache = Table::create(&cd, cache_schema, 0).unwrap();
         let raw_rows: Vec<Vec<Cell>> = (0..20).map(|i| vec![Cell::Int(i)]).collect();
-        let cache_rows: Vec<Vec<Cell>> = (0..20).map(|i| vec![Cell::Str(format!("{i}"))]).collect();
+        let cache_rows: Vec<Vec<Cell>> =
+            (0..20).map(|i| vec![Cell::from(format!("{i}"))]).collect();
         raw.append_file(
             &raw_rows,
             WriteOptions {

@@ -171,11 +171,11 @@ mod tests {
             let raw_rows: Vec<Vec<Cell>> = (0..15)
                 .map(|i| {
                     let n = f * 15 + i;
-                    vec![Cell::Int(n), Cell::Str(format!("{{\"a\":{n}}}"))]
+                    vec![Cell::Int(n), Cell::from(format!("{{\"a\":{n}}}"))]
                 })
                 .collect();
             let cache_rows: Vec<Vec<Cell>> = (0..15)
-                .map(|i| vec![Cell::Str(format!("{}", f * 15 + i))])
+                .map(|i| vec![Cell::from(format!("{}", f * 15 + i))])
                 .collect();
             raw.append_file(&raw_rows, opts, 1).unwrap();
             cache.append_file(&cache_rows, opts, 1).unwrap();

@@ -261,7 +261,7 @@ impl ScanProvider for LruBackedProvider {
                 for i in 0..cols[0].len() {
                     let v = match cols[0].get(i) {
                         Cell::Str(json) => maxson_json::get_json_object(&json, &compiled)
-                            .map_or(Cell::Null, Cell::Str),
+                            .map_or(Cell::Null, Cell::from),
                         _ => Cell::Null,
                     };
                     bytes += v.byte_size() as u64;
@@ -378,7 +378,7 @@ mod tests {
             .map(|i| {
                 vec![
                     Cell::Int(i),
-                    Cell::Str(format!(r#"{{"a": {i}, "b": "x{i}"}}"#)),
+                    Cell::from(format!(r#"{{"a": {i}, "b": "x{i}"}}"#)),
                 ]
             })
             .collect();

@@ -237,7 +237,7 @@ mod tests {
             .map(|i| {
                 vec![
                     Cell::Int(i),
-                    Cell::Str(format!(r#"{{"a": {i}, "b": "v{i}", "c": {}}}"#, i * 2)),
+                    Cell::from(format!(r#"{{"a": {i}, "b": "v{i}", "c": {}}}"#, i * 2)),
                 ]
             })
             .collect();
@@ -504,7 +504,7 @@ mod indexed_path_tests {
             .unwrap();
         let rows: Vec<Vec<Cell>> = (0..20)
             .map(|i| {
-                vec![Cell::Str(format!(
+                vec![Cell::from(format!(
                     r#"{{"tags": ["first-{i}", "second-{i}"], "odd key": {i}}}"#
                 ))]
             })

@@ -468,7 +468,7 @@ mod tests {
             .map(|i| {
                 vec![
                     Cell::Int(i),
-                    Cell::Str(format!(r#"{{"a": {i}, "b": "x{i}"}}"#)),
+                    Cell::from(format!(r#"{{"a": {i}, "b": "x{i}"}}"#)),
                 ]
             })
             .collect();

@@ -108,7 +108,7 @@ pub fn score_candidates(
             let cols = file.read_columns(&[col_idx], None)?;
             for i in 0..cols[0].len().min(SAMPLE_ROWS) {
                 if let Cell::Str(s) = cols[0].get(i) {
-                    sample.push(s);
+                    sample.push(s.to_string());
                 }
             }
         }
@@ -198,7 +198,7 @@ mod tests {
         let t = cat.create_table("db", "t", schema, 0).unwrap();
         let rows: Vec<Vec<Cell>> = (0..100)
             .map(|i| {
-                vec![Cell::Str(format!(
+                vec![Cell::from(format!(
                     r#"{{"small": {i}, "big": "{}", "deep": {{"x": {{"y": {i}}}}}}}"#,
                     "z".repeat(200)
                 ))]

@@ -51,10 +51,10 @@ pub fn save_day(
         .into_iter()
         .map(|(loc, count)| {
             vec![
-                Cell::Str(loc.database.clone()),
-                Cell::Str(loc.table.clone()),
-                Cell::Str(loc.column.clone()),
-                Cell::Str(loc.path.clone()),
+                Cell::from(loc.database.as_str()),
+                Cell::from(loc.table.as_str()),
+                Cell::from(loc.column.as_str()),
+                Cell::from(loc.path.as_str()),
                 Cell::Int(i64::from(day)),
                 Cell::Int(i64::from(count)),
             ]

@@ -1,5 +1,7 @@
 //! In-memory column vectors.
 
+use std::sync::Arc;
+
 use crate::cell::Cell;
 use crate::encoding::{
     read_bitmap, read_f64, read_str, read_varint, rle_decode_i64, rle_encode_i64, write_bitmap,
@@ -26,12 +28,13 @@ pub enum ColumnData {
         /// Row values; unspecified where invalid.
         values: Vec<f64>,
     },
-    /// String column.
+    /// String column. Values are `Arc<str>` so handing a cell to the
+    /// engine shares the decoded buffer instead of copying the text.
     Utf8 {
         /// Per-row validity (false = NULL).
         valid: Vec<bool>,
         /// Row values; empty where invalid.
-        values: Vec<String>,
+        values: Vec<Arc<str>>,
     },
     /// Boolean column.
     Bool {
@@ -119,7 +122,7 @@ impl ColumnData {
             }
             (ColumnData::Utf8 { valid, values }, Cell::Null) => {
                 valid.push(false);
-                values.push(String::new());
+                values.push(Arc::from(""));
             }
             (ColumnData::Bool { valid, values }, Cell::Bool(b)) => {
                 valid.push(true);
@@ -159,7 +162,7 @@ impl ColumnData {
             }
             ColumnData::Utf8 { valid, values } => {
                 if valid[i] {
-                    Cell::Str(values[i].clone())
+                    Cell::Str(Arc::clone(&values[i]))
                 } else {
                     Cell::Null
                 }
@@ -198,8 +201,8 @@ impl ColumnData {
                     std::collections::HashMap::new();
                 let mut indexes: Vec<i64> = Vec::with_capacity(values.len());
                 for v in values {
-                    let idx = *index_of.entry(v.as_str()).or_insert_with(|| {
-                        dict.push(v.as_str());
+                    let idx = *index_of.entry(v.as_ref()).or_insert_with(|| {
+                        dict.push(v.as_ref());
                         dict.len() - 1
                     });
                     indexes.push(idx as i64);
@@ -261,32 +264,34 @@ impl ColumnData {
                     0 => {
                         let mut values = Vec::with_capacity(n);
                         for _ in 0..n {
-                            values.push(read_str(buf, pos)?);
+                            values.push(Arc::<str>::from(read_str(buf, pos)?));
                         }
                         values
                     }
                     1 => {
                         let dict_len = read_varint(buf, pos)? as usize;
-                        let mut dict = Vec::with_capacity(dict_len);
+                        let mut dict: Vec<Arc<str>> = Vec::with_capacity(dict_len);
                         for _ in 0..dict_len {
-                            dict.push(read_str(buf, pos)?);
+                            dict.push(Arc::from(read_str(buf, pos)?));
                         }
                         let indexes = rle_decode_i64(buf, pos)?;
                         if indexes.len() != n {
                             return Err(StorageError::corrupt("dictionary index count mismatch"));
                         }
+                        // Rows sharing a dictionary entry share one
+                        // allocation in memory too.
                         indexes
                             .into_iter()
                             .map(|i| {
                                 usize::try_from(i)
                                     .ok()
                                     .and_then(|i| dict.get(i))
-                                    .cloned()
+                                    .map(Arc::clone)
                                     .ok_or_else(|| {
                                         StorageError::corrupt("dictionary index out of range")
                                     })
                             })
-                            .collect::<Result<Vec<String>>>()?
+                            .collect::<Result<Vec<Arc<str>>>>()?
                     }
                     m => {
                         return Err(StorageError::corrupt(format!(
@@ -311,7 +316,7 @@ impl ColumnData {
         match self {
             ColumnData::Int64 { values, .. } => values.len() * 8,
             ColumnData::Float64 { values, .. } => values.len() * 8,
-            ColumnData::Utf8 { values, .. } => values.iter().map(String::len).sum::<usize>(),
+            ColumnData::Utf8 { values, .. } => values.iter().map(|s| s.len()).sum::<usize>(),
             ColumnData::Bool { values, .. } => values.len(),
         }
     }
@@ -416,7 +421,7 @@ mod dict_tests {
     fn utf8_col(values: &[&str]) -> ColumnData {
         let mut col = ColumnData::empty(ColumnType::Utf8);
         for v in values {
-            col.push(&Cell::Str(v.to_string()), "c").unwrap();
+            col.push(&Cell::from(*v), "c").unwrap();
         }
         col
     }
@@ -470,7 +475,7 @@ mod dict_tests {
             if i % 5 == 0 {
                 col.push(&Cell::Null, "c").unwrap();
             } else {
-                col.push(&Cell::Str(format!("k{}", i % 3)), "c").unwrap();
+                col.push(&Cell::from(format!("k{}", i % 3)), "c").unwrap();
             }
         }
         let (back, _) = round_trip(&col);

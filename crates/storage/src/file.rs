@@ -158,11 +158,11 @@ impl ColumnStats {
                 },
                 Cell::Str(s),
             ) => {
-                if min.as_deref().is_none_or(|m| s.as_str() < m) {
-                    *min = Some(s.clone());
+                if min.as_deref().is_none_or(|m| s.as_ref() < m) {
+                    *min = Some(s.to_string());
                 }
-                if max.as_deref().is_none_or(|m| s.as_str() > m) {
-                    *max = Some(s.clone());
+                if max.as_deref().is_none_or(|m| s.as_ref() > m) {
+                    *max = Some(s.to_string());
                 }
                 match s.trim().parse::<f64>() {
                     Ok(v) => {
@@ -749,7 +749,7 @@ mod tests {
                     if i % 7 == 0 {
                         Cell::Null
                     } else {
-                        Cell::Str(format!("name-{i}"))
+                        Cell::from(format!("name-{i}"))
                     },
                     Cell::Float(i as f64 / 2.0),
                 ]
@@ -823,7 +823,7 @@ mod tests {
         let schema = Schema::new(vec![Field::new("v", ColumnType::Utf8)]).unwrap();
         let rows: Vec<Vec<Cell>> = [("5"), ("40"), ("12")]
             .iter()
-            .map(|s| vec![Cell::Str(s.to_string())])
+            .map(|s| vec![Cell::from(*s)])
             .collect();
         write_rows(&path, schema, &rows, WriteOptions::default()).unwrap();
         let f = NorcFile::open(&path).unwrap();

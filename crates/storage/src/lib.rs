@@ -33,7 +33,7 @@ pub mod schema;
 pub mod table;
 
 pub use catalog::{Catalog, TableMeta};
-pub use cell::Cell;
+pub use cell::{Cell, CellKey, RowKey, RowKeySlice};
 pub use column::ColumnData;
 pub use error::{Result, StorageError};
 pub use file::{NorcFile, RowGroupStats, DEFAULT_ROW_GROUP_SIZE};

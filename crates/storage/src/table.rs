@@ -274,7 +274,7 @@ mod tests {
 
     fn rows(from: i64, n: i64) -> Vec<Vec<Cell>> {
         (from..from + n)
-            .map(|i| vec![Cell::Int(i), Cell::Str(format!("{{\"v\":{i}}}"))])
+            .map(|i| vec![Cell::Int(i), Cell::from(format!("{{\"v\":{i}}}"))])
             .collect()
     }
 

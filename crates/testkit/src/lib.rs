@@ -10,12 +10,16 @@
 //!   replayable via the `MAXSON_TESTKIT_SEED` environment variable.
 //! * [`bench`] — a wall-clock bench runner (warmup + N timed iterations,
 //!   median/p95) whose stats feed the workspace's `Report` JSON format.
+//! * [`alloc`] (feature `count-alloc`) — a counting global allocator for
+//!   allocation-per-row regression tests on the zero-copy scan path.
 //!
 //! The workspace builds and tests fully offline (`cargo test -q
 //! --offline`); see README.md's hermetic-build policy. Everything is
 //! deterministic by construction so behavior is pinned by seeds, not by
 //! whichever registry version resolution happens to pick.
 
+#[cfg(feature = "count-alloc")]
+pub mod alloc;
 pub mod bench;
 pub mod prop;
 pub mod rng;

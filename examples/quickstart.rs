@@ -39,7 +39,7 @@ fn main() {
             vec![
                 Cell::Str("0001".into()),
                 Cell::Int(20190101 + i % 31),
-                Cell::Str(format!(
+                Cell::from(format!(
                     r#"{{"item_id": {i}, "item_name": "{name}", "sale_count": {}, "turnover": {}, "price": {}}}"#,
                     i % 40 + 1,
                     (i % 40 + 1) * 3,

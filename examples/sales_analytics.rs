@@ -31,9 +31,9 @@ fn sale_row(day: i64, i: i64) -> Vec<Cell> {
     let n = day * 1_000 + i;
     let name = ITEMS[(n % ITEMS.len() as i64) as usize];
     vec![
-        Cell::Str(format!("{:04}", n % 3)),
+        Cell::from(format!("{:04}", n % 3)),
         Cell::Int(20190101 + day),
-        Cell::Str(format!(
+        Cell::from(format!(
             r#"{{"item_id": {n}, "item_name": "{name}", "sale_count": {}, "turnover": {}, "price": {}, "category": "fruit", "store": {{"city": "c{}", "rank": {}}}}}"#,
             n % 50 + 1,
             (n % 50 + 1) * 2,

@@ -82,7 +82,7 @@ fn two_split_table(name: &str) -> PathBuf {
         let rows: Vec<Vec<Cell>> = (0..10)
             .map(|i| {
                 let n = f * 10 + i;
-                vec![Cell::Int(n), Cell::Str(format!("g{}", n % 3))]
+                vec![Cell::Int(n), Cell::from(format!("g{}", n % 3))]
             })
             .collect();
         t.append_file(
@@ -104,8 +104,8 @@ query wall=_ rows=3
   sort wall=_ rows_in=3
     project wall=_ rows_in=3 rows_out=3
       scan_pipeline wall=_ label=NorcScan(<root>/db/t, cols=[0, 1], sarg) stages=scan+filter+agg splits=2 rows_out=3
-        split wall=_ split=0 rows_scanned=5 bytes_read=50 rg_read=1 rg_skipped=1
-        split wall=_ split=1 rows_scanned=10 bytes_read=100 rg_read=2";
+        split wall=_ split=0 rows_scanned=5 bytes_read=50 rg_read=1 rg_skipped=1 cells_materialized=10
+        split wall=_ split=1 rows_scanned=10 bytes_read=100 rg_read=2 cells_materialized=20";
 
 #[test]
 fn golden_tree_exact_at_one_and_four_threads() {

@@ -34,7 +34,7 @@ fn cached_session(name: &str) -> (Session, PathBuf) {
         .create_table("db", "t", schema, 0)
         .unwrap();
     let rows: Vec<Vec<Cell>> = (0..40)
-        .map(|i| vec![Cell::Int(i), Cell::Str(format!(r#"{{"a": {i}}}"#))])
+        .map(|i| vec![Cell::Int(i), Cell::from(format!(r#"{{"a": {i}}}"#))])
         .collect();
     t.append_file(
         &rows,
@@ -185,7 +185,7 @@ fn raw_table_shrunk_below_cache_is_misalignment_error() {
     ])
     .unwrap();
     let short_rows: Vec<Vec<Cell>> = (0..5)
-        .map(|i| vec![Cell::Int(i), Cell::Str(format!(r#"{{"a": {i}}}"#))])
+        .map(|i| vec![Cell::Int(i), Cell::from(format!(r#"{{"a": {i}}}"#))])
         .collect();
     maxson_storage::file::write_rows(
         raw_dir.join("part-00000.norc"),

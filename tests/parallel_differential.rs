@@ -168,7 +168,7 @@ fn nobench_table(name: &str, rows: u64, files: u64) -> PathBuf {
     let per_file = rows / files;
     for f in 0..files {
         let rows: Vec<Vec<Cell>> = (f * per_file..(f + 1) * per_file)
-            .map(|i| vec![Cell::Int(i as i64), Cell::Str(generator.record_text(i))])
+            .map(|i| vec![Cell::Int(i as i64), Cell::from(generator.record_text(i))])
             .collect();
         table
             .append_file(
@@ -290,7 +290,7 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
                 } else {
                     Cell::Float(rng.gen_range(-1000..=1000) as f64 / 8.0)
                 };
-                let tag = Cell::Str(format!("g{}", rng.gen_range(0..=4u32)));
+                let tag = Cell::from(format!("g{}", rng.gen_range(0..=4u32)));
                 vec![id, val, tag]
             })
             .collect();

@@ -79,7 +79,7 @@ fn arb_cell() -> Gen<Cell> {
             Gen::string_of(&alphabet("a-z"), 0..7),
             Gen::i64_in(-1000..=999).map(|i| i.to_string()),
         ])
-        .map(Cell::Str),
+        .map(Cell::from),
     ])
 }
 

@@ -172,7 +172,7 @@ fn nobench_table(name: &str, rows: u64, files: u64) -> PathBuf {
     let per_file = rows / files;
     for f in 0..files {
         let rows: Vec<Vec<Cell>> = (f * per_file..(f + 1) * per_file)
-            .map(|i| vec![Cell::Int(i as i64), Cell::Str(generator.record_text(i))])
+            .map(|i| vec![Cell::Int(i as i64), Cell::from(generator.record_text(i))])
             .collect();
         table
             .append_file(
@@ -238,7 +238,7 @@ fn fig15_shape_reaches_4x_dedup_factor() {
         .map(|i| {
             vec![
                 Cell::Int(i),
-                Cell::Str(format!(
+                Cell::from(format!(
                     r#"{{"a": {i}, "b": "s{i}", "c": {}, "v": {}}}"#,
                     i * 2,
                     i % 5
@@ -369,7 +369,7 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
                         format!(r#"{{"x": {x}, "y": {y}, "tag": "g{tag}"}}"#)
                     }
                 };
-                vec![id, Cell::Str(doc)]
+                vec![id, Cell::from(doc)]
             })
             .collect();
         table

@@ -196,7 +196,7 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
                 let tag = rng.gen_range(0..=2u32);
                 let row = vec![
                     Cell::Int(n),
-                    Cell::Str(format!(
+                    Cell::from(format!(
                         r#"{{"a": {a}, "b": {{"c": {c}}}, "tag": "t{tag}"}}"#
                     )),
                 ];
@@ -277,7 +277,7 @@ fn chrome_export_nests_spans_on_named_thread_tracks() {
         let rows: Vec<Vec<Cell>> = (0..12)
             .map(|i| {
                 let n = f * 12 + i;
-                vec![Cell::Int(n), Cell::Str(format!(r#"{{"a": {n}}}"#))]
+                vec![Cell::Int(n), Cell::from(format!(r#"{{"a": {n}}}"#))]
             })
             .collect();
         table

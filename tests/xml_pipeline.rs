@@ -52,7 +52,7 @@ fn xml_payloads_cache_and_accelerate() {
         .map(|i| {
             vec![
                 Cell::Int(i),
-                Cell::Str(xml_to_json(&xml_record(i)).expect("valid XML")),
+                Cell::from(xml_to_json(&xml_record(i)).expect("valid XML")),
             ]
         })
         .collect();
@@ -126,7 +126,7 @@ fn attribute_paths_are_cacheable_too() {
         .create_table("xmldb", "t", schema, 0)
         .unwrap();
     let rows: Vec<Vec<Cell>> = (0..20)
-        .map(|i| vec![Cell::Str(xml_to_json(&xml_record(i)).unwrap())])
+        .map(|i| vec![Cell::from(xml_to_json(&xml_record(i)).unwrap())])
         .collect();
     table
         .append_file(&rows, WriteOptions::default(), 1)
