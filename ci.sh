@@ -20,12 +20,22 @@ MAXSON_THREADS=4 cargo test -q --offline --workspace
 MAXSON_SHARED_PARSE=0 cargo test -q --offline --workspace
 MAXSON_SHARED_PARSE=1 cargo test -q --offline --workspace
 
+# The three-parser differential suite once more with the tape parser as
+# the session default, covering the MAXSON_PARSER env-resolution path in
+# Session::open (the suite's env test asserts the opened session actually
+# runs tape). Only this binary runs under the override: its reference
+# sessions pin Jackson explicitly, while e.g. the EXPLAIN ANALYZE goldens
+# assume the Jackson default.
+MAXSON_PARSER=tape cargo test -q --offline --test tape_differential
+
 # Smoke-run the scaling benchmark (fast mode: 1 run per point); it asserts
 # rows are byte-identical across thread counts before reporting walls.
 MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_scaling
 
 # Smoke-run the parser benchmark (fast mode); it asserts the shared-parse
-# accounting invariant docs_parsed <= parse_calls on every query.
+# accounting invariant docs_parsed <= parse_calls on every query, that the
+# tape series parses exactly as many documents as the Jackson baseline,
+# and that nodes_skipped is positive on tape runs and zero elsewhere.
 MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig15_parsers
 
 # Smoke-run the zero-copy scan benchmark (fast mode); it reports scan-only,

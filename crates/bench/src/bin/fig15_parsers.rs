@@ -1,11 +1,15 @@
-//! Fig. 15 — per-query runtime of Spark+Jackson, Spark+Mison, Maxson, and
-//! Maxson+Mison over Q1..Q10.
+//! Fig. 15 — per-query runtime of Spark+Jackson, Spark+Mison, Spark+Tape,
+//! Maxson, Maxson+Mison, and Maxson+Tape over Q1..Q10.
 //!
 //! The paper's findings: Mison's structural index speeds up the no-cache
 //! baseline substantially (especially schema-stable Q6); for queries whose
 //! paths are cached, Maxson beats even Mison because it pays no per-record
 //! projection cost at all; and Mison complements Maxson on uncached paths
-//! (Maxson+Mison is the best of both).
+//! (Maxson+Mison is the best of both). The tape series adds the On-Demand
+//! parser class: same document counts as Jackson (one parse per doc), but
+//! skip markers hop unqueried subtrees — the `nodes_skipped` counter must
+//! be positive on the selective workload queries, and zero for the other
+//! parsers.
 
 use maxson::mpjp::{predict_mpjps, PredictorKind, TrainedPredictor};
 use maxson::score::score_candidates;
@@ -36,14 +40,22 @@ fn main() {
         (full as f64 * 0.75) as u64
     };
 
-    let mut report = Report::new("fig15", "Per-query runtime under four systems (seconds)");
+    let mut report = Report::new("fig15", "Per-query runtime under six systems (seconds)");
     report.note("Paper: cache limit 300GB; Maxson beats Mison on cached queries (Q2,Q3,Q4,Q6,Q7,Q9,Q10); Mison complements Maxson on uncached paths.");
+
+    // Per-query docs_parsed of the Jackson runs (uncached and cached),
+    // the baselines the tape runs must reproduce exactly: laziness changes
+    // what a parse materializes, never how many documents are parsed.
+    let mut docs_baseline: std::collections::BTreeMap<(bool, String), u64> =
+        std::collections::BTreeMap::new();
 
     for system in [
         SystemKind::SparkJackson,
         SystemKind::SparkMison,
+        SystemKind::SparkTape,
         SystemKind::Maxson,
         SystemKind::MaxsonMison,
+        SystemKind::MaxsonTape,
     ] {
         let (session, cached) = session_for(system, &queries, budget, true);
         let mut series = Series::new(system.name());
@@ -60,6 +72,42 @@ fn main() {
                 m.docs_parsed,
                 m.parse_calls
             );
+            // Smoke invariants of the tape parser: skip markers fire on
+            // the selective workload queries without changing how many
+            // documents are parsed, and only the tape parser skips.
+            let key = (system.uses_cache(), q.name.clone());
+            match system.parser() {
+                maxson_engine::session::JsonParserKind::Jackson => {
+                    docs_baseline.insert(key, m.docs_parsed);
+                }
+                maxson_engine::session::JsonParserKind::Mison => {
+                    assert_eq!(
+                        m.nodes_skipped,
+                        0,
+                        "{} {}: non-tape parser charged nodes_skipped",
+                        system.name(),
+                        q.name
+                    );
+                }
+                maxson_engine::session::JsonParserKind::Tape => {
+                    let baseline = docs_baseline.get(&key).copied().expect("Jackson ran first");
+                    assert_eq!(
+                        m.docs_parsed,
+                        baseline,
+                        "{} {}: tape parsed a different doc count than Jackson",
+                        system.name(),
+                        q.name
+                    );
+                    if m.docs_parsed > 0 {
+                        assert!(
+                            m.nodes_skipped > 0,
+                            "{} {}: selective query over parsed docs skipped no nodes",
+                            system.name(),
+                            q.name
+                        );
+                    }
+                }
+            }
             report.note_parse_dedup(&format!("{} {}", system.name(), q.name), &m);
             if q.name == "Q6" {
                 println!(

@@ -24,10 +24,14 @@ pub enum SystemKind {
     SparkJackson,
     /// Unmodified engine with the structural-index parser (Spark + Mison).
     SparkMison,
+    /// Unmodified engine with the on-demand tape parser.
+    SparkTape,
     /// Maxson cache + DOM parser for misses.
     Maxson,
     /// Maxson cache + Mison parser for misses.
     MaxsonMison,
+    /// Maxson cache + on-demand tape parser for misses.
+    MaxsonTape,
 }
 
 impl SystemKind {
@@ -36,14 +40,19 @@ impl SystemKind {
         match self {
             SystemKind::SparkJackson => "Spark+Jackson",
             SystemKind::SparkMison => "Spark+Mison",
+            SystemKind::SparkTape => "Spark+Tape",
             SystemKind::Maxson => "Maxson",
             SystemKind::MaxsonMison => "Maxson+Mison",
+            SystemKind::MaxsonTape => "Maxson+Tape",
         }
     }
 
     /// Whether the Maxson cache is active.
     pub fn uses_cache(self) -> bool {
-        matches!(self, SystemKind::Maxson | SystemKind::MaxsonMison)
+        matches!(
+            self,
+            SystemKind::Maxson | SystemKind::MaxsonMison | SystemKind::MaxsonTape
+        )
     }
 
     /// Which JSON parser backs `get_json_object`.
@@ -51,6 +60,7 @@ impl SystemKind {
         match self {
             SystemKind::SparkJackson | SystemKind::Maxson => JsonParserKind::Jackson,
             SystemKind::SparkMison | SystemKind::MaxsonMison => JsonParserKind::Mison,
+            SystemKind::SparkTape | SystemKind::MaxsonTape => JsonParserKind::Tape,
         }
     }
 }

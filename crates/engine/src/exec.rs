@@ -299,6 +299,7 @@ fn attr_counter_deltas(span: &SpanGuard<'_>, before: Option<&ExecMetrics>, after
         ("lru_hits", after.lru_hits - b.lru_hits),
         ("lru_misses", after.lru_misses - b.lru_misses),
         ("lru_evictions", after.lru_evictions - b.lru_evictions),
+        ("nodes_skipped", after.nodes_skipped - b.nodes_skipped),
     ] {
         if delta > 0 {
             span.attr(key, delta);
@@ -1904,7 +1905,11 @@ mod tests {
             right: Box::new(Expr::Literal(Cell::Int(0))),
         };
         let plan = json_project(json_split_plan(), filter);
-        for parser in [JsonParserKind::Jackson, JsonParserKind::Mison] {
+        for parser in [
+            JsonParserKind::Jackson,
+            JsonParserKind::Mison,
+            JsonParserKind::Tape,
+        ] {
             let mut naive_m = m();
             let naive = execute_plan_with(
                 &plan,
@@ -1985,7 +1990,11 @@ mod tests {
             aggs: vec![(AggFunc::Count, None), (AggFunc::Sum, Some(jp(0, "$.a")))],
             schema: Schema::new(vec![Field::new("v", ColumnType::Utf8)]).unwrap(),
         };
-        for parser in [JsonParserKind::Jackson, JsonParserKind::Mison] {
+        for parser in [
+            JsonParserKind::Jackson,
+            JsonParserKind::Mison,
+            JsonParserKind::Tape,
+        ] {
             let mut naive_m = m();
             let naive = execute_plan_with(
                 &plan,

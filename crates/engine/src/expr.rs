@@ -20,8 +20,10 @@ use crate::extract::RowSlots;
 use crate::metrics::ExecMetrics;
 use crate::sql::ast::{BinaryOp, ScalarFunc};
 
-/// How `get_json_object` parses records: the full-DOM "Jackson" baseline or
-/// the structural-index "Mison" projector (Fig. 15's parser axis).
+/// How `get_json_object` parses records: the full-DOM "Jackson" baseline,
+/// the structural-index "Mison" projector (Fig. 15's parser axis), or the
+/// two-stage "Tape" parser (On-Demand style: structural index → typed tape
+/// with skip markers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JsonParserKind {
     /// Full recursive-descent DOM parse (SparkSQL's default Jackson).
@@ -29,6 +31,31 @@ pub enum JsonParserKind {
     Jackson,
     /// Mison-style structural-index projection.
     Mison,
+    /// Tape-based on-demand navigation: skip markers hop over unqueried
+    /// subtrees without materializing them.
+    Tape,
+}
+
+impl JsonParserKind {
+    /// Human/bench-facing name ("jackson" / "mison" / "tape").
+    pub fn name(&self) -> &'static str {
+        match self {
+            JsonParserKind::Jackson => "jackson",
+            JsonParserKind::Mison => "mison",
+            JsonParserKind::Tape => "tape",
+        }
+    }
+
+    /// Parse a `MAXSON_PARSER` value (case-insensitive). `None` for
+    /// unrecognized names.
+    pub fn from_name(name: &str) -> Option<JsonParserKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "jackson" => Some(JsonParserKind::Jackson),
+            "mison" => Some(JsonParserKind::Mison),
+            "tape" => Some(JsonParserKind::Tape),
+            _ => None,
+        }
+    }
 }
 
 /// A resolved physical expression.
@@ -182,16 +209,30 @@ impl Expr {
                     }
                 }
                 let start = Instant::now();
-                let extracted = match parser {
-                    JsonParserKind::Jackson => maxson_json::get_json_object(json, path),
-                    JsonParserKind::Mison => MisonProjector::project_path(json, path),
+                let cell = match parser {
+                    JsonParserKind::Jackson => {
+                        maxson_json::get_json_object(json, path).map_or(Cell::Null, Cell::from)
+                    }
+                    JsonParserKind::Mison => {
+                        MisonProjector::project_path(json, path).map_or(Cell::Null, Cell::from)
+                    }
+                    JsonParserKind::Tape => {
+                        let tape = maxson_json::tape::TapeDoc::build(json).ok();
+                        let built = start.elapsed();
+                        metrics.tape_build_wall += built;
+                        let mut stats = maxson_json::tape::TapeStats::default();
+                        let out = tape.as_ref().and_then(|t| t.eval_path(path, &mut stats));
+                        metrics.tape_nav_wall += start.elapsed().saturating_sub(built);
+                        metrics.nodes_skipped += stats.nodes_skipped;
+                        out.map_or(Cell::Null, Cell::from)
+                    }
                 };
                 let spent = start.elapsed();
                 metrics.parse += spent;
                 metrics.parse_wall += spent;
                 metrics.parse_calls += 1;
                 metrics.docs_parsed += 1;
-                Ok(extracted.map_or(Cell::Null, Cell::from))
+                Ok(cell)
             }
             Expr::Binary { left, op, right } => {
                 let l = left.eval_with(row, parser, metrics, slots)?;
@@ -643,7 +684,11 @@ mod tests {
             })
             .collect();
         let ex = JsonExtractor::from_exprs(exprs.iter()).unwrap();
-        for parser in [JsonParserKind::Jackson, JsonParserKind::Mison] {
+        for parser in [
+            JsonParserKind::Jackson,
+            JsonParserKind::Mison,
+            JsonParserKind::Tape,
+        ] {
             let mut shared_m = ExecMetrics::default();
             let slots = RowSlots::new(&ex);
             let shared: Vec<Cell> = exprs

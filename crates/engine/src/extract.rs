@@ -10,8 +10,11 @@
 //! then parses each document **at most once per column** — one shared DOM
 //! walk in Jackson mode ([`maxson_json::get_json_objects`]), one shared
 //! structural index in Mison mode
-//! ([`MisonProjector::project_paths`]) — and answers every later path
-//! evaluation from the filled slots.
+//! ([`MisonProjector::project_paths`]), one shared typed tape in Tape mode
+//! ([`maxson_json::tape::project_paths`]) — and answers every later path
+//! evaluation from the filled slots. Slots hold `Arc<str>` values, so a
+//! path evaluated in both the filter and the projection clones a refcount,
+//! not the text.
 //!
 //! Laziness is preserved: slots fill on the *first* path access for a row,
 //! so rows skipped by SARG/row-group pruning never parse, and a predicate
@@ -27,6 +30,7 @@
 //! `ExecMetrics::summary` and the bench reports.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::Instant;
 
 use maxson_json::mison::MisonProjector;
@@ -103,11 +107,39 @@ impl JsonExtractor {
     }
 
     /// Parse `json` once and evaluate every path of group `gi` against it.
-    fn extract_group(&self, gi: usize, json: &str, parser: JsonParserKind) -> Vec<Option<String>> {
+    /// Tape mode charges its skip counter and build/navigate wall split to
+    /// `metrics` (the other modes have no tape to account for).
+    fn extract_group(
+        &self,
+        gi: usize,
+        json: &str,
+        parser: JsonParserKind,
+        metrics: &mut ExecMetrics,
+    ) -> Vec<Option<Arc<str>>> {
         let paths = &self.groups[gi].paths;
         match parser {
-            JsonParserKind::Jackson => maxson_json::get_json_objects(json, paths),
-            JsonParserKind::Mison => MisonProjector::project_paths(json, paths),
+            JsonParserKind::Jackson => maxson_json::get_json_objects(json, paths)
+                .into_iter()
+                .map(|v| v.map(Arc::from))
+                .collect(),
+            JsonParserKind::Mison => MisonProjector::project_paths(json, paths)
+                .into_iter()
+                .map(|v| v.map(Arc::from))
+                .collect(),
+            JsonParserKind::Tape => {
+                let start = Instant::now();
+                let tape = maxson_json::tape::TapeDoc::build(json).ok();
+                metrics.tape_build_wall += start.elapsed();
+                let nav = Instant::now();
+                let mut stats = maxson_json::tape::TapeStats::default();
+                let values = match &tape {
+                    Some(t) => t.eval_paths(paths, &mut stats),
+                    None => vec![None; paths.len()],
+                };
+                metrics.tape_nav_wall += nav.elapsed();
+                metrics.nodes_skipped += stats.nodes_skipped;
+                values
+            }
         }
     }
 }
@@ -121,7 +153,7 @@ pub struct RowSlots<'e> {
     extractor: &'e JsonExtractor,
     /// One entry per column group; `None` until the first path access for
     /// this row triggers the (single) parse.
-    filled: RefCell<Vec<Option<Vec<Option<String>>>>>,
+    filled: RefCell<Vec<Option<Vec<Option<Arc<str>>>>>>,
 }
 
 impl<'e> RowSlots<'e> {
@@ -136,8 +168,9 @@ impl<'e> RowSlots<'e> {
     /// Answer one `(column, path)` evaluation over this row's `json`
     /// document. Returns `None` when the pair is not covered by the
     /// extractor (the caller falls back to a direct parse); otherwise the
-    /// inner `Option<String>` is the extraction result, exactly as the
-    /// naive per-call parse would produce it.
+    /// inner `Option<Arc<str>>` is the extraction result, exactly as the
+    /// naive per-call parse would produce it (shared, not copied, on every
+    /// subsequent access).
     ///
     /// The first covered access parses the document and charges
     /// `docs_parsed` + parse wall time; every access (hit or fill) charges
@@ -149,12 +182,12 @@ impl<'e> RowSlots<'e> {
         path: &JsonPath,
         parser: JsonParserKind,
         metrics: &mut ExecMetrics,
-    ) -> Option<Option<String>> {
+    ) -> Option<Option<Arc<str>>> {
         let (gi, pi) = self.extractor.lookup(column, path)?;
         let mut filled = self.filled.borrow_mut();
         if filled[gi].is_none() {
             let start = Instant::now();
-            let values = self.extractor.extract_group(gi, json, parser);
+            let values = self.extractor.extract_group(gi, json, parser, metrics);
             let spent = start.elapsed();
             metrics.parse += spent;
             metrics.parse_wall += spent;
@@ -206,7 +239,11 @@ mod tests {
         let exprs = [jp(0, "$.a"), jp(0, "$.b"), jp(0, "$.missing")];
         let ex = JsonExtractor::from_exprs(exprs.iter()).unwrap();
         let json = r#"{"a": 1, "b": "x"}"#;
-        for parser in [JsonParserKind::Jackson, JsonParserKind::Mison] {
+        for parser in [
+            JsonParserKind::Jackson,
+            JsonParserKind::Mison,
+            JsonParserKind::Tape,
+        ] {
             let mut m = ExecMetrics::default();
             let slots = RowSlots::new(&ex);
             let a = slots.get(json, 0, &JsonPath::parse("$.a").unwrap(), parser, &mut m);

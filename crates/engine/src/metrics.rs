@@ -79,6 +79,16 @@ pub struct ExecMetrics {
     /// Task skew: max task wall over mean task wall (1.0 = perfectly even,
     /// 0.0 = no parallel run happened).
     pub task_skew: f64,
+    /// Tape mode: tape entries navigation hopped over via skip markers
+    /// without visiting (unqueried sibling subtrees). Zero in Jackson and
+    /// Mison modes — those parsers have no tape to skip.
+    pub nodes_skipped: u64,
+    /// Tape mode: wall time spent building tapes (structural index + typed
+    /// tape), summed across tasks like `parse`.
+    pub tape_build_wall: Duration,
+    /// Tape mode: wall time spent navigating built tapes and rendering the
+    /// queried spans (the on-demand half), summed across tasks.
+    pub tape_nav_wall: Duration,
     /// Online-LRU cache: per-path-per-scan lookups answered from the cache.
     pub lru_hits: u64,
     /// Online-LRU cache: lookups that had to parse and fill.
@@ -152,6 +162,9 @@ impl ExecMetrics {
         self.task_wall_p50 = self.task_wall_p50.max(other.task_wall_p50);
         self.task_wall_p95 = self.task_wall_p95.max(other.task_wall_p95);
         self.task_skew = self.task_skew.max(other.task_skew);
+        self.nodes_skipped += other.nodes_skipped;
+        self.tape_build_wall += other.tape_build_wall;
+        self.tape_nav_wall += other.tape_nav_wall;
         self.lru_hits += other.lru_hits;
         self.lru_misses += other.lru_misses;
         self.lru_evictions += other.lru_evictions;
@@ -223,6 +236,17 @@ impl ExecMetrics {
             s.push_str(&format!(
                 " cells_mat={} batch_skipped={}",
                 self.cells_materialized, self.batch_rows_skipped,
+            ));
+        }
+        if self.nodes_skipped > 0
+            || !self.tape_build_wall.is_zero()
+            || !self.tape_nav_wall.is_zero()
+        {
+            // Tape mode only: skip-marker work avoided plus the build vs
+            // navigate wall split.
+            s.push_str(&format!(
+                " nodes_skipped={} tape_build={:?} tape_nav={:?}",
+                self.nodes_skipped, self.tape_build_wall, self.tape_nav_wall,
             ));
         }
         if self.lru_hits + self.lru_misses > 0 {
@@ -365,6 +389,9 @@ mod tests {
             task_wall_p50: Duration::from_micros(next() % 5_000),
             task_wall_p95: Duration::from_micros(next() % 5_000),
             task_skew: 1.0 + (next() % 1000) as f64 / 250.0,
+            nodes_skipped: next() % 10_000,
+            tape_build_wall: Duration::from_micros(next() % 5_000),
+            tape_nav_wall: Duration::from_micros(next() % 5_000),
             lru_hits: next() % 500,
             lru_misses: next() % 500,
             lru_evictions: next() % 100,
@@ -458,6 +485,18 @@ mod tests {
             lru_resident_bytes: 640,
             ..Default::default()
         };
+        assert!(
+            !m.summary().contains("nodes_skipped="),
+            "tape fields only print when the tape parser ran"
+        );
+        let t = ExecMetrics {
+            nodes_skipped: 7,
+            tape_build_wall: Duration::from_micros(10),
+            ..Default::default()
+        };
+        assert!(t.summary().contains("nodes_skipped=7"));
+        assert!(t.summary().contains("tape_build="));
+        assert!(t.summary().contains("tape_nav="));
         assert!(l.summary().contains("lru_hits=3"));
         assert!(l.summary().contains("lru_ratio=0.75"));
         assert!(l.summary().contains("lru_evict=2"));

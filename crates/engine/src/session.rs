@@ -154,16 +154,24 @@ pub struct Session {
 impl Session {
     /// Open a session over a warehouse directory. When the `MAXSON_TRACE`
     /// environment variable names a file, tracing starts enabled and every
-    /// execute rewrites that file with the accumulated Chrome trace.
+    /// execute rewrites that file with the accumulated Chrome trace. The
+    /// `MAXSON_PARSER` environment variable (`jackson` / `mison` / `tape`,
+    /// case-insensitive) selects the default JSON parser; unrecognized
+    /// values keep the Jackson default, and [`Session::set_parser`]
+    /// overrides either way.
     pub fn open(root: impl AsRef<Path>) -> Result<Self> {
         let trace_path = std::env::var_os("MAXSON_TRACE")
             .filter(|v| !v.is_empty())
             .map(PathBuf::from);
+        let parser_kind = std::env::var("MAXSON_PARSER")
+            .ok()
+            .and_then(|v| JsonParserKind::from_name(&v))
+            .unwrap_or_default();
         let tracer = Tracer::new();
         tracer.set_enabled(trace_path.is_some());
         Ok(Session {
             catalog: Catalog::open(root.as_ref())?,
-            parser_kind: JsonParserKind::Jackson,
+            parser_kind,
             rewriter: None,
             prefilter_enabled: false,
             threads: None,
@@ -255,6 +263,12 @@ impl Session {
     /// Which JSON parser `get_json_object` uses (Fig. 15's axis).
     pub fn set_parser_kind(&mut self, kind: JsonParserKind) {
         self.parser_kind = kind;
+    }
+
+    /// Alias for [`Session::set_parser_kind`]: pin the parser mode,
+    /// overriding the `MAXSON_PARSER` environment default.
+    pub fn set_parser(&mut self, kind: JsonParserKind) {
+        self.set_parser_kind(kind);
     }
 
     /// Current JSON parser kind.

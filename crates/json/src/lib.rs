@@ -15,6 +15,10 @@
 //!   VLDB 2017), using SWAR 64-bit bitmaps instead of SIMD intrinsics. It
 //!   extracts individual fields without materializing a DOM, which is the
 //!   "fast parser" baseline of the paper's Fig. 15.
+//! * [`tape`] — a two-stage tape parser in the style of On-Demand JSON
+//!   (Keiser & Lemire, VLDB 2021): the Mison structural index drives a
+//!   typed tape whose skip markers let path navigation hop over unqueried
+//!   subtrees without materializing them.
 //!
 //! # Quick example
 //!
@@ -32,6 +36,7 @@ pub mod parser;
 pub mod path;
 pub mod serializer;
 pub mod sparser;
+pub mod tape;
 pub mod value;
 pub mod xml;
 

@@ -331,7 +331,7 @@ fn project_one(
     }
 }
 
-fn steps_to_path(steps: &[Step]) -> JsonPath {
+pub(crate) fn steps_to_path(steps: &[Step]) -> JsonPath {
     let mut text = String::from("$");
     for s in steps {
         match s {

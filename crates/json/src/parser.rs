@@ -310,7 +310,7 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
-    fn parse_number(&mut self) -> Result<JsonValue> {
+    pub(crate) fn parse_number(&mut self) -> Result<JsonValue> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;

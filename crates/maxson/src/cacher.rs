@@ -374,6 +374,62 @@ impl JsonPathCacher {
 /// One parsed raw split: `(rows, row_group_size, bytes)`.
 type ParsedSplit = (Vec<Vec<Cell>>, usize, u64);
 
+/// The cached paths of one source column, grouped so cache population
+/// builds exactly one tape per raw JSON document no matter how many paths
+/// it caches from it — the combiner-side mirror of the engine's
+/// shared-parse slots.
+struct ColumnPaths {
+    /// Raw-table column index holding the JSON string.
+    col: usize,
+    /// Cache-row slot each path fills, in `paths` order.
+    slots: Vec<usize>,
+    /// The cached paths over this column.
+    paths: Vec<JsonPath>,
+}
+
+/// Group `(column, path)` cache fields by column, remembering each field's
+/// cache-row slot.
+fn group_by_column<'a>(pairs: impl Iterator<Item = (usize, &'a JsonPath)>) -> Vec<ColumnPaths> {
+    let mut groups: Vec<ColumnPaths> = Vec::new();
+    for (slot, (col, path)) in pairs.enumerate() {
+        match groups.iter_mut().find(|g| g.col == col) {
+            Some(g) => {
+                g.slots.push(slot);
+                g.paths.push(path.clone());
+            }
+            None => groups.push(ColumnPaths {
+                col,
+                slots: vec![slot],
+                paths: vec![path.clone()],
+            }),
+        }
+    }
+    groups
+}
+
+/// Fill cache row `i` from the raw columns: one tape per JSON document
+/// answers every cached path over it. Non-string and invalid documents
+/// leave their slots `Null`, exactly as the per-path DOM parse would.
+fn extract_cache_row(
+    groups: &[ColumnPaths],
+    cols: &[maxson_storage::ColumnData],
+    col_of: impl Fn(usize) -> usize,
+    i: usize,
+    width: usize,
+) -> Vec<Cell> {
+    let mut row = vec![Cell::Null; width];
+    let mut stats = maxson_json::tape::TapeStats::default();
+    for g in groups {
+        if let Cell::Str(json) = cols[col_of(g.col)].get(i) {
+            let values = maxson_json::tape::project_paths(&json, &g.paths, &mut stats);
+            for (&slot, value) in g.slots.iter().zip(values) {
+                row[slot] = value.map_or(Cell::Null, Cell::from);
+            }
+        }
+    }
+    row
+}
+
 /// Parse one raw split into cache rows.
 fn parse_split(
     raw: &maxson_storage::Table,
@@ -396,19 +452,13 @@ fn parse_split(
             .position(|&c| c == idx)
             .expect("requested column")
     };
+    let groups = group_by_column(compiled.iter().map(|(c, p, _)| (*c, p)));
     let mut bytes = 0u64;
     let mut rows: Vec<Vec<Cell>> = Vec::with_capacity(n);
     for i in 0..n {
-        let mut row = Vec::with_capacity(compiled.len());
-        for (col_idx, path, _) in compiled {
-            let value = match cols[col_of(*col_idx)].get(i) {
-                Cell::Str(json) => {
-                    maxson_json::get_json_object(&json, path).map_or(Cell::Null, Cell::from)
-                }
-                _ => Cell::Null,
-            };
+        let row = extract_cache_row(&groups, &cols, col_of, i, compiled.len());
+        for value in &row {
             bytes += value.byte_size() as u64;
-            row.push(value);
         }
         rows.push(row);
     }
@@ -701,18 +751,16 @@ impl JsonPathCacher {
                         .position(|&c| c == idx)
                         .expect("requested column")
                 };
+                let groups = group_by_column(compiled.iter().map(|(c, p)| (*c, p)));
                 let mut rows: Vec<Vec<Cell>> = Vec::with_capacity(n);
                 for i in 0..n {
-                    let mut row = Vec::with_capacity(compiled.len());
-                    for (col_idx, path) in &compiled {
-                        let value = match cols[col_of(*col_idx)].get(i) {
-                            Cell::Str(json) => maxson_json::get_json_object(&json, path)
-                                .map_or(Cell::Null, Cell::from),
-                            _ => Cell::Null,
-                        };
-                        row.push(value);
-                    }
-                    rows.push(row);
+                    rows.push(extract_cache_row(
+                        &groups,
+                        &cols,
+                        &col_of,
+                        i,
+                        compiled.len(),
+                    ));
                 }
                 catalog.table_mut(CACHE_DB, &ct_name)?.append_file(
                     &rows,

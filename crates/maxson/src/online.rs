@@ -258,10 +258,13 @@ impl ScanProvider for LruBackedProvider {
                     .read_columns(&[col_idx], None)
                     .map_err(EngineError::Storage)?;
                 let parse_start = Instant::now();
+                let mut stats = maxson_json::tape::TapeStats::default();
                 for i in 0..cols[0].len() {
                     let v = match cols[0].get(i) {
-                        Cell::Str(json) => maxson_json::get_json_object(&json, &compiled)
-                            .map_or(Cell::Null, Cell::from),
+                        Cell::Str(json) => {
+                            maxson_json::tape::project_path(&json, &compiled, &mut stats)
+                                .map_or(Cell::Null, Cell::from)
+                        }
                         _ => Cell::Null,
                     };
                     bytes += v.byte_size() as u64;
@@ -274,6 +277,7 @@ impl ScanProvider for LruBackedProvider {
                 let parse_spent = parse_start.elapsed();
                 metrics.parse += parse_spent;
                 metrics.parse_wall += parse_spent;
+                metrics.nodes_skipped += stats.nodes_skipped;
             }
             let values = Arc::new(values);
             // Insert with LRU eviction.

@@ -8,6 +8,9 @@
 //! * [`prop`] — a property-testing harness: composable generators,
 //!   configurable case counts, greedy shrinking, and failure seeds
 //!   replayable via the `MAXSON_TESTKIT_SEED` environment variable.
+//! * [`corpus`] — a seed-replayable adversarial JSON corpus (valid and
+//!   invalid tiers plus byte-level mutation) for parser differential and
+//!   failure-injection tests.
 //! * [`bench`] — a wall-clock bench runner (warmup + N timed iterations,
 //!   median/p95) whose stats feed the workspace's `Report` JSON format.
 //! * [`alloc`] (feature `count-alloc`) — a counting global allocator for
@@ -21,6 +24,7 @@
 #[cfg(feature = "count-alloc")]
 pub mod alloc;
 pub mod bench;
+pub mod corpus;
 pub mod prop;
 pub mod rng;
 

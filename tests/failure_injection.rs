@@ -1,13 +1,19 @@
 //! Failure-injection tests: corruption, truncation, and concurrent-update
 //! hazards must surface as errors (or safe fallbacks), never as wrong
-//! results.
+//! results. Malformed JSON *payloads* are data, not failures: every parser
+//! mode must keep executing (`Ok`, null cells, no panic) when a document
+//! is truncated or byte-mutated, and the tape parser must agree with the
+//! Jackson reference row-for-row on what malformed documents yield.
 
 use maxson::mpjp::PredictorKind;
 use maxson::rewriter::MaxsonScanRewriter;
 use maxson::{CacheRegistry, MaxsonPipeline, PipelineConfig};
-use maxson_engine::session::Session;
+use maxson_engine::session::{JsonParserKind, Session};
 use maxson_storage::file::WriteOptions;
 use maxson_storage::{Catalog, Cell, ColumnType, Field, Schema};
+use maxson_testkit::corpus;
+use maxson_testkit::prop::{check, Config, Gen};
+use maxson_testkit::Rng;
 use maxson_trace::model::RecurrenceClass;
 use maxson_trace::{JsonPathLocation, QueryRecord};
 use std::path::PathBuf;
@@ -206,4 +212,155 @@ fn raw_table_shrunk_below_cache_is_misalignment_error() {
         .to_string();
     assert!(err.contains("misalignment"), "got: {err}");
     std::fs::remove_dir_all(&root).ok();
+}
+
+// ---------------------------------------------------------------------
+// Malformed payloads: data, not failures
+// ---------------------------------------------------------------------
+
+/// Build a table whose payload column holds exactly `docs`.
+fn payload_table(name: &str, docs: &[String]) -> PathBuf {
+    let root = temp_root(name);
+    let mut session = Session::open(&root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let table = session
+        .catalog_mut()
+        .create_table("db", "t", schema, 0)
+        .unwrap();
+    let rows: Vec<Vec<Cell>> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| vec![Cell::Int(i as i64), Cell::from(d.clone())])
+        .collect();
+    table
+        .append_file(
+            &rows,
+            WriteOptions {
+                row_group_size: 8,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+    root
+}
+
+const MALFORMED_SQL: &str = "select get_json_object(payload, '$.id') as id, \
+                             get_json_object(payload, '$.name') as name from db.t \
+                             where get_json_object(payload, '$.id') >= 0";
+
+/// Every parser mode executes queries over known-malformed documents
+/// without panicking and returns `Ok`: the Jackson semantics — invalid doc
+/// evaluates to null — carry over to Mison and Tape, and Tape agrees with
+/// Jackson row-for-row.
+#[test]
+fn malformed_payload_literals_execute_in_every_parser_mode() {
+    let mut docs: Vec<String> = vec![
+        "{truncated".into(),
+        "".into(),
+        "   ".into(),
+        "{\"id\": 1, \"name\": \"x\"} trailing".into(),
+        "{\"id\": 2, \"name\": \"unterminated".into(),
+        "{\"id\": 3, \"name\": \"bad \\q escape\"}".into(),
+        "{\"id\": 04}".into(),
+        "[1, 2".into(),
+        format!("{}0{}", "[".repeat(150), "]".repeat(150)),
+        "{\"id\": 5, \"id\"".into(),
+        "not json at all".into(),
+        "\u{0}\u{1}\u{2}".into(),
+    ];
+    docs.extend(corpus::invalid_docs(0xFA11, 60));
+    let root = payload_table("malformed-literals", &docs);
+
+    let mut jackson_rows = None;
+    for parser in [
+        JsonParserKind::Jackson,
+        JsonParserKind::Mison,
+        JsonParserKind::Tape,
+    ] {
+        for shared in [false, true] {
+            let mut session = Session::open(&root).unwrap();
+            session.set_parser(parser);
+            session.set_threads(Some(2));
+            session.set_shared_parse(Some(shared));
+            let result = session
+                .execute(MALFORMED_SQL)
+                .unwrap_or_else(|e| panic!("{parser:?} shared={shared} errored: {e}"));
+            // Every document is invalid → the `$.id` predicate never
+            // matches → zero rows, under Jackson semantics.
+            match parser {
+                JsonParserKind::Mison => {
+                    // Mison skips whole-document validation, so it may
+                    // extract from e.g. trailing-garbage docs; only the
+                    // no-panic/Ok guarantee applies.
+                }
+                _ => match &jackson_rows {
+                    None => jackson_rows = Some(result.rows.clone()),
+                    Some(r) => assert_eq!(
+                        &result.rows, r,
+                        "{parser:?} shared={shared} diverged from Jackson on malformed docs"
+                    ),
+                },
+            }
+        }
+    }
+    assert_eq!(
+        jackson_rows.expect("jackson ran"),
+        Vec::<Vec<Cell>>::new(),
+        "all documents are invalid, so no row passes the predicate"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Property test: byte-level mutations of valid documents — flips,
+/// insertions, deletions, truncations — never panic any parser mode, and
+/// Tape stays row-identical to Jackson whatever the mutation did.
+#[test]
+fn property_mutated_payloads_error_never_panic() {
+    let cfg = Config::with_cases(12);
+    check(
+        "mutated_payloads_no_panic",
+        &cfg,
+        &Gen::tuple2(Gen::u64_any(), Gen::usize_in(6..=24)),
+        |&(seed, rows)| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let docs: Vec<String> = corpus::valid_docs(seed, rows)
+                .iter()
+                .map(|d| corpus::mutate_bytes(d, &mut rng))
+                .collect();
+            let root = payload_table(&format!("mut-{seed}"), &docs);
+            let mut reference: Option<(Vec<Vec<Cell>>, String)> = None;
+            for parser in [
+                JsonParserKind::Jackson,
+                JsonParserKind::Mison,
+                JsonParserKind::Tape,
+            ] {
+                for shared in [false, true] {
+                    let mut session = Session::open(&root).map_err(|e| format!("open: {e}"))?;
+                    session.set_parser(parser);
+                    session.set_threads(Some(2));
+                    session.set_shared_parse(Some(shared));
+                    let result = session
+                        .execute(MALFORMED_SQL)
+                        .map_err(|e| format!("{parser:?} shared={shared}: {e}"))?;
+                    if parser != JsonParserKind::Mison {
+                        let rendered = result.to_display_string();
+                        match &reference {
+                            None => reference = Some((result.rows.clone(), rendered)),
+                            Some((rows, display)) => {
+                                maxson_testkit::prop_assert_eq!(&result.rows, rows);
+                                maxson_testkit::prop_assert_eq!(&rendered, display);
+                            }
+                        }
+                    }
+                }
+            }
+            std::fs::remove_dir_all(&root).ok();
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,638 @@
+//! Three-parser differential tests locking the on-demand tape parser
+//! (`JsonParserKind::Tape`) to the Jackson DOM reference, with the Mison
+//! structural index as the third wheel.
+//!
+//! Layers:
+//!
+//! 1. **Golden + NoBench queries** — every query runs under Jackson, Mison,
+//!    and Tape, at 1 and 4 threads, with shared parse off and on. Rows,
+//!    rendered output, and every work counter must match the serial naive
+//!    Jackson reference exactly; `nodes_skipped` must be zero for the
+//!    non-tape parsers.
+//! 2. **Adversarial corpus** — the seed-replayable corpus from
+//!    `maxson_testkit::corpus`. Valid-tier documents get full three-way
+//!    identity (API level and engine level). Invalid-tier documents pin
+//!    Tape to Jackson only: Mison's index deliberately skips whole-document
+//!    validation (it accepts trailing garbage and over-deep nesting), so
+//!    rejection identity is a two-parser property.
+//! 3. **Semantics regressions** — duplicate keys are first-wins in all
+//!    three parsers; selective queries under Tape skip nodes without
+//!    parsing a single extra document; `MAXSON_PARSER` resolution in
+//!    `Session::open` honors the environment (ci.sh runs this whole binary
+//!    under `MAXSON_PARSER=tape`).
+//! 4. **Property test** — random corpus tables × random queries, three
+//!    parsers × 1/4 threads × shared parse off/on. Failures replay via
+//!    `MAXSON_TESTKIT_SEED`.
+//!
+//! Toggles are pinned with `Session::set_parser` / `set_threads` /
+//! `set_shared_parse`, not env vars, so parallel test binaries cannot race
+//! on process-global state; only the env-resolution test reads the
+//! environment, and it asserts consistency rather than a fixed kind.
+
+use maxson::rewriter::MaxsonScanRewriter;
+use maxson_datagen::NobenchGenerator;
+use maxson_engine::metrics::ExecMetrics;
+use maxson_engine::session::{JsonParserKind, Session};
+use maxson_json::mison::MisonProjector;
+use maxson_json::tape::{self, TapeStats};
+use maxson_json::JsonPath;
+use maxson_storage::file::WriteOptions;
+use maxson_storage::{Cell, ColumnType, Field, Schema};
+use maxson_testkit::corpus;
+use maxson_testkit::prop::{check, Config, Gen};
+use std::path::PathBuf;
+
+const ALL_PARSERS: [JsonParserKind; 3] = [
+    JsonParserKind::Jackson,
+    JsonParserKind::Mison,
+    JsonParserKind::Tape,
+];
+
+fn bench_data_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("bench-data")
+}
+
+fn temp_root(name: &str) -> PathBuf {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    std::env::temp_dir().join(format!("maxson-tape-{}-{nanos}-{name}", std::process::id()))
+}
+
+/// The golden rewriter queries (see tests/rewriter_golden.rs).
+const GOLDEN_QUERIES: [&str; 4] = [
+    "select get_json_object(payload, '$.f0') as f0, \
+     get_json_object(payload, '$.f1') as f1 from mydb.q1",
+    "select get_json_object(payload, '$.f0') as f0, \
+     get_json_object(payload, '$.f10') as f10 from mydb.q2",
+    "select get_json_object(payload, '$.f0') as f0 \
+     from mydb.q1 where get_json_object(payload, '$.f0') > 900",
+    "select get_json_object(payload, '$.f12') as f12 from mydb.q2",
+];
+
+/// Counters that must be identical across parsers and execution modes —
+/// everything that counts discrete work except `docs_parsed` (shared parse
+/// shrinks it; it is asserted separately) and `nodes_skipped` (tape-only
+/// by design; asserted separately too).
+fn parser_invariant_counters(m: &ExecMetrics) -> [u64; 7] {
+    [
+        m.rows_scanned,
+        m.bytes_read,
+        m.parse_calls,
+        m.cache_hits,
+        m.row_groups_skipped,
+        m.row_groups_read,
+        m.prefilter_dropped,
+    ]
+}
+
+/// Run `sql` under the serial naive Jackson reference, then under all
+/// three parsers × {1, 4} threads × shared parse {off, on}: rows, rendered
+/// output, and work counters must match the reference exactly.
+fn assert_tape_differential(mut make_session: impl FnMut() -> Session, sql: &str, label: &str) {
+    let mut reference_session = make_session();
+    reference_session.set_parser(JsonParserKind::Jackson);
+    reference_session.set_threads(Some(1));
+    reference_session.set_shared_parse(Some(false));
+    let reference = reference_session
+        .execute(sql)
+        .unwrap_or_else(|e| panic!("[{label}] reference run failed for {sql}: {e}"));
+    for parser in ALL_PARSERS {
+        for threads in [1, 4] {
+            for shared in [false, true] {
+                let mut session = make_session();
+                session.set_parser(parser);
+                session.set_threads(Some(threads));
+                session.set_shared_parse(Some(shared));
+                let result = session.execute(sql).unwrap_or_else(|e| {
+                    panic!("[{label}] {parser:?}/{threads}t/shared={shared} failed for {sql}: {e}")
+                });
+                assert_eq!(
+                    result.rows, reference.rows,
+                    "[{label}] rows diverged for {sql} ({parser:?}, {threads} threads, shared={shared})"
+                );
+                assert_eq!(
+                    result.to_display_string(),
+                    reference.to_display_string(),
+                    "[{label}] rendered output diverged for {sql} ({parser:?}, {threads} threads, shared={shared})"
+                );
+                assert_eq!(
+                    parser_invariant_counters(&result.metrics),
+                    parser_invariant_counters(&reference.metrics),
+                    "[{label}] work counters diverged for {sql} ({parser:?}, {threads} threads, shared={shared}): \
+                     got {:?} vs reference {:?}",
+                    result.metrics,
+                    reference.metrics
+                );
+                assert!(
+                    result.metrics.docs_parsed <= result.metrics.parse_calls,
+                    "[{label}] docs_parsed must never exceed parse_calls: {:?}",
+                    result.metrics
+                );
+                if parser != JsonParserKind::Tape {
+                    assert_eq!(
+                        result.metrics.nodes_skipped, 0,
+                        "[{label}] non-tape parser charged nodes_skipped for {sql} ({parser:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn golden_queries_three_way_identical_plain() {
+    for sql in GOLDEN_QUERIES {
+        assert_tape_differential(|| Session::open(bench_data_root()).unwrap(), sql, "plain");
+    }
+}
+
+#[test]
+fn golden_queries_three_way_identical_rewritten() {
+    let make = || {
+        let root = bench_data_root();
+        let mut session = Session::open(&root).unwrap();
+        let rewriter = MaxsonScanRewriter::open(&root).unwrap();
+        session.set_scan_rewriter(Some(Box::new(rewriter)));
+        session
+    };
+    for sql in GOLDEN_QUERIES {
+        assert_tape_differential(make, sql, "rewritten");
+    }
+}
+
+// ---------------------------------------------------------------------
+// NoBench workload
+// ---------------------------------------------------------------------
+
+/// Build a NoBench table: `rows` seeded JSON documents over `files` splits.
+fn nobench_table(name: &str, rows: u64, files: u64) -> PathBuf {
+    let root = temp_root(name);
+    let mut session = Session::open(&root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let table = session
+        .catalog_mut()
+        .create_table("nb", "docs", schema, 0)
+        .unwrap();
+    let mut generator = NobenchGenerator::new(42);
+    let per_file = rows / files;
+    for f in 0..files {
+        let rows: Vec<Vec<Cell>> = (f * per_file..(f + 1) * per_file)
+            .map(|i| vec![Cell::Int(i as i64), Cell::from(generator.record_text(i))])
+            .collect();
+        table
+            .append_file(
+                &rows,
+                WriteOptions {
+                    row_group_size: 16,
+                    ..Default::default()
+                },
+                1,
+            )
+            .unwrap();
+    }
+    root
+}
+
+#[test]
+fn nobench_workload_three_way_identical() {
+    let root = nobench_table("nobench3", 240, 4);
+    let queries = [
+        "select get_json_object(payload, '$.str1') as s1, \
+         get_json_object(payload, '$.num') as num, \
+         get_json_object(payload, '$.nested_obj.str') as ns from nb.docs \
+         where get_json_object(payload, '$.bool') = 'true'",
+        "select get_json_object(payload, '$.num') as num from nb.docs \
+         where get_json_object(payload, '$.num') > 100",
+        "select get_json_object(payload, '$.str2') as grp, count(*), \
+         sum(get_json_object(payload, '$.num')), \
+         avg(get_json_object(payload, '$.num')) from nb.docs \
+         group by get_json_object(payload, '$.str2')",
+        "select get_json_object(payload, '$.str1') as s1 from nb.docs \
+         where id < 60",
+        "select id from nb.docs order by get_json_object(payload, '$.num') limit 9",
+    ];
+    for sql in queries {
+        assert_tape_differential(|| Session::open(&root).unwrap(), sql, "nobench");
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+// ---------------------------------------------------------------------
+// Adversarial corpus: API level
+// ---------------------------------------------------------------------
+
+fn corpus_paths() -> Vec<JsonPath> {
+    corpus::query_paths()
+        .iter()
+        .map(|p| JsonPath::parse(p).unwrap())
+        .collect()
+}
+
+/// Valid-tier corpus: all three parsers agree per path, per document, both
+/// through the one-path and the shared many-path entry points.
+#[test]
+fn api_three_way_identical_on_valid_corpus() {
+    let paths = corpus_paths();
+    for doc in corpus::valid_docs(0xC0FFEE, 300) {
+        let jackson: Vec<Option<String>> = paths
+            .iter()
+            .map(|p| maxson_json::get_json_object(&doc, p))
+            .collect();
+        let mison: Vec<Option<String>> = paths
+            .iter()
+            .map(|p| MisonProjector::project_path(&doc, p))
+            .collect();
+        let mut stats = TapeStats::default();
+        let tape_single: Vec<Option<String>> = paths
+            .iter()
+            .map(|p| tape::project_path(&doc, p, &mut stats).map(|s| s.to_string()))
+            .collect();
+        let tape_shared: Vec<Option<String>> = tape::project_paths(&doc, &paths, &mut stats)
+            .into_iter()
+            .map(|v| v.map(|s| s.to_string()))
+            .collect();
+        assert_eq!(mison, jackson, "Mison diverged from Jackson on {doc}");
+        assert_eq!(tape_single, jackson, "Tape diverged from Jackson on {doc}");
+        assert_eq!(tape_shared, jackson, "shared Tape diverged on {doc}");
+        // A corpus doc always has `$.id` and never `$.missing`.
+        assert!(jackson[0].is_some(), "$.id missing from {doc}");
+        assert!(jackson.last().unwrap().is_none(), "$.missing hit in {doc}");
+    }
+}
+
+/// Invalid-tier corpus: Tape must reject exactly what Jackson rejects
+/// (all-`None` projections, no panic). Mison is deliberately excluded —
+/// its index skips whole-document validation by design.
+#[test]
+fn api_tape_matches_jackson_on_invalid_corpus() {
+    let paths = corpus_paths();
+    for doc in corpus::invalid_docs(0xBAD5EED, 300) {
+        for p in &paths {
+            let jackson = maxson_json::get_json_object(&doc, p);
+            assert_eq!(jackson, None, "invalid doc parsed by Jackson: {doc:?}");
+            let mut stats = TapeStats::default();
+            let tape = tape::project_path(&doc, p, &mut stats).map(|s| s.to_string());
+            assert_eq!(
+                tape, jackson,
+                "Tape accepted what Jackson rejected: {doc:?}"
+            );
+        }
+        assert!(
+            maxson_json::tape::TapeDoc::build(&doc).is_err(),
+            "tape build accepted invalid doc: {doc:?}"
+        );
+    }
+}
+
+/// Byte-mutated valid documents: whatever Jackson decides (accept or
+/// reject), Tape decides identically — and neither panics.
+#[test]
+fn api_tape_matches_jackson_on_mutated_corpus() {
+    let paths = corpus_paths();
+    let mut rng = maxson_testkit::Rng::seed_from_u64(0xF422);
+    for doc in corpus::valid_docs(0xF422, 150) {
+        let mutated = corpus::mutate_bytes(&doc, &mut rng);
+        for p in &paths {
+            let jackson = maxson_json::get_json_object(&mutated, p);
+            let mut stats = TapeStats::default();
+            let tape = tape::project_path(&mutated, p, &mut stats).map(|s| s.to_string());
+            assert_eq!(
+                tape, jackson,
+                "Tape diverged from Jackson on mutated doc {mutated:?} path {p:?}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial corpus: engine level
+// ---------------------------------------------------------------------
+
+/// Build a table whose payload column is the valid-tier corpus.
+fn corpus_table(name: &str, seed: u64, rows: usize, splits: usize) -> PathBuf {
+    let root = temp_root(name);
+    let mut session = Session::open(&root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let table = session
+        .catalog_mut()
+        .create_table("adv", "docs", schema, 0)
+        .unwrap();
+    let docs = corpus::valid_docs(seed, rows);
+    let per_file = rows.div_ceil(splits.max(1));
+    for chunk_start in (0..rows).step_by(per_file.max(1)) {
+        let rows: Vec<Vec<Cell>> = (chunk_start..(chunk_start + per_file).min(rows))
+            .map(|i| vec![Cell::Int(i as i64), Cell::from(docs[i].clone())])
+            .collect();
+        table
+            .append_file(
+                &rows,
+                WriteOptions {
+                    row_group_size: 16,
+                    ..Default::default()
+                },
+                1,
+            )
+            .unwrap();
+    }
+    root
+}
+
+#[test]
+fn corpus_workload_three_way_identical() {
+    let root = corpus_table("corpus3", 0xADBEEF, 180, 3);
+    let queries = [
+        // Multi-path projection incl. an array index and a depth-2 field.
+        "select get_json_object(payload, '$.name') as name, \
+         get_json_object(payload, '$.num') as num, \
+         get_json_object(payload, '$.arr[0]') as a0, \
+         get_json_object(payload, '$.deep.x') as dx from adv.docs",
+        // Selective filter on the guaranteed field.
+        "select get_json_object(payload, '$.id') as id, \
+         get_json_object(payload, '$.dup') as dup from adv.docs \
+         where get_json_object(payload, '$.id') < 40",
+        // Guaranteed-miss projection plus aggregation.
+        "select count(*), count(get_json_object(payload, '$.missing')), \
+         count(get_json_object(payload, '$.flag')) from adv.docs",
+        // Container rendering: `$.deep` re-serializes a nested object.
+        "select get_json_object(payload, '$.deep') as deep from adv.docs \
+         where id < 25",
+    ];
+    for sql in queries {
+        assert_tape_differential(|| Session::open(&root).unwrap(), sql, "corpus");
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+// ---------------------------------------------------------------------
+// Semantics regressions
+// ---------------------------------------------------------------------
+
+/// Duplicate keys are first-wins in all three parsers, at the API level
+/// and through the engine.
+#[test]
+fn duplicate_keys_are_first_wins_in_all_parsers() {
+    let doc = r#"{"dup": 1, "other": true, "dup": 2, "dup": 3, "o": {"k": "a", "k": "b"}}"#;
+    let dup = JsonPath::parse("$.dup").unwrap();
+    let nested = JsonPath::parse("$.o.k").unwrap();
+    assert_eq!(
+        maxson_json::get_json_object(doc, &dup).as_deref(),
+        Some("1")
+    );
+    assert_eq!(
+        maxson_json::get_json_object(doc, &nested).as_deref(),
+        Some("a")
+    );
+    assert_eq!(
+        MisonProjector::project_path(doc, &dup).as_deref(),
+        Some("1")
+    );
+    assert_eq!(
+        MisonProjector::project_path(doc, &nested).as_deref(),
+        Some("a")
+    );
+    let mut stats = TapeStats::default();
+    assert_eq!(
+        tape::project_path(doc, &dup, &mut stats).as_deref(),
+        Some("1")
+    );
+    assert_eq!(
+        tape::project_path(doc, &nested, &mut stats).as_deref(),
+        Some("a")
+    );
+
+    // Engine level: one table, one row per duplicate-key shape.
+    let root = temp_root("firstwins");
+    let mut session = Session::open(&root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let table = session
+        .catalog_mut()
+        .create_table("db", "t", schema, 0)
+        .unwrap();
+    let rows: Vec<Vec<Cell>> = (0..16)
+        .map(|i| {
+            vec![
+                Cell::Int(i),
+                Cell::from(format!(
+                    r#"{{"dup": {i}, "pad": [1, 2], "dup": {}}}"#,
+                    i + 100
+                )),
+            ]
+        })
+        .collect();
+    table
+        .append_file(&rows, WriteOptions::default(), 1)
+        .unwrap();
+    let sql = "select get_json_object(payload, '$.dup') as dup from db.t";
+    let mut rendered: Option<String> = None;
+    for parser in ALL_PARSERS {
+        session.set_parser(parser);
+        let result = session.execute(sql).unwrap();
+        for (i, row) in result.rows.iter().enumerate() {
+            assert_eq!(
+                row[0],
+                Cell::from(i.to_string()),
+                "{parser:?}: first occurrence must win"
+            );
+        }
+        match &rendered {
+            None => rendered = Some(result.to_display_string()),
+            Some(r) => assert_eq!(&result.to_display_string(), r, "{parser:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A selective query under Tape skips nodes without parsing any more (or
+/// fewer) documents than Jackson does — laziness changes what a parse
+/// materializes, never how many documents are parsed.
+#[test]
+fn selective_query_skips_nodes_without_extra_parses() {
+    let root = corpus_table("skipcount", 0x5E1EC7, 120, 2);
+    let sql = "select get_json_object(payload, '$.id') as id from adv.docs \
+               where get_json_object(payload, '$.id') >= 0";
+    let mut session = Session::open(&root).unwrap();
+    session.set_threads(Some(1));
+    session.set_shared_parse(Some(true));
+
+    session.set_parser(JsonParserKind::Jackson);
+    let jackson = session.execute(sql).unwrap();
+    assert_eq!(jackson.metrics.nodes_skipped, 0);
+
+    session.set_parser(JsonParserKind::Tape);
+    let tape_run = session.execute(sql).unwrap();
+    assert_eq!(tape_run.rows, jackson.rows);
+    assert_eq!(
+        tape_run.metrics.docs_parsed, jackson.metrics.docs_parsed,
+        "tape must parse exactly as many documents as Jackson"
+    );
+    assert!(
+        tape_run.metrics.nodes_skipped > 0,
+        "selective query over multi-field docs must hop unqueried subtrees"
+    );
+    // The tape wall split is charged under the parse umbrella.
+    assert!(
+        tape_run.metrics.tape_build_wall > std::time::Duration::ZERO,
+        "tape build wall must be charged"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// `Session::open` resolves `MAXSON_PARSER` from the environment: the
+/// opened session's parser matches what the env names (unset or unknown →
+/// Jackson), and `set_parser` still overrides. ci.sh runs this test binary
+/// under `MAXSON_PARSER=tape`, covering the non-default branch.
+#[test]
+fn session_open_resolves_parser_from_env() {
+    let expected = std::env::var("MAXSON_PARSER")
+        .ok()
+        .and_then(|v| JsonParserKind::from_name(&v))
+        .unwrap_or(JsonParserKind::Jackson);
+    let root = temp_root("envparser");
+    let mut session = Session::open(&root).unwrap();
+    assert_eq!(session.parser_kind(), expected);
+    session.set_parser(JsonParserKind::Mison);
+    assert_eq!(session.parser_kind(), JsonParserKind::Mison);
+    assert_eq!(
+        JsonParserKind::from_name("TAPE"),
+        Some(JsonParserKind::Tape)
+    );
+    assert_eq!(
+        JsonParserKind::from_name(" jackson "),
+        Some(JsonParserKind::Jackson)
+    );
+    assert_eq!(JsonParserKind::from_name("simdjson"), None);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+// ---------------------------------------------------------------------
+// Property test: random corpus tables × random queries × all parsers
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    corpus_seed: u64,
+    rows: usize,
+    splits: usize,
+    query: usize,
+    threshold: i64,
+}
+
+const NUM_QUERIES: usize = 4;
+
+fn scenario_gen() -> Gen<Scenario> {
+    let base = Gen::tuple2(
+        Gen::tuple2(Gen::u64_any(), Gen::usize_in(4..=48)),
+        Gen::tuple2(
+            Gen::usize_in(1..=3),
+            Gen::tuple2(Gen::usize_in(0..=NUM_QUERIES - 1), Gen::i64_in(-5..=60)),
+        ),
+    );
+    base.map(
+        |((corpus_seed, rows), (splits, (query, threshold)))| Scenario {
+            corpus_seed,
+            rows,
+            splits,
+            query,
+            threshold,
+        },
+    )
+}
+
+fn scenario_sql(s: &Scenario) -> String {
+    let th = s.threshold;
+    match s.query {
+        0 => format!(
+            "select get_json_object(payload, '$.id') as id, \
+             get_json_object(payload, '$.name') as name from adv.docs \
+             where get_json_object(payload, '$.id') >= {th}"
+        ),
+        1 => "select get_json_object(payload, '$.flag') as flag, count(*) \
+              from adv.docs group by get_json_object(payload, '$.flag')"
+            .into(),
+        2 => format!(
+            "select get_json_object(payload, '$.num') as num, \
+             get_json_object(payload, '$.arr[2]') as a2, \
+             get_json_object(payload, '$.deep.x') as dx from adv.docs \
+             where id < {th}"
+        ),
+        _ => "select count(*), count(get_json_object(payload, '$.dup')), \
+              count(get_json_object(payload, '$.missing')) from adv.docs"
+            .into(),
+    }
+}
+
+#[test]
+fn property_corpus_queries_three_way_identical() {
+    let cfg = Config::with_cases(16);
+    check(
+        "tape_three_way_differential",
+        &cfg,
+        &scenario_gen(),
+        |scenario| {
+            let root = temp_root(&format!("prop-{}", scenario.corpus_seed));
+            {
+                let built = corpus_table(
+                    "unused",
+                    scenario.corpus_seed,
+                    scenario.rows,
+                    scenario.splits,
+                );
+                // corpus_table creates its own temp root; move it under ours.
+                std::fs::rename(&built, &root).map_err(|e| format!("rename: {e}"))?;
+            }
+            let sql = scenario_sql(scenario);
+            let mut reference_session = Session::open(&root).map_err(|e| format!("open: {e}"))?;
+            reference_session.set_parser(JsonParserKind::Jackson);
+            reference_session.set_threads(Some(1));
+            reference_session.set_shared_parse(Some(false));
+            let reference = reference_session
+                .execute(&sql)
+                .map_err(|e| format!("reference: {e}"))?;
+            for parser in ALL_PARSERS {
+                for threads in [1, 4] {
+                    for shared in [false, true] {
+                        let mut session = Session::open(&root).map_err(|e| format!("open: {e}"))?;
+                        session.set_parser(parser);
+                        session.set_threads(Some(threads));
+                        session.set_shared_parse(Some(shared));
+                        let result = session
+                            .execute(&sql)
+                            .map_err(|e| format!("{parser:?}/{threads}t/shared={shared}: {e}"))?;
+                        maxson_testkit::prop_assert_eq!(&result.rows, &reference.rows);
+                        maxson_testkit::prop_assert_eq!(
+                            result.to_display_string(),
+                            reference.to_display_string()
+                        );
+                        maxson_testkit::prop_assert_eq!(
+                            result.metrics.parse_calls,
+                            reference.metrics.parse_calls
+                        );
+                        maxson_testkit::prop_assert!(
+                            result.metrics.docs_parsed <= result.metrics.parse_calls
+                        );
+                        if parser != JsonParserKind::Tape {
+                            maxson_testkit::prop_assert_eq!(result.metrics.nodes_skipped, 0u64);
+                        }
+                    }
+                }
+            }
+            std::fs::remove_dir_all(&root).ok();
+            Ok(())
+        },
+    );
+}
