@@ -47,3 +47,13 @@ MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_scan
 # row/counter drift, and validates the exported Chrome trace JSON
 # (well-formed, >0 spans, nested parents, named thread tracks).
 MAXSON_BENCH_FAST=1 MAXSON_THREADS=4 cargo run --release --offline -p maxson-bench --bin trace_smoke
+
+# Server smoke: starts the TCP query server over a throwaway warehouse,
+# replays queries from 8 concurrent clients (results checked against a
+# serial reference), then shuts down cleanly and proves no thread leaked.
+cargo run --release --offline -p maxson-server --bin server_smoke
+
+# Serving smoke (fast mode): multi-client replay through the server after a
+# midnight cycle; asserts byte-identical results, zero footer-cache misses
+# in steady state, and reports QPS/p99 per client count.
+MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_serving

@@ -28,10 +28,8 @@ fn setup(cache: bool) -> (Session, PathBuf) {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     let rows: Vec<Vec<Cell>> = (0..2_000i64)
         .map(|i| {
             vec![
@@ -50,6 +48,7 @@ fn setup(cache: bool) -> (Session, PathBuf) {
             1,
         )
         .unwrap();
+    drop(catalog);
     if cache {
         let paths = ["$.a", "$.b"];
         let history: Vec<QueryRecord> = (0..14u32)

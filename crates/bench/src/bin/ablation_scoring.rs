@@ -27,7 +27,8 @@ fn main() {
         let predictor =
             TrainedPredictor::train(PredictorKind::RepeatYesterday, &collector, &features);
         let candidates = predict_mpjps(&collector, &predictor, 13, &features);
-        score_candidates(session.catalog(), &candidates, &history)
+        let catalog = session.catalog();
+        score_candidates(&catalog, &candidates, &history)
             .expect("score")
             .iter()
             .map(|s| s.estimated_bytes)

@@ -26,8 +26,8 @@ fn main() {
         Field::new("doc", ColumnType::Utf8),
     ])
     .expect("schema");
-    let table = session
-        .catalog_mut()
+    let mut catalog = session.catalog_mut();
+    let table = catalog
         .create_table("nobench", "docs", schema, 0)
         .expect("create table");
     let mut generator = NobenchGenerator::new(99);
@@ -44,6 +44,7 @@ fn main() {
             1,
         )
         .expect("append");
+    drop(catalog);
 
     let queries = [
         (

@@ -34,7 +34,7 @@ fn main() {
             TrainedPredictor::train(PredictorKind::RepeatYesterday, &collector, &features);
         let candidates = predict_mpjps(&collector, &predictor, 13, &features);
         let ranked =
-            score_candidates(session.catalog(), &candidates, &history).expect("score candidates");
+            score_candidates(&session.catalog(), &candidates, &history).expect("score candidates");
         ranked.iter().map(|s| s.estimated_bytes).sum()
     };
     println!("full MPJP footprint: {full_bytes} bytes");

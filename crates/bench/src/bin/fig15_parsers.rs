@@ -35,7 +35,7 @@ fn main() {
             TrainedPredictor::train(PredictorKind::RepeatYesterday, &collector, &features);
         let candidates = predict_mpjps(&collector, &predictor, 13, &features);
         let ranked =
-            score_candidates(session.catalog(), &candidates, &history).expect("score candidates");
+            score_candidates(&session.catalog(), &candidates, &history).expect("score candidates");
         let full: u64 = ranked.iter().map(|s| s.estimated_bytes).sum();
         (full as f64 * 0.75) as u64
     };

@@ -50,8 +50,8 @@ fn scan_table(rows: usize) -> String {
         Field::new("payload", ColumnType::Utf8),
     ])
     .expect("schema");
-    let table = session
-        .catalog_mut()
+    let mut catalog = session.catalog_mut();
+    let table = catalog
         .create_table("scanbench", &name, schema, 0)
         .expect("create scanbench table");
     let files = 8usize;
@@ -84,6 +84,7 @@ fn scan_table(rows: usize) -> String {
             .expect("append scanbench file");
         written += chunk;
     }
+    drop(catalog);
     name
 }
 

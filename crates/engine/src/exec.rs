@@ -45,7 +45,7 @@ use crate::scan::{Batch, BatchData, ScanProvider};
 use crate::sql::ast::AggFunc;
 
 /// Knobs controlling one plan execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Maximum worker threads for split-parallel segments. `1` is the
     /// serial reference path (no pool involvement at all).
@@ -54,6 +54,10 @@ pub struct ExecOptions {
     /// per row and answer every path the query needs from that single
     /// parse. Off = the naive one-parse-per-`get_json_object` baseline.
     pub shared_parse: bool,
+    /// Cooperative split scheduler: when set, every split task (inline or
+    /// pooled) runs inside an acquire/release bracket so a query server can
+    /// time-slice split execution fairly across concurrent queries.
+    pub scheduler: Option<std::sync::Arc<dyn pool::SplitScheduler>>,
 }
 
 impl ExecOptions {
@@ -63,6 +67,7 @@ impl ExecOptions {
         ExecOptions {
             threads: 1,
             shared_parse: shared_parse_from_env(),
+            scheduler: None,
         }
     }
 
@@ -71,12 +76,22 @@ impl ExecOptions {
         ExecOptions {
             threads: threads.max(1),
             shared_parse: shared_parse_from_env(),
+            scheduler: None,
         }
     }
 
     /// Override the shared-parse toggle (builder style).
     pub fn with_shared_parse(mut self, on: bool) -> Self {
         self.shared_parse = on;
+        self
+    }
+
+    /// Attach (or clear) a cooperative split scheduler (builder style).
+    pub fn with_scheduler(
+        mut self,
+        scheduler: Option<std::sync::Arc<dyn pool::SplitScheduler>>,
+    ) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -92,6 +107,7 @@ impl ExecOptions {
         ExecOptions {
             threads,
             shared_parse: shared_parse_from_env(),
+            scheduler: None,
         }
     }
 }
@@ -133,7 +149,7 @@ pub fn execute_plan_with(
     metrics: &mut ExecMetrics,
     opts: ExecOptions,
 ) -> Result<Vec<Vec<Cell>>> {
-    execute_plan_traced(plan, parser, metrics, opts, &Tracer::disabled(), None)
+    execute_plan_traced(plan, parser, metrics, &opts, &Tracer::disabled(), None)
 }
 
 /// Execute a plan to completion, recording one span per operator (and per
@@ -144,7 +160,7 @@ pub fn execute_plan_traced(
     plan: &LogicalPlan,
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
-    opts: ExecOptions,
+    opts: &ExecOptions,
     tracer: &Tracer,
     parent: Option<SpanId>,
 ) -> Result<Vec<Vec<Cell>>> {
@@ -685,7 +701,7 @@ fn run_pipeline(
     plan: &LogicalPlan,
     parser: JsonParserKind,
     metrics: &mut ExecMetrics,
-    opts: ExecOptions,
+    opts: &ExecOptions,
     tracer: &Tracer,
     parent: Option<SpanId>,
 ) -> Result<Option<Vec<Vec<Cell>>>> {
@@ -760,16 +776,17 @@ fn run_pipeline(
     let pipe_id = span.id();
     match segment.agg {
         None => {
-            let run = pool::run_split_tasks(splits, opts.threads, |split| {
-                let mut task_metrics = ExecMetrics::default();
-                let split_span = tracer.child("split", pipe_id);
-                split_span.attr("split", split);
-                let zero = counters_before(tracer, &ExecMetrics::default());
-                let rows = segment.run_rows(Some(split), parser, &mut task_metrics)?;
-                split_span.attr("rows_out", rows.len());
-                attr_counter_deltas(&split_span, zero.as_ref(), &task_metrics);
-                Ok((rows, task_metrics))
-            })?;
+            let run =
+                pool::run_split_tasks(splits, opts.threads, opts.scheduler.as_deref(), |split| {
+                    let mut task_metrics = ExecMetrics::default();
+                    let split_span = tracer.child("split", pipe_id);
+                    split_span.attr("split", split);
+                    let zero = counters_before(tracer, &ExecMetrics::default());
+                    let rows = segment.run_rows(Some(split), parser, &mut task_metrics)?;
+                    split_span.attr("rows_out", rows.len());
+                    attr_counter_deltas(&split_span, zero.as_ref(), &task_metrics);
+                    Ok((rows, task_metrics))
+                })?;
             note_pool_run(metrics, run.threads_spawned, &run.task_walls);
             let workers = run.threads_spawned.max(1) as u32;
             let mut out = Vec::new();
@@ -782,16 +799,17 @@ fn run_pipeline(
             Ok(Some(out))
         }
         Some((group_by, aggs)) => {
-            let run = pool::run_split_tasks(splits, opts.threads, |split| {
-                let mut task_metrics = ExecMetrics::default();
-                let split_span = tracer.child("split", pipe_id);
-                split_span.attr("split", split);
-                let zero = counters_before(tracer, &ExecMetrics::default());
-                let mut partial = AggPartial::new(group_by, aggs);
-                segment.run_agg(Some(split), &mut partial, parser, &mut task_metrics)?;
-                attr_counter_deltas(&split_span, zero.as_ref(), &task_metrics);
-                Ok((partial, task_metrics))
-            })?;
+            let run =
+                pool::run_split_tasks(splits, opts.threads, opts.scheduler.as_deref(), |split| {
+                    let mut task_metrics = ExecMetrics::default();
+                    let split_span = tracer.child("split", pipe_id);
+                    split_span.attr("split", split);
+                    let zero = counters_before(tracer, &ExecMetrics::default());
+                    let mut partial = AggPartial::new(group_by, aggs);
+                    segment.run_agg(Some(split), &mut partial, parser, &mut task_metrics)?;
+                    attr_counter_deltas(&split_span, zero.as_ref(), &task_metrics);
+                    Ok((partial, task_metrics))
+                })?;
             note_pool_run(metrics, run.threads_spawned, &run.task_walls);
             let workers = run.threads_spawned.max(1) as u32;
             let mut merged: Option<AggPartial> = None;

@@ -54,7 +54,10 @@ pub use exec::ExecOptions;
 pub use expr::Expr;
 pub use metrics::ExecMetrics;
 pub use plan::LogicalPlan;
-pub use session::{JsonParserKind, QueryResult, Session};
+pub use pool::SplitScheduler;
+pub use session::{
+    CatalogRead, CatalogWrite, JsonParserKind, QueryResult, Session, TableScanRewriter,
+};
 // Observability handles, re-exported so downstream crates don't need a
 // direct `maxson-obs` dependency to hold or inspect a tracer.
 pub use maxson_obs::{LatencyHistogram, OpRollup, SpanGuard, SpanId, TraceSnapshot, Tracer};

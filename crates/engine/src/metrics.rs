@@ -98,6 +98,12 @@ pub struct ExecMetrics {
     /// Online-LRU cache: resident bytes after the largest fill this query
     /// observed (a gauge — `absorb` takes the max, not the sum).
     pub lru_resident_bytes: u64,
+    /// Norc metadata cache: split opens whose decoded footer/index was
+    /// served from the shared cache.
+    pub meta_cache_hits: u64,
+    /// Norc metadata cache: split opens that had to read and decode the
+    /// part file (cache absent, cold, or invalidated).
+    pub meta_cache_misses: u64,
 }
 
 impl ExecMetrics {
@@ -169,6 +175,8 @@ impl ExecMetrics {
         self.lru_misses += other.lru_misses;
         self.lru_evictions += other.lru_evictions;
         self.lru_resident_bytes = self.lru_resident_bytes.max(other.lru_resident_bytes);
+        self.meta_cache_hits += other.meta_cache_hits;
+        self.meta_cache_misses += other.meta_cache_misses;
     }
 
     /// Online-LRU hit ratio over this query's lookups (0 when the LRU
@@ -257,6 +265,12 @@ impl ExecMetrics {
                 self.lru_hit_ratio(),
                 self.lru_evictions,
                 self.lru_resident_bytes,
+            ));
+        }
+        if self.meta_cache_hits + self.meta_cache_misses > 0 {
+            s.push_str(&format!(
+                " meta_hits={} meta_misses={}",
+                self.meta_cache_hits, self.meta_cache_misses,
             ));
         }
         s
@@ -396,6 +410,8 @@ mod tests {
             lru_misses: next() % 500,
             lru_evictions: next() % 100,
             lru_resident_bytes: next() % 1_000_000,
+            meta_cache_hits: next() % 500,
+            meta_cache_misses: next() % 500,
         }
     }
 

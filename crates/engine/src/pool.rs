@@ -18,6 +18,38 @@ use std::time::{Duration, Instant};
 
 use crate::error::{EngineError, Result};
 
+/// Cooperative split-level scheduling hook. The pool brackets every split
+/// task with `acquire`/`release` (inline and pooled paths alike), so an
+/// external scheduler — the query server's fair-share admission controller —
+/// can time-slice split execution across many in-flight queries. `acquire`
+/// may block; `release` is guaranteed to run even when the task panics.
+pub trait SplitScheduler: std::fmt::Debug + Send + Sync {
+    /// Block until the caller may run one split task.
+    fn acquire(&self);
+    /// Return the permit taken by the matching [`SplitScheduler::acquire`].
+    fn release(&self);
+}
+
+/// RAII permit: releases on drop, including during a panic unwind.
+struct SchedulerPermit<'a>(Option<&'a dyn SplitScheduler>);
+
+impl<'a> SchedulerPermit<'a> {
+    fn acquire(scheduler: Option<&'a dyn SplitScheduler>) -> Self {
+        if let Some(s) = scheduler {
+            s.acquire();
+        }
+        SchedulerPermit(scheduler)
+    }
+}
+
+impl Drop for SchedulerPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.0 {
+            s.release();
+        }
+    }
+}
+
 /// Outcome of one pool run.
 #[derive(Debug)]
 pub struct PoolRun<T> {
@@ -39,7 +71,15 @@ pub struct PoolRun<T> {
 ///   **lowest failing task index** is returned so failure is deterministic
 ///   regardless of scheduling. Remaining queued tasks are skipped once a
 ///   failure is recorded.
-pub fn run_split_tasks<T, F>(tasks: usize, max_threads: usize, task: F) -> Result<PoolRun<T>>
+/// * When `scheduler` is set, every task (inline or pooled) runs inside an
+///   acquire/release bracket, letting a server time-slice splits fairly
+///   across concurrent queries.
+pub fn run_split_tasks<T, F>(
+    tasks: usize,
+    max_threads: usize,
+    scheduler: Option<&dyn SplitScheduler>,
+    task: F,
+) -> Result<PoolRun<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
@@ -48,8 +88,9 @@ where
         let mut results = Vec::with_capacity(tasks);
         let mut task_walls = Vec::with_capacity(tasks);
         for i in 0..tasks {
+            let permit = SchedulerPermit::acquire(scheduler);
             let start = Instant::now();
-            results.push(run_one(&task, i)?);
+            results.push(run_one(&task, permit, i)?);
             task_walls.push(start.elapsed());
         }
         return Ok(PoolRun {
@@ -74,9 +115,15 @@ where
                 if i >= tasks || failed.load(Ordering::Relaxed) {
                     break;
                 }
+                // Acquire before timing: fairness wait is queueing delay,
+                // not task work, and must not inflate the skew gauges.
+                let permit = SchedulerPermit::acquire(scheduler);
                 let start = Instant::now();
-                let outcome = catch_unwind(AssertUnwindSafe(|| task(i)))
-                    .unwrap_or_else(|payload| Err(panic_error(i, payload.as_ref())));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let _permit = permit;
+                    task(i)
+                }))
+                .unwrap_or_else(|payload| Err(panic_error(i, payload.as_ref())));
                 if outcome.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
@@ -119,9 +166,18 @@ where
 }
 
 /// Inline task execution with the same panic containment as workers get.
-fn run_one<T>(task: &(impl Fn(usize) -> Result<T> + Sync), i: usize) -> Result<T> {
-    catch_unwind(AssertUnwindSafe(|| task(i)))
-        .unwrap_or_else(|payload| Err(panic_error(i, payload.as_ref())))
+/// The permit moves into the unwind scope so a panicking task still
+/// releases its scheduler slot.
+fn run_one<T>(
+    task: &(impl Fn(usize) -> Result<T> + Sync),
+    permit: SchedulerPermit<'_>,
+    i: usize,
+) -> Result<T> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let _permit = permit;
+        task(i)
+    }))
+    .unwrap_or_else(|payload| Err(panic_error(i, payload.as_ref())))
 }
 
 fn panic_error(split: usize, payload: &(dyn std::any::Any + Send)) -> EngineError {
@@ -160,7 +216,7 @@ mod tests {
 
     #[test]
     fn results_come_back_in_task_order() {
-        let run = run_split_tasks(16, 4, |i| {
+        let run = run_split_tasks(16, 4, None, |i| {
             // Stagger completion so out-of-order finishes are likely.
             std::thread::sleep(Duration::from_micros(((16 - i) * 50) as u64));
             Ok(i * 10)
@@ -173,14 +229,14 @@ mod tests {
 
     #[test]
     fn single_task_runs_inline_without_spawning() {
-        let run = run_split_tasks(1, 8, |i| Ok(i)).unwrap();
+        let run = run_split_tasks(1, 8, None, |i| Ok(i)).unwrap();
         assert_eq!(run.results, vec![0]);
         assert_eq!(run.threads_spawned, 0, "one task must not spawn threads");
     }
 
     #[test]
     fn zero_tasks_is_a_no_op() {
-        let run = run_split_tasks(0, 8, |_| -> Result<()> {
+        let run = run_split_tasks(0, 8, None, |_| -> Result<()> {
             panic!("no task should run for an empty table");
         })
         .unwrap();
@@ -191,7 +247,7 @@ mod tests {
     #[test]
     fn one_thread_runs_inline_on_caller() {
         let caller = std::thread::current().id();
-        let run = run_split_tasks(4, 1, |i| {
+        let run = run_split_tasks(4, 1, None, |i| {
             assert_eq!(std::thread::current().id(), caller);
             Ok(i)
         })
@@ -202,13 +258,13 @@ mod tests {
 
     #[test]
     fn workers_capped_by_task_count() {
-        let run = run_split_tasks(2, 16, |i| Ok(i)).unwrap();
+        let run = run_split_tasks(2, 16, None, |i| Ok(i)).unwrap();
         assert_eq!(run.threads_spawned, 2);
     }
 
     #[test]
     fn task_panic_becomes_error_naming_the_split() {
-        let err = run_split_tasks(8, 4, |i| -> Result<usize> {
+        let err = run_split_tasks(8, 4, None, |i| -> Result<usize> {
             if i == 5 {
                 panic!("poisoned split data");
             }
@@ -222,8 +278,8 @@ mod tests {
 
     #[test]
     fn inline_panic_becomes_error_too() {
-        let err =
-            run_split_tasks(1, 8, |_| -> Result<usize> { panic!("inline boom") }).unwrap_err();
+        let err = run_split_tasks(1, 8, None, |_| -> Result<usize> { panic!("inline boom") })
+            .unwrap_err();
         assert!(err.to_string().contains("split 0"), "{err}");
     }
 
@@ -231,7 +287,7 @@ mod tests {
     fn task_error_aborts_with_lowest_failing_index() {
         // Every task fails; the reported index must be deterministic.
         for _ in 0..8 {
-            let err = run_split_tasks(6, 3, |i| -> Result<usize> {
+            let err = run_split_tasks(6, 3, None, |i| -> Result<usize> {
                 Err(EngineError::exec(format!("bad split {i}")))
             })
             .unwrap_err();
@@ -242,7 +298,7 @@ mod tests {
     #[test]
     fn failure_skips_remaining_queued_tasks() {
         let ran = AtomicUsize::new(0);
-        let _ = run_split_tasks(1000, 2, |i| -> Result<usize> {
+        let _ = run_split_tasks(1000, 2, None, |i| -> Result<usize> {
             ran.fetch_add(1, Ordering::Relaxed);
             if i == 0 {
                 return Err(EngineError::exec("early failure"));

@@ -235,7 +235,12 @@ impl ScanProvider for NorcScanProvider {
 
     fn scan_split_batch(&self, split: usize, metrics: &mut ExecMetrics) -> Result<Batch> {
         let start = Instant::now();
-        let file = self.table.open_split(split)?;
+        let (file, meta_hit) = self.table.open_split_cached(split)?;
+        if meta_hit {
+            metrics.meta_cache_hits += 1;
+        } else {
+            metrics.meta_cache_misses += 1;
+        }
         let keep: Option<Vec<bool>> = self.sarg.as_ref().map(|s| {
             // Match ORC: only single-stripe files support skipping here,
             // mirroring the restriction the paper inherits (§IV-F).

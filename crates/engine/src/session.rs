@@ -9,7 +9,9 @@
 //! rewriter claims are compiled to plain column references (the paper's
 //! *placeholders*) instead of parse expressions.
 
+use std::ops::{Deref, DerefMut};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use maxson_json::JsonPath;
@@ -22,6 +24,7 @@ use crate::expr::Expr;
 pub use crate::expr::JsonParserKind;
 use crate::metrics::ExecMetrics;
 use crate::plan::LogicalPlan;
+use crate::pool::SplitScheduler;
 use crate::scan::{NorcScanProvider, ScanProvider};
 use crate::sql::ast::{AggFunc, BinaryOp, SelectItem, SelectStatement, SqlExpr, TableRef};
 use crate::sql::parse_select;
@@ -59,7 +62,10 @@ pub struct ScanRewrite {
 
 /// Hook invoked for every table scan during planning (Algorithm 1's entry
 /// point). Returning `None` keeps the default scan.
-pub trait TableScanRewriter {
+///
+/// `Send + Sync` because installed rewriters live in the shared warehouse
+/// state behind an `Arc`, consulted concurrently by every cloned session.
+pub trait TableScanRewriter: Send + Sync {
     /// Human-readable name for plan display.
     fn name(&self) -> &str;
     /// Inspect the scan and optionally take it over.
@@ -77,6 +83,10 @@ pub struct QueryResult {
     pub metrics: ExecMetrics,
     /// Rendered plan (EXPLAIN-style).
     pub plan_display: String,
+    /// Warehouse epoch this query planned against (bumped by every
+    /// rewriter install / midnight-cycle swap). A query sees exactly one
+    /// epoch end to end — never a mix of old and new cache tables.
+    pub epoch: u64,
 }
 
 impl QueryResult {
@@ -127,11 +137,57 @@ fn strip_keyword<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
     None
 }
 
-/// A warehouse session.
-pub struct Session {
+/// The shared, swappable state every session cloned from one warehouse
+/// points at: the catalog, the installed rewriter, and the epoch counter
+/// that versions them. Guarded by one `RwLock` so a query's planning phase
+/// sees catalog + rewriter + epoch as a single consistent snapshot, and the
+/// midnight cycle's install replaces all three atomically.
+struct Warehouse {
     catalog: Catalog,
+    rewriter: Option<Arc<dyn TableScanRewriter>>,
+    epoch: u64,
+}
+
+/// Read guard over the session's catalog (derefs to [`Catalog`]). Held only
+/// while planning or inspecting metadata — queries execute against cloned
+/// [`maxson_storage::Table`] snapshots with the lock released.
+pub struct CatalogRead<'a>(RwLockReadGuard<'a, Warehouse>);
+
+impl Deref for CatalogRead<'_> {
+    type Target = Catalog;
+    fn deref(&self) -> &Catalog {
+        &self.0.catalog
+    }
+}
+
+/// Write guard over the session's catalog (derefs to `&mut` [`Catalog`]),
+/// for data loading. Blocks planning in other sessions while held.
+pub struct CatalogWrite<'a>(RwLockWriteGuard<'a, Warehouse>);
+
+impl Deref for CatalogWrite<'_> {
+    type Target = Catalog;
+    fn deref(&self) -> &Catalog {
+        &self.0.catalog
+    }
+}
+
+impl DerefMut for CatalogWrite<'_> {
+    fn deref_mut(&mut self) -> &mut Catalog {
+        &mut self.0.catalog
+    }
+}
+
+/// A warehouse session.
+///
+/// Cloning is cheap and shares the warehouse: clones see the same catalog,
+/// rewriter, epoch, and Norc metadata cache, and record into the same trace
+/// buffer. Per-session knobs (parser, thread count, shared-parse, prefilter,
+/// split scheduler) stay independent per clone — the serving front end gives
+/// every connection its own clone over one warehouse.
+#[derive(Clone)]
+pub struct Session {
+    warehouse: Arc<RwLock<Warehouse>>,
     parser_kind: JsonParserKind,
-    rewriter: Option<Box<dyn TableScanRewriter>>,
     /// Sparser-style raw prefiltering on JSON equality predicates.
     prefilter_enabled: bool,
     /// Explicit worker-thread override. `None` defers to `MAXSON_THREADS`
@@ -140,6 +196,9 @@ pub struct Session {
     /// Explicit shared-parse override. `None` defers to
     /// `MAXSON_SHARED_PARSE` (default: on).
     shared_parse: Option<bool>,
+    /// Cooperative split scheduler consulted around every split task (the
+    /// server installs its fair-share scheduler here). `None` = run freely.
+    scheduler: Option<Arc<dyn SplitScheduler>>,
     /// Span/counter collector. One buffer for the session's lifetime:
     /// query executions, plan rewrites, and offline-pipeline stages all
     /// record into it (clones share the buffer), so a single trace file
@@ -170,15 +229,36 @@ impl Session {
         let tracer = Tracer::new();
         tracer.set_enabled(trace_path.is_some());
         Ok(Session {
-            catalog: Catalog::open(root.as_ref())?,
+            warehouse: Arc::new(RwLock::new(Warehouse {
+                catalog: Catalog::open(root.as_ref())?,
+                rewriter: None,
+                epoch: 0,
+            })),
             parser_kind,
-            rewriter: None,
             prefilter_enabled: false,
             threads: None,
             shared_parse: None,
+            scheduler: None,
             tracer,
             trace_path,
         })
+    }
+
+    /// Lock helpers: a panic while a guard is held (e.g. a rewriter
+    /// panicking during planning) must not poison the warehouse for every
+    /// other session, so poisoned locks are recovered rather than
+    /// propagated. Write guards are only held across in-memory struct
+    /// updates, which either complete or leave the previous state intact.
+    fn wh_read(&self) -> RwLockReadGuard<'_, Warehouse> {
+        self.warehouse
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn wh_write(&self) -> RwLockWriteGuard<'_, Warehouse> {
+        self.warehouse
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The session's tracer. Clone it into rewriters/providers so their
@@ -242,15 +322,23 @@ impl Session {
         self.shared_parse
     }
 
+    /// Install (or clear) the cooperative split scheduler consulted around
+    /// every split task this session executes. The serving front end points
+    /// every connection's session at one shared fair-share scheduler.
+    pub fn set_split_scheduler(&mut self, scheduler: Option<Arc<dyn SplitScheduler>>) {
+        self.scheduler = scheduler;
+    }
+
     fn exec_options(&self) -> ExecOptions {
         let opts = match self.threads {
             Some(n) => ExecOptions::with_threads(n),
             None => ExecOptions::from_env(),
         };
-        match self.shared_parse {
+        let opts = match self.shared_parse {
             Some(on) => opts.with_shared_parse(on),
             None => opts,
-        }
+        };
+        opts.with_scheduler(self.scheduler.clone())
     }
 
     /// Enable/disable the Sparser-style raw prefilter: when a predicate
@@ -276,28 +364,80 @@ impl Session {
         self.parser_kind
     }
 
-    /// Install (or clear) the scan rewriter — Maxson plugs in here.
+    /// Install (or clear) the scan rewriter — Maxson plugs in here. The
+    /// install is atomic: it takes the warehouse write lock and bumps the
+    /// epoch, so every query planned afterwards sees the new rewriter and
+    /// in-flight queries finish against the snapshot they planned with.
     pub fn set_scan_rewriter(&mut self, rewriter: Option<Box<dyn TableScanRewriter>>) {
-        self.rewriter = rewriter;
+        let mut wh = self.wh_write();
+        wh.rewriter = rewriter.map(Arc::from);
+        wh.epoch += 1;
     }
 
-    /// The underlying catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Atomically swap the whole warehouse view: re-open the catalog from
+    /// disk (keeping the warm Norc metadata cache), install `rewriter`, and
+    /// bump the epoch — all under one write lock. This is the midnight
+    /// cycle's install step: queries planned before the swap keep reading
+    /// the old cache-table snapshot; queries planned after see only the new
+    /// one. Returns the new epoch.
+    pub fn swap_warehouse_epoch(
+        &self,
+        rewriter: Option<Box<dyn TableScanRewriter>>,
+    ) -> Result<u64> {
+        // Build the fresh catalog view before taking the write lock, so
+        // concurrent planners are only blocked for the pointer swap.
+        let (root, meta_cache) = {
+            let wh = self.wh_read();
+            (
+                wh.catalog.root().to_path_buf(),
+                Arc::clone(wh.catalog.meta_cache()),
+            )
+        };
+        let catalog = Catalog::open_with_cache(root, meta_cache)?;
+        let mut wh = self.wh_write();
+        wh.catalog = catalog;
+        wh.rewriter = rewriter.map(Arc::from);
+        wh.epoch += 1;
+        Ok(wh.epoch)
     }
 
-    /// Mutable catalog access (for data loading).
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    /// The current warehouse epoch (bumped by every rewriter install).
+    pub fn epoch(&self) -> u64 {
+        self.wh_read().epoch
+    }
+
+    /// The underlying catalog (read guard; derefs to [`Catalog`]).
+    pub fn catalog(&self) -> CatalogRead<'_> {
+        CatalogRead(self.wh_read())
+    }
+
+    /// Mutable catalog access for data loading (write guard). Planning in
+    /// every session sharing this warehouse blocks while the guard is held,
+    /// so keep its scope tight.
+    pub fn catalog_mut(&mut self) -> CatalogWrite<'_> {
+        CatalogWrite(self.wh_write())
     }
 
     /// Compile SQL into a plan without executing. Returns the plan and the
     /// planning time — the measurement behind Fig. 13.
     pub fn plan(&self, sql: &str) -> Result<(LogicalPlan, std::time::Duration, Vec<String>)> {
+        let (plan, planning, names, _) = self.plan_snapshot(sql)?;
+        Ok((plan, planning, names))
+    }
+
+    /// Plan under one warehouse read lock, returning the epoch the plan
+    /// belongs to. The returned plan holds cloned `Table` handles, so the
+    /// lock is released when this returns and execution proceeds against
+    /// an immutable snapshot.
+    fn plan_snapshot(
+        &self,
+        sql: &str,
+    ) -> Result<(LogicalPlan, std::time::Duration, Vec<String>, u64)> {
         let start = Instant::now();
         let stmt = parse_select(sql)?;
-        let (plan, names) = self.plan_statement(&stmt)?;
-        Ok((plan, start.elapsed(), names))
+        let wh = self.wh_read();
+        let (plan, names) = self.plan_statement(&wh, &stmt)?;
+        Ok((plan, start.elapsed(), names, wh.epoch))
     }
 
     /// Execute a SELECT statement. A leading `EXPLAIN` keyword returns the
@@ -310,7 +450,7 @@ impl Session {
             if let Some(inner) = strip_keyword(rest, "analyze") {
                 return self.explain_analyze(inner);
             }
-            let (plan, planning, _) = self.plan(rest)?;
+            let (plan, planning, _, epoch) = self.plan_snapshot(rest)?;
             let metrics = ExecMetrics {
                 planning,
                 ..Default::default()
@@ -321,6 +461,7 @@ impl Session {
                 rows: display.lines().map(|l| vec![Cell::from(l)]).collect(),
                 metrics,
                 plan_display: display,
+                epoch,
             });
         }
         let (result, _) = self.execute_traced(sql, &self.tracer)?;
@@ -336,9 +477,9 @@ impl Session {
         if root.is_recording() {
             root.attr("sql", sql.trim());
         }
-        let (plan, planning, names) = {
+        let (plan, planning, names, epoch) = {
             let _planning_span = tracer.child("planning", root.id());
-            self.plan(sql)?
+            self.plan_snapshot(sql)?
         };
         let mut metrics = ExecMetrics {
             planning,
@@ -349,7 +490,7 @@ impl Session {
             &plan,
             self.parser_kind,
             &mut metrics,
-            self.exec_options(),
+            &self.exec_options(),
             tracer,
             root.id(),
         )?;
@@ -364,6 +505,7 @@ impl Session {
                 rows,
                 metrics,
                 plan_display: plan.display(),
+                epoch,
             },
             root_id,
         ))
@@ -390,6 +532,7 @@ impl Session {
             rows: text.lines().map(|l| vec![Cell::from(l)]).collect(),
             metrics: result.metrics,
             plan_display: result.plan_display,
+            epoch: result.epoch,
         })
     }
 
@@ -397,7 +540,11 @@ impl Session {
     // Planning
     // ------------------------------------------------------------------
 
-    fn plan_statement(&self, stmt: &SelectStatement) -> Result<(LogicalPlan, Vec<String>)> {
+    fn plan_statement(
+        &self,
+        wh: &Warehouse,
+        stmt: &SelectStatement,
+    ) -> Result<(LogicalPlan, Vec<String>)> {
         // 1. Gather every expression in the query (for column analysis).
         let mut all_exprs: Vec<&SqlExpr> = Vec::new();
         let has_wildcard = stmt.items.iter().any(|i| matches!(i, SelectItem::Wildcard));
@@ -423,6 +570,7 @@ impl Session {
         let (input, resolver) = match &stmt.join {
             None => {
                 let (plan, res) = self.plan_table_scan(
+                    wh,
                     &stmt.from,
                     &all_exprs,
                     stmt.where_clause.as_ref(),
@@ -435,6 +583,7 @@ impl Session {
                 let left_alias = stmt.from.alias.clone();
                 let right_alias = join.table.alias.clone();
                 let (lplan, lres) = self.plan_table_scan(
+                    wh,
                     &stmt.from,
                     &all_exprs,
                     stmt.where_clause.as_ref(),
@@ -442,6 +591,7 @@ impl Session {
                     has_wildcard,
                 )?;
                 let (rplan, rres) = self.plan_table_scan(
+                    wh,
                     &join.table,
                     &all_exprs,
                     stmt.where_clause.as_ref(),
@@ -682,13 +832,14 @@ impl Session {
     /// Norc provider with SARG pushdown on raw columns.
     fn plan_table_scan(
         &self,
+        wh: &Warehouse,
         table_ref: &TableRef,
         all_exprs: &[&SqlExpr],
         predicate: Option<&SqlExpr>,
         alias: Option<&str>,
         include_all_columns: bool,
     ) -> Result<(LogicalPlan, Resolver)> {
-        let table = self.catalog.table(&table_ref.database, &table_ref.table)?;
+        let table = wh.catalog.table(&table_ref.database, &table_ref.table)?;
         let schema = table.schema().clone();
 
         // Which expressions belong to this table? With an alias, qualified
@@ -740,7 +891,7 @@ impl Session {
         raw_columns.retain(|c| !json_only.contains(c));
 
         // Offer to the rewriter.
-        if let Some(rw) = &self.rewriter {
+        if let Some(rw) = &wh.rewriter {
             let ctx = ScanContext {
                 database: &table_ref.database,
                 table: &table_ref.table,

@@ -24,10 +24,8 @@ fn sales_session(name: &str) -> (Session, PathBuf) {
         Field::new("sale_logs", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("mydb", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("mydb", "t", schema, 0).unwrap();
     let items = [
         ("apple", 10, 20, 2),
         ("watermelon", 5, 50, 10),
@@ -52,6 +50,7 @@ fn sales_session(name: &str) -> (Session, PathBuf) {
     table
         .append_file(&rows, WriteOptions::default(), 1)
         .unwrap();
+    drop(catalog);
     (session, root)
 }
 
@@ -152,10 +151,8 @@ fn sarg_pushdown_skips_row_groups_on_raw_columns() {
         Field::new("v", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "big", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "big", schema, 0).unwrap();
     let rows: Vec<Vec<Cell>> = (0..100)
         .map(|i| vec![Cell::Int(i), Cell::from(format!("v{i}"))])
         .collect();
@@ -169,6 +166,7 @@ fn sarg_pushdown_skips_row_groups_on_raw_columns() {
             1,
         )
         .unwrap();
+    drop(catalog);
     let result = session
         .execute("select id from db.big where id >= 95")
         .unwrap();

@@ -116,7 +116,9 @@ impl ScanProvider for CombinedScanProvider {
     ) -> maxson_engine::Result<Vec<Vec<Cell>>> {
         let start = Instant::now();
         let mut rows: Vec<Vec<Cell>> = Vec::new();
-        let cache_file = self.cache.open_split(split).map_err(engine_err)?;
+        let (cache_file, cache_meta_hit) =
+            self.cache.open_split_cached(split).map_err(engine_err)?;
+        charge_meta_open(metrics, cache_meta_hit);
 
         // Algorithm 3: evaluate the cache-side SARG against the cache
         // file's row-group stats (single-stripe files only).
@@ -151,7 +153,8 @@ impl ScanProvider for CombinedScanProvider {
         }
 
         let raw_table = self.raw.as_ref().expect("raw table present");
-        let raw_file = raw_table.open_split(split).map_err(engine_err)?;
+        let (raw_file, raw_meta_hit) = raw_table.open_split_cached(split).map_err(engine_err)?;
+        charge_meta_open(metrics, raw_meta_hit);
 
         // The alignment invariant of §IV-C. If it does not hold (e.g.
         // the raw table changed underneath us) fail loudly rather than
@@ -241,6 +244,14 @@ impl ScanProvider for CombinedScanProvider {
                 ""
             },
         )
+    }
+}
+
+fn charge_meta_open(metrics: &mut ExecMetrics, hit: bool) {
+    if hit {
+        metrics.meta_cache_hits += 1;
+    } else {
+        metrics.meta_cache_misses += 1;
     }
 }
 

@@ -198,7 +198,15 @@ impl ScanProvider for LruBackedProvider {
         // Read raw output columns.
         let mut raw_cols = Vec::new();
         for split in 0..self.table.file_count() {
-            let file = self.table.open_split(split).map_err(EngineError::Storage)?;
+            let (file, meta_hit) = self
+                .table
+                .open_split_cached(split)
+                .map_err(EngineError::Storage)?;
+            if meta_hit {
+                metrics.meta_cache_hits += 1;
+            } else {
+                metrics.meta_cache_misses += 1;
+            }
             let cols = file
                 .read_columns(&self.raw_projection, None)
                 .map_err(EngineError::Storage)?;
@@ -374,10 +382,8 @@ mod tests {
             Field::new("payload", ColumnType::Utf8),
         ])
         .unwrap();
-        let t = session
-            .catalog_mut()
-            .create_table("db", "t", schema, 0)
-            .unwrap();
+        let mut catalog = session.catalog_mut();
+        let t = catalog.create_table("db", "t", schema, 0).unwrap();
         let rows: Vec<Vec<Cell>> = (0..30)
             .map(|i| {
                 vec![
@@ -387,6 +393,7 @@ mod tests {
             })
             .collect();
         t.append_file(&rows, WriteOptions::default(), 1).unwrap();
+        drop(catalog);
         (session, root)
     }
 

@@ -133,7 +133,7 @@ impl MaxsonPipeline {
 
         // 2. Score, then order per the configured strategy.
         let stage = tracer.child("score", cycle.id());
-        let mut ranked = score_candidates(session.catalog(), &candidates, history)?;
+        let mut ranked = score_candidates(&session.catalog(), &candidates, history)?;
         match self.config.scoring {
             ScoringStrategy::Full => {}
             ScoringStrategy::AccelerationOnly => {
@@ -150,10 +150,16 @@ impl MaxsonPipeline {
         stage.attr("ranked", ranked.len());
         drop(stage);
 
-        // 3. Populate the cache.
+        // 3. Populate the cache against a *work* catalog opened outside the
+        //    session's warehouse lock: concurrent queries keep planning
+        //    against the previous epoch while the cache tables build.
         let stage = tracer.child("cache_build", cycle.id());
         let cacher = JsonPathCacher::new(self.config.budget_bytes);
-        let (registry, cache_report) = cacher.populate(session.catalog_mut(), &ranked, now)?;
+        // Share the warehouse's Norc footer cache so cache-table reads
+        // through the installed rewriter stay in the process-wide LRU.
+        let meta_cache = std::sync::Arc::clone(session.catalog().meta_cache());
+        let mut work = Catalog::open_with_cache(&self.root, meta_cache)?;
+        let (registry, cache_report) = cacher.populate(&mut work, &ranked, now)?;
         if stage.is_recording() {
             stage.attr("cached", cache_report.cached.len());
             stage.attr("bytes_used", cache_report.bytes_used);
@@ -161,14 +167,17 @@ impl MaxsonPipeline {
         }
         drop(stage);
 
-        // 4. Install the rewriter (fresh catalog handle sees the new cache
-        //    tables).
+        // 4. Install atomically: one epoch swap replaces the catalog and
+        //    rewriter together, so every in-flight query sees either the
+        //    old warehouse or the new one, never a mix. The work catalog
+        //    already holds the fresh cache tables, so it doubles as the
+        //    rewriter's read handle.
         let stage = tracer.child("install_rewriter", cycle.id());
-        let catalog = Catalog::open(&self.root)?;
-        let mut rewriter = MaxsonScanRewriter::with_registry(catalog, registry);
+        let mut rewriter = MaxsonScanRewriter::with_registry(work, registry);
         rewriter.enable_pushdown = self.config.enable_pushdown;
         rewriter.set_tracer(tracer.clone());
-        session.set_scan_rewriter(Some(Box::new(rewriter)));
+        let epoch = session.swap_warehouse_epoch(Some(Box::new(rewriter)))?;
+        stage.attr("epoch", epoch);
         drop(stage);
         drop(cycle);
         session.flush_trace()?;
@@ -229,10 +238,8 @@ mod tests {
             Field::new("payload", ColumnType::Utf8),
         ])
         .unwrap();
-        let t = session
-            .catalog_mut()
-            .create_table("db", "t", schema, 0)
-            .unwrap();
+        let mut catalog = session.catalog_mut();
+        let t = catalog.create_table("db", "t", schema, 0).unwrap();
         let rows: Vec<Vec<Cell>> = (0..50)
             .map(|i| {
                 vec![
@@ -250,6 +257,7 @@ mod tests {
             1,
         )
         .unwrap();
+        drop(catalog);
         (session, root)
     }
 
@@ -498,10 +506,8 @@ mod indexed_path_tests {
         ));
         let mut session = Session::open(&root).unwrap();
         let schema = Schema::new(vec![Field::new("payload", ColumnType::Utf8)]).unwrap();
-        let t = session
-            .catalog_mut()
-            .create_table("db", "t", schema, 0)
-            .unwrap();
+        let mut catalog = session.catalog_mut();
+        let t = catalog.create_table("db", "t", schema, 0).unwrap();
         let rows: Vec<Vec<Cell>> = (0..20)
             .map(|i| {
                 vec![Cell::from(format!(
@@ -527,6 +533,7 @@ mod indexed_path_tests {
                 })
             })
             .collect();
+        drop(catalog);
         let mut pipeline = MaxsonPipeline::new(
             &root,
             PipelineConfig {

@@ -15,8 +15,8 @@
 //! (Algorithm 3) and handed to the combined provider, which shares the
 //! row-group skips with the raw-side reader.
 
-use std::cell::RefCell;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 use maxson_engine::session::{ScanContext, ScanRewrite, TableScanRewriter};
 use maxson_engine::sql::ast::{BinaryOp, SqlExpr};
@@ -47,9 +47,10 @@ pub struct MaxsonScanRewriter {
     catalog: Catalog,
     registry: CacheRegistry,
     /// Locations marked invalid during planning (interior mutability:
-    /// `rewrite_scan` takes `&self`).
-    invalid: RefCell<Vec<JsonPathLocation>>,
-    stats: RefCell<RewriteStats>,
+    /// `rewrite_scan` takes `&self`, and sessions share the rewriter across
+    /// threads, so these are mutexes rather than cells).
+    invalid: Mutex<Vec<JsonPathLocation>>,
+    stats: Mutex<RewriteStats>,
     /// Enable Algorithm 3 pushdown (ablation switch).
     pub enable_pushdown: bool,
     /// Span/counter sink for rewrite decisions; inert unless installed.
@@ -65,8 +66,8 @@ impl MaxsonScanRewriter {
         Ok(MaxsonScanRewriter {
             catalog,
             registry,
-            invalid: RefCell::new(Vec::new()),
-            stats: RefCell::new(RewriteStats::default()),
+            invalid: Mutex::new(Vec::new()),
+            stats: Mutex::new(RewriteStats::default()),
             enable_pushdown: true,
             tracer: Tracer::disabled(),
         })
@@ -77,8 +78,8 @@ impl MaxsonScanRewriter {
         MaxsonScanRewriter {
             catalog,
             registry,
-            invalid: RefCell::new(Vec::new()),
-            stats: RefCell::new(RewriteStats::default()),
+            invalid: Mutex::new(Vec::new()),
+            stats: Mutex::new(RewriteStats::default()),
             enable_pushdown: true,
             tracer: Tracer::disabled(),
         }
@@ -94,12 +95,12 @@ impl MaxsonScanRewriter {
 
     /// Locations marked invalid so far.
     pub fn invalidated(&self) -> Vec<JsonPathLocation> {
-        self.invalid.borrow().clone()
+        self.invalid.lock().expect("rewriter invalid lock").clone()
     }
 
     /// Rewrite statistics so far.
     pub fn stats(&self) -> RewriteStats {
-        self.stats.borrow().clone()
+        self.stats.lock().expect("rewriter stats lock").clone()
     }
 }
 
@@ -120,7 +121,7 @@ impl TableScanRewriter for MaxsonScanRewriter {
             .map_err(EngineError::Storage)?;
 
         // Classify each call: valid hit, stale, or miss (Alg. 1 lines 14-23).
-        let invalidated_before = self.stats.borrow().invalidated;
+        let invalidated_before = self.stats.lock().expect("rewriter stats lock").invalidated;
         let mut resolved: Vec<((String, String), String)> = Vec::new();
         let mut unresolved: Vec<(String, String)> = Vec::new();
         let mut cache_table_name: Option<String> = None;
@@ -130,8 +131,11 @@ impl TableScanRewriter for MaxsonScanRewriter {
                 Some(entry) => {
                     if raw_meta.modified_at > entry.cached_at {
                         // Stale: mark invalid, fall back to parsing.
-                        self.invalid.borrow_mut().push(loc);
-                        self.stats.borrow_mut().invalidated += 1;
+                        self.invalid
+                            .lock()
+                            .expect("rewriter invalid lock")
+                            .push(loc);
+                        self.stats.lock().expect("rewriter stats lock").invalidated += 1;
                         unresolved.push((column.clone(), path.clone()));
                     } else {
                         cache_table_name = Some(entry.cache_table.clone());
@@ -142,7 +146,7 @@ impl TableScanRewriter for MaxsonScanRewriter {
             }
         }
         {
-            let mut stats = self.stats.borrow_mut();
+            let mut stats = self.stats.lock().expect("rewriter stats lock");
             stats.hits += resolved.len() as u64;
             stats.misses += unresolved.len() as u64;
         }
@@ -150,7 +154,7 @@ impl TableScanRewriter for MaxsonScanRewriter {
         self.tracer.add("rewrite.misses", unresolved.len() as u64);
         self.tracer.add(
             "rewrite.invalidated",
-            self.stats.borrow().invalidated - invalidated_before,
+            self.stats.lock().expect("rewriter stats lock").invalidated - invalidated_before,
         );
         if span.is_recording() {
             span.attr("hits", resolved.len());
@@ -229,7 +233,10 @@ impl TableScanRewriter for MaxsonScanRewriter {
 
         let cache_only = raw_projection.is_empty();
         if cache_only {
-            self.stats.borrow_mut().cache_only_scans += 1;
+            self.stats
+                .lock()
+                .expect("rewriter stats lock")
+                .cache_only_scans += 1;
             self.tracer.add("rewrite.cache_only_scans", 1);
         }
         span.attr(
@@ -460,10 +467,8 @@ mod tests {
             Field::new("payload", ColumnType::Utf8),
         ])
         .unwrap();
-        let t = session
-            .catalog_mut()
-            .create_table("db", "t", schema, 0)
-            .unwrap();
+        let mut catalog = session.catalog_mut();
+        let t = catalog.create_table("db", "t", schema, 0).unwrap();
         let rows: Vec<Vec<Cell>> = (0..30)
             .map(|i| {
                 vec![
@@ -481,6 +486,7 @@ mod tests {
             1,
         )
         .unwrap();
+        drop(catalog);
         // Populate a cache for $.a only.
         let cands = vec![MpjpCandidate {
             location: loc("$.a"),
@@ -494,10 +500,10 @@ mod tests {
             recurrence: RecurrenceClass::Daily,
             paths: vec![loc("$.a")],
         }];
-        let ranked = score_candidates(session.catalog(), &cands, &history).unwrap();
+        let ranked = score_candidates(&session.catalog(), &cands, &history).unwrap();
         let cacher = crate::cacher::JsonPathCacher::new(u64::MAX);
         cacher
-            .populate(session.catalog_mut(), &ranked, 100)
+            .populate(&mut session.catalog_mut(), &ranked, 100)
             .unwrap();
         (session, root)
     }

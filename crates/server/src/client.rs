@@ -1,0 +1,125 @@
+//! Minimal blocking client for the maxson wire protocol.
+//!
+//! Rebuilds full [`QueryResult`] values (columns, rows, epoch, and the
+//! parse/cache metric subset the server ships), so callers can reuse
+//! `QueryResult::to_display_string` — the differential test suite compares
+//! served results byte for byte against serial in-process execution.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use maxson_engine::{ExecMetrics, QueryResult};
+use maxson_storage::Cell;
+
+use crate::server::StatsSnapshot;
+use crate::wire::{self, OpCode, Writer, MAGIC, STATUS_OK};
+use crate::{Result, ServerError};
+
+/// One blocking connection to a maxson server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Set (or clear) the per-response read timeout.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn request(&mut self, payload: &[u8]) -> Result<Vec<u8>> {
+        wire::write_frame(&mut self.stream, payload)?;
+        wire::read_frame(&mut self.stream)
+    }
+
+    fn op_frame(op: OpCode) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(MAGIC).u8(op as u8);
+        w.into_bytes()
+    }
+
+    /// Check the payload's status byte, surfacing server errors.
+    fn checked<'a>(payload: &'a [u8]) -> Result<wire::Reader<'a>> {
+        let mut r = wire::Reader::new(payload);
+        match r.u8()? {
+            STATUS_OK => Ok(r),
+            _ => Err(ServerError::Remote(r.str()?)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        let response = self.request(&Self::op_frame(OpCode::Ping))?;
+        Self::checked(&response)?;
+        Ok(())
+    }
+
+    /// Ask the server to shut down (all connections drain, threads join).
+    pub fn shutdown(&mut self) -> Result<()> {
+        let response = self.request(&Self::op_frame(OpCode::Shutdown))?;
+        Self::checked(&response)?;
+        Ok(())
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
+        let response = self.request(&Self::op_frame(OpCode::Stats))?;
+        let mut r = Self::checked(&response)?;
+        Ok(StatsSnapshot {
+            queries_ok: r.u64()?,
+            queries_err: r.u64()?,
+            uptime_us: r.u64()?,
+            p50_us: r.u64()?,
+            p99_us: r.u64()?,
+            meta_cache_hits: r.u64()?,
+            meta_cache_misses: r.u64()?,
+            active_queries: r.u64()?,
+            epoch: r.u64()?,
+        })
+    }
+
+    /// Execute `sql` on the server and decode the full result.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        let mut w = Writer::new();
+        w.u8(MAGIC).u8(OpCode::Query as u8).str(sql);
+        let response = self.request(&w.into_bytes())?;
+        let mut r = Self::checked(&response)?;
+        let epoch = r.u64()?;
+        let ncols = r.u32()? as usize;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            columns.push(r.str()?);
+        }
+        let nrows = r.u32()? as usize;
+        let mut rows: Vec<Vec<Cell>> = Vec::with_capacity(nrows);
+        for _ in 0..nrows {
+            let mut row = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                row.push(r.cell()?);
+            }
+            rows.push(row);
+        }
+        let metrics = ExecMetrics {
+            parse_calls: r.u64()?,
+            docs_parsed: r.u64()?,
+            cache_hits: r.u64()?,
+            meta_cache_hits: r.u64()?,
+            meta_cache_misses: r.u64()?,
+            ..Default::default()
+        };
+        Ok(QueryResult {
+            columns,
+            rows,
+            metrics,
+            plan_display: String::new(),
+            epoch,
+        })
+    }
+}

@@ -9,8 +9,10 @@
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::{Result, StorageError};
+use crate::metacache::NorcMetaCache;
 use crate::schema::Schema;
 use crate::table::Table;
 
@@ -35,12 +37,25 @@ pub struct TableMeta {
 pub struct Catalog {
     root: PathBuf,
     tables: BTreeMap<(String, String), Table>,
+    /// Shared footer/index cache, attached to every table in the catalog.
+    meta_cache: Arc<NorcMetaCache>,
 }
 
 impl Catalog {
     /// Open (or initialize) a catalog rooted at `root`, loading any tables
-    /// already present on disk.
+    /// already present on disk. A fresh metadata cache (budget from
+    /// `MAXSON_META_CACHE_BYTES`) is created for it.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        Catalog::open_with_cache(root, Arc::new(NorcMetaCache::from_env()))
+    }
+
+    /// Open a catalog that shares an existing metadata cache — used when a
+    /// new catalog view replaces an old one over the same warehouse (the
+    /// midnight-cycle epoch swap) so warm footers survive the swap.
+    pub fn open_with_cache(
+        root: impl Into<PathBuf>,
+        meta_cache: Arc<NorcMetaCache>,
+    ) -> Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
         let mut tables = BTreeMap::new();
@@ -56,17 +71,27 @@ impl Catalog {
                     continue;
                 }
                 let name = t_entry.file_name().to_string_lossy().to_string();
-                if let Ok(table) = Table::open(t_entry.path()) {
+                if let Ok(mut table) = Table::open(t_entry.path()) {
+                    table.set_meta_cache(Some(Arc::clone(&meta_cache)));
                     tables.insert((db.clone(), name), table);
                 }
             }
         }
-        Ok(Catalog { root, tables })
+        Ok(Catalog {
+            root,
+            tables,
+            meta_cache,
+        })
     }
 
     /// The catalog's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The shared footer/index cache attached to this catalog's tables.
+    pub fn meta_cache(&self) -> &Arc<NorcMetaCache> {
+        &self.meta_cache
     }
 
     /// Create a table, creating the database directory if needed.
@@ -84,7 +109,8 @@ impl Catalog {
             });
         }
         let dir = self.root.join(database).join(table);
-        let t = Table::create(dir, schema, now)?;
+        let mut t = Table::create(dir, schema, now)?;
+        t.set_meta_cache(Some(Arc::clone(&self.meta_cache)));
         Ok(self.tables.entry(key).or_insert(t))
     }
 

@@ -11,12 +11,14 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use maxson_json::{parse as json_parse, to_string_pretty, JsonValue};
 
 use crate::cell::Cell;
 use crate::error::{Result, StorageError};
 use crate::file::{write_rows, NorcFile, WriteOptions};
+use crate::metacache::NorcMetaCache;
 use crate::schema::{ColumnType, Field, Schema};
 
 /// Name of the metadata document inside a table directory.
@@ -31,6 +33,9 @@ pub struct Table {
     modified_at: u64,
     /// Ordered part-file names.
     files: Vec<String>,
+    /// Shared footer/index cache splits are opened through (attached by the
+    /// owning [`crate::Catalog`]; clones keep the same cache).
+    meta_cache: Option<Arc<NorcMetaCache>>,
 }
 
 impl Table {
@@ -48,6 +53,7 @@ impl Table {
             schema,
             modified_at: now,
             files: Vec::new(),
+            meta_cache: None,
         };
         table.write_meta()?;
         Ok(table)
@@ -96,7 +102,19 @@ impl Table {
             schema,
             modified_at,
             files,
+            meta_cache: None,
         })
+    }
+
+    /// Attach (or detach) the shared footer/index cache used by
+    /// [`Table::open_split`].
+    pub fn set_meta_cache(&mut self, cache: Option<Arc<NorcMetaCache>>) {
+        self.meta_cache = cache;
+    }
+
+    /// The attached footer/index cache, if any.
+    pub fn meta_cache(&self) -> Option<&Arc<NorcMetaCache>> {
+        self.meta_cache.as_ref()
     }
 
     fn write_meta(&self) -> Result<()> {
@@ -181,14 +199,24 @@ impl Table {
     }
 
     /// Open split `index` (one file = one split).
-    pub fn open_split(&self, index: usize) -> Result<NorcFile> {
+    pub fn open_split(&self, index: usize) -> Result<Arc<NorcFile>> {
+        self.open_split_cached(index).map(|(file, _)| file)
+    }
+
+    /// Open split `index`, reporting whether the decoded footer/index came
+    /// from the shared metadata cache (`true`) or a fresh disk read.
+    pub fn open_split_cached(&self, index: usize) -> Result<(Arc<NorcFile>, bool)> {
         let name = self
             .files
             .get(index)
             .ok_or_else(|| StorageError::NotFound {
                 what: format!("split {index} of table {}", self.dir.display()),
             })?;
-        NorcFile::open(self.dir.join(name))
+        let path = self.dir.join(name);
+        match &self.meta_cache {
+            Some(cache) => cache.open(&path),
+            None => Ok((Arc::new(NorcFile::open(path)?), false)),
+        }
     }
 
     /// A reader positioned over all splits.
@@ -232,7 +260,7 @@ pub struct TableReader<'t> {
 }
 
 impl Iterator for TableReader<'_> {
-    type Item = Result<NorcFile>;
+    type Item = Result<Arc<NorcFile>>;
     fn next(&mut self) -> Option<Self::Item> {
         if self.split >= self.table.file_count() {
             return None;

@@ -28,8 +28,8 @@ fn main() {
         Field::new("sale_logs", ColumnType::Utf8),
     ])
     .expect("schema");
-    let table = session
-        .catalog_mut()
+    let mut catalog = session.catalog_mut();
+    let table = catalog
         .create_table("mydb", "t", schema, 0)
         .expect("create table");
     let items = ["apple", "watermelon", "banana", "pear", "orange"];
@@ -58,6 +58,7 @@ fn main() {
             1,
         )
         .expect("load data");
+    drop(catalog);
 
     // 2. The daily query (Fig. 1's "most turnover items").
     let sql = "select mall_id, get_json_object(sale_logs, '$.item_name') as item_name, \

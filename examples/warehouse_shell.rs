@@ -143,6 +143,7 @@ fn main() {
                                     rows: result.rows[..show].to_vec(),
                                     metrics: result.metrics.clone(),
                                     plan_display: String::new(),
+                                    epoch: result.epoch,
                                 }
                                 .to_display_string()
                             );

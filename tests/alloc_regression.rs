@@ -66,10 +66,8 @@ fn build_table(root: &PathBuf) -> Session {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     let rows: Vec<Vec<Cell>> = (0..ROWS)
         .map(|i| {
             vec![
@@ -86,6 +84,7 @@ fn build_table(root: &PathBuf) -> Session {
     table
         .append_file(&rows, WriteOptions::default(), 1)
         .unwrap();
+    drop(catalog);
     session
 }
 

@@ -74,10 +74,8 @@ fn two_split_table(name: &str) -> PathBuf {
         Field::new("tag", ColumnType::Utf8),
     ])
     .unwrap();
-    let t = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let t = catalog.create_table("db", "t", schema, 0).unwrap();
     for f in 0..2i64 {
         let rows: Vec<Vec<Cell>> = (0..10)
             .map(|i| {
@@ -95,6 +93,7 @@ fn two_split_table(name: &str) -> PathBuf {
         )
         .unwrap();
     }
+    drop(catalog);
     root
 }
 
@@ -138,7 +137,7 @@ fn rewritten_queries_deterministic_across_threads() {
          from mydb.q1 where get_json_object(payload, '$.f0') > 900",
     ];
     for sql in queries {
-        let mut make = || {
+        let make = || {
             let mut session = Session::open(&root).unwrap();
             let rewriter = MaxsonScanRewriter::open(&root).unwrap();
             session.set_scan_rewriter(Some(Box::new(rewriter)));

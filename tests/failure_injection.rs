@@ -35,10 +35,8 @@ fn cached_session(name: &str) -> (Session, PathBuf) {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let t = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let t = catalog.create_table("db", "t", schema, 0).unwrap();
     let rows: Vec<Vec<Cell>> = (0..40)
         .map(|i| vec![Cell::Int(i), Cell::from(format!(r#"{{"a": {i}}}"#))])
         .collect();
@@ -63,6 +61,7 @@ fn cached_session(name: &str) -> (Session, PathBuf) {
             })
         })
         .collect();
+    drop(catalog);
     let mut pipeline = MaxsonPipeline::new(
         &root,
         PipelineConfig {
@@ -227,10 +226,8 @@ fn payload_table(name: &str, docs: &[String]) -> PathBuf {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     let rows: Vec<Vec<Cell>> = docs
         .iter()
         .enumerate()
@@ -246,6 +243,7 @@ fn payload_table(name: &str, docs: &[String]) -> PathBuf {
             1,
         )
         .unwrap();
+    drop(catalog);
     root
 }
 
@@ -363,4 +361,243 @@ fn property_mutated_payloads_error_never_panic() {
             Ok(())
         },
     );
+}
+
+// ---------------------------------------------------------------------
+// Server fault injection: hostile clients and panicking queries must be
+// contained at the connection boundary — the server keeps serving and
+// shared warehouse state stays usable.
+// ---------------------------------------------------------------------
+
+use maxson_engine::metrics::ExecMetrics;
+use maxson_engine::scan::ScanProvider;
+use maxson_engine::session::{ScanContext, ScanRewrite, TableScanRewriter};
+use maxson_server::wire::{self, OpCode, Writer, MAGIC, STATUS_ERR};
+use maxson_server::{Client, Server, ServerConfig};
+use std::io::Write as _;
+use std::net::TcpStream;
+
+/// Serve a small warehouse; callers get the running server and its root.
+fn serve_small(name: &str) -> (Server, PathBuf) {
+    let root = temp_root(name);
+    let mut session = Session::open(&root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
+    let rows: Vec<Vec<Cell>> = (0..24)
+        .map(|i| vec![Cell::Int(i), Cell::from(format!(r#"{{"a": {i}}}"#))])
+        .collect();
+    table
+        .append_file(&rows, WriteOptions::default(), 1)
+        .unwrap();
+    drop(catalog);
+    let server = Server::serve(session, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    (server, root)
+}
+
+const SERVED_SQL: &str = "select id, get_json_object(payload, '$.a') as a from db.t where id < 5";
+
+/// Expect one frame on the raw stream and return its status byte.
+fn read_status(stream: &mut TcpStream) -> maxson_server::Result<u8> {
+    let payload = wire::read_frame(stream)?;
+    Ok(payload.first().copied().unwrap_or(0xFF))
+}
+
+#[test]
+fn server_survives_client_disconnect_mid_query() {
+    let (mut server, root) = serve_small("disc");
+    let addr = server.addr();
+    // Fire a query and hang up without reading the response.
+    for _ in 0..4 {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let mut w = Writer::new();
+        w.u8(MAGIC).u8(OpCode::Query as u8).str(SERVED_SQL);
+        wire::write_frame(&mut raw, &w.into_bytes()).unwrap();
+        drop(raw); // gone before the result comes back
+    }
+    // Hang up mid-frame too: length prefix promising bytes that never come.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&100u32.to_be_bytes()).unwrap();
+        raw.write_all(&[MAGIC]).unwrap();
+        drop(raw);
+    }
+    // The server is still fully functional for well-behaved clients.
+    let mut client = Client::connect(addr).unwrap();
+    let result = client.query(SERVED_SQL).unwrap();
+    assert_eq!(result.rows.len(), 5);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.active_queries, 0, "leaked query leases: {stats:?}");
+    server.stop();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn malformed_frames_are_answered_and_contained() {
+    let (mut server, root) = serve_small("malformed");
+    let addr = server.addr();
+    let hostile_frames: [&[u8]; 4] = [
+        &[0x00, 0x01],                          // bad magic
+        &[MAGIC, 0xEE],                         // unknown opcode
+        &[MAGIC],                               // missing opcode
+        &[MAGIC, 0x01, 0x00, 0x00, 0x00, 0x63], // QUERY whose string is truncated
+    ];
+    for frame in hostile_frames {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        wire::write_frame(&mut raw, frame).unwrap();
+        let status = read_status(&mut raw).expect("server must answer before closing");
+        assert_eq!(status, STATUS_ERR, "hostile frame {frame:?} not rejected");
+        // The connection is closed after a protocol error: the next read
+        // sees EOF, not a hang.
+        assert!(wire::read_frame(&mut raw).is_err());
+        // And the server still serves others.
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        assert_eq!(client.query(SERVED_SQL).unwrap().rows.len(), 5);
+    }
+    server.stop();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn oversized_frame_is_rejected_without_allocation() {
+    let (mut server, root) = serve_small("oversized");
+    let addr = server.addr();
+    let mut raw = TcpStream::connect(addr).unwrap();
+    // A length prefix claiming 1 GiB. The server must refuse before
+    // allocating or reading the body.
+    raw.write_all(&(1u32 << 30).to_be_bytes()).unwrap();
+    raw.flush().unwrap();
+    let status = read_status(&mut raw).expect("server must answer the liar");
+    assert_eq!(status, STATUS_ERR);
+    assert!(wire::read_frame(&mut raw).is_err(), "connection must close");
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.query(SERVED_SQL).unwrap().rows.len(), 5);
+    server.stop();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Provider whose splits always panic — stands in for poisoned data
+/// reached through the shared rewriter.
+#[derive(Debug)]
+struct AlwaysPanicProvider {
+    schema: Schema,
+}
+
+impl ScanProvider for AlwaysPanicProvider {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+    fn scan(&self, _metrics: &mut ExecMetrics) -> maxson_engine::Result<Vec<Vec<Cell>>> {
+        panic!("poisoned provider");
+    }
+    fn split_count(&self) -> usize {
+        4
+    }
+    fn scan_split(
+        &self,
+        _split: usize,
+        _metrics: &mut ExecMetrics,
+    ) -> maxson_engine::Result<Vec<Vec<Cell>>> {
+        panic!("poisoned provider");
+    }
+    fn label(&self) -> String {
+        "AlwaysPanicProvider".into()
+    }
+}
+
+/// Rewrites scans of `db.boom` only; everything else runs normally.
+struct SelectivePanicRewriter;
+
+impl TableScanRewriter for SelectivePanicRewriter {
+    fn name(&self) -> &str {
+        "SelectivePanic"
+    }
+    fn rewrite_scan(&self, ctx: &ScanContext<'_>) -> maxson_engine::Result<Option<ScanRewrite>> {
+        if ctx.table != "boom" {
+            return Ok(None);
+        }
+        let schema = Schema::new(vec![Field::new("id", ColumnType::Int64)]).unwrap();
+        Ok(Some(ScanRewrite {
+            provider: Box::new(AlwaysPanicProvider { schema }),
+            resolved_paths: Vec::new(),
+        }))
+    }
+}
+
+#[test]
+fn panicking_split_task_is_contained_by_the_server() {
+    let root = temp_root("panic-split");
+    let mut template = Session::open(&root).unwrap();
+    {
+        let schema = Schema::new(vec![
+            Field::new("id", ColumnType::Int64),
+            Field::new("payload", ColumnType::Utf8),
+        ])
+        .unwrap();
+        let mut catalog = template.catalog_mut();
+        let good = catalog.create_table("db", "t", schema.clone(), 0).unwrap();
+        let rows: Vec<Vec<Cell>> = (0..24)
+            .map(|i| vec![Cell::Int(i), Cell::from(format!(r#"{{"a": {i}}}"#))])
+            .collect();
+        good.append_file(&rows, WriteOptions::default(), 1).unwrap();
+        let boom = catalog.create_table("db", "boom", schema, 0).unwrap();
+        boom.append_file(&rows[..4], WriteOptions::default(), 1)
+            .unwrap();
+        drop(catalog);
+    }
+    template.set_scan_rewriter(Some(Box::new(SelectivePanicRewriter)));
+    let mut server = Server::serve(
+        template,
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: Some(4),
+            permits: Some(4),
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    for round in 0..3 {
+        let err = client
+            .query("select id from db.boom")
+            .expect_err("panicking scan must be an error response");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("panic") || msg.contains("poisoned provider"),
+            "round {round}: error should surface the panic: {msg}"
+        );
+        // Same connection keeps working after its query panicked.
+        assert_eq!(client.query(SERVED_SQL).unwrap().rows.len(), 5);
+    }
+    // Other connections are untouched, and no scheduler lease leaked.
+    let mut other = Client::connect(addr).unwrap();
+    assert_eq!(other.query(SERVED_SQL).unwrap().rows.len(), 5);
+    let stats = other.stats().unwrap();
+    assert_eq!(stats.active_queries, 0, "leaked query leases: {stats:?}");
+    assert_eq!(stats.queries_err, 3, "panics must be counted: {stats:?}");
+    server.stop();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn shutdown_opcode_drains_cleanly() {
+    let (mut server, root) = serve_small("shutdown-op");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.query(SERVED_SQL).unwrap().rows.len(), 5);
+    client.shutdown().unwrap();
+    assert!(server.is_shutdown());
+    // stop() joins the accept and connection threads; must not hang.
+    server.stop();
+    // A post-shutdown connection attempt must not be served a query.
+    if let Ok(mut late) = Client::connect(addr) {
+        assert!(late.ping().is_err() || late.query(SERVED_SQL).is_err());
+    }
+    std::fs::remove_dir_all(&root).ok();
 }

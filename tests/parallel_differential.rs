@@ -160,10 +160,8 @@ fn nobench_table(name: &str, rows: u64, files: u64) -> PathBuf {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("nb", "docs", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("nb", "docs", schema, 0).unwrap();
     let mut generator = NobenchGenerator::new(42);
     let per_file = rows / files;
     for f in 0..files {
@@ -181,6 +179,7 @@ fn nobench_table(name: &str, rows: u64, files: u64) -> PathBuf {
             )
             .unwrap();
     }
+    drop(catalog);
     root
 }
 
@@ -272,10 +271,8 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
         Field::new("tag", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     let mut rng = Rng::seed_from_u64(s.table_seed);
     for _ in 0..s.splits {
         let rows: Vec<Vec<Cell>> = (0..s.rows_per_split)
@@ -305,6 +302,7 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
             )
             .unwrap();
     }
+    drop(catalog);
     session
 }
 
@@ -411,13 +409,12 @@ fn one_row_table(name: &str) -> PathBuf {
     let root = temp_root(name);
     let mut session = Session::open(&root).unwrap();
     let schema = Schema::new(vec![Field::new("id", ColumnType::Int64)]).unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     table
         .append_file(&[vec![Cell::Int(1)]], WriteOptions::default(), 1)
         .unwrap();
+    drop(catalog);
     root
 }
 

@@ -1,0 +1,202 @@
+//! Snapshot consistency: a midnight cycle swapping the Maxson cache tables
+//! in must be atomic from every concurrent query's point of view.
+//!
+//! Clients hammer the server while the admin session (a clone sharing the
+//! warehouse) runs `run_midnight_cycle`, which installs the freshly built
+//! cache via an epoch swap. Every served result must
+//!
+//! * carry exactly the old or the new epoch — never anything else,
+//! * render byte-identically to the serial reference (the cache changes
+//!   where values come from, not what they are), and
+//! * correlate epoch with provenance: new-epoch results are served from
+//!   the cache (zero parse calls), old-epoch results from raw JSON
+//!   (non-zero parse calls). A mixed-epoch read would break exactly this
+//!   correlation.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use maxson::mpjp::PredictorKind;
+use maxson::{MaxsonPipeline, PipelineConfig};
+use maxson_engine::Session;
+use maxson_server::{Client, Server, ServerConfig};
+use maxson_storage::file::WriteOptions;
+use maxson_storage::{Cell, ColumnType, Field, Schema};
+use maxson_trace::model::RecurrenceClass;
+use maxson_trace::{JsonPathLocation, QueryRecord};
+
+const SQL: &str = "select id, get_json_object(payload, '$.a') as a from db.t";
+const CLIENTS: usize = 6;
+
+fn temp_root(name: &str) -> PathBuf {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    std::env::temp_dir().join(format!("maxson-snap-{}-{nanos}-{name}", std::process::id()))
+}
+
+/// Warehouse with a JSON table plus the query history that makes the
+/// midnight cycle cache `$.a` — but without running the cycle yet.
+fn warehouse_with_history(name: &str) -> (Session, Vec<QueryRecord>, PathBuf) {
+    let root = temp_root(name);
+    let mut session = Session::open(&root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let mut catalog = session.catalog_mut();
+    let t = catalog.create_table("db", "t", schema, 0).unwrap();
+    let rows: Vec<Vec<Cell>> = (0..40)
+        .map(|i| vec![Cell::Int(i), Cell::from(format!(r#"{{"a": {i}}}"#))])
+        .collect();
+    t.append_file(
+        &rows,
+        WriteOptions {
+            row_group_size: 10,
+            ..Default::default()
+        },
+        1,
+    )
+    .unwrap();
+    drop(catalog);
+    let history: Vec<QueryRecord> = (0..10u32)
+        .flat_map(|day| {
+            (0..2u32).map(move |user| QueryRecord {
+                query_id: u64::from(day * 2 + user),
+                user_id: user,
+                day,
+                hour: 9,
+                recurrence: RecurrenceClass::Daily,
+                paths: vec![JsonPathLocation::new("db", "t", "payload", "$.a")],
+            })
+        })
+        .collect();
+    (session, history, root)
+}
+
+/// One served query as a client saw it.
+struct Observation {
+    epoch: u64,
+    parse_calls: u64,
+    display: String,
+}
+
+#[test]
+fn midnight_cycle_is_an_atomic_epoch_swap_under_load() {
+    let (template, history, root) = warehouse_with_history("swap");
+    let mut admin = template.clone();
+    let e0 = admin.epoch();
+    let reference = admin.execute(SQL).unwrap();
+    assert!(
+        reference.metrics.parse_calls > 0,
+        "pre-cycle queries must parse raw JSON"
+    );
+    let reference_display = reference.to_display_string();
+
+    let mut server = Server::serve(
+        template,
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: Some(2),
+            permits: Some(4),
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Clients loop until told to stop, then take two guaranteed
+    // post-cycle samples each.
+    let cycle_done = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let cycle_done = cycle_done.clone();
+            std::thread::spawn(move || -> Vec<Observation> {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut seen = Vec::new();
+                let mut post_cycle = 0;
+                while post_cycle < 2 {
+                    if cycle_done.load(Ordering::SeqCst) {
+                        post_cycle += 1;
+                    }
+                    let result = client.query(SQL).expect("query");
+                    seen.push(Observation {
+                        epoch: result.epoch,
+                        parse_calls: result.metrics.parse_calls,
+                        display: result.to_display_string(),
+                    });
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // Run the midnight cycle on the admin clone while queries are in
+    // flight: builds the cache tables off to the side, then swaps them in.
+    let mut pipeline = MaxsonPipeline::new(
+        &root,
+        PipelineConfig {
+            predictor: PredictorKind::RepeatYesterday,
+            ..Default::default()
+        },
+    );
+    pipeline.observe(history.iter());
+    pipeline
+        .run_midnight_cycle(&mut admin, &history, 8, 100)
+        .unwrap();
+    let e1 = admin.epoch();
+    assert_eq!(e1, e0 + 1, "one cycle, one epoch bump");
+    cycle_done.store(true, Ordering::SeqCst);
+
+    // The cache must reproduce the raw results exactly.
+    let post = admin.execute(SQL).unwrap();
+    assert_eq!(post.metrics.parse_calls, 0, "cache must serve the path");
+    assert_eq!(post.to_display_string(), reference_display);
+
+    let mut old_seen = 0u64;
+    let mut new_seen = 0u64;
+    for worker in workers {
+        for obs in worker.join().expect("client worker") {
+            assert!(
+                obs.epoch == e0 || obs.epoch == e1,
+                "impossible epoch {} (old {e0}, new {e1})",
+                obs.epoch
+            );
+            assert_eq!(
+                obs.display, reference_display,
+                "results diverged at epoch {}",
+                obs.epoch
+            );
+            // Epoch and provenance must swap together: new epoch means
+            // cache-served (no parsing), old epoch means raw JSON.
+            if obs.epoch == e1 {
+                new_seen += 1;
+                assert_eq!(
+                    obs.parse_calls, 0,
+                    "new-epoch result parsed raw JSON: torn snapshot"
+                );
+            } else {
+                old_seen += 1;
+                assert!(
+                    obs.parse_calls > 0,
+                    "old-epoch result with zero parse calls: torn snapshot"
+                );
+            }
+        }
+    }
+    // The forced post-cycle samples guarantee both sides are exercised.
+    assert!(old_seen > 0, "no query observed the pre-swap warehouse");
+    assert!(
+        new_seen >= (CLIENTS * 2) as u64,
+        "post-cycle samples missing"
+    );
+
+    // New connections see the new epoch immediately.
+    let stats = Client::connect(addr).unwrap().stats().unwrap();
+    assert_eq!(stats.epoch, e1);
+    server.stop();
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -164,10 +164,8 @@ fn nobench_table(name: &str, rows: u64, files: u64) -> PathBuf {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("nb", "docs", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("nb", "docs", schema, 0).unwrap();
     let mut generator = NobenchGenerator::new(42);
     let per_file = rows / files;
     for f in 0..files {
@@ -185,6 +183,7 @@ fn nobench_table(name: &str, rows: u64, files: u64) -> PathBuf {
             )
             .unwrap();
     }
+    drop(catalog);
     root
 }
 
@@ -230,10 +229,8 @@ fn fig15_shape_reaches_4x_dedup_factor() {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     let rows: Vec<Vec<Cell>> = (0..120)
         .map(|i| {
             vec![
@@ -249,6 +246,7 @@ fn fig15_shape_reaches_4x_dedup_factor() {
     table
         .append_file(&rows, WriteOptions::default(), 1)
         .unwrap();
+    drop(catalog);
 
     let sql = "select get_json_object(payload, '$.a') as a, \
                get_json_object(payload, '$.b') as b, \
@@ -348,10 +346,8 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
         Field::new("doc", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     let mut rng = Rng::seed_from_u64(s.table_seed);
     for _ in 0..s.splits {
         let rows: Vec<Vec<Cell>> = (0..s.rows_per_split)
@@ -383,6 +379,7 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
             )
             .unwrap();
     }
+    drop(catalog);
     session
 }
 

@@ -176,10 +176,8 @@ fn nobench_table(name: &str, rows: u64, files: u64) -> PathBuf {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("nb", "docs", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("nb", "docs", schema, 0).unwrap();
     let mut generator = NobenchGenerator::new(42);
     let per_file = rows / files;
     for f in 0..files {
@@ -197,6 +195,7 @@ fn nobench_table(name: &str, rows: u64, files: u64) -> PathBuf {
             )
             .unwrap();
     }
+    drop(catalog);
     root
 }
 
@@ -324,10 +323,8 @@ fn corpus_table(name: &str, seed: u64, rows: usize, splits: usize) -> PathBuf {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("adv", "docs", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("adv", "docs", schema, 0).unwrap();
     let docs = corpus::valid_docs(seed, rows);
     let per_file = rows.div_ceil(splits.max(1));
     for chunk_start in (0..rows).step_by(per_file.max(1)) {
@@ -345,6 +342,7 @@ fn corpus_table(name: &str, seed: u64, rows: usize, splits: usize) -> PathBuf {
             )
             .unwrap();
     }
+    drop(catalog);
     root
 }
 
@@ -419,10 +417,8 @@ fn duplicate_keys_are_first_wins_in_all_parsers() {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     let rows: Vec<Vec<Cell>> = (0..16)
         .map(|i| {
             vec![
@@ -437,6 +433,7 @@ fn duplicate_keys_are_first_wins_in_all_parsers() {
     table
         .append_file(&rows, WriteOptions::default(), 1)
         .unwrap();
+    drop(catalog);
     let sql = "select get_json_object(payload, '$.dup') as dup from db.t";
     let mut rendered: Option<String> = None;
     for parser in ALL_PARSERS {

@@ -182,10 +182,8 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     let mut rng = maxson_testkit::rng::Rng::seed_from_u64(s.table_seed);
     let mut n = 0i64;
     for _ in 0..s.splits {
@@ -215,6 +213,7 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
             )
             .unwrap();
     }
+    drop(catalog);
     session
 }
 
@@ -269,10 +268,8 @@ fn chrome_export_nests_spans_on_named_thread_tracks() {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     for f in 0..4i64 {
         let rows: Vec<Vec<Cell>> = (0..12)
             .map(|i| {
@@ -284,6 +281,7 @@ fn chrome_export_nests_spans_on_named_thread_tracks() {
             .append_file(&rows, WriteOptions::default(), 1)
             .unwrap();
     }
+    drop(catalog);
     session.set_threads(Some(4));
     let trace_path = root.join("trace.json");
     session.set_trace_path(Some(trace_path.clone()));

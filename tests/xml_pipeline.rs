@@ -43,10 +43,8 @@ fn xml_payloads_cache_and_accelerate() {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("xmldb", "orders", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("xmldb", "orders", schema, 0).unwrap();
     // Load-time conversion: XML in, JSON value model out.
     let rows: Vec<Vec<Cell>> = (0..60)
         .map(|i| {
@@ -66,6 +64,7 @@ fn xml_payloads_cache_and_accelerate() {
             1,
         )
         .unwrap();
+    drop(catalog);
 
     // The recurring query extracts XML-derived fields, including an
     // attribute path.
@@ -121,16 +120,15 @@ fn attribute_paths_are_cacheable_too() {
     let root = temp_root("attrs");
     let mut session = Session::open(&root).unwrap();
     let schema = Schema::new(vec![Field::new("payload", ColumnType::Utf8)]).unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("xmldb", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("xmldb", "t", schema, 0).unwrap();
     let rows: Vec<Vec<Cell>> = (0..20)
         .map(|i| vec![Cell::from(xml_to_json(&xml_record(i)).unwrap())])
         .collect();
     table
         .append_file(&rows, WriteOptions::default(), 1)
         .unwrap();
+    drop(catalog);
 
     let sql = "select get_json_object(payload, '$.order.@region') as region, count(*) as n \
                from xmldb.t group by get_json_object(payload, '$.order.@region') order by region";

@@ -198,10 +198,8 @@ fn prefilter_selection_vector_identical_across_matrix() {
         Field::new("doc", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     for f in 0..3i64 {
         let rows: Vec<Vec<Cell>> = (0..40)
             .map(|i| {
@@ -224,6 +222,7 @@ fn prefilter_selection_vector_identical_across_matrix() {
             )
             .unwrap();
     }
+    drop(catalog);
     let sql = "select id from db.t where get_json_object(doc, '$.name') = 'banana'";
     let make = || {
         let mut s = Session::open(&root).unwrap();
@@ -261,10 +260,8 @@ fn nobench_workload_identical_across_batching_matrix() {
         Field::new("payload", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("nb", "docs", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("nb", "docs", schema, 0).unwrap();
     let mut generator = NobenchGenerator::new(7);
     for f in 0..4u64 {
         let rows: Vec<Vec<Cell>> = (f * 50..(f + 1) * 50)
@@ -281,6 +278,7 @@ fn nobench_workload_identical_across_batching_matrix() {
             )
             .unwrap();
     }
+    drop(catalog);
     let queries = [
         // Raw-column predicate: rejected rows must not materialize payload.
         "select get_json_object(payload, '$.str1') as s1 from nb.docs where id < 60",
@@ -370,10 +368,8 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
         Field::new("doc", ColumnType::Utf8),
     ])
     .unwrap();
-    let table = session
-        .catalog_mut()
-        .create_table("db", "t", schema, 0)
-        .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
     let mut rng = Rng::seed_from_u64(s.table_seed);
     for _ in 0..s.splits {
         let rows: Vec<Vec<Cell>> = (0..s.rows_per_split)
@@ -406,6 +402,7 @@ fn build_scenario_table(s: &Scenario, root: &PathBuf) -> Session {
             )
             .unwrap();
     }
+    drop(catalog);
     session
 }
 
