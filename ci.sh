@@ -28,6 +28,17 @@ MAXSON_SHARED_PARSE=1 cargo test -q --offline --workspace
 # assume the Jackson default.
 MAXSON_PARSER=tape cargo test -q --offline --test tape_differential
 
+# Structural-kernel + mmap matrix: the kernel and tape differential suites
+# under the scalar reference tier and the dispatched (auto) tier, crossed
+# with part files copied (MAXSON_MMAP=0) and memory-mapped (=1). Results
+# must be byte-identical in every cell — both knobs are pure accelerations.
+for simd in scalar auto; do
+  for mmap in 0 1; do
+    MAXSON_SIMD=$simd MAXSON_MMAP=$mmap \
+      cargo test -q --offline --test kernel_differential --test tape_differential
+  done
+done
+
 # Smoke-run the scaling benchmark (fast mode: 1 run per point); it asserts
 # rows are byte-identical across thread counts before reporting walls.
 MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_scaling

@@ -22,11 +22,22 @@
 //! across runs. Runs at 1 engine thread so the numbers measure per-row
 //! work, not parallelism (fig_scaling covers threads). Rows are
 //! sanity-checked against expected shapes before any timing is trusted.
+//!
+//! Two breakdown series pin the structural-kernel and mmap work:
+//!
+//! * `bitmap MB/s` — raw structural-bitmap construction throughput per
+//!   available kernel tier (scalar / swar / sse2 / avx2), measured over
+//!   the scanbench payload documents outside the engine; the dispatched
+//!   tier should beat scalar here or the dispatch is mistuned,
+//! * `scan_only MB/s` — the scan_only shape with part files memory-mapped
+//!   vs copied (`MAXSON_MMAP`), isolating the I/O-path change.
 
 use maxson_bench::{bench_root, run_query_avg, Report, Series};
 use maxson_engine::session::Session;
+use maxson_json::kernels;
 use maxson_storage::file::WriteOptions;
 use maxson_storage::{Cell, ColumnType, Field, Schema};
+use std::time::Instant;
 
 struct Shape {
     label: &'static str,
@@ -161,5 +172,62 @@ fn main() {
     report.add(rows_series);
     report.add(mb_series);
     report.add(wall_series);
+
+    // Structural-bitmap construction throughput per kernel tier, over the
+    // same 256 distinct payload documents the table cycles through. Pure
+    // kernel time — no engine, no I/O — so tiers are directly comparable.
+    let payloads: Vec<String> = (0..256i64)
+        .map(|k| {
+            format!(
+                r#"{{"event": {k}, "sku": "item-{k:06}", "qty": {}, "note": "template {k} of the scanbench wide payload column, padded to realistic document width {k:>80}"}}"#,
+                1 + k % 9,
+            )
+        })
+        .collect();
+    let payload_bytes: usize = payloads.iter().map(String::len).sum();
+    let reps = if fast { 50 } else { 500 };
+    let mut kernel_series = Series::new("bitmap MB/s");
+    for kernel in kernels::available() {
+        // One untimed pass warms caches and the dispatch path.
+        for p in &payloads {
+            std::hint::black_box(kernels::build_bitmaps_with(kernel, p.as_bytes()));
+        }
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for p in &payloads {
+                std::hint::black_box(kernels::build_bitmaps_with(kernel, p.as_bytes()));
+            }
+        }
+        let secs = t0.elapsed().as_secs_f64().max(f64::EPSILON);
+        let mb_per_s = (payload_bytes * reps) as f64 / 1e6 / secs;
+        kernel_series.push(format!("bitmap_{}", kernel.name()), mb_per_s);
+        println!(
+            "bitmap_{}: {:.1} MB/s ({} reps x {} docs)",
+            kernel.name(),
+            mb_per_s,
+            reps,
+            payloads.len()
+        );
+    }
+    report.add(kernel_series);
+    report.note(format!(
+        "dispatched kernel tier: {}",
+        kernels::active().name()
+    ));
+
+    // scan_only with part files memory-mapped vs copied. MAXSON_MMAP is
+    // read at each split open, so flipping it between runs is enough.
+    let mut mmap_series = Series::new("scan_only MB/s");
+    for (label, value) in [("mmap_on", "1"), ("mmap_off", "0")] {
+        std::env::set_var("MAXSON_MMAP", value);
+        let (wall, metrics) = run_query_avg(&session, &shapes[0].sql, runs);
+        let secs = wall.as_secs_f64().max(f64::EPSILON);
+        let mb_per_s = metrics.bytes_read as f64 / 1e6 / secs;
+        mmap_series.push(label, mb_per_s);
+        println!("{label}: {mb_per_s:.2} MB/s, {secs:.5}s wall");
+    }
+    std::env::remove_var("MAXSON_MMAP");
+    report.add(mmap_series);
+
     report.emit();
 }

@@ -69,6 +69,14 @@ impl Report {
                 "off"
             }
         ));
+        report.note(format!(
+            "simd kernel: {} (MAXSON_SIMD); norc mmap: {} (MAXSON_MMAP)",
+            maxson_json::kernels::active().name(),
+            match maxson_storage::MmapMode::from_env() {
+                maxson_storage::MmapMode::Enabled => "on",
+                maxson_storage::MmapMode::Disabled => "off",
+            }
+        ));
         report
     }
 

@@ -316,6 +316,8 @@ fn attr_counter_deltas(span: &SpanGuard<'_>, before: Option<&ExecMetrics>, after
         ("lru_misses", after.lru_misses - b.lru_misses),
         ("lru_evictions", after.lru_evictions - b.lru_evictions),
         ("nodes_skipped", after.nodes_skipped - b.nodes_skipped),
+        ("bitmap_builds", after.bitmap_builds - b.bitmap_builds),
+        ("bitmap_bytes", after.bitmap_bytes - b.bitmap_bytes),
     ] {
         if delta > 0 {
             span.attr(key, delta);

@@ -208,6 +208,7 @@ impl Expr {
                         return Ok(extracted.map_or(Cell::Null, Cell::from));
                     }
                 }
+                let kernels_before = maxson_json::kernels::thread_build_stats();
                 let start = Instant::now();
                 let cell = match parser {
                     JsonParserKind::Jackson => {
@@ -232,6 +233,7 @@ impl Expr {
                 metrics.parse_wall += spent;
                 metrics.parse_calls += 1;
                 metrics.docs_parsed += 1;
+                metrics.charge_bitmap_builds(kernels_before);
                 Ok(cell)
             }
             Expr::Binary { left, op, right } => {

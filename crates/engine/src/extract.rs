@@ -186,12 +186,14 @@ impl<'e> RowSlots<'e> {
         let (gi, pi) = self.extractor.lookup(column, path)?;
         let mut filled = self.filled.borrow_mut();
         if filled[gi].is_none() {
+            let kernels_before = maxson_json::kernels::thread_build_stats();
             let start = Instant::now();
             let values = self.extractor.extract_group(gi, json, parser, metrics);
             let spent = start.elapsed();
             metrics.parse += spent;
             metrics.parse_wall += spent;
             metrics.docs_parsed += 1;
+            metrics.charge_bitmap_builds(kernels_before);
             filled[gi] = Some(values);
         }
         metrics.parse_calls += 1;

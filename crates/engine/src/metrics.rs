@@ -104,6 +104,21 @@ pub struct ExecMetrics {
     /// Norc metadata cache: split opens that had to read and decode the
     /// part file (cache absent, cold, or invalidated).
     pub meta_cache_misses: u64,
+    /// Structural-bitmap constructions (one per record indexed by the Mison
+    /// or tape parser). Zero in Jackson mode — the DOM parser builds no
+    /// bitmaps.
+    pub bitmap_builds: u64,
+    /// Input bytes classified by the structural kernels.
+    pub bitmap_bytes: u64,
+    /// Wall time inside structural-bitmap construction (classification +
+    /// string-mask resolve, not the colon/bracket walk), summed across
+    /// tasks like `parse`.
+    pub bitmap_build_wall: Duration,
+    /// Which structural-kernel tier ran (`maxson_json::kernels::Kernel`
+    /// id: 1 scalar, 2 swar, 3 sse2, 4 avx2; 0 = no bitmap work observed).
+    /// A gauge — `absorb` takes the max, and the tier is process-wide so
+    /// concurrent tasks always agree.
+    pub simd_kernel: u64,
 }
 
 impl ExecMetrics {
@@ -177,6 +192,27 @@ impl ExecMetrics {
         self.lru_resident_bytes = self.lru_resident_bytes.max(other.lru_resident_bytes);
         self.meta_cache_hits += other.meta_cache_hits;
         self.meta_cache_misses += other.meta_cache_misses;
+        self.bitmap_builds += other.bitmap_builds;
+        self.bitmap_bytes += other.bitmap_bytes;
+        self.bitmap_build_wall += other.bitmap_build_wall;
+        self.simd_kernel = self.simd_kernel.max(other.simd_kernel);
+    }
+
+    /// Charge structural-kernel work performed since `before` (a snapshot
+    /// of [`maxson_json::kernels::thread_build_stats`] taken just before
+    /// the parse work). Records which kernel tier ran the moment any build
+    /// is observed; Jackson-mode parses charge nothing because the DOM
+    /// parser never builds bitmaps.
+    pub fn charge_bitmap_builds(&mut self, before: maxson_json::kernels::BuildStats) {
+        let d = maxson_json::kernels::thread_build_stats().delta_since(before);
+        if d.builds > 0 {
+            self.bitmap_builds += d.builds;
+            self.bitmap_bytes += d.bytes;
+            self.bitmap_build_wall += Duration::from_nanos(d.nanos);
+            self.simd_kernel = self
+                .simd_kernel
+                .max(maxson_json::kernels::active().id() as u64);
+        }
     }
 
     /// Online-LRU hit ratio over this query's lookups (0 when the LRU
@@ -271,6 +307,16 @@ impl ExecMetrics {
             s.push_str(&format!(
                 " meta_hits={} meta_misses={}",
                 self.meta_cache_hits, self.meta_cache_misses,
+            ));
+        }
+        if self.bitmap_builds > 0 {
+            // Structural-kernel modes (Mison/tape) only: which tier ran and
+            // what the bitmap construction cost.
+            let kernel = maxson_json::kernels::Kernel::from_id(self.simd_kernel as u8)
+                .map_or("unknown", |k| k.name());
+            s.push_str(&format!(
+                " simd={kernel} bitmap_builds={} bitmap_bytes={} bitmap_wall={:?}",
+                self.bitmap_builds, self.bitmap_bytes, self.bitmap_build_wall,
             ));
         }
         s
@@ -412,6 +458,10 @@ mod tests {
             lru_resident_bytes: next() % 1_000_000,
             meta_cache_hits: next() % 500,
             meta_cache_misses: next() % 500,
+            bitmap_builds: next() % 500,
+            bitmap_bytes: next() % 100_000,
+            bitmap_build_wall: Duration::from_micros(next() % 5_000),
+            simd_kernel: next() % 5,
         }
     }
 
@@ -517,6 +567,19 @@ mod tests {
         assert!(l.summary().contains("lru_ratio=0.75"));
         assert!(l.summary().contains("lru_evict=2"));
         assert!(l.summary().contains("lru_bytes=640"));
+        assert!(
+            !m.summary().contains("simd="),
+            "kernel fields only print when bitmaps were built"
+        );
+        let k = ExecMetrics {
+            bitmap_builds: 4,
+            bitmap_bytes: 1200,
+            simd_kernel: maxson_json::kernels::Kernel::Swar.id() as u64,
+            ..Default::default()
+        };
+        assert!(k.summary().contains("simd=swar"));
+        assert!(k.summary().contains("bitmap_builds=4"));
+        assert!(k.summary().contains("bitmap_bytes=1200"));
     }
 
     #[test]

@@ -217,7 +217,10 @@ impl Session {
     /// `MAXSON_PARSER` environment variable (`jackson` / `mison` / `tape`,
     /// case-insensitive) selects the default JSON parser; unrecognized
     /// values keep the Jackson default, and [`Session::set_parser`]
-    /// overrides either way.
+    /// overrides either way. The structural-kernel tier resolves lazily
+    /// from `MAXSON_SIMD` on first bitmap build (see
+    /// [`Session::set_simd`]), and Norc file mapping from `MAXSON_MMAP`
+    /// at each split open.
     pub fn open(root: impl AsRef<Path>) -> Result<Self> {
         let trace_path = std::env::var_os("MAXSON_TRACE")
             .filter(|v| !v.is_empty())
@@ -359,6 +362,29 @@ impl Session {
         self.set_parser_kind(kind);
     }
 
+    /// Pin the structural-kernel tier used for bitmap construction and
+    /// prefilter needle search, overriding the `MAXSON_SIMD` environment
+    /// default (`auto` / `avx2` / `sse2` / `swar` / `scalar`). Returns the
+    /// tier that actually took effect — a request for a tier the CPU lacks
+    /// clamps to the best available one.
+    ///
+    /// The kernel dispatch is **process-wide** (results are bit-identical
+    /// across tiers, so this only affects speed, never answers): setting it
+    /// on one session changes every session in the process, mirroring how
+    /// the env var behaves.
+    pub fn set_simd(
+        &mut self,
+        kernel: maxson_json::kernels::Kernel,
+    ) -> maxson_json::kernels::Kernel {
+        maxson_json::kernels::set_active(kernel)
+    }
+
+    /// The structural-kernel tier currently in effect (resolving
+    /// `MAXSON_SIMD` on first use).
+    pub fn simd_kernel(&self) -> maxson_json::kernels::Kernel {
+        maxson_json::kernels::active()
+    }
+
     /// Current JSON parser kind.
     pub fn parser_kind(&self) -> JsonParserKind {
         self.parser_kind
@@ -497,6 +523,14 @@ impl Session {
         metrics.total = start.elapsed();
         tracer.observe("query_exec_us", metrics.total);
         root.attr("rows", rows.len());
+        if metrics.bitmap_builds > 0 {
+            // Which structural-kernel tier built the bitmaps and how long
+            // it spent — the tentpole numbers `EXPLAIN ANALYZE` surfaces.
+            let kernel = maxson_json::kernels::Kernel::from_id(metrics.simd_kernel as u8)
+                .map_or("unknown", |k| k.name());
+            root.attr("simd", kernel);
+            root.attr("bitmap_wall", format!("{:?}", metrics.bitmap_build_wall));
+        }
         let root_id = root.id();
         drop(root);
         Ok((

@@ -1,0 +1,96 @@
+//! The 64-bit SWAR tier: classifies 64-byte blocks into bit masks with the
+//! packed zero-byte trick (eight 8-byte words per block, no intrinsics),
+//! then feeds the shared carry-propagated resolver. Portable to any 64-bit
+//! target.
+
+use super::Carry;
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// 8-bit mask (in the low byte) of which bytes of `w` equal `b`.
+///
+/// `x | ((x | HI) - LO)` has bit 7 of a byte clear iff that byte of `x` is
+/// zero: pre-setting bit 7 makes every per-byte subtraction borrow-free, so
+/// the test is exact for all byte values (the classic `(x - LO) & !x & HI`
+/// form false-positives after a matching byte). The multiply then gathers
+/// the eight bit-7s into the top byte (all partial products hit distinct
+/// bit positions, so no carries).
+#[inline]
+fn eq_mask(w: u64, b: u8) -> u64 {
+    let x = w ^ LO.wrapping_mul(u64::from(b));
+    let zero = HI & !(x | (x | HI).wrapping_sub(LO));
+    (zero >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56
+}
+
+/// Classify one 64-byte block into (backslash, quote, structural) masks.
+#[inline]
+fn classify(block: &[u8; 64]) -> (u64, u64, u64) {
+    let mut bs = 0u64;
+    let mut qt = 0u64;
+    let mut st = 0u64;
+    for k in 0..8 {
+        let w = u64::from_le_bytes(block[k * 8..k * 8 + 8].try_into().unwrap());
+        bs |= eq_mask(w, b'\\') << (k * 8);
+        qt |= eq_mask(w, b'"') << (k * 8);
+        st |= (eq_mask(w, b'{')
+            | eq_mask(w, b'}')
+            | eq_mask(w, b'[')
+            | eq_mask(w, b']')
+            | eq_mask(w, b':'))
+            << (k * 8);
+    }
+    (bs, qt, st)
+}
+
+pub(super) fn build_bitmaps(bytes: &[u8], in_string: &mut [u64], structural: &mut [u64]) {
+    let mut carry = Carry::default();
+    let mut chunks = bytes.chunks_exact(64);
+    let mut w = 0usize;
+    for block in &mut chunks {
+        let (bs, qt, st) = classify(block.try_into().unwrap());
+        let (ins, st_out) = super::resolve_word(bs, qt, st, &mut carry);
+        in_string[w] = ins;
+        structural[w] = st_out;
+        w += 1;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        // Zero-pad the tail block: NUL matches no class, and resolver bits
+        // past the input (an unterminated string) are masked off.
+        let mut buf = [0u8; 64];
+        buf[..rem.len()].copy_from_slice(rem);
+        let (bs, qt, st) = classify(&buf);
+        let (ins, st_out) = super::resolve_word(bs, qt, st, &mut carry);
+        let mask = (1u64 << rem.len()) - 1;
+        in_string[w] = ins & mask;
+        structural[w] = st_out & mask;
+    }
+}
+
+/// Substring test: SWAR scan for the first needle byte, verify candidates.
+/// Callers guarantee `!needle.is_empty()` and `needle.len() <= hay.len()`.
+pub(super) fn contains(hay: &[u8], needle: &[u8]) -> bool {
+    let first = needle[0];
+    let last_start = hay.len() - needle.len();
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().unwrap());
+        let mut m = eq_mask(w, first);
+        while m != 0 {
+            let j = i + m.trailing_zeros() as usize;
+            m &= m - 1;
+            if j <= last_start && hay[j..j + needle.len()] == *needle {
+                return true;
+            }
+        }
+        i += 8;
+    }
+    while i <= last_start {
+        if hay[i] == first && hay[i..i + needle.len()] == *needle {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}

@@ -11,10 +11,14 @@
 //! * [`path`] — a JSONPath dialect matching Hive/Spark's
 //!   `get_json_object(column, '$.a.b[0]')`, with both a DOM evaluator and a
 //!   raw-string evaluator.
+//! * [`kernels`] — runtime-dispatched structural kernels (AVX2 / SSE2 /
+//!   64-bit SWAR / scalar) building the quote-escape-colon-brace bitmaps
+//!   and running the prefilter's substring search; every tier is proven
+//!   bit-identical to the scalar reference.
 //! * [`mison`] — a structural-index parser in the style of Mison (Li et al.,
-//!   VLDB 2017), using SWAR 64-bit bitmaps instead of SIMD intrinsics. It
-//!   extracts individual fields without materializing a DOM, which is the
-//!   "fast parser" baseline of the paper's Fig. 15.
+//!   VLDB 2017), its bitmaps built by [`kernels`]. It extracts individual
+//!   fields without materializing a DOM, which is the "fast parser"
+//!   baseline of the paper's Fig. 15.
 //! * [`tape`] — a two-stage tape parser in the style of On-Demand JSON
 //!   (Keiser & Lemire, VLDB 2021): the Mison structural index drives a
 //!   typed tape whose skip markers let path navigation hop over unqueried
@@ -31,6 +35,7 @@
 //! ```
 
 pub mod error;
+pub mod kernels;
 pub mod mison;
 pub mod parser;
 pub mod path;

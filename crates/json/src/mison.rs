@@ -3,8 +3,9 @@
 //!
 //! Mison avoids building a DOM. It scans the raw bytes once to build
 //! *structural bitmaps* — one bit per input byte marking quotes, colons,
-//! braces and brackets — using word-parallel (SWAR) operations instead of
-//! SIMD intrinsics, then derives a *leveled colon index*: for every
+//! braces and brackets — through the dispatched [`crate::kernels`] tier
+//! (AVX2/SSE2 intrinsics, portable SWAR, or the scalar reference, selected
+//! at runtime), then derives a *leveled colon index*: for every
 //! structural colon, its byte position and nesting depth, plus a matching
 //! table from every open bracket to its close. Locating a field is then a
 //! scan over the colons of one level only; the value text is sliced out of
@@ -17,6 +18,7 @@
 //! * the per-record index construction cost remains, so caching parsed
 //!   values (Maxson) still wins when the same path is parsed repeatedly.
 
+use crate::kernels;
 use crate::parser::Parser;
 use crate::path::{JsonPath, Step};
 use crate::value::JsonValue;
@@ -39,69 +41,62 @@ pub struct StructuralIndex<'a> {
 }
 
 #[inline]
-fn word_count(len: usize) -> usize {
-    len.div_ceil(64)
-}
-
-#[inline]
 fn get_bit(words: &[u64], i: usize) -> bool {
     words[i / 64] >> (i % 64) & 1 == 1
 }
 
 impl<'a> StructuralIndex<'a> {
-    /// Build the structural index for one JSON record in two passes.
+    /// Build the structural index for one JSON record in two passes: the
+    /// dispatched kernel builds the string-interior and structural bitmaps
+    /// (pass 1), then a word-at-a-time walk over the set structural bits
+    /// derives leveled colons and bracket matching (pass 2).
     pub fn build(input: &'a str) -> Self {
+        Self::from_bitmaps(input, kernels::build_bitmaps(input.as_bytes()))
+    }
+
+    /// [`Self::build`] with an explicitly pinned kernel tier — the
+    /// differential suites prove every tier yields identical indexes.
+    pub fn build_with(kernel: kernels::Kernel, input: &'a str) -> Self {
+        Self::from_bitmaps(input, kernels::build_bitmaps_with(kernel, input.as_bytes()))
+    }
+
+    fn from_bitmaps(input: &'a str, bitmaps: kernels::Bitmaps) -> Self {
         let bytes = input.as_bytes();
-        let n = bytes.len();
-        let words = word_count(n);
-        let mut in_string = vec![0u64; words];
+        let kernels::Bitmaps {
+            in_string,
+            structural,
+        } = bitmaps;
 
-        // Pass 1: string-interior bitmap. Tracks escapes inline; fills the
-        // bitmap word-wise.
-        {
-            let mut inside = false;
-            let mut escaped = false;
-            for (i, &b) in bytes.iter().enumerate() {
-                if inside {
-                    // The byte is interior unless it is the closing quote.
-                    if b == b'"' && !escaped {
-                        inside = false;
-                    } else {
-                        in_string[i / 64] |= 1u64 << (i % 64);
-                    }
-                    escaped = b == b'\\' && !escaped;
-                } else if b == b'"' {
-                    inside = true;
-                    escaped = false;
-                }
-            }
-        }
-
-        // Pass 2: leveled colons and bracket matching over the masked bytes.
+        // Pass 2: leveled colons and bracket matching. The kernel already
+        // masked string interiors out of `structural`, so this visits only
+        // the (sparse) structural bytes via a trailing-zeros walk instead
+        // of probing the bitmap per byte.
         let mut colons = Vec::new();
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         let mut inner_depth: Vec<u32> = Vec::new();
         let mut stack: Vec<usize> = Vec::new(); // indexes into `pairs`
         let mut depth = 0u32;
-        for (i, &b) in bytes.iter().enumerate() {
-            if get_bit(&in_string, i) {
-                continue;
-            }
-            match b {
-                b'{' | b'[' => {
-                    depth += 1;
-                    stack.push(pairs.len());
-                    pairs.push((i as u32, u32::MAX));
-                    inner_depth.push(depth);
-                }
-                b'}' | b']' => {
-                    depth = depth.saturating_sub(1);
-                    if let Some(idx) = stack.pop() {
-                        pairs[idx].1 = i as u32;
+        for (w, &word) in structural.iter().enumerate() {
+            let mut m = word;
+            while m != 0 {
+                let i = (w << 6) + m.trailing_zeros() as usize;
+                m &= m - 1;
+                match bytes[i] {
+                    b'{' | b'[' => {
+                        depth += 1;
+                        stack.push(pairs.len());
+                        pairs.push((i as u32, u32::MAX));
+                        inner_depth.push(depth);
                     }
+                    b'}' | b']' => {
+                        depth = depth.saturating_sub(1);
+                        if let Some(idx) = stack.pop() {
+                            pairs[idx].1 = i as u32;
+                        }
+                    }
+                    // Only `:` remains; the kernel marks exactly these five.
+                    _ => colons.push((i as u32, depth)),
                 }
-                b':' => colons.push((i as u32, depth)),
-                _ => {}
             }
         }
         StructuralIndex {

@@ -54,8 +54,11 @@ impl RawFilter {
 
     /// `true` if the record *may* satisfy the predicate (every needle is
     /// present). Never returns `false` for a record the predicate accepts.
+    /// The substring scan runs on the dispatched [`crate::kernels`] tier.
     pub fn maybe_matches(&self, record: &str) -> bool {
-        self.needles.iter().all(|n| record.contains(n.as_str()))
+        self.needles
+            .iter()
+            .all(|n| crate::kernels::contains(record.as_bytes(), n.as_bytes()))
     }
 
     /// Filter statistics helper: how many of `records` pass.

@@ -2,16 +2,19 @@
 //!
 //! `Score_j = A_j · R_j · O_j` where
 //!
-//! * `A_j = P_j / B_j` — *acceleration per byte*: average parse time of the
+//! * `A_j = P_j / B_j` — *acceleration per byte*: average parse cost of the
 //!   path over average parsed-value size, measured by sampling rows from
-//!   the raw table with the same parsing algorithm the engine uses,
+//!   the raw table. `P_j` is a deterministic bytes-parsed proxy (mean raw
+//!   document length): a full parse touches every input byte, so cost is
+//!   proportional to document size, and using bytes instead of a wall
+//!   clock keeps scores — and the cache tables built from them —
+//!   reproducible across runs and machine load,
 //! * `R_j` — *relevance*: over the queries that access `j`, the fraction of
 //!   their JSONPaths that are MPJPs (`ΣM_i / ΣN_i`); caching high-relevance
 //!   paths makes whole queries cache-only,
 //! * `O_j` — *occurrence*: the number of queries that access `j`.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
 
 use maxson_json::JsonPath;
 use maxson_storage::{Catalog, Cell};
@@ -25,7 +28,10 @@ use crate::mpjp::MpjpCandidate;
 pub struct ScoredMpjp {
     /// The path.
     pub location: JsonPathLocation,
-    /// Average parse time per record, seconds (`P_j`).
+    /// Deterministic parse-cost proxy per record (`P_j`): mean raw document
+    /// bytes parsed. A full parse touches every byte, so cost is linear in
+    /// document length; counting bytes instead of timing keeps scoring
+    /// independent of machine load.
     pub parse_time: f64,
     /// Average parsed-value size in bytes (`B_j`).
     pub value_size: f64,
@@ -149,22 +155,29 @@ pub fn score_candidates(
     Ok(scored)
 }
 
-/// Average (parse seconds, value bytes) of evaluating `path` over `sample`.
+/// Average (parse-cost proxy, value bytes) of evaluating `path` over
+/// `sample`. The cost proxy is the mean raw document length in bytes:
+/// evaluating a path through a full parse reads every input byte, so the
+/// cost ratio between two paths on the same column equals their document
+/// ratio — exactly what `A_j` divides away — while staying bit-identical
+/// across runs (a wall clock here made the scores, and therefore which
+/// cache tables get built, depend on machine load).
 fn measure(sample: &[String], path: &JsonPath) -> (f64, f64) {
     if sample.is_empty() {
         return (0.0, 1.0);
     }
-    let start = Instant::now();
-    let mut bytes = 0usize;
+    let mut doc_bytes = 0usize;
+    let mut value_bytes = 0usize;
     for json in sample {
+        doc_bytes += json.len();
         if let Some(v) = maxson_json::get_json_object(json, path) {
-            bytes += v.len();
+            value_bytes += v.len();
         } else {
-            bytes += 1; // NULL marker byte, matching Cell::Null.byte_size()
+            value_bytes += 1; // NULL marker byte, matching Cell::Null.byte_size()
         }
     }
-    let secs = start.elapsed().as_secs_f64() / sample.len() as f64;
-    (secs, bytes as f64 / sample.len() as f64)
+    let n = sample.len() as f64;
+    (doc_bytes as f64 / n, value_bytes as f64 / n)
 }
 
 #[cfg(test)]

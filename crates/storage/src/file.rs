@@ -498,8 +498,50 @@ impl NorcWriter {
             path: self.path,
             schema: self.schema,
             stripes: self.stripes,
-            data: out,
+            data: FileBytes::Owned(out),
         })
+    }
+}
+
+/// How [`NorcFile::open`] acquires the file body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmapMode {
+    /// Memory-map the file (`PROT_READ`/`MAP_PRIVATE`), so chunk decodes
+    /// borrow page-cache bytes instead of copying the whole file through
+    /// `fs::read`. Falls back to [`MmapMode::Disabled`] when the kernel
+    /// refuses the mapping, and on non-unix targets.
+    Enabled,
+    /// Copy the file into an owned buffer via `fs::read`.
+    Disabled,
+}
+
+impl MmapMode {
+    /// Resolve `MAXSON_MMAP`: `0`/`false`/`off` disable mapping; anything
+    /// else (including unset) enables it where the platform supports it.
+    pub fn from_env() -> MmapMode {
+        match std::env::var("MAXSON_MMAP") {
+            Ok(v) if matches!(v.trim(), "0" | "false" | "off") => MmapMode::Disabled,
+            _ => MmapMode::Enabled,
+        }
+    }
+}
+
+/// The file body: owned bytes or a shared read-only mapping. Cloning a
+/// mapped body bumps the `Arc` instead of copying the file.
+#[derive(Debug, Clone)]
+enum FileBytes {
+    Owned(Vec<u8>),
+    #[cfg(unix)]
+    Mapped(std::sync::Arc<crate::mmap::Mmap>),
+}
+
+impl FileBytes {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            FileBytes::Owned(v) => v,
+            #[cfg(unix)]
+            FileBytes::Mapped(m) => m,
+        }
     }
 }
 
@@ -509,14 +551,35 @@ pub struct NorcFile {
     path: PathBuf,
     schema: Schema,
     stripes: Vec<StripeInfo>,
-    data: Vec<u8>,
+    data: FileBytes,
 }
 
 impl NorcFile {
-    /// Open and validate a Norc file (magic, checksum, footer).
+    /// Open and validate a Norc file (magic, checksum, footer), honoring
+    /// the `MAXSON_MMAP` knob for how the body is acquired.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with(path, MmapMode::from_env())
+    }
+
+    /// [`Self::open`] with an explicit body-acquisition mode (differential
+    /// tests pin both modes). Validation is identical in either mode: the
+    /// checksum is verified over the mapped or copied bytes before any
+    /// footer field is trusted.
+    pub fn open_with(path: impl AsRef<Path>, mode: MmapMode) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let data = fs::read(&path)?;
+        let data = match mode {
+            #[cfg(unix)]
+            MmapMode::Enabled => match crate::mmap::Mmap::map(&fs::File::open(&path)?) {
+                Ok(map) => FileBytes::Mapped(std::sync::Arc::new(map)),
+                Err(_) => FileBytes::Owned(fs::read(&path)?),
+            },
+            _ => FileBytes::Owned(fs::read(&path)?),
+        };
+        Self::parse(path, data)
+    }
+
+    fn parse(path: PathBuf, bytes: FileBytes) -> Result<Self> {
+        let data = bytes.as_slice();
         if data.len() < MAGIC.len() + 16 {
             return Err(StorageError::corrupt("file too short"));
         }
@@ -580,7 +643,7 @@ impl NorcFile {
             path,
             schema,
             stripes,
-            data,
+            data: bytes,
         })
     }
 
@@ -621,7 +684,17 @@ impl NorcFile {
 
     /// Size on disk in bytes.
     pub fn byte_size(&self) -> usize {
-        self.data.len()
+        self.data.as_slice().len()
+    }
+
+    /// `true` when the body is a shared memory mapping rather than an
+    /// owned copy (observability for tests and benches).
+    pub fn is_mapped(&self) -> bool {
+        match self.data {
+            FileBytes::Owned(_) => false,
+            #[cfg(unix)]
+            FileBytes::Mapped(_) => true,
+        }
     }
 
     /// Decode one column chunk of one row group (global row-group index).
@@ -640,12 +713,13 @@ impl NorcFile {
             })?;
         let start = MAGIC.len() + off as usize;
         let end = start + len as usize;
-        if end > self.data.len() {
+        let data = self.data.as_slice();
+        if end > data.len() {
             return Err(StorageError::corrupt("chunk out of range"));
         }
         let ty = self.schema.fields()[column].ty;
         let mut pos = 0usize;
-        let col = ColumnData::decode(ty, &self.data[start..end], &mut pos)?;
+        let col = ColumnData::decode(ty, &data[start..end], &mut pos)?;
         if col.len() != rg.row_count {
             return Err(StorageError::corrupt("chunk row count mismatch"));
         }

@@ -29,6 +29,7 @@ pub mod encoding;
 pub mod error;
 pub mod file;
 pub mod metacache;
+pub mod mmap;
 pub mod sarg;
 pub mod schema;
 pub mod table;
@@ -37,7 +38,7 @@ pub use catalog::{Catalog, TableMeta};
 pub use cell::{Cell, CellKey, RowKey, RowKeySlice};
 pub use column::ColumnData;
 pub use error::{Result, StorageError};
-pub use file::{NorcFile, RowGroupStats, DEFAULT_ROW_GROUP_SIZE};
+pub use file::{MmapMode, NorcFile, RowGroupStats, DEFAULT_ROW_GROUP_SIZE};
 pub use metacache::{MetaCacheStats, NorcMetaCache};
 pub use sarg::{CmpOp, SearchArgument};
 pub use schema::{ColumnType, Field, Schema};

@@ -61,7 +61,10 @@ fn work_counters(m: &ExecMetrics) -> [u64; 9] {
 /// Normalize an `EXPLAIN ANALYZE` rendering: strip wall-clock tokens and
 /// the table root path (same scheme as tests/explain_analyze_golden.rs),
 /// plus `docs_parsed=` — the one counter shared-parse mode legitimately
-/// changes (its thread-invariance is asserted separately on the metrics).
+/// changes (its thread-invariance is asserted separately on the metrics) —
+/// and the structural-kernel attrs (`simd=`, `bitmap_*=`), which only the
+/// bitmap-building parsers emit; Jackson legitimately has none
+/// (tests/kernel_differential.rs pins their semantics).
 fn normalized_tree(session: &Session, sql: &str, root: &Path) -> String {
     let result = session
         .execute(&format!("explain analyze {sql}"))
@@ -79,6 +82,7 @@ fn normalized_tree(session: &Session, sql: &str, root: &Path) -> String {
     text.lines()
         .map(|line| {
             line.split(' ')
+                .filter(|tok| !tok.starts_with("simd=") && !tok.starts_with("bitmap_"))
                 .map(|tok| {
                     if tok.starts_with("wall=") {
                         "wall=_"
