@@ -323,6 +323,16 @@ fn attr_counter_deltas(span: &SpanGuard<'_>, before: Option<&ExecMetrics>, after
             span.attr(key, delta);
         }
     }
+    // Kernel attribution rides along only when this operator actually built
+    // structural bitmaps, so Jackson-mode span trees are unchanged.
+    if after.bitmap_builds > b.bitmap_builds {
+        let wall_us =
+            (after.bitmap_build_wall.saturating_sub(b.bitmap_build_wall)).as_micros() as u64;
+        if wall_us > 0 {
+            span.attr("bitmap_wall_us", wall_us);
+        }
+        span.attr("simd", maxson_json::kernels::active().name());
+    }
 }
 
 fn filter_rows(

@@ -233,6 +233,7 @@ impl Expr {
                 metrics.parse_wall += spent;
                 metrics.parse_calls += 1;
                 metrics.docs_parsed += 1;
+                metrics.charge_path_extract(path.text());
                 metrics.charge_bitmap_builds(kernels_before);
                 Ok(cell)
             }

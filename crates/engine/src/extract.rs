@@ -197,6 +197,7 @@ impl<'e> RowSlots<'e> {
             filled[gi] = Some(values);
         }
         metrics.parse_calls += 1;
+        metrics.charge_path_extract(path.text());
         Some(filled[gi].as_ref().expect("slot group just filled")[pi].clone())
     }
 }

@@ -45,6 +45,7 @@ pub mod extract;
 pub mod metrics;
 pub mod plan;
 pub mod pool;
+pub mod querylog;
 pub mod scan;
 pub mod session;
 pub mod sql;
@@ -55,9 +56,14 @@ pub use expr::Expr;
 pub use metrics::ExecMetrics;
 pub use plan::LogicalPlan;
 pub use pool::SplitScheduler;
+pub use querylog::{fnv1a64, QueryLog, QueryLogEntry};
 pub use session::{
     CatalogRead, CatalogWrite, JsonParserKind, QueryResult, Session, TableScanRewriter,
 };
 // Observability handles, re-exported so downstream crates don't need a
-// direct `maxson-obs` dependency to hold or inspect a tracer.
-pub use maxson_obs::{LatencyHistogram, OpRollup, SpanGuard, SpanId, TraceSnapshot, Tracer};
+// direct `maxson-obs` dependency to hold or inspect a tracer or charge the
+// process-wide metric registry.
+pub use maxson_obs::{
+    Counter, Gauge, HistogramHandle, LatencyHistogram, OpRollup, Registry, SpanGuard, SpanId,
+    TraceSnapshot, Tracer,
+};

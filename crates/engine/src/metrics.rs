@@ -119,6 +119,14 @@ pub struct ExecMetrics {
     /// A gauge — `absorb` takes the max, and the tier is process-wide so
     /// concurrent tasks always agree.
     pub simd_kernel: u64,
+    /// Per-JSONPath evaluation counts for this query, `(path text, count)`
+    /// **kept sorted by path** so `absorb` is order-insensitive. Charged
+    /// wherever `parse_calls` is charged (one entry bump per evaluation);
+    /// the session drains this into the process-wide workload sketch at
+    /// query end, attributed to the scanned table. A query touches a
+    /// handful of distinct paths, so the sorted-Vec lookup is a short
+    /// binary search with no per-row allocation after first touch.
+    pub path_extracts: Vec<(String, u64)>,
 }
 
 impl ExecMetrics {
@@ -196,6 +204,38 @@ impl ExecMetrics {
         self.bitmap_bytes += other.bitmap_bytes;
         self.bitmap_build_wall += other.bitmap_build_wall;
         self.simd_kernel = self.simd_kernel.max(other.simd_kernel);
+        for (path, n) in &other.path_extracts {
+            match self
+                .path_extracts
+                .binary_search_by(|(p, _)| p.as_str().cmp(path.as_str()))
+            {
+                Ok(i) => self.path_extracts[i].1 += n,
+                Err(i) => self.path_extracts.insert(i, (path.clone(), *n)),
+            }
+        }
+    }
+
+    /// Bump the per-query evaluation count of one JSONPath. Kept sorted so
+    /// merges stay order-insensitive; allocates only on the first sighting
+    /// of a path within this instance.
+    pub fn charge_path_extract(&mut self, path: &str) {
+        self.charge_path_extracts(path, 1);
+    }
+
+    /// Bulk form of [`ExecMetrics::charge_path_extract`] for column-at-a-
+    /// time providers (LRU fills, cache-table scans) that answer `n`
+    /// evaluations of one path at once.
+    pub fn charge_path_extracts(&mut self, path: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self
+            .path_extracts
+            .binary_search_by(|(p, _)| p.as_str().cmp(path))
+        {
+            Ok(i) => self.path_extracts[i].1 += n,
+            Err(i) => self.path_extracts.insert(i, (path.to_string(), n)),
+        }
     }
 
     /// Charge structural-kernel work performed since `before` (a snapshot
@@ -386,6 +426,34 @@ mod tests {
     }
 
     #[test]
+    fn path_extracts_stay_sorted_and_merge_by_key() {
+        let mut a = ExecMetrics::default();
+        a.charge_path_extract("$.b");
+        a.charge_path_extract("$.a");
+        a.charge_path_extract("$.b");
+        assert_eq!(
+            a.path_extracts,
+            vec![("$.a".to_string(), 1), ("$.b".to_string(), 2)]
+        );
+        let mut b = ExecMetrics::default();
+        b.charge_path_extract("$.c");
+        b.charge_path_extract("$.b");
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab.path_extracts, ba.path_extracts);
+        assert_eq!(
+            ab.path_extracts,
+            vec![
+                ("$.a".to_string(), 1),
+                ("$.b".to_string(), 3),
+                ("$.c".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
     fn dedup_factor_defaults_to_one_without_parses() {
         assert_eq!(ExecMetrics::default().parse_dedup_factor(), 1.0);
     }
@@ -462,6 +530,16 @@ mod tests {
             bitmap_bytes: next() % 100_000,
             bitmap_build_wall: Duration::from_micros(next() % 5_000),
             simd_kernel: next() % 5,
+            path_extracts: {
+                // A few overlapping keys so merges both sum and insert.
+                let mut v = vec![
+                    (format!("$.f{}", next() % 3), 1 + next() % 50),
+                    ("$.shared".to_string(), 1 + next() % 50),
+                ];
+                v.sort();
+                v.dedup_by(|a, b| a.0 == b.0);
+                v
+            },
         }
     }
 

@@ -12,11 +12,11 @@
 use std::ops::{Deref, DerefMut};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use maxson_json::JsonPath;
-use maxson_obs::{SpanId, Tracer};
-use maxson_storage::{Catalog, Cell, CmpOp, ColumnType, Field, Schema, SearchArgument};
+use maxson_obs::{Registry, SpanId, Tracer};
+use maxson_storage::{Catalog, Cell, CmpOp, ColumnType, Field, MmapMode, Schema, SearchArgument};
 
 use crate::error::{EngineError, Result};
 use crate::exec::{execute_plan_traced, ExecOptions};
@@ -25,6 +25,7 @@ pub use crate::expr::JsonParserKind;
 use crate::metrics::ExecMetrics;
 use crate::plan::LogicalPlan;
 use crate::pool::SplitScheduler;
+use crate::querylog::{fnv1a64, QueryLog, QueryLogEntry};
 use crate::scan::{NorcScanProvider, ScanProvider};
 use crate::sql::ast::{AggFunc, BinaryOp, SelectItem, SelectStatement, SqlExpr, TableRef};
 use crate::sql::parse_select;
@@ -208,6 +209,17 @@ pub struct Session {
     /// Where to write the Chrome trace-event JSON (rewritten after every
     /// execute). `None` = no export.
     trace_path: Option<PathBuf>,
+    /// Always-on metric registry charged after every execute. Defaults to
+    /// the process-global [`Registry`]; tests inject fresh instances via
+    /// [`Session::set_metrics_registry`] to stay isolated.
+    registry: Arc<Registry>,
+    /// Structured JSONL query log (`MAXSON_QUERY_LOG`); `None` = off.
+    /// Clones share the handle, so one file serializes whole lines across
+    /// every connection of a serving warehouse.
+    query_log: Option<Arc<QueryLog>>,
+    /// Queries whose wall time exceeds this get `slow=true` in the log
+    /// (`MAXSON_SLOW_MS`, default 1000 ms).
+    slow_threshold: Duration,
 }
 
 impl Session {
@@ -231,6 +243,15 @@ impl Session {
             .unwrap_or_default();
         let tracer = Tracer::new();
         tracer.set_enabled(trace_path.is_some());
+        let query_log = std::env::var_os("MAXSON_QUERY_LOG")
+            .filter(|v| !v.is_empty())
+            .map(|p| QueryLog::open(PathBuf::from(p)).map(Arc::new))
+            .transpose()?;
+        let slow_threshold = std::env::var("MAXSON_SLOW_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(1000));
         Ok(Session {
             warehouse: Arc::new(RwLock::new(Warehouse {
                 catalog: Catalog::open(root.as_ref())?,
@@ -244,6 +265,9 @@ impl Session {
             scheduler: None,
             tracer,
             trace_path,
+            registry: Arc::clone(Registry::global()),
+            query_log,
+            slow_threshold,
         })
     }
 
@@ -285,6 +309,38 @@ impl Session {
     /// `session.tracer().reset()` between queries for per-query rollups.
     pub fn set_trace_enabled(&self, on: bool) {
         self.tracer.set_enabled(on);
+    }
+
+    /// The metric registry this session charges (the process-global one
+    /// unless [`Session::set_metrics_registry`] injected another).
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Point this session at a different metric registry. Clones made
+    /// afterwards inherit it; the serving front end passes one registry to
+    /// every connection, and tests pass fresh instances for isolation.
+    pub fn set_metrics_registry(&mut self, registry: Arc<Registry>) {
+        self.registry = registry;
+    }
+
+    /// Open (or disable) the structured JSONL query log. Equivalent to
+    /// launching with `MAXSON_QUERY_LOG=<path>`; see [`crate::querylog`]
+    /// for the line schema.
+    pub fn set_query_log(&mut self, path: Option<PathBuf>) -> Result<()> {
+        self.query_log = path.map(QueryLog::open).transpose()?.map(Arc::new);
+        Ok(())
+    }
+
+    /// Path of the active query log, if logging is on.
+    pub fn query_log_path(&self) -> Option<&Path> {
+        self.query_log.as_deref().map(QueryLog::path)
+    }
+
+    /// Wall-time threshold past which a query is flagged `slow=true` in
+    /// the query log (`MAXSON_SLOW_MS`; default 1000 ms).
+    pub fn set_slow_threshold(&mut self, threshold: Duration) {
+        self.slow_threshold = threshold;
     }
 
     /// Write the accumulated trace to the export path, if one is set.
@@ -447,23 +503,32 @@ impl Session {
     /// Compile SQL into a plan without executing. Returns the plan and the
     /// planning time — the measurement behind Fig. 13.
     pub fn plan(&self, sql: &str) -> Result<(LogicalPlan, std::time::Duration, Vec<String>)> {
-        let (plan, planning, names, _) = self.plan_snapshot(sql)?;
+        let (plan, planning, names, _, _) = self.plan_snapshot(sql)?;
         Ok((plan, planning, names))
     }
 
     /// Plan under one warehouse read lock, returning the epoch the plan
-    /// belongs to. The returned plan holds cloned `Table` handles, so the
-    /// lock is released when this returns and execution proceeds against
-    /// an immutable snapshot.
+    /// belongs to plus the deduplicated `(db.table, jsonpath)` pairs the
+    /// plan extracts (the workload-sketch attribution key). The returned
+    /// plan holds cloned `Table` handles, so the lock is released when
+    /// this returns and execution proceeds against an immutable snapshot.
+    #[allow(clippy::type_complexity)]
     fn plan_snapshot(
         &self,
         sql: &str,
-    ) -> Result<(LogicalPlan, std::time::Duration, Vec<String>, u64)> {
+    ) -> Result<(
+        LogicalPlan,
+        std::time::Duration,
+        Vec<String>,
+        u64,
+        Vec<(String, String)>,
+    )> {
         let start = Instant::now();
         let stmt = parse_select(sql)?;
         let wh = self.wh_read();
-        let (plan, names) = self.plan_statement(&wh, &stmt)?;
-        Ok((plan, start.elapsed(), names, wh.epoch))
+        let mut planned_paths = Vec::new();
+        let (plan, names) = self.plan_statement(&wh, &stmt, &mut planned_paths)?;
+        Ok((plan, start.elapsed(), names, wh.epoch, planned_paths))
     }
 
     /// Execute a SELECT statement. A leading `EXPLAIN` keyword returns the
@@ -476,7 +541,7 @@ impl Session {
             if let Some(inner) = strip_keyword(rest, "analyze") {
                 return self.explain_analyze(inner);
             }
-            let (plan, planning, _, epoch) = self.plan_snapshot(rest)?;
+            let (plan, planning, _, epoch, _) = self.plan_snapshot(rest)?;
             let metrics = ExecMetrics {
                 planning,
                 ..Default::default()
@@ -503,7 +568,7 @@ impl Session {
         if root.is_recording() {
             root.attr("sql", sql.trim());
         }
-        let (plan, planning, names, epoch) = {
+        let (plan, planning, names, epoch, planned_paths) = {
             let _planning_span = tracer.child("planning", root.id());
             self.plan_snapshot(sql)?
         };
@@ -533,16 +598,113 @@ impl Session {
         }
         let root_id = root.id();
         drop(root);
+        let plan_display = plan.display();
+        self.finish_query(
+            sql,
+            &plan_display,
+            &metrics,
+            &planned_paths,
+            epoch,
+            rows.len(),
+        )?;
         Ok((
             QueryResult {
                 columns: names,
                 rows,
                 metrics,
-                plan_display: plan.display(),
+                plan_display,
                 epoch,
             },
             root_id,
         ))
+    }
+
+    /// Post-execution telemetry: charge the process-wide registry, feed the
+    /// workload sketch, and append the query-log line. Pure observation —
+    /// reads `metrics`, never mutates it — so results and work counters are
+    /// byte-identical with or without a query log installed.
+    fn finish_query(
+        &self,
+        sql: &str,
+        plan_display: &str,
+        metrics: &ExecMetrics,
+        planned_paths: &[(String, String)],
+        epoch: u64,
+        rows: usize,
+    ) -> Result<()> {
+        // Fingerprint the *normalized* plan: the warehouse root collapses
+        // to `<root>` so equivalent plans hash equal across machines.
+        let root = self.wh_read().catalog.root().display().to_string();
+        let normalized = plan_display.replace(root.as_str(), "<root>");
+        let fingerprint = fnv1a64(normalized.as_bytes());
+
+        let parser = self.parser_kind.name();
+        let labels = [("parser", parser)];
+        let r = &self.registry;
+        r.counter("maxson_queries_total", &labels).inc();
+        r.histogram("maxson_query_wall_seconds", &labels)
+            .observe(metrics.total);
+        r.counter("maxson_rows_scanned_total", &[])
+            .add(metrics.rows_scanned);
+        r.counter("maxson_bytes_read_total", &[])
+            .add(metrics.bytes_read);
+        r.counter("maxson_parse_calls_total", &[])
+            .add(metrics.parse_calls);
+        r.counter("maxson_docs_parsed_total", &[])
+            .add(metrics.docs_parsed);
+        r.counter("maxson_cache_hits_total", &[])
+            .add(metrics.cache_hits);
+        r.counter("maxson_lru_hits_total", &[])
+            .add(metrics.lru_hits);
+        r.counter("maxson_lru_misses_total", &[])
+            .add(metrics.lru_misses);
+        r.counter("maxson_nodes_skipped_total", &[])
+            .add(metrics.nodes_skipped);
+        r.counter("maxson_bitmap_builds_total", &[])
+            .add(metrics.bitmap_builds);
+        r.counter("maxson_bitmap_bytes_total", &[])
+            .add(metrics.bitmap_bytes);
+        if metrics.bitmap_builds > 0 {
+            r.histogram("maxson_bitmap_build_wall_seconds", &[])
+                .observe(metrics.bitmap_build_wall);
+            r.gauge("maxson_simd_kernel", &[]).max(metrics.simd_kernel);
+        }
+        r.gauge("maxson_epoch", &[]).max(epoch);
+        let slow = metrics.total > self.slow_threshold;
+        if slow {
+            r.counter("maxson_slow_queries_total", &labels).inc();
+        }
+
+        // Workload sketch: attribute each extracted path's evaluation count
+        // to the table(s) whose scan planned it. A path text shared by two
+        // scanned tables charges both (over-attribution is bounded by the
+        // rarity of cross-table path collisions and documented in DESIGN).
+        for (path, count) in &metrics.path_extracts {
+            for (table, planned) in planned_paths {
+                if planned == path {
+                    r.record_path(table, path, *count);
+                }
+            }
+        }
+
+        if let Some(log) = &self.query_log {
+            let opts = self.exec_options();
+            let entry = QueryLogEntry {
+                fingerprint,
+                sql: sql.trim(),
+                parser,
+                simd: maxson_json::kernels::active().name(),
+                mmap: matches!(MmapMode::from_env(), MmapMode::Enabled),
+                threads: opts.threads as u64,
+                shared_parse: opts.shared_parse,
+                epoch,
+                rows: rows as u64,
+                wall: metrics.total,
+                slow_threshold: self.slow_threshold,
+            };
+            log.record(&entry, metrics)?;
+        }
+        Ok(())
     }
 
     /// `EXPLAIN ANALYZE <query>`: run the query traced and render the span
@@ -578,6 +740,7 @@ impl Session {
         &self,
         wh: &Warehouse,
         stmt: &SelectStatement,
+        planned_paths: &mut Vec<(String, String)>,
     ) -> Result<(LogicalPlan, Vec<String>)> {
         // 1. Gather every expression in the query (for column analysis).
         let mut all_exprs: Vec<&SqlExpr> = Vec::new();
@@ -610,6 +773,7 @@ impl Session {
                     stmt.where_clause.as_ref(),
                     None,
                     has_wildcard,
+                    planned_paths,
                 )?;
                 (plan, res)
             }
@@ -623,6 +787,7 @@ impl Session {
                     stmt.where_clause.as_ref(),
                     left_alias.as_deref(),
                     has_wildcard,
+                    planned_paths,
                 )?;
                 let (rplan, rres) = self.plan_table_scan(
                     wh,
@@ -631,6 +796,7 @@ impl Session {
                     stmt.where_clause.as_ref(),
                     right_alias.as_deref(),
                     has_wildcard,
+                    planned_paths,
                 )?;
                 let resolver = lres.join(rres)?;
                 let left_key = resolver.compile(&join.on_left)?;
@@ -864,6 +1030,7 @@ impl Session {
     /// Plan the scan of one table: analyse referenced columns and JSON
     /// calls, offer the scan to the rewriter, otherwise build the default
     /// Norc provider with SARG pushdown on raw columns.
+    #[allow(clippy::too_many_arguments)]
     fn plan_table_scan(
         &self,
         wh: &Warehouse,
@@ -872,6 +1039,7 @@ impl Session {
         predicate: Option<&SqlExpr>,
         alias: Option<&str>,
         include_all_columns: bool,
+        planned_paths: &mut Vec<(String, String)>,
     ) -> Result<(LogicalPlan, Resolver)> {
         let table = wh.catalog.table(&table_ref.database, &table_ref.table)?;
         let schema = table.schema().clone();
@@ -923,6 +1091,16 @@ impl Session {
             .filter(|c| !is_plain_column_ref(all_exprs, c, alias, &schema))
             .collect();
         raw_columns.retain(|c| !json_only.contains(c));
+
+        // Record the `(db.table, path)` pairs this scan will evaluate, for
+        // workload-sketch attribution at query end.
+        let qualified = format!("{}.{}", table_ref.database, table_ref.table);
+        for (_, path) in &json_calls {
+            let pair = (qualified.clone(), path.clone());
+            if !planned_paths.contains(&pair) {
+                planned_paths.push(pair);
+            }
+        }
 
         // Offer to the rewriter.
         if let Some(rw) = &wh.rewriter {

@@ -76,6 +76,8 @@ pub struct OnlineLruRewriter {
     budget_bytes: u64,
     state: Arc<Mutex<LruState>>,
     tracer: Tracer,
+    /// Process-wide metric registry the resident-bytes gauge lands in.
+    metrics: Arc<maxson_obs::Registry>,
 }
 
 impl OnlineLruRewriter {
@@ -86,6 +88,7 @@ impl OnlineLruRewriter {
             budget_bytes,
             state: Arc::new(Mutex::new(LruState::default())),
             tracer: Tracer::disabled(),
+            metrics: Arc::clone(maxson_obs::Registry::global()),
         })
     }
 
@@ -94,6 +97,12 @@ impl OnlineLruRewriter {
     /// same trace file as the queries that caused it).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Replace the metric registry (tests inject a fresh one; the default
+    /// is the process-wide [`maxson_obs::Registry::global`]).
+    pub fn set_metrics_registry(&mut self, registry: Arc<maxson_obs::Registry>) {
+        self.metrics = registry;
     }
 
     /// Current counters.
@@ -155,6 +164,7 @@ impl TableScanRewriter for OnlineLruRewriter {
             state: Arc::clone(&self.state),
             budget_bytes: self.budget_bytes,
             tracer: self.tracer.clone(),
+            metrics: Arc::clone(&self.metrics),
         };
         Ok(Some(ScanRewrite {
             provider: Box::new(provider),
@@ -174,6 +184,7 @@ struct LruBackedProvider {
     state: Arc<Mutex<LruState>>,
     budget_bytes: u64,
     tracer: Tracer,
+    metrics: Arc<maxson_obs::Registry>,
 }
 
 impl std::fmt::Debug for LruBackedProvider {
@@ -243,6 +254,7 @@ impl ScanProvider for LruBackedProvider {
                 self.state.lock().expect("lru state lock").hits += 1;
                 metrics.cache_hits += values.len() as u64;
                 metrics.lru_hits += 1;
+                metrics.charge_path_extracts(path, values.len() as u64);
                 self.tracer.add("lru.hit", 1);
                 call_columns.push(values);
                 continue;
@@ -286,6 +298,7 @@ impl ScanProvider for LruBackedProvider {
                 metrics.parse += parse_spent;
                 metrics.parse_wall += parse_spent;
                 metrics.nodes_skipped += stats.nodes_skipped;
+                metrics.charge_path_extracts(path, cols[0].len() as u64);
             }
             let values = Arc::new(values);
             // Insert with LRU eviction.
@@ -320,6 +333,9 @@ impl ScanProvider for LruBackedProvider {
                     );
                 }
                 metrics.lru_resident_bytes = metrics.lru_resident_bytes.max(st.used_bytes);
+                self.metrics
+                    .gauge("maxson_lru_resident_bytes", &[])
+                    .set(st.used_bytes);
             }
             call_columns.push(values);
         }

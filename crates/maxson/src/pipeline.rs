@@ -118,6 +118,8 @@ impl MaxsonPipeline {
         let tracer = session.tracer().clone();
         let cycle = tracer.span("midnight_cycle");
         cycle.attr("day", today);
+        let telemetry = std::sync::Arc::clone(session.metrics_registry());
+        let cycle_start = std::time::Instant::now();
 
         // 1. Predict MPJPs.
         let stage = tracer.child("predict", cycle.id());
@@ -176,11 +178,26 @@ impl MaxsonPipeline {
         let mut rewriter = MaxsonScanRewriter::with_registry(work, registry);
         rewriter.enable_pushdown = self.config.enable_pushdown;
         rewriter.set_tracer(tracer.clone());
+        rewriter.set_metrics_registry(std::sync::Arc::clone(&telemetry));
         let epoch = session.swap_warehouse_epoch(Some(Box::new(rewriter)))?;
         stage.attr("epoch", epoch);
         drop(stage);
         drop(cycle);
         session.flush_trace()?;
+
+        // The cycle itself is telemetry-visible: one counter per run, the
+        // standing cache footprint, and the offline build latency.
+        telemetry.counter("maxson_midnight_cycles_total", &[]).inc();
+        telemetry
+            .counter("maxson_cache_paths_built_total", &[])
+            .add(cache_report.cached.len() as u64);
+        telemetry
+            .gauge("maxson_cache_bytes_used", &[])
+            .set(cache_report.bytes_used);
+        telemetry.gauge("maxson_cache_epoch", &[]).max(epoch);
+        telemetry
+            .histogram("maxson_cycle_wall_seconds", &[])
+            .observe(cycle_start.elapsed());
 
         Ok(CycleReport {
             predicted: candidates.len(),

@@ -16,12 +16,12 @@
 //! row-group skips with the raw-side reader.
 
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use maxson_engine::session::{ScanContext, ScanRewrite, TableScanRewriter};
 use maxson_engine::sql::ast::{BinaryOp, SqlExpr};
 use maxson_engine::EngineError;
-use maxson_obs::Tracer;
+use maxson_obs::{Registry, Tracer};
 use maxson_storage::{Catalog, Cell, CmpOp, Field, Schema, SearchArgument};
 use maxson_trace::JsonPathLocation;
 
@@ -55,6 +55,8 @@ pub struct MaxsonScanRewriter {
     pub enable_pushdown: bool,
     /// Span/counter sink for rewrite decisions; inert unless installed.
     tracer: Tracer,
+    /// Process-wide metric registry rewrite outcomes are charged to.
+    metrics: Arc<Registry>,
 }
 
 impl MaxsonScanRewriter {
@@ -70,6 +72,7 @@ impl MaxsonScanRewriter {
             stats: Mutex::new(RewriteStats::default()),
             enable_pushdown: true,
             tracer: Tracer::disabled(),
+            metrics: Arc::clone(Registry::global()),
         })
     }
 
@@ -82,6 +85,7 @@ impl MaxsonScanRewriter {
             stats: Mutex::new(RewriteStats::default()),
             enable_pushdown: true,
             tracer: Tracer::disabled(),
+            metrics: Arc::clone(Registry::global()),
         }
     }
 
@@ -91,6 +95,12 @@ impl MaxsonScanRewriter {
     /// land in the same trace.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Replace the metric registry (tests inject a fresh one; the default
+    /// is the process-wide [`Registry::global`]).
+    pub fn set_metrics_registry(&mut self, registry: Arc<Registry>) {
+        self.metrics = registry;
     }
 
     /// Locations marked invalid so far.
@@ -150,18 +160,29 @@ impl TableScanRewriter for MaxsonScanRewriter {
             stats.hits += resolved.len() as u64;
             stats.misses += unresolved.len() as u64;
         }
+        let stale =
+            self.stats.lock().expect("rewriter stats lock").invalidated - invalidated_before;
         self.tracer.add("rewrite.hits", resolved.len() as u64);
         self.tracer.add("rewrite.misses", unresolved.len() as u64);
-        self.tracer.add(
-            "rewrite.invalidated",
-            self.stats.lock().expect("rewriter stats lock").invalidated - invalidated_before,
-        );
+        self.tracer.add("rewrite.invalidated", stale);
+        let outcome = |o: &str| {
+            self.metrics
+                .counter("maxson_rewrite_paths_total", &[("outcome", o)])
+        };
+        // `misses` counts never-cached paths only; stale entries get their
+        // own outcome so cache churn is visible separately.
+        outcome("hit").add(resolved.len() as u64);
+        outcome("miss").add(unresolved.len() as u64 - stale);
+        outcome("stale").add(stale);
         if span.is_recording() {
             span.attr("hits", resolved.len());
             span.attr("misses", unresolved.len());
         }
         let Some(cache_table_name) = cache_table_name else {
             span.attr("decision", "no_rewrite");
+            self.metrics
+                .counter("maxson_scan_rewrites_total", &[("decision", "no_rewrite")])
+                .inc();
             return Ok(None); // No valid hits: keep the default scan.
         };
         let cache_table = self
@@ -239,10 +260,11 @@ impl TableScanRewriter for MaxsonScanRewriter {
                 .cache_only_scans += 1;
             self.tracer.add("rewrite.cache_only_scans", 1);
         }
-        span.attr(
-            "decision",
-            if cache_only { "cache_only" } else { "combined" },
-        );
+        let decision = if cache_only { "cache_only" } else { "combined" };
+        span.attr("decision", decision);
+        self.metrics
+            .counter("maxson_scan_rewrites_total", &[("decision", decision)])
+            .inc();
         let raw = if cache_only {
             None
         } else {

@@ -24,7 +24,11 @@
 
 mod chrome;
 mod hist;
+mod metrics;
+mod sketch;
 mod tracer;
 
 pub use hist::LatencyHistogram;
+pub use metrics::{Counter, Gauge, HistogramHandle, Registry};
+pub use sketch::{SketchEntry, SpaceSaving};
 pub use tracer::{OpRollup, SpanGuard, SpanId, SpanRecord, TraceSnapshot, Tracer};

@@ -1,0 +1,266 @@
+//! Deterministic Space-Saving heavy-hitters sketch.
+//!
+//! Tracks the approximate top-K keys of a stream in a fixed-size table
+//! (Metwally, Agrawal, El Abbadi: "Efficient Computation of Frequent and
+//! Top-k Elements in Data Streams"). When a new key arrives and the table
+//! is full, the entry with the *minimum* count is evicted and the new key
+//! inherits `min + weight` with an error bound of `min` — so every
+//! reported count over-estimates the true count by at most the entry's
+//! recorded `error`, and any key whose true count exceeds the current
+//! minimum is guaranteed to be present.
+//!
+//! Determinism matters here (the telemetry differential test replays fixed
+//! query sequences and asserts identical output): the sketch is seed-free
+//! and hash-free. Eviction picks the entry with the smallest `(count,
+//! key)` pair — lexicographic key order breaks count ties — so the same
+//! update sequence always produces the same table, on any platform.
+
+/// One tracked key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SketchEntry {
+    /// The tracked key.
+    pub key: String,
+    /// Estimated count (true count ≤ `count`, true count ≥ `count - error`).
+    pub count: u64,
+    /// Over-estimation bound inherited from the evicted minimum.
+    pub error: u64,
+}
+
+/// Fixed-capacity Space-Saving sketch over string keys.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    entries: Vec<SketchEntry>,
+}
+
+impl SpaceSaving {
+    /// An empty sketch holding at most `capacity` keys (min 1).
+    pub fn new(capacity: usize) -> Self {
+        SpaceSaving {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Maximum number of tracked keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of currently tracked keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no key has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record `weight` occurrences of `key`.
+    pub fn record(&mut self, key: &str, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.count += weight;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(SketchEntry {
+                key: key.to_string(),
+                count: weight,
+                error: 0,
+            });
+            return;
+        }
+        // Evict the minimum-(count, key) entry; the newcomer inherits its
+        // count as both floor and error bound.
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.count.cmp(&b.count).then_with(|| a.key.cmp(&b.key)))
+            .map(|(i, _)| i)
+            .expect("sketch is full, so non-empty");
+        let min = self.entries[victim].count;
+        self.entries[victim] = SketchEntry {
+            key: key.to_string(),
+            count: min + weight,
+            error: min,
+        };
+    }
+
+    /// Fold `other` into this sketch. Matching keys add counts and errors;
+    /// foreign keys are replayed through the normal eviction path in
+    /// deterministic (count desc, key asc) order, so merge order of equal
+    /// inputs yields equal tables.
+    pub fn merge(&mut self, other: &SpaceSaving) {
+        let mut foreign: Vec<&SketchEntry> = Vec::new();
+        for e in &other.entries {
+            match self.entries.iter_mut().find(|m| m.key == e.key) {
+                Some(m) => {
+                    m.count += e.count;
+                    m.error += e.error;
+                }
+                None => foreign.push(e),
+            }
+        }
+        foreign.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        for e in foreign {
+            self.record_with_error(&e.key, e.count, e.error);
+        }
+    }
+
+    /// Like `record`, but the inserted entry carries a pre-existing error
+    /// bound (used by merge; eviction still adds the displaced minimum).
+    fn record_with_error(&mut self, key: &str, count: u64, error: u64) {
+        if count == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.count += count;
+            e.error += error;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(SketchEntry {
+                key: key.to_string(),
+                count,
+                error,
+            });
+            return;
+        }
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.count.cmp(&b.count).then_with(|| a.key.cmp(&b.key)))
+            .map(|(i, _)| i)
+            .expect("sketch is full, so non-empty");
+        let min = self.entries[victim].count;
+        self.entries[victim] = SketchEntry {
+            key: key.to_string(),
+            count: min + count,
+            error: min + error,
+        };
+    }
+
+    /// The top `k` entries, sorted by count descending then key ascending.
+    pub fn top(&self, k: usize) -> Vec<SketchEntry> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        out.truncate(k);
+        out
+    }
+
+    /// Estimated count for one key (0 when untracked).
+    pub fn estimate(&self, key: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| e.count)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut s = SpaceSaving::new(8);
+        for _ in 0..5 {
+            s.record("a", 1);
+        }
+        for _ in 0..3 {
+            s.record("b", 1);
+        }
+        s.record("c", 2);
+        assert_eq!(s.estimate("a"), 5);
+        assert_eq!(s.estimate("b"), 3);
+        assert_eq!(s.estimate("c"), 2);
+        let top = s.top(2);
+        assert_eq!(top[0].key, "a");
+        assert_eq!(top[1].key, "b");
+        assert_eq!(top[0].error, 0, "no eviction below capacity → exact");
+    }
+
+    #[test]
+    fn eviction_keeps_heavy_hitters_and_bounds_error() {
+        let mut s = SpaceSaving::new(8);
+        // Two heavy keys interleaved with a churning tail of 16 cool keys.
+        // Total stream weight is 500, so the evicted minimum never exceeds
+        // 500/8 = 62; tail estimates stay ≤ 13 + 62 < warm's true 100,
+        // which is the Space-Saving top-k guarantee in miniature.
+        for i in 0..200u32 {
+            s.record("hot", 1);
+            if i % 2 == 0 {
+                s.record("warm", 1);
+            }
+            s.record(&format!("tail{}", i % 16), 1);
+        }
+        assert_eq!(s.len(), 8);
+        let top = s.top(2);
+        assert_eq!(top[0].key, "hot");
+        assert_eq!(top[1].key, "warm");
+        for e in s.top(8) {
+            assert!(e.count >= e.error, "count {} < error {}", e.count, e.error);
+        }
+        // Space-Saving guarantee: estimate over-counts, never under-counts.
+        assert!(s.estimate("hot") >= 200);
+        assert!(s.estimate("warm") >= 100);
+    }
+
+    #[test]
+    fn deterministic_across_replays() {
+        let build = || {
+            let mut s = SpaceSaving::new(3);
+            for i in 0..50u32 {
+                s.record(&format!("k{}", i % 7), 1 + u64::from(i % 3));
+            }
+            s.top(3)
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn ties_break_lexicographically() {
+        let mut s = SpaceSaving::new(2);
+        s.record("b", 1);
+        s.record("a", 1);
+        // Table full; both have count 1 → "a" is the min by key order.
+        s.record("z", 1);
+        assert_eq!(s.estimate("a"), 0, "lexicographic min evicted");
+        assert_eq!(s.estimate("b"), 1);
+        assert_eq!(s.estimate("z"), 2, "inherits evicted min + weight");
+    }
+
+    #[test]
+    fn merge_matches_combined_stream_when_exact() {
+        let mut a = SpaceSaving::new(16);
+        let mut b = SpaceSaving::new(16);
+        let mut both = SpaceSaving::new(16);
+        for (sk, key, w) in [
+            (0, "x", 3u64),
+            (0, "y", 1),
+            (1, "x", 2),
+            (1, "z", 5),
+            (1, "y", 1),
+        ] {
+            let t = if sk == 0 { &mut a } else { &mut b };
+            t.record(key, w);
+            both.record(key, w);
+        }
+        a.merge(&b);
+        assert_eq!(a.top(16), both.top(16));
+    }
+
+    #[test]
+    fn zero_weight_is_a_noop() {
+        let mut s = SpaceSaving::new(2);
+        s.record("a", 0);
+        assert!(s.is_empty());
+    }
+}

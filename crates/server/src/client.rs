@@ -82,7 +82,28 @@ impl Client {
             meta_cache_misses: r.u64()?,
             active_queries: r.u64()?,
             epoch: r.u64()?,
+            nodes_skipped: r.u64()?,
+            bitmap_builds: r.u64()?,
+            simd_kernel: r.str()?,
+            hot_paths: {
+                let n = r.u32()? as usize;
+                let mut paths = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let table = r.str()?;
+                    let path = r.str()?;
+                    paths.push((table, path, r.u64()?));
+                }
+                paths
+            },
         })
+    }
+
+    /// The server's process-wide metric registry, rendered as Prometheus
+    /// text exposition.
+    pub fn metrics(&mut self) -> Result<String> {
+        let response = self.request(&Self::op_frame(OpCode::Metrics))?;
+        let mut r = Self::checked(&response)?;
+        r.str()
     }
 
     /// Execute `sql` on the server and decode the full result.

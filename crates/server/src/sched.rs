@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 
 use maxson_engine::SplitScheduler;
+use maxson_obs::{Counter, Registry};
 
 /// Shared fair-share permit pool. One instance per server; every session
 /// clone installs a [`QueryLease`]-scoped handle around each query.
@@ -26,6 +27,11 @@ pub struct FairScheduler {
     inner: Mutex<Inner>,
     cv: Condvar,
     permits: usize,
+    /// Split permits handed out over the scheduler's lifetime.
+    acquires: Counter,
+    /// Acquires that had to wait at least once before a permit freed up —
+    /// the saturation signal behind the `maxson_sched_waits_total` series.
+    waits: Counter,
 }
 
 #[derive(Debug)]
@@ -49,6 +55,8 @@ impl FairScheduler {
             }),
             cv: Condvar::new(),
             permits: permits.max(1),
+            acquires: Registry::global().counter("maxson_sched_acquires_total", &[]),
+            waits: Registry::global().counter("maxson_sched_waits_total", &[]),
         }
     }
 
@@ -99,6 +107,7 @@ impl FairScheduler {
 
     fn acquire_for(&self, id: u64) {
         let mut inner = self.lock();
+        let mut waited = false;
         loop {
             let active = inner.held.len().max(1);
             let share = self.share(active);
@@ -110,8 +119,14 @@ impl FairScheduler {
             if available > 0 && (held < share || available > active.saturating_mul(share)) {
                 inner.in_use += 1;
                 *inner.held.entry(id).or_insert(0) += 1;
+                drop(inner);
+                self.acquires.inc();
+                if waited {
+                    self.waits.inc();
+                }
                 return;
             }
+            waited = true;
             inner = self
                 .cv
                 .wait(inner)

@@ -64,6 +64,15 @@ pub struct StatsSnapshot {
     pub active_queries: u64,
     /// Current warehouse epoch.
     pub epoch: u64,
+    /// JSON tree nodes skipped by structural parsers, across all queries.
+    pub nodes_skipped: u64,
+    /// Structural bitmap builds across all queries.
+    pub bitmap_builds: u64,
+    /// Active SIMD structural-kernel tier (`avx2`/`sse2`/`swar`/`scalar`).
+    pub simd_kernel: String,
+    /// Hottest `(table, path, estimated extracts)` from the workload
+    /// sketch, heaviest first.
+    pub hot_paths: Vec<(String, String, u64)>,
 }
 
 impl StatsSnapshot {
@@ -85,6 +94,8 @@ struct ServerState {
     queries_ok: AtomicU64,
     queries_err: AtomicU64,
     latency: Mutex<LatencyHistogram>,
+    /// Sum of every answered query's `ExecMetrics` (work totals for STATS).
+    exec_totals: Mutex<maxson_engine::ExecMetrics>,
     next_client_id: AtomicU64,
     shutdown: AtomicBool,
 }
@@ -121,6 +132,7 @@ impl Server {
             queries_ok: AtomicU64::new(0),
             queries_err: AtomicU64::new(0),
             latency: Mutex::new(LatencyHistogram::new()),
+            exec_totals: Mutex::new(maxson_engine::ExecMetrics::default()),
             next_client_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
         });
@@ -353,7 +365,20 @@ fn handle_frame(
                 .u64(snapshot.meta_cache_hits)
                 .u64(snapshot.meta_cache_misses)
                 .u64(snapshot.active_queries)
-                .u64(snapshot.epoch);
+                .u64(snapshot.epoch)
+                .u64(snapshot.nodes_skipped)
+                .u64(snapshot.bitmap_builds);
+            w.str(&snapshot.simd_kernel);
+            w.u32(snapshot.hot_paths.len() as u32);
+            for (table, path, count) in &snapshot.hot_paths {
+                w.str(table).str(path).u64(*count);
+            }
+            wire::write_frame(stream, &w.into_bytes())?;
+            Ok(true)
+        }
+        OpCode::Metrics => {
+            let mut w = Writer::new();
+            w.u8(STATUS_OK).str(&session.metrics_registry().expose());
             wire::write_frame(stream, &w.into_bytes())?;
             Ok(true)
         }
@@ -380,9 +405,21 @@ fn handle_frame(
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .record(took);
+            let registry = std::sync::Arc::clone(session.metrics_registry());
+            registry
+                .histogram("maxson_server_query_wall_seconds", &[])
+                .observe(took);
             match outcome {
                 Ok(result) => {
                     state.queries_ok.fetch_add(1, Ordering::Relaxed);
+                    registry
+                        .counter("maxson_server_queries_total", &[("status", "ok")])
+                        .inc();
+                    state
+                        .exec_totals
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .absorb(&result.metrics);
                     let mut w = Writer::new();
                     w.u8(STATUS_OK).u64(result.epoch);
                     w.u32(result.columns.len() as u32);
@@ -405,6 +442,9 @@ fn handle_frame(
                 }
                 Err(message) => {
                     state.queries_err.fetch_add(1, Ordering::Relaxed);
+                    registry
+                        .counter("maxson_server_queries_total", &[("status", "err")])
+                        .inc();
                     send_err(stream, &message)?;
                     // Query errors are recoverable: the connection lives on.
                     Ok(true)
@@ -466,6 +506,13 @@ fn snapshot_stats(
         (hist.quantile(0.5), hist.quantile(0.99))
     };
     let meta = session.catalog().meta_cache().stats();
+    let (nodes_skipped, bitmap_builds) = {
+        let totals = state
+            .exec_totals
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (totals.nodes_skipped, totals.bitmap_builds)
+    };
     StatsSnapshot {
         queries_ok: state.queries_ok.load(Ordering::Relaxed),
         queries_err: state.queries_err.load(Ordering::Relaxed),
@@ -476,6 +523,10 @@ fn snapshot_stats(
         meta_cache_misses: meta.misses,
         active_queries: scheduler.active_queries() as u64,
         epoch: session.epoch(),
+        nodes_skipped,
+        bitmap_builds,
+        simd_kernel: session.simd_kernel().name().to_string(),
+        hot_paths: session.metrics_registry().hot_paths(10),
     }
 }
 

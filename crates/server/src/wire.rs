@@ -41,6 +41,8 @@ pub enum OpCode {
     Stats = 3,
     /// Orderly shutdown of the whole server.
     Shutdown = 4,
+    /// Process-wide metric registry, Prometheus text exposition.
+    Metrics = 5,
 }
 
 impl OpCode {
@@ -50,6 +52,7 @@ impl OpCode {
             2 => Some(OpCode::Ping),
             3 => Some(OpCode::Stats),
             4 => Some(OpCode::Shutdown),
+            5 => Some(OpCode::Metrics),
             _ => None,
         }
     }

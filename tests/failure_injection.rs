@@ -430,7 +430,17 @@ fn server_survives_client_disconnect_mid_query() {
     let mut client = Client::connect(addr).unwrap();
     let result = client.query(SERVED_SQL).unwrap();
     assert_eq!(result.rows.len(), 5);
-    let stats = client.stats().unwrap();
+    // The abandoned queries still run to completion server-side (only the
+    // response write fails), so give their leases a moment to drain before
+    // calling any survivor a leak.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let stats = loop {
+        let stats = client.stats().unwrap();
+        if stats.active_queries == 0 || std::time::Instant::now() >= deadline {
+            break stats;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
     assert_eq!(stats.active_queries, 0, "leaked query leases: {stats:?}");
     server.stop();
     std::fs::remove_dir_all(&root).ok();

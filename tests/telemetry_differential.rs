@@ -1,0 +1,302 @@
+//! Differential proof that the always-on telemetry subsystem is
+//! observation-only: installing a query log, a private metric registry,
+//! and a zero slow-query threshold never changes what a query computes.
+//!
+//! Four layers:
+//!
+//! 1. **Golden queries** — Maxson-rewritten golden queries over the
+//!    checked-in warehouse, with full telemetry vs without, across
+//!    Jackson/Mison/Tape at 1 and 4 threads; rows, rendered output, and
+//!    every work counter must be byte-identical.
+//! 2. **Synthetic warehouse** — the same matrix over a generated
+//!    temp-directory table, so the invariant is not an artifact of the
+//!    golden data shape.
+//! 3. **Exposition determinism** — the same fixed query sequence replayed
+//!    on two fresh registries yields byte-identical Prometheus text once
+//!    wall-time series are filtered out.
+//! 4. **Sketch fidelity** — the workload sketch's hot-path ranking equals
+//!    exact per-(table, path) counts accumulated from `ExecMetrics`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use maxson::rewriter::MaxsonScanRewriter;
+use maxson_engine::metrics::ExecMetrics;
+use maxson_engine::session::{JsonParserKind, Session};
+use maxson_engine::Registry;
+use maxson_storage::file::WriteOptions;
+use maxson_storage::{Cell, ColumnType, Field, Schema};
+
+fn bench_data_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("bench-data")
+}
+
+fn temp_root(name: &str) -> PathBuf {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos();
+    std::env::temp_dir().join(format!("maxson-teld-{}-{nanos}-{name}", std::process::id()))
+}
+
+fn temp_log(name: &str) -> PathBuf {
+    temp_root(name).with_extension("jsonl")
+}
+
+/// Every discrete-work counter plus the per-path extraction ledger.
+/// Timing gauges are excluded (they legitimately vary run to run).
+fn work_counters(m: &ExecMetrics) -> (Vec<u64>, Vec<(String, u64)>) {
+    (
+        vec![
+            m.rows_scanned,
+            m.bytes_read,
+            m.parse_calls,
+            m.docs_parsed,
+            m.cache_hits,
+            m.row_groups_skipped,
+            m.row_groups_read,
+            m.prefilter_dropped,
+            m.cells_materialized,
+            m.batch_rows_skipped,
+            m.lru_hits,
+            m.lru_misses,
+            m.lru_evictions,
+            m.nodes_skipped,
+            m.bitmap_builds,
+            m.bitmap_bytes,
+        ],
+        m.path_extracts.clone(),
+    )
+}
+
+const GOLDEN_QUERIES: [&str; 3] = [
+    "select get_json_object(payload, '$.f0') as f0, \
+     get_json_object(payload, '$.f1') as f1 from mydb.q1",
+    "select get_json_object(payload, '$.f0') as f0, \
+     get_json_object(payload, '$.f10') as f10 from mydb.q2",
+    "select get_json_object(payload, '$.f0') as f0 \
+     from mydb.q1 where get_json_object(payload, '$.f0') > 900",
+];
+
+const PARSERS: [JsonParserKind; 3] = [
+    JsonParserKind::Jackson,
+    JsonParserKind::Mison,
+    JsonParserKind::Tape,
+];
+
+/// Run `sql` bare vs fully instrumented (private registry, query log,
+/// zero slow threshold); everything the query computes must be identical.
+fn assert_telemetry_is_observation_only(
+    mut make_session: impl FnMut() -> Session,
+    sql: &str,
+    label: &str,
+) {
+    let bare = make_session()
+        .execute(sql)
+        .unwrap_or_else(|e| panic!("[{label}] bare run failed for {sql}: {e}"));
+
+    let mut instrumented_session = make_session();
+    let registry = Arc::new(Registry::new());
+    instrumented_session.set_metrics_registry(Arc::clone(&registry));
+    let log_path = temp_log(&format!("diff-{}", label.replace('/', "-")));
+    instrumented_session
+        .set_query_log(Some(log_path.clone()))
+        .expect("query log opens");
+    instrumented_session.set_slow_threshold(Duration::ZERO);
+    let instrumented = instrumented_session
+        .execute(sql)
+        .unwrap_or_else(|e| panic!("[{label}] instrumented run failed for {sql}: {e}"));
+
+    assert_eq!(
+        bare.rows, instrumented.rows,
+        "[{label}] telemetry changed rows for {sql}"
+    );
+    assert_eq!(
+        bare.to_display_string(),
+        instrumented.to_display_string(),
+        "[{label}] telemetry changed rendered output for {sql}"
+    );
+    assert_eq!(
+        work_counters(&bare.metrics),
+        work_counters(&instrumented.metrics),
+        "[{label}] telemetry changed work counters for {sql}"
+    );
+
+    // The instrumentation must actually have observed the query — an
+    // empty registry would make this differential vacuous.
+    assert_eq!(
+        registry.counter_value(
+            "maxson_queries_total",
+            &[("parser", instrumented_session.parser_kind().name())]
+        ),
+        Some(1),
+        "[{label}] registry did not observe the query"
+    );
+    let log = std::fs::read_to_string(&log_path).expect("query log written");
+    assert_eq!(log.lines().count(), 1, "[{label}] one log line per query");
+    let line = maxson_json::parse(log.lines().next().unwrap()).expect("log line parses");
+    assert_eq!(
+        line.get("slow").and_then(|s| s.as_bool()),
+        Some(true),
+        "[{label}] zero threshold flags every query slow"
+    );
+    std::fs::remove_file(&log_path).ok();
+}
+
+#[test]
+fn golden_queries_unchanged_by_telemetry_three_parsers_both_thread_counts() {
+    let root = bench_data_root();
+    for parser in PARSERS {
+        for threads in [1usize, 4] {
+            let make = || {
+                let mut session = Session::open(&root).unwrap();
+                session.set_parser_kind(parser);
+                session.set_threads(Some(threads));
+                let rewriter = MaxsonScanRewriter::open(&root).unwrap();
+                session.set_scan_rewriter(Some(Box::new(rewriter)));
+                session
+            };
+            for sql in GOLDEN_QUERIES {
+                assert_telemetry_is_observation_only(make, sql, &format!("{parser:?}/{threads}t"));
+            }
+        }
+    }
+}
+
+fn build_synthetic_table(root: &PathBuf) {
+    let mut session = Session::open(root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    let mut catalog = session.catalog_mut();
+    let table = catalog.create_table("db", "t", schema, 0).unwrap();
+    for split in 0..3 {
+        let rows: Vec<Vec<Cell>> = (0..40)
+            .map(|i| {
+                let n = split * 40 + i;
+                vec![
+                    Cell::Int(n),
+                    Cell::from(format!(
+                        r#"{{"a": {n}, "b": {{"c": {}}}, "tag": "t{}"}}"#,
+                        n % 7,
+                        n % 3
+                    )),
+                ]
+            })
+            .collect();
+        table
+            .append_file(
+                &rows,
+                WriteOptions {
+                    row_group_size: 8,
+                    ..Default::default()
+                },
+                1,
+            )
+            .unwrap();
+    }
+}
+
+#[test]
+fn synthetic_warehouse_unchanged_by_telemetry() {
+    let root = temp_root("synth");
+    build_synthetic_table(&root);
+    let queries = [
+        "select id, get_json_object(payload, '$.a') as a from db.t",
+        "select get_json_object(payload, '$.b.c') as bc from db.t \
+         where get_json_object(payload, '$.a') >= 10",
+        "select get_json_object(payload, '$.tag') as tag, count(*) from db.t \
+         group by get_json_object(payload, '$.tag') \
+         order by get_json_object(payload, '$.tag')",
+    ];
+    for parser in PARSERS {
+        for threads in [1usize, 4] {
+            let make = || {
+                let mut session = Session::open(&root).unwrap();
+                session.set_parser_kind(parser);
+                session.set_threads(Some(threads));
+                session
+            };
+            for sql in queries {
+                assert_telemetry_is_observation_only(
+                    make,
+                    sql,
+                    &format!("synth-{parser:?}/{threads}t"),
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Replay the golden query sequence against a fresh registry.
+fn replay_golden(parser: JsonParserKind) -> (Arc<Registry>, Vec<ExecMetrics>) {
+    let root = bench_data_root();
+    let mut session = Session::open(&root).unwrap();
+    session.set_parser_kind(parser);
+    session.set_threads(Some(2));
+    let registry = Arc::new(Registry::new());
+    session.set_metrics_registry(Arc::clone(&registry));
+    let mut all = Vec::new();
+    for sql in GOLDEN_QUERIES {
+        all.push(session.execute(sql).expect("golden query").metrics);
+    }
+    (registry, all)
+}
+
+/// Wall-time series vary run to run; everything else must not.
+fn stable_exposition(registry: &Registry) -> String {
+    registry
+        .expose()
+        .lines()
+        .filter(|l| !l.contains("seconds"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn exposition_is_deterministic_for_a_fixed_query_sequence() {
+    let (first, _) = replay_golden(JsonParserKind::Tape);
+    let (second, _) = replay_golden(JsonParserKind::Tape);
+    let a = stable_exposition(&first);
+    assert_eq!(
+        a,
+        stable_exposition(&second),
+        "same query sequence, different exposition"
+    );
+    // The filtered exposition still carries real content.
+    assert!(a.contains("maxson_queries_total{parser=\"tape\"} 3"));
+    assert!(a.contains("maxson_hot_path_extracts{"));
+}
+
+#[test]
+fn sketch_ranking_matches_exact_counts_on_golden_workload() {
+    let (registry, per_query) = replay_golden(JsonParserKind::Jackson);
+    // Exact side: the golden queries each scan one table; attribute each
+    // path's count the same way `Session::finish_query` does.
+    let tables = ["mydb.q1", "mydb.q2", "mydb.q1"];
+    let mut exact: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for (metrics, table) in per_query.iter().zip(tables) {
+        for (path, count) in &metrics.path_extracts {
+            *exact.entry((table.to_string(), path.clone())).or_insert(0) += count;
+        }
+    }
+    let mut truth: Vec<((String, String), u64)> = exact.into_iter().collect();
+    truth.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    assert!(!truth.is_empty(), "golden workload extracted no paths");
+
+    let hot = registry.hot_paths(truth.len());
+    let got: Vec<((String, String), u64)> = hot
+        .into_iter()
+        .map(|(table, path, count)| ((table, path), count))
+        .collect();
+    assert_eq!(
+        got, truth,
+        "sketch ranking diverged from exact per-path counts"
+    );
+}
