@@ -20,6 +20,13 @@ MAXSON_THREADS=4 cargo test -q --offline --workspace
 MAXSON_SHARED_PARSE=0 cargo test -q --offline --workspace
 MAXSON_SHARED_PARSE=1 cargo test -q --offline --workspace
 
+# Reuse-cache matrix: the differential suite proves cache on/off is
+# byte-identical whatever the session default, so run it under both env
+# settings (the tests also pin the cache explicitly per session, making
+# each run meaningful regardless of the inherited default).
+MAXSON_RESULT_CACHE=0 cargo test -q --offline --test reuse_differential
+MAXSON_RESULT_CACHE=1 cargo test -q --offline --test reuse_differential
+
 # The three-parser differential suite once more with the tape parser as
 # the session default, covering the MAXSON_PARSER env-resolution path in
 # Session::open (the suite's env test asserts the opened session actually
@@ -81,3 +88,9 @@ cargo run --release --offline -p maxson-server --bin server_smoke
 # midnight cycle; asserts byte-identical results, zero footer-cache misses
 # in steady state, and reports QPS/p99 per client count.
 MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_serving
+
+# Reuse-cache smoke (fast mode): repeat-heavy / Zipf / no-repeat mixes
+# through the server with the reuse cache on; asserts hit p50 >= 5x below
+# cold p50, byte-identical responses, bytes within budget, and zero stale
+# hits across a mid-stream epoch swap.
+MAXSON_BENCH_FAST=1 cargo run --release --offline -p maxson-bench --bin fig_reuse

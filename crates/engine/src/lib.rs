@@ -42,10 +42,12 @@ pub mod exec;
 pub mod explain;
 pub mod expr;
 pub mod extract;
+pub mod fingerprint;
 pub mod metrics;
 pub mod plan;
 pub mod pool;
 pub mod querylog;
+pub mod reuse;
 pub mod scan;
 pub mod session;
 pub mod sql;
@@ -53,10 +55,12 @@ pub mod sql;
 pub use error::{EngineError, Result};
 pub use exec::ExecOptions;
 pub use expr::Expr;
+pub use fingerprint::{fnv1a64, stmt_fingerprint, table_key};
 pub use metrics::ExecMetrics;
 pub use plan::LogicalPlan;
 pub use pool::SplitScheduler;
-pub use querylog::{fnv1a64, QueryLog, QueryLogEntry};
+pub use querylog::{QueryLog, QueryLogEntry};
+pub use reuse::{ReuseCache, ReuseStats};
 pub use session::{
     CatalogRead, CatalogWrite, JsonParserKind, QueryResult, Session, TableScanRewriter,
 };

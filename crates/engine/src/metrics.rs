@@ -119,6 +119,16 @@ pub struct ExecMetrics {
     /// A gauge — `absorb` takes the max, and the tier is process-wide so
     /// concurrent tasks always agree.
     pub simd_kernel: u64,
+    /// Cross-query reuse cache: full-result probe hits (the query was
+    /// served entirely from cache; every execution counter stays zero).
+    pub reuse_hits: u64,
+    /// Cross-query reuse cache: probes that found nothing usable.
+    pub reuse_misses: u64,
+    /// Cross-query reuse cache: fragment hits (the result was rebuilt by
+    /// replaying cached intermediate rows under `LIMIT`/`DISTINCT`).
+    pub reuse_fragment_hits: u64,
+    /// Cross-query reuse cache: entries this query filled (admitted).
+    pub reuse_fills: u64,
     /// Per-JSONPath evaluation counts for this query, `(path text, count)`
     /// **kept sorted by path** so `absorb` is order-insensitive. Charged
     /// wherever `parse_calls` is charged (one entry bump per evaluation);
@@ -204,6 +214,10 @@ impl ExecMetrics {
         self.bitmap_bytes += other.bitmap_bytes;
         self.bitmap_build_wall += other.bitmap_build_wall;
         self.simd_kernel = self.simd_kernel.max(other.simd_kernel);
+        self.reuse_hits += other.reuse_hits;
+        self.reuse_misses += other.reuse_misses;
+        self.reuse_fragment_hits += other.reuse_fragment_hits;
+        self.reuse_fills += other.reuse_fills;
         for (path, n) in &other.path_extracts {
             match self
                 .path_extracts
@@ -347,6 +361,12 @@ impl ExecMetrics {
             s.push_str(&format!(
                 " meta_hits={} meta_misses={}",
                 self.meta_cache_hits, self.meta_cache_misses,
+            ));
+        }
+        if self.reuse_hits + self.reuse_misses + self.reuse_fragment_hits + self.reuse_fills > 0 {
+            s.push_str(&format!(
+                " reuse_hits={} reuse_misses={} reuse_frag={} reuse_fills={}",
+                self.reuse_hits, self.reuse_misses, self.reuse_fragment_hits, self.reuse_fills,
             ));
         }
         if self.bitmap_builds > 0 {
@@ -530,6 +550,10 @@ mod tests {
             bitmap_bytes: next() % 100_000,
             bitmap_build_wall: Duration::from_micros(next() % 5_000),
             simd_kernel: next() % 5,
+            reuse_hits: next() % 500,
+            reuse_misses: next() % 500,
+            reuse_fragment_hits: next() % 500,
+            reuse_fills: next() % 500,
             path_extracts: {
                 // A few overlapping keys so merges both sum and insert.
                 let mut v = vec![
@@ -645,6 +669,17 @@ mod tests {
         assert!(l.summary().contains("lru_ratio=0.75"));
         assert!(l.summary().contains("lru_evict=2"));
         assert!(l.summary().contains("lru_bytes=640"));
+        assert!(
+            !m.summary().contains("reuse_hits="),
+            "reuse fields only print when the reuse cache participated"
+        );
+        let u = ExecMetrics {
+            reuse_hits: 1,
+            reuse_fills: 2,
+            ..Default::default()
+        };
+        assert!(u.summary().contains("reuse_hits=1"));
+        assert!(u.summary().contains("reuse_fills=2"));
         assert!(
             !m.summary().contains("simd="),
             "kernel fields only print when bitmaps were built"

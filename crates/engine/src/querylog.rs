@@ -7,19 +7,21 @@
 //! ```json
 //! {"fingerprint":"9f86d081884c7d65","sql":"select ...","parser":"tape",
 //!  "simd":"avx2","mmap":true,"threads":4,"shared_parse":true,"epoch":2,
-//!  "rows":100,"wall_us":1234,"planning_us":88,"slow":false,
+//!  "reuse":"miss","rows":100,"wall_us":1234,"planning_us":88,"slow":false,
 //!  "counters":{"rows_scanned":100,"bytes_read":5120,"parse_calls":300,
 //!   "docs_parsed":100,"cache_hits":0,"lru_hits":0,"lru_misses":0,
 //!   "nodes_skipped":40,"bitmap_builds":100,"bitmap_build_wall_us":52,
 //!   "meta_cache_hits":1,"meta_cache_misses":0}}
 //! ```
 //!
-//! The `fingerprint` is an FNV-1a 64-bit hash of the *normalized* plan
-//! text (the rendered logical plan with the warehouse root replaced by
-//! `<root>`), so equivalent plans over the same warehouse collide across
-//! machines and sessions — the key a result-reuse cache would use. The
-//! `slow` flag trips when wall time exceeds the session's threshold
-//! (`MAXSON_SLOW_MS`, default 1000).
+//! The `fingerprint` is [`crate::fingerprint::stmt_fingerprint`]: FNV-1a
+//! over the canonical normalized statement text (alias/whitespace
+//! insensitive, commutative predicates sorted), so equivalent queries
+//! collide across machines and sessions — the same identity the reuse
+//! cache and the workload sketch key on. The `reuse` field records how
+//! the reuse cache participated (`off`/`hit`/`fragment`/`fill`/`miss`/
+//! `disabled`/`poisoned`). The `slow` flag trips when wall time exceeds
+//! the session's threshold (`MAXSON_SLOW_MS`, default 1000).
 //!
 //! Writes happen after the result is materialized, serialized under one
 //! mutex per log (sessions cloned from one `Session` share the handle),
@@ -38,16 +40,9 @@ use maxson_json::JsonValue;
 
 use crate::error::{EngineError, Result};
 use crate::metrics::ExecMetrics;
-
-/// FNV-1a 64-bit hash (the plan-fingerprint function; stable by spec).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x100000001b3);
-    }
-    hash
-}
+// The identity hash lives in the shared fingerprint module now; re-export
+// so `querylog::fnv1a64` callers keep compiling.
+pub use crate::fingerprint::fnv1a64;
 
 /// Everything one query-log line records besides the counters.
 pub struct QueryLogEntry<'a> {
@@ -67,6 +62,9 @@ pub struct QueryLogEntry<'a> {
     pub shared_parse: bool,
     /// Warehouse epoch the query planned against.
     pub epoch: u64,
+    /// Reuse-cache participation (`off` / `hit` / `fragment` / `fill` /
+    /// `miss` / `disabled` / `poisoned`).
+    pub reuse: &'a str,
     /// Output row count.
     pub rows: u64,
     /// Whole-query wall time.
@@ -139,6 +137,7 @@ impl QueryLog {
             ("threads".into(), n(entry.threads)),
             ("shared_parse".into(), JsonValue::Bool(entry.shared_parse)),
             ("epoch".into(), n(entry.epoch)),
+            ("reuse".into(), JsonValue::String(entry.reuse.to_string())),
             ("rows".into(), n(entry.rows)),
             ("wall_us".into(), n(entry.wall.as_micros() as u64)),
             ("planning_us".into(), n(metrics.planning.as_micros() as u64)),
@@ -159,14 +158,6 @@ impl QueryLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn fnv1a64_matches_reference_vectors() {
-        // Published FNV-1a test vectors.
-        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
-        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
-        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
-    }
 
     #[test]
     fn record_appends_parseable_lines() {
@@ -195,6 +186,7 @@ mod tests {
                 threads: i + 1,
                 shared_parse: true,
                 epoch: 7,
+                reuse: "miss",
                 rows: 10,
                 wall: Duration::from_millis(2),
                 slow_threshold: Duration::from_millis(1000),
@@ -207,6 +199,7 @@ mod tests {
         for line in &lines {
             let v = maxson_json::parse(line).unwrap();
             assert_eq!(v.get("parser").and_then(|p| p.as_str()), Some("tape"));
+            assert_eq!(v.get("reuse").and_then(|r| r.as_str()), Some("miss"));
             assert_eq!(v.get("slow").and_then(|s| s.as_bool()), Some(false));
             assert_eq!(
                 v.get("counters")
@@ -242,6 +235,7 @@ mod tests {
             threads: 1,
             shared_parse: false,
             epoch: 0,
+            reuse: "off",
             rows: 0,
             wall: Duration::from_millis(5),
             slow_threshold: Duration::from_millis(2),

@@ -1,0 +1,595 @@
+//! Cross-query result & intermediate reuse cache.
+//!
+//! Maxson's JSONPath cache removes duplicate *parsing*; this cache removes
+//! duplicate *execution* one level up the stack. It is a process-wide,
+//! thread-safe store of (a) full query results and (b) reusable
+//! intermediate fragments (the statement below its `LIMIT`/`DISTINCT`
+//! top), keyed on the canonical normalized fingerprint from
+//! [`crate::fingerprint`] plus the active JSON parser (parsers may
+//! legitimately diverge on malformed documents, so cross-parser reuse is
+//! unsound).
+//!
+//! **Admission** is cost-modelled, not blind (after "Revisiting Reuse in
+//! Main Memory Database Systems"): the cache keeps an EWMA of each
+//! fingerprint's observed recompute wall from `ExecMetrics` history, and
+//! an entry is admitted only when small or when its estimated recompute
+//! cost per resident byte clears a floor. Oversized entries (more than a
+//! quarter of the budget) are always rejected.
+//!
+//! **Eviction** is LRU-with-frequency under a byte budget
+//! (`MAXSON_RESULT_CACHE_MB` / `Session::set_result_cache`): victims are
+//! chosen by least (frequency, recency), but a victim whose
+//! benefit-per-byte score exceeds the incoming entry's is never displaced
+//! for it — the candidate is rejected instead (the budget-constrained
+//! scoring of the multi-query-optimization line of work).
+//!
+//! **Correctness is epoch-anchored**: every entry records the warehouse
+//! epoch at fill time and a probe only matches entries from the probing
+//! plan's epoch, so the midnight-cycle atomic epoch swap invalidates the
+//! whole cache in O(1) by generation check (plus an eager clear to release
+//! memory). Per-table dependency tracking invalidates finer-grained when
+//! a single table is rewritten through the catalog write lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use maxson_storage::{Cell, Schema};
+
+use crate::error::Result;
+use crate::metrics::ExecMetrics;
+use crate::scan::ScanProvider;
+
+/// Entries at or below this size are admitted without consulting the cost
+/// model — the bookkeeping outweighs any misjudgement.
+const SMALL_ENTRY_BYTES: u64 = 64 * 1024;
+
+/// Cost-model floor: estimated recompute nanoseconds per resident byte.
+/// Entries cheaper than ~1 ns/byte to rebuild are not worth holding.
+const MIN_NS_PER_BYTE: f64 = 1.0;
+
+/// What a probe found.
+#[derive(Debug, Clone)]
+pub struct CachedEntry {
+    /// The cached rows (shared; serving a hit is a refcount bump).
+    pub rows: Arc<Vec<Vec<Cell>>>,
+    /// Output schema of the cached rows (needed to rebuild operators over
+    /// a fragment).
+    pub schema: Schema,
+}
+
+/// What a fill attempt did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// Entry admitted and resident.
+    Admitted,
+    /// Rejected by the cost model or the oversize guard.
+    Rejected,
+    /// The cache is disabled (poisoned or switched off).
+    Disabled,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReuseStats {
+    /// Full-result probe hits.
+    pub hits: u64,
+    /// Probe misses (including epoch-mismatch bypasses).
+    pub misses: u64,
+    /// Fragment probe hits (result rebuilt over cached intermediate).
+    pub fragment_hits: u64,
+    /// Entries admitted.
+    pub fills: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Resident entry bytes.
+    pub bytes_resident: u64,
+    /// Configured byte budget.
+    pub budget_bytes: u64,
+    /// `true` once the cache has disabled itself after a contained
+    /// fill-path panic.
+    pub disabled: bool,
+}
+
+#[derive(Debug)]
+struct Entry {
+    rows: Arc<Vec<Vec<Cell>>>,
+    schema: Schema,
+    /// Warehouse epoch at fill time; probes from other epochs miss.
+    epoch: u64,
+    /// `db.table` identities this entry was computed from.
+    tables: Vec<String>,
+    bytes: u64,
+    /// Times this entry served a hit (+1 at fill).
+    freq: u64,
+    /// Logical clock of the last touch (for LRU ordering).
+    last_used: u64,
+    /// EWMA recompute wall, nanoseconds (benefit side of the score).
+    est_wall_ns: u64,
+}
+
+impl Entry {
+    /// Benefit-per-byte score used to protect valuable residents.
+    fn score(&self) -> f64 {
+        (self.freq as f64) * (self.est_wall_ns as f64) / (self.bytes.max(1) as f64)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u64, Entry>,
+    /// Logical clock; bumped on every touch.
+    clock: u64,
+    /// Resident bytes across all entries.
+    bytes: u64,
+    /// EWMA recompute wall per fingerprint, kept even for keys that were
+    /// never admitted (history informs the *next* admission decision).
+    cost: HashMap<u64, u64>,
+}
+
+/// The process-wide reuse cache. See the module docs for policy details.
+#[derive(Debug)]
+pub struct ReuseCache {
+    inner: Mutex<Inner>,
+    budget_bytes: AtomicU64,
+    /// Set after a contained fill-path panic: the cache stops serving and
+    /// stops filling, loudly (callers surface `reuse=disabled`).
+    disabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fragment_hits: AtomicU64,
+    fills: AtomicU64,
+    evictions: AtomicU64,
+    /// Test hook: the next fill panics inside the cache, exercising the
+    /// containment path end to end.
+    inject_fill_panic: AtomicBool,
+}
+
+impl ReuseCache {
+    /// A cache with a byte budget of `budget_mb` MiB.
+    pub fn new(budget_mb: u64) -> Self {
+        ReuseCache {
+            inner: Mutex::new(Inner::default()),
+            budget_bytes: AtomicU64::new(budget_mb.saturating_mul(1024 * 1024)),
+            disabled: AtomicBool::new(false),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fragment_hits: AtomicU64::new(0),
+            fills: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            inject_fill_panic: AtomicBool::new(false),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned inner lock means a fill panicked mid-update; the
+        // cache has already disabled itself, and the map is only ever in
+        // a consistent state between entry operations, so recover.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Probe for `key` at `epoch`. A full-result hit bumps `hits`; pass
+    /// `fragment = true` to charge `fragment_hits` instead. Entries from
+    /// other epochs are removed and count as misses.
+    pub fn lookup(&self, key: u64, epoch: u64, fragment: bool) -> Option<CachedEntry> {
+        if self.disabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(&key) {
+            Some(e) if e.epoch == epoch => {
+                e.freq += 1;
+                e.last_used = clock;
+                let found = CachedEntry {
+                    rows: Arc::clone(&e.rows),
+                    schema: e.schema.clone(),
+                };
+                drop(inner);
+                if fragment {
+                    self.fragment_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(found)
+            }
+            Some(_) => {
+                // Stale epoch: never serve, drop eagerly.
+                let e = inner.map.remove(&key).expect("entry just matched");
+                inner.bytes -= e.bytes;
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Record an observed recompute wall for `key` (EWMA, alpha = 1/2).
+    /// Called on every miss-then-execute so history accumulates even for
+    /// keys the admission policy has so far rejected.
+    pub fn record_cost(&self, key: u64, wall_ns: u64) {
+        let mut inner = self.lock();
+        let slot = inner.cost.entry(key).or_insert(wall_ns);
+        *slot = (*slot + wall_ns) / 2;
+    }
+
+    /// Offer an entry for admission. The caller has already executed the
+    /// query; `rows` are the finished output (shared, so admission never
+    /// copies them).
+    pub fn fill(
+        &self,
+        key: u64,
+        rows: Arc<Vec<Vec<Cell>>>,
+        schema: Schema,
+        epoch: u64,
+        tables: Vec<String>,
+        wall_ns: u64,
+    ) -> FillOutcome {
+        if self.disabled.load(Ordering::Relaxed) {
+            return FillOutcome::Disabled;
+        }
+        if self.inject_fill_panic.swap(false, Ordering::SeqCst) {
+            panic!("reuse: injected fill-path panic");
+        }
+        let bytes = rows_bytes(&rows);
+        let budget = self.budget_bytes.load(Ordering::Relaxed);
+        let mut inner = self.lock();
+        // Cost history accumulates before any admission decision, so even
+        // keys rejected today inform tomorrow's estimate.
+        let slot = inner.cost.entry(key).or_insert(wall_ns);
+        *slot = (*slot + wall_ns) / 2;
+        let est_wall_ns = *slot;
+        if bytes > budget / 4 {
+            return FillOutcome::Rejected;
+        }
+        if bytes > SMALL_ENTRY_BYTES
+            && (est_wall_ns as f64) / (bytes.max(1) as f64) < MIN_NS_PER_BYTE
+        {
+            return FillOutcome::Rejected;
+        }
+        // Replace any stale entry under the same key first.
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        let candidate_score = (est_wall_ns as f64) / (bytes.max(1) as f64);
+        let mut evicted = 0u64;
+        while inner.bytes + bytes > budget {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.freq, e.last_used))
+                .map(|(k, e)| (*k, e.score()));
+            match victim {
+                // Never displace a resident worth more per byte than the
+                // candidate — reject the candidate instead.
+                Some((_, vscore)) if vscore > candidate_score => {
+                    self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                    return FillOutcome::Rejected;
+                }
+                Some((vkey, _)) => {
+                    let e = inner.map.remove(&vkey).expect("victim present");
+                    inner.bytes -= e.bytes;
+                    evicted += 1;
+                }
+                None => return FillOutcome::Rejected, // bytes > budget with empty map
+            }
+        }
+        inner.clock += 1;
+        let last_used = inner.clock;
+        inner.bytes += bytes;
+        inner.map.insert(
+            key,
+            Entry {
+                rows,
+                schema,
+                epoch,
+                tables,
+                bytes,
+                freq: 1,
+                last_used,
+                est_wall_ns,
+            },
+        );
+        drop(inner);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.fills.fetch_add(1, Ordering::Relaxed);
+        FillOutcome::Admitted
+    }
+
+    /// Drop every entry that depends on `table` (`db.table` identity from
+    /// [`crate::fingerprint::table_key`]).
+    pub fn invalidate_table(&self, table: &str) {
+        let mut inner = self.lock();
+        let dead: Vec<u64> = inner
+            .map
+            .iter()
+            .filter(|(_, e)| e.tables.iter().any(|t| t == table))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in dead {
+            let e = inner.map.remove(&k).expect("key listed");
+            inner.bytes -= e.bytes;
+        }
+    }
+
+    /// Drop every entry (catalog-wide change or epoch swap). Cost history
+    /// survives — recompute estimates stay useful across generations.
+    pub fn invalidate_all(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.bytes = 0;
+    }
+
+    /// Disable the cache after a contained failure. It stops serving and
+    /// filling until the process restarts (loud by design: callers report
+    /// `reuse=disabled` and charge a counter).
+    pub fn disable(&self) {
+        self.disabled.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`ReuseCache::disable`] has run.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled.load(Ordering::Relaxed)
+    }
+
+    /// Arm the fill-path panic test hook (next fill panics once).
+    pub fn inject_fill_panic(&self) {
+        self.inject_fill_panic.store(true, Ordering::SeqCst);
+    }
+
+    /// Change the byte budget at runtime (existing entries are evicted on
+    /// the next fill if over the new budget).
+    pub fn set_budget_mb(&self, budget_mb: u64) {
+        self.budget_bytes
+            .store(budget_mb.saturating_mul(1024 * 1024), Ordering::Relaxed);
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> ReuseStats {
+        let inner = self.lock();
+        ReuseStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fragment_hits: self.fragment_hits.load(Ordering::Relaxed),
+            fills: self.fills.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_resident: inner.bytes,
+            budget_bytes: self.budget_bytes.load(Ordering::Relaxed),
+            disabled: self.disabled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Estimated resident size of a row set: container overhead plus
+/// per-cell payloads (strings by length; scalars by 16 bytes of enum).
+fn rows_bytes(rows: &[Vec<Cell>]) -> u64 {
+    let mut bytes = std::mem::size_of::<Vec<Vec<Cell>>>() as u64;
+    for row in rows {
+        bytes += std::mem::size_of::<Vec<Cell>>() as u64;
+        for cell in row {
+            bytes += 16;
+            if let Cell::Str(s) = cell {
+                bytes += s.len() as u64;
+            }
+        }
+    }
+    bytes
+}
+
+/// Scan provider that replays cached fragment rows. Rebuilt operators
+/// (`LIMIT`, `DISTINCT`) execute over this scan; it charges nothing to
+/// the read/parse phases because no I/O or parsing happens.
+#[derive(Debug)]
+pub struct CachedRowsProvider {
+    rows: Arc<Vec<Vec<Cell>>>,
+    schema: Schema,
+}
+
+impl CachedRowsProvider {
+    /// Wrap a cache entry for scanning.
+    pub fn new(entry: CachedEntry) -> Self {
+        CachedRowsProvider {
+            rows: entry.rows,
+            schema: entry.schema,
+        }
+    }
+}
+
+impl ScanProvider for CachedRowsProvider {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn scan(&self, _metrics: &mut ExecMetrics) -> Result<Vec<Vec<Cell>>> {
+        Ok((*self.rows).clone())
+    }
+
+    fn label(&self) -> String {
+        format!("ReuseFragment({} rows)", self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxson_storage::{ColumnType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("a", ColumnType::Int64)]).unwrap()
+    }
+
+    fn rows(n: usize) -> Arc<Vec<Vec<Cell>>> {
+        Arc::new((0..n).map(|i| vec![Cell::Int(i as i64)]).collect())
+    }
+
+    /// A wall estimate big enough that the ns/byte floor never interferes
+    /// with the policy under test.
+    const EXPENSIVE: u64 = u64::MAX / 4;
+
+    #[test]
+    fn hit_after_fill_and_miss_on_other_key() {
+        let c = ReuseCache::new(16);
+        assert!(c.lookup(1, 0, false).is_none());
+        assert_eq!(
+            c.fill(1, rows(4), schema(), 0, vec!["db.t".into()], EXPENSIVE),
+            FillOutcome::Admitted
+        );
+        let hit = c.lookup(1, 0, false).expect("filled key hits");
+        assert_eq!(hit.rows.len(), 4);
+        assert!(c.lookup(2, 0, false).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.fills), (1, 2, 1));
+    }
+
+    #[test]
+    fn epoch_mismatch_never_serves_and_drops_the_entry() {
+        let c = ReuseCache::new(16);
+        c.fill(1, rows(4), schema(), 7, vec!["db.t".into()], EXPENSIVE);
+        assert!(c.lookup(1, 8, false).is_none(), "stale epoch must miss");
+        assert_eq!(c.stats().bytes_resident, 0, "stale entry dropped eagerly");
+        assert!(c.lookup(1, 7, false).is_none(), "entry is gone for good");
+    }
+
+    #[test]
+    fn table_invalidation_is_selective() {
+        let c = ReuseCache::new(16);
+        c.fill(1, rows(2), schema(), 0, vec!["db.a".into()], EXPENSIVE);
+        c.fill(2, rows(2), schema(), 0, vec!["db.b".into()], EXPENSIVE);
+        c.invalidate_table("db.a");
+        assert!(c.lookup(1, 0, false).is_none());
+        assert!(c.lookup(2, 0, false).is_some());
+    }
+
+    #[test]
+    fn invalidate_all_empties_but_keeps_cost_history() {
+        let c = ReuseCache::new(16);
+        c.fill(1, rows(2), schema(), 0, vec!["db.t".into()], EXPENSIVE);
+        c.invalidate_all();
+        assert!(c.lookup(1, 0, false).is_none());
+        assert_eq!(c.stats().bytes_resident, 0);
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let c = ReuseCache::new(1); // 1 MiB budget -> 256 KiB oversize line
+        let big: Arc<Vec<Vec<Cell>>> = Arc::new(
+            (0..5000)
+                .map(|_| vec![Cell::Str(Arc::from("x".repeat(100)))])
+                .collect(),
+        );
+        assert_eq!(
+            c.fill(1, big, schema(), 0, vec!["db.t".into()], EXPENSIVE),
+            FillOutcome::Rejected
+        );
+        assert_eq!(c.stats().bytes_resident, 0);
+    }
+
+    #[test]
+    fn cheap_large_entries_fail_the_cost_model() {
+        let c = ReuseCache::new(64);
+        let large: Arc<Vec<Vec<Cell>>> = Arc::new(
+            (0..2000)
+                .map(|_| vec![Cell::Str(Arc::from("y".repeat(64)))])
+                .collect(),
+        );
+        // ~160 KB entry, 1000 ns to recompute: far below 1 ns/byte.
+        assert_eq!(
+            c.fill(1, large, schema(), 0, vec!["db.t".into()], 1000),
+            FillOutcome::Rejected
+        );
+        // Small entries skip the cost model entirely.
+        assert_eq!(
+            c.fill(2, rows(1), schema(), 0, vec!["db.t".into()], 1),
+            FillOutcome::Admitted
+        );
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_prefers_cold_entries() {
+        let c = ReuseCache::new(1);
+        // ~50 KiB each; 1 MiB budget holds ~20.
+        let make = || -> Arc<Vec<Vec<Cell>>> {
+            Arc::new(
+                (0..500)
+                    .map(|_| vec![Cell::Str(Arc::from("z".repeat(80)))])
+                    .collect(),
+            )
+        };
+        for key in 0..30u64 {
+            c.fill(key, make(), schema(), 0, vec!["db.t".into()], EXPENSIVE);
+        }
+        let s = c.stats();
+        assert!(s.evictions > 0, "filling past budget must evict");
+        assert!(
+            s.bytes_resident <= s.budget_bytes,
+            "resident {} exceeds budget {}",
+            s.bytes_resident,
+            s.budget_bytes
+        );
+    }
+
+    #[test]
+    fn resident_bytes_never_exceed_budget_under_churn() {
+        let c = ReuseCache::new(1);
+        for key in 0..200u64 {
+            let n = 50 + (key as usize % 300);
+            c.fill(key, rows(n), schema(), 0, vec!["db.t".into()], EXPENSIVE);
+            if key % 3 == 0 {
+                c.lookup(key / 2, 0, false);
+            }
+            let s = c.stats();
+            assert!(s.bytes_resident <= s.budget_bytes);
+        }
+    }
+
+    #[test]
+    fn disabled_cache_neither_serves_nor_fills() {
+        let c = ReuseCache::new(16);
+        c.fill(1, rows(2), schema(), 0, vec!["db.t".into()], EXPENSIVE);
+        c.disable();
+        assert!(c.lookup(1, 0, false).is_none());
+        assert_eq!(
+            c.fill(2, rows(2), schema(), 0, vec!["db.t".into()], EXPENSIVE),
+            FillOutcome::Disabled
+        );
+        assert!(c.stats().disabled);
+    }
+
+    #[test]
+    fn injected_fill_panic_fires_once() {
+        let c = ReuseCache::new(16);
+        c.inject_fill_panic();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            c.fill(1, rows(2), schema(), 0, vec!["db.t".into()], EXPENSIVE)
+        }));
+        assert!(r.is_err(), "armed hook must panic");
+        // Hook disarms itself; the next fill succeeds.
+        assert_eq!(
+            c.fill(1, rows(2), schema(), 0, vec!["db.t".into()], EXPENSIVE),
+            FillOutcome::Admitted
+        );
+    }
+
+    #[test]
+    fn cached_rows_provider_replays_without_charging() {
+        let c = ReuseCache::new(16);
+        c.fill(1, rows(3), schema(), 0, vec!["db.t".into()], EXPENSIVE);
+        let entry = c.lookup(1, 0, true).unwrap();
+        assert_eq!(c.stats().fragment_hits, 1);
+        let provider = CachedRowsProvider::new(entry);
+        let mut m = ExecMetrics::default();
+        let out = provider.scan(&mut m).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(m.docs_parsed, 0);
+        assert_eq!(m.bytes_read, 0);
+    }
+}

@@ -22,10 +22,14 @@ use crate::error::{EngineError, Result};
 use crate::exec::{execute_plan_traced, ExecOptions};
 use crate::expr::Expr;
 pub use crate::expr::JsonParserKind;
+use crate::fingerprint::{
+    canonical_fragment_text, canonical_stmt_text, reuse_key, stmt_fingerprint, table_key,
+};
 use crate::metrics::ExecMetrics;
 use crate::plan::LogicalPlan;
 use crate::pool::SplitScheduler;
-use crate::querylog::{fnv1a64, QueryLog, QueryLogEntry};
+use crate::querylog::{QueryLog, QueryLogEntry};
+use crate::reuse::{CachedEntry, CachedRowsProvider, FillOutcome, ReuseCache, ReuseStats};
 use crate::scan::{NorcScanProvider, ScanProvider};
 use crate::sql::ast::{AggFunc, BinaryOp, SelectItem, SelectStatement, SqlExpr, TableRef};
 use crate::sql::parse_select;
@@ -125,6 +129,55 @@ impl QueryResult {
     }
 }
 
+/// Split `LIMIT`/`DISTINCT` off the top of a physical plan — the operators
+/// the reuse cache peels. Both run *after* their input is fully
+/// materialized in this engine (`Limit` truncates, `Distinct` dedups), so
+/// executing the peeled fragment costs exactly what the full plan's input
+/// cost and replaying the uppers over its rows is byte-identical.
+fn peel_uppers(plan: LogicalPlan) -> LogicalPlan {
+    let plan = match plan {
+        LogicalPlan::Limit { input, .. } => *input,
+        p => p,
+    };
+    match plan {
+        LogicalPlan::Distinct { input } => *input,
+        p => p,
+    }
+}
+
+/// Rebuild the peeled uppers from the statement over `input` (a cached-
+/// rows scan), in the same order `plan_statement` stacks them: `Distinct`
+/// below `Limit`.
+fn rebuild_uppers(input: LogicalPlan, stmt: &SelectStatement) -> LogicalPlan {
+    let mut plan = input;
+    if stmt.distinct {
+        plan = LogicalPlan::Distinct {
+            input: Box::new(plan),
+        };
+    }
+    if let Some(n) = stmt.limit {
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            n,
+        };
+    }
+    plan
+}
+
+/// Schema of a query's visible output columns (the engine is value-typed
+/// at runtime, so every output column is `Utf8` — mirroring the projection
+/// schemas `plan_statement` builds). `None` if the names collide, which
+/// the planner rejects earlier; the caller skips caching in that case.
+fn output_schema(names: &[String]) -> Option<Schema> {
+    Schema::new(
+        names
+            .iter()
+            .map(|n| Field::new(n.clone(), ColumnType::Utf8))
+            .collect(),
+    )
+    .ok()
+}
+
 /// Case-insensitively strip a leading SQL keyword (plus surrounding
 /// whitespace); `None` when `text` does not start with it as a whole word.
 fn strip_keyword<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
@@ -138,6 +191,29 @@ fn strip_keyword<'a>(text: &'a str, keyword: &str) -> Option<&'a str> {
     None
 }
 
+/// One planned query: the compiled plan plus the planning-time snapshot
+/// (epoch, statement, scanned tables, reuse handle) the execution and
+/// bookkeeping phases consume after the warehouse lock is released.
+struct PlannedQuery {
+    plan: LogicalPlan,
+    planning: Duration,
+    /// Output column names.
+    names: Vec<String>,
+    /// Warehouse epoch the plan belongs to.
+    epoch: u64,
+    /// Deduplicated `(db.table, jsonpath)` pairs the plan extracts (the
+    /// workload-sketch attribution key).
+    planned_paths: Vec<(String, String)>,
+    /// `db.table` identities this query scans (reuse dependency tracking).
+    tables: Vec<String>,
+    /// The parsed statement — the canonical fingerprint is derived from
+    /// this, not the physical plan, so rewriter installs (Maxson's cache
+    /// rewrite) never change a query's identity.
+    stmt: SelectStatement,
+    /// The warehouse's reuse cache at planning time (`None` = off).
+    reuse: Option<Arc<ReuseCache>>,
+}
+
 /// The shared, swappable state every session cloned from one warehouse
 /// points at: the catalog, the installed rewriter, and the epoch counter
 /// that versions them. Guarded by one `RwLock` so a query's planning phase
@@ -147,6 +223,10 @@ struct Warehouse {
     catalog: Catalog,
     rewriter: Option<Arc<dyn TableScanRewriter>>,
     epoch: u64,
+    /// Cross-query reuse cache shared by every session cloned from this
+    /// warehouse (`None` = reuse off, the default). Lives here so the
+    /// catalog write guard and the epoch swap can invalidate it.
+    reuse: Option<Arc<ReuseCache>>,
 }
 
 /// Read guard over the session's catalog (derefs to [`Catalog`]). Held only
@@ -175,6 +255,18 @@ impl Deref for CatalogWrite<'_> {
 impl DerefMut for CatalogWrite<'_> {
     fn deref_mut(&mut self) -> &mut Catalog {
         &mut self.0.catalog
+    }
+}
+
+impl Drop for CatalogWrite<'_> {
+    fn drop(&mut self) {
+        // Mutable catalog access may have changed any table's data, so the
+        // reuse cache drops everything. Callers that know the single table
+        // they touched can use `Session::invalidate_reuse_table` for
+        // finer-grained invalidation instead of holding this guard.
+        if let Some(reuse) = &self.0.reuse {
+            reuse.invalidate_all();
+        }
     }
 }
 
@@ -252,11 +344,27 @@ impl Session {
             .and_then(|v| v.trim().parse::<u64>().ok())
             .map(Duration::from_millis)
             .unwrap_or(Duration::from_millis(1000));
+        // Cross-query result reuse (off by default): `MAXSON_RESULT_CACHE`
+        // switches it on, `MAXSON_RESULT_CACHE_MB` sizes the byte budget.
+        let reuse = std::env::var("MAXSON_RESULT_CACHE")
+            .map(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                !v.is_empty() && v != "0" && v != "false" && v != "off"
+            })
+            .unwrap_or(false)
+            .then(|| {
+                let mb = std::env::var("MAXSON_RESULT_CACHE_MB")
+                    .ok()
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .unwrap_or(64);
+                Arc::new(ReuseCache::new(mb))
+            });
         Ok(Session {
             warehouse: Arc::new(RwLock::new(Warehouse {
                 catalog: Catalog::open(root.as_ref())?,
                 rewriter: None,
                 epoch: 0,
+                reuse,
             })),
             parser_kind,
             prefilter_enabled: false,
@@ -454,6 +562,43 @@ impl Session {
         let mut wh = self.wh_write();
         wh.rewriter = rewriter.map(Arc::from);
         wh.epoch += 1;
+        // Old-epoch entries would miss the generation check anyway; clear
+        // eagerly so their memory is released now.
+        if let Some(reuse) = &wh.reuse {
+            reuse.invalidate_all();
+        }
+    }
+
+    /// Enable (or disable, with `None`) the cross-query reuse cache, with
+    /// a byte budget of `budget_mb` MiB. Equivalent to launching with
+    /// `MAXSON_RESULT_CACHE=1 MAXSON_RESULT_CACHE_MB=<mb>`. The cache is
+    /// warehouse-shared: every session cloned from this one probes and
+    /// fills the same cache (the serving front end enables it once and all
+    /// connections benefit).
+    pub fn set_result_cache(&mut self, budget_mb: Option<u64>) {
+        let mut wh = self.wh_write();
+        wh.reuse = budget_mb.map(|mb| Arc::new(ReuseCache::new(mb)));
+    }
+
+    /// Handle on the active reuse cache, if enabled (tests use this to arm
+    /// failure-injection hooks and inspect stats).
+    pub fn reuse_cache(&self) -> Option<Arc<ReuseCache>> {
+        self.wh_read().reuse.clone()
+    }
+
+    /// Point-in-time reuse-cache statistics (`None` when reuse is off).
+    pub fn reuse_stats(&self) -> Option<ReuseStats> {
+        self.wh_read().reuse.as_ref().map(|c| c.stats())
+    }
+
+    /// Drop every reuse entry computed from `database.table` — the
+    /// finer-grained alternative to the coarse invalidate-everything the
+    /// catalog write guard performs, for callers that appended to exactly
+    /// one table.
+    pub fn invalidate_reuse_table(&self, database: &str, table: &str) {
+        if let Some(reuse) = &self.wh_read().reuse {
+            reuse.invalidate_table(&table_key(database, table));
+        }
     }
 
     /// Atomically swap the whole warehouse view: re-open the catalog from
@@ -480,6 +625,13 @@ impl Session {
         wh.catalog = catalog;
         wh.rewriter = rewriter.map(Arc::from);
         wh.epoch += 1;
+        // Epoch-anchored reuse correctness: entries filled before (or by
+        // in-flight queries racing) the swap carry the old epoch and can
+        // never match a post-swap probe — the generation check is the real
+        // guard. The eager clear just releases their memory now.
+        if let Some(reuse) = &wh.reuse {
+            reuse.invalidate_all();
+        }
         Ok(wh.epoch)
     }
 
@@ -503,32 +655,40 @@ impl Session {
     /// Compile SQL into a plan without executing. Returns the plan and the
     /// planning time — the measurement behind Fig. 13.
     pub fn plan(&self, sql: &str) -> Result<(LogicalPlan, std::time::Duration, Vec<String>)> {
-        let (plan, planning, names, _, _) = self.plan_snapshot(sql)?;
-        Ok((plan, planning, names))
+        let pq = self.plan_snapshot(sql)?;
+        Ok((pq.plan, pq.planning, pq.names))
     }
 
-    /// Plan under one warehouse read lock, returning the epoch the plan
-    /// belongs to plus the deduplicated `(db.table, jsonpath)` pairs the
-    /// plan extracts (the workload-sketch attribution key). The returned
-    /// plan holds cloned `Table` handles, so the lock is released when
-    /// this returns and execution proceeds against an immutable snapshot.
-    #[allow(clippy::type_complexity)]
-    fn plan_snapshot(
-        &self,
-        sql: &str,
-    ) -> Result<(
-        LogicalPlan,
-        std::time::Duration,
-        Vec<String>,
-        u64,
-        Vec<(String, String)>,
-    )> {
+    /// Plan under one warehouse read lock. The returned plan holds cloned
+    /// `Table` handles, so the lock is released when this returns and
+    /// execution proceeds against an immutable snapshot; everything the
+    /// post-execution bookkeeping needs (epoch, fingerprint identity,
+    /// scanned tables, reuse handle) rides along in the same snapshot.
+    fn plan_snapshot(&self, sql: &str) -> Result<PlannedQuery> {
         let start = Instant::now();
         let stmt = parse_select(sql)?;
         let wh = self.wh_read();
         let mut planned_paths = Vec::new();
         let (plan, names) = self.plan_statement(&wh, &stmt, &mut planned_paths)?;
-        Ok((plan, start.elapsed(), names, wh.epoch, planned_paths))
+        // `db.table` identities this query reads, for reuse-cache
+        // dependency tracking (shared identity with the workload sketch).
+        let mut tables = vec![table_key(&stmt.from.database, &stmt.from.table)];
+        if let Some(join) = &stmt.join {
+            let key = table_key(&join.table.database, &join.table.table);
+            if !tables.contains(&key) {
+                tables.push(key);
+            }
+        }
+        Ok(PlannedQuery {
+            plan,
+            planning: start.elapsed(),
+            names,
+            epoch: wh.epoch,
+            planned_paths,
+            tables,
+            stmt,
+            reuse: wh.reuse.clone(),
+        })
     }
 
     /// Execute a SELECT statement. A leading `EXPLAIN` keyword returns the
@@ -541,18 +701,18 @@ impl Session {
             if let Some(inner) = strip_keyword(rest, "analyze") {
                 return self.explain_analyze(inner);
             }
-            let (plan, planning, _, epoch, _) = self.plan_snapshot(rest)?;
+            let pq = self.plan_snapshot(rest)?;
             let metrics = ExecMetrics {
-                planning,
+                planning: pq.planning,
                 ..Default::default()
             };
-            let display = plan.display();
+            let display = pq.plan.display();
             return Ok(QueryResult {
                 columns: vec!["plan".to_string()],
                 rows: display.lines().map(|l| vec![Cell::from(l)]).collect(),
                 metrics,
                 plan_display: display,
-                epoch,
+                epoch: pq.epoch,
             });
         }
         let (result, _) = self.execute_traced(sql, &self.tracer)?;
@@ -568,7 +728,16 @@ impl Session {
         if root.is_recording() {
             root.attr("sql", sql.trim());
         }
-        let (plan, planning, names, epoch, planned_paths) = {
+        let PlannedQuery {
+            plan,
+            planning,
+            names,
+            epoch,
+            planned_paths,
+            tables,
+            stmt,
+            reuse,
+        } = {
             let _planning_span = tracer.child("planning", root.id());
             self.plan_snapshot(sql)?
         };
@@ -576,18 +745,182 @@ impl Session {
             planning,
             ..Default::default()
         };
+        let parser = self.parser_kind.name();
+        // Identity is derived from the *statement*, never the physical
+        // plan, so a Maxson cache-rewritten plan fingerprints identically
+        // to its logical source.
+        let fingerprint = stmt_fingerprint(&stmt);
+        let full_key = reuse
+            .as_ref()
+            .map(|_| reuse_key(parser, &canonical_stmt_text(&stmt)));
+        let plan_display = plan.display();
+        let mut reuse_status: &'static str = if reuse.is_some() { "miss" } else { "off" };
         let start = Instant::now();
-        let rows = execute_plan_traced(
-            &plan,
-            self.parser_kind,
-            &mut metrics,
-            &self.exec_options(),
-            tracer,
-            root.id(),
-        )?;
+
+        // 1. Full-result probe: a hit serves the cached rows directly —
+        //    no operator runs, no split task is scheduled (so no fair-
+        //    scheduler lease is ever taken), no document is parsed.
+        let mut served: Option<Vec<Vec<Cell>>> = None;
+        if let (Some(cache), Some(key)) = (&reuse, full_key) {
+            if cache.is_disabled() {
+                reuse_status = "disabled";
+            } else if let Some(entry) = cache.lookup(key, epoch, false) {
+                metrics.reuse_hits = 1;
+                reuse_status = "hit";
+                served = Some((*entry.rows).clone());
+            } else {
+                metrics.reuse_misses = 1;
+            }
+        }
+
+        let rows = match served {
+            Some(rows) => rows,
+            None => {
+                // 2. Fragment probe: the peeled statement's key (LIMIT/
+                //    DISTINCT cleared) — equal, by construction, to the
+                //    full key of the statement without those uppers.
+                let frag_key = match (&reuse, reuse_status) {
+                    (Some(_), "miss") => {
+                        canonical_fragment_text(&stmt).map(|t| reuse_key(parser, &t))
+                    }
+                    _ => None,
+                };
+                let frag_entry = match (&reuse, frag_key) {
+                    (Some(cache), Some(k)) => cache.lookup(k, epoch, true),
+                    _ => None,
+                };
+                if let Some(entry) = frag_entry {
+                    // Replay cached intermediate rows under rebuilt uppers.
+                    metrics.reuse_fragment_hits = 1;
+                    reuse_status = "fragment";
+                    let rebuilt = rebuild_uppers(
+                        LogicalPlan::Scan {
+                            provider: Box::new(CachedRowsProvider::new(entry)),
+                        },
+                        &stmt,
+                    );
+                    execute_plan_traced(
+                        &rebuilt,
+                        self.parser_kind,
+                        &mut metrics,
+                        &self.exec_options(),
+                        tracer,
+                        root.id(),
+                    )?
+                } else {
+                    // 3. Execute, then offer the result(s) for admission.
+                    //    With peelable uppers the fragment runs first and
+                    //    the uppers replay over its rows — LIMIT and
+                    //    DISTINCT both run after full materialization in
+                    //    this engine, so the split adds no work and the
+                    //    output is byte-identical to the unsplit plan.
+                    let mut frag_fill: Option<(u64, Arc<Vec<Vec<Cell>>>, Schema)> = None;
+                    let exec_rows = match frag_key {
+                        Some(fkey) => {
+                            let frag_plan = peel_uppers(plan);
+                            let frag_schema = frag_plan.schema().clone();
+                            let frag_rows = Arc::new(execute_plan_traced(
+                                &frag_plan,
+                                self.parser_kind,
+                                &mut metrics,
+                                &self.exec_options(),
+                                tracer,
+                                root.id(),
+                            )?);
+                            let rebuilt = rebuild_uppers(
+                                LogicalPlan::Scan {
+                                    provider: Box::new(CachedRowsProvider::new(CachedEntry {
+                                        rows: Arc::clone(&frag_rows),
+                                        schema: frag_schema.clone(),
+                                    })),
+                                },
+                                &stmt,
+                            );
+                            let out = execute_plan_traced(
+                                &rebuilt,
+                                self.parser_kind,
+                                &mut metrics,
+                                &self.exec_options(),
+                                tracer,
+                                root.id(),
+                            )?;
+                            frag_fill = Some((fkey, frag_rows, frag_schema));
+                            out
+                        }
+                        None => execute_plan_traced(
+                            &plan,
+                            self.parser_kind,
+                            &mut metrics,
+                            &self.exec_options(),
+                            tracer,
+                            root.id(),
+                        )?,
+                    };
+                    if let (Some(cache), Some(key)) = (&reuse, full_key) {
+                        if !cache.is_disabled() {
+                            let wall_ns = start.elapsed().as_nanos() as u64;
+                            let shared = Arc::new(exec_rows);
+                            // The fill is contained: a panic inside the
+                            // cache disables it loudly and the already-
+                            // computed rows are returned unchanged.
+                            let fill =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if let Some((fkey, frows, fschema)) = &frag_fill {
+                                        cache.fill(
+                                            *fkey,
+                                            Arc::clone(frows),
+                                            fschema.clone(),
+                                            epoch,
+                                            tables.clone(),
+                                            wall_ns,
+                                        );
+                                    }
+                                    let out_schema = match output_schema(&names) {
+                                        Some(s) => s,
+                                        None => return FillOutcome::Rejected,
+                                    };
+                                    cache.fill(
+                                        key,
+                                        Arc::clone(&shared),
+                                        out_schema,
+                                        epoch,
+                                        tables.clone(),
+                                        wall_ns,
+                                    )
+                                }));
+                            match fill {
+                                Ok(FillOutcome::Admitted) => {
+                                    metrics.reuse_fills = 1;
+                                    reuse_status = "fill";
+                                }
+                                Ok(FillOutcome::Rejected) => {}
+                                Ok(FillOutcome::Disabled) => reuse_status = "disabled",
+                                Err(_) => {
+                                    cache.disable();
+                                    reuse_status = "poisoned";
+                                }
+                            }
+                            match Arc::try_unwrap(shared) {
+                                Ok(rows) => rows,
+                                Err(shared) => (*shared).clone(),
+                            }
+                        } else {
+                            exec_rows
+                        }
+                    } else {
+                        exec_rows
+                    }
+                }
+            }
+        };
         metrics.total = start.elapsed();
         tracer.observe("query_exec_us", metrics.total);
         root.attr("rows", rows.len());
+        if reuse.is_some() {
+            // Only when reuse is enabled, so cache-off EXPLAIN ANALYZE
+            // output (and its goldens) is unchanged.
+            root.attr("reuse", reuse_status);
+        }
         if metrics.bitmap_builds > 0 {
             // Which structural-kernel tier built the bitmaps and how long
             // it spent — the tentpole numbers `EXPLAIN ANALYZE` surfaces.
@@ -598,10 +931,11 @@ impl Session {
         }
         let root_id = root.id();
         drop(root);
-        let plan_display = plan.display();
         self.finish_query(
             sql,
-            &plan_display,
+            fingerprint,
+            reuse_status,
+            reuse.as_deref(),
             &metrics,
             &planned_paths,
             epoch,
@@ -623,21 +957,18 @@ impl Session {
     /// workload sketch, and append the query-log line. Pure observation —
     /// reads `metrics`, never mutates it — so results and work counters are
     /// byte-identical with or without a query log installed.
+    #[allow(clippy::too_many_arguments)]
     fn finish_query(
         &self,
         sql: &str,
-        plan_display: &str,
+        fingerprint: u64,
+        reuse_status: &str,
+        reuse: Option<&ReuseCache>,
         metrics: &ExecMetrics,
         planned_paths: &[(String, String)],
         epoch: u64,
         rows: usize,
     ) -> Result<()> {
-        // Fingerprint the *normalized* plan: the warehouse root collapses
-        // to `<root>` so equivalent plans hash equal across machines.
-        let root = self.wh_read().catalog.root().display().to_string();
-        let normalized = plan_display.replace(root.as_str(), "<root>");
-        let fingerprint = fnv1a64(normalized.as_bytes());
-
         let parser = self.parser_kind.name();
         let labels = [("parser", parser)];
         let r = &self.registry;
@@ -670,6 +1001,30 @@ impl Session {
             r.gauge("maxson_simd_kernel", &[]).max(metrics.simd_kernel);
         }
         r.gauge("maxson_epoch", &[]).max(epoch);
+        if let Some(cache) = reuse {
+            // Reuse exposition: per-query deltas as counters, cumulative
+            // cache-wide state as gauges, and the hit-serving wall (the
+            // latency a hit actually cost the client) as a histogram.
+            r.counter("maxson_reuse_hits_total", &[])
+                .add(metrics.reuse_hits);
+            r.counter("maxson_reuse_misses_total", &[])
+                .add(metrics.reuse_misses);
+            r.counter("maxson_reuse_fragment_hits_total", &[])
+                .add(metrics.reuse_fragment_hits);
+            r.counter("maxson_reuse_fills_total", &[])
+                .add(metrics.reuse_fills);
+            let stats = cache.stats();
+            r.gauge("maxson_reuse_evictions", &[]).max(stats.evictions);
+            r.gauge("maxson_reuse_bytes_resident", &[])
+                .set(stats.bytes_resident);
+            if metrics.reuse_hits > 0 {
+                r.histogram("maxson_reuse_hit_wall_seconds", &[])
+                    .observe(metrics.total);
+            }
+            if reuse_status == "poisoned" {
+                r.counter("maxson_reuse_poisoned_total", &[]).inc();
+            }
+        }
         let slow = metrics.total > self.slow_threshold;
         if slow {
             r.counter("maxson_slow_queries_total", &labels).inc();
@@ -698,6 +1053,7 @@ impl Session {
                 threads: opts.threads as u64,
                 shared_parse: opts.shared_parse,
                 epoch,
+                reuse: reuse_status,
                 rows: rows as u64,
                 wall: metrics.total,
                 slow_threshold: self.slow_threshold,
@@ -1094,7 +1450,7 @@ impl Session {
 
         // Record the `(db.table, path)` pairs this scan will evaluate, for
         // workload-sketch attribution at query end.
-        let qualified = format!("{}.{}", table_ref.database, table_ref.table);
+        let qualified = table_key(&table_ref.database, &table_ref.table);
         for (_, path) in &json_calls {
             let pair = (qualified.clone(), path.clone());
             if !planned_paths.contains(&pair) {

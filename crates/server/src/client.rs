@@ -84,6 +84,10 @@ impl Client {
             epoch: r.u64()?,
             nodes_skipped: r.u64()?,
             bitmap_builds: r.u64()?,
+            reuse_hits: r.u64()?,
+            reuse_misses: r.u64()?,
+            reuse_fills: r.u64()?,
+            reuse_bytes: r.u64()?,
             simd_kernel: r.str()?,
             hot_paths: {
                 let n = r.u32()? as usize;

@@ -148,31 +148,45 @@ impl FairScheduler {
 /// One query's scoped registration with the scheduler. Install it on the
 /// connection's session for the duration of one query; dropping it (even
 /// during unwind) deregisters and releases any leaked permits.
+///
+/// Registration is **lazy**: the query joins the active set on its first
+/// permit acquire, not at lease construction. A query that never runs a
+/// split task — a reuse-cache full-result hit is served without touching
+/// the executor — therefore never registers, never shrinks the other
+/// queries' fair shares, and costs the scheduler nothing.
 #[derive(Debug)]
 pub struct QueryLease {
     scheduler: std::sync::Arc<FairScheduler>,
-    id: u64,
+    id: std::sync::OnceLock<u64>,
 }
 
 impl QueryLease {
     pub fn new(scheduler: std::sync::Arc<FairScheduler>) -> Self {
-        let id = scheduler.register();
-        QueryLease { scheduler, id }
+        QueryLease {
+            scheduler,
+            id: std::sync::OnceLock::new(),
+        }
     }
 }
 
 impl Drop for QueryLease {
     fn drop(&mut self) {
-        self.scheduler.deregister(self.id);
+        // Only ever registered if a split task actually ran.
+        if let Some(id) = self.id.get() {
+            self.scheduler.deregister(*id);
+        }
     }
 }
 
 impl SplitScheduler for QueryLease {
     fn acquire(&self) {
-        self.scheduler.acquire_for(self.id);
+        let id = *self.id.get_or_init(|| self.scheduler.register());
+        self.scheduler.acquire_for(id);
     }
     fn release(&self) {
-        self.scheduler.release_for(self.id);
+        if let Some(id) = self.id.get() {
+            self.scheduler.release_for(*id);
+        }
     }
 }
 
@@ -242,6 +256,31 @@ mod tests {
         t.join().unwrap();
         assert_eq!(progressed.load(Ordering::SeqCst), 1);
         drop(a);
+        assert_eq!(sched.lock().in_use, 0);
+    }
+
+    #[test]
+    fn an_unacquired_lease_never_registers() {
+        // Reuse-hit-served queries drop their lease without acquiring; they
+        // must not have counted against anyone's fair share.
+        let sched = Arc::new(FairScheduler::new(2));
+        let idle = QueryLease::new(sched.clone());
+        assert_eq!(
+            sched.active_queries(),
+            0,
+            "no registration before first acquire"
+        );
+        let busy = QueryLease::new(sched.clone());
+        busy.acquire();
+        assert_eq!(
+            sched.active_queries(),
+            1,
+            "only the acquiring query is active"
+        );
+        busy.release();
+        drop(idle);
+        drop(busy);
+        assert_eq!(sched.active_queries(), 0);
         assert_eq!(sched.lock().in_use, 0);
     }
 

@@ -41,6 +41,10 @@ pub struct ServerConfig {
     pub threads: Option<usize>,
     /// Split permits in the fair scheduler. `None` = available cores.
     pub permits: Option<usize>,
+    /// Enable the cross-query reuse cache with this byte budget (MiB) on
+    /// the served warehouse; every connection shares one cache. `None`
+    /// defers to the session's own setting (`MAXSON_RESULT_CACHE`).
+    pub result_cache_mb: Option<u64>,
 }
 
 /// Point-in-time server counters, as returned by the STATS opcode.
@@ -68,6 +72,14 @@ pub struct StatsSnapshot {
     pub nodes_skipped: u64,
     /// Structural bitmap builds across all queries.
     pub bitmap_builds: u64,
+    /// Reuse-cache full-result hits (0 when the cache is off).
+    pub reuse_hits: u64,
+    /// Reuse-cache misses (0 when the cache is off).
+    pub reuse_misses: u64,
+    /// Reuse-cache fills admitted (0 when the cache is off).
+    pub reuse_fills: u64,
+    /// Bytes currently resident in the reuse cache (0 when off).
+    pub reuse_bytes: u64,
     /// Active SIMD structural-kernel tier (`avx2`/`sse2`/`swar`/`scalar`).
     pub simd_kernel: String,
     /// Hottest `(table, path, estimated extracts)` from the workload
@@ -120,7 +132,12 @@ impl Server {
     /// Serve an existing session's warehouse: connections share its
     /// catalog, rewriter, epoch, metadata cache, and trace buffer. The
     /// caller keeps its handle — e.g. to run midnight cycles concurrently.
-    pub fn serve(template: Session, addr: &str, config: ServerConfig) -> Result<Server> {
+    pub fn serve(mut template: Session, addr: &str, config: ServerConfig) -> Result<Server> {
+        if let Some(mb) = config.result_cache_mb {
+            // Warehouse-shared: every connection cloned from the template
+            // probes and fills this one cache.
+            template.set_result_cache(Some(mb));
+        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let permits = config
@@ -367,7 +384,11 @@ fn handle_frame(
                 .u64(snapshot.active_queries)
                 .u64(snapshot.epoch)
                 .u64(snapshot.nodes_skipped)
-                .u64(snapshot.bitmap_builds);
+                .u64(snapshot.bitmap_builds)
+                .u64(snapshot.reuse_hits)
+                .u64(snapshot.reuse_misses)
+                .u64(snapshot.reuse_fills)
+                .u64(snapshot.reuse_bytes);
             w.str(&snapshot.simd_kernel);
             w.u32(snapshot.hot_paths.len() as u32);
             for (table, path, count) in &snapshot.hot_paths {
@@ -513,6 +534,7 @@ fn snapshot_stats(
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         (totals.nodes_skipped, totals.bitmap_builds)
     };
+    let reuse = session.reuse_stats();
     StatsSnapshot {
         queries_ok: state.queries_ok.load(Ordering::Relaxed),
         queries_err: state.queries_err.load(Ordering::Relaxed),
@@ -525,6 +547,10 @@ fn snapshot_stats(
         epoch: session.epoch(),
         nodes_skipped,
         bitmap_builds,
+        reuse_hits: reuse.as_ref().map_or(0, |r| r.hits),
+        reuse_misses: reuse.as_ref().map_or(0, |r| r.misses),
+        reuse_fills: reuse.as_ref().map_or(0, |r| r.fills),
+        reuse_bytes: reuse.as_ref().map_or(0, |r| r.bytes_resident),
         simd_kernel: session.simd_kernel().name().to_string(),
         hot_paths: session.metrics_registry().hot_paths(10),
     }

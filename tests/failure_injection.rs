@@ -567,6 +567,7 @@ fn panicking_split_task_is_contained_by_the_server() {
         ServerConfig {
             threads: Some(4),
             permits: Some(4),
+            result_cache_mb: None,
         },
     )
     .unwrap();
@@ -592,6 +593,112 @@ fn panicking_split_task_is_contained_by_the_server() {
     assert_eq!(stats.active_queries, 0, "leaked query leases: {stats:?}");
     assert_eq!(stats.queries_err, 3, "panics must be counted: {stats:?}");
     server.stop();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+// ---------------------------------------------------------------------
+// Reuse-cache fault injection: a panic on the fill path must be contained
+// (the query's rows are already computed and are returned unchanged), and
+// the cache must take itself out of service *loudly* — a poisoned counter,
+// a `reuse="poisoned"` query-log line, `disabled` thereafter — never
+// silently serve from a structure a panic may have left inconsistent.
+// ---------------------------------------------------------------------
+
+use maxson_obs::Registry;
+use std::sync::Arc;
+
+const REUSE_SQL: &str = "select id, get_json_object(payload, '$.a') as a from db.t where id < 20";
+
+fn reuse_table(name: &str) -> PathBuf {
+    let docs: Vec<String> = (0..30).map(|i| format!(r#"{{"a": {i}}}"#)).collect();
+    payload_table(name, &docs)
+}
+
+#[test]
+fn poisoned_reuse_fill_is_contained_and_disables_the_cache_loudly() {
+    let root = reuse_table("reuse-poison");
+    let reference = Session::open(&root).unwrap().execute(REUSE_SQL).unwrap();
+
+    let mut session = Session::open(&root).unwrap();
+    session.set_result_cache(Some(8));
+    let registry = Arc::new(Registry::new());
+    session.set_metrics_registry(Arc::clone(&registry));
+    let log_path = temp_root("reuse-poison-log").with_extension("jsonl");
+    session.set_query_log(Some(log_path.clone())).unwrap();
+
+    let cache = session.reuse_cache().expect("cache enabled");
+    cache.inject_fill_panic();
+
+    // The fill panics inside the cache; the query must still answer with
+    // the rows it already computed, byte for byte.
+    let poisoned_run = session.execute(REUSE_SQL).unwrap();
+    assert_eq!(poisoned_run.rows, reference.rows);
+    assert_eq!(
+        poisoned_run.to_display_string(),
+        reference.to_display_string()
+    );
+
+    // Loud, not silent: the poison is counted, logged, and latched.
+    assert_eq!(
+        registry.counter_value("maxson_reuse_poisoned_total", &[]),
+        Some(1),
+        "contained fill panic must charge the poisoned counter"
+    );
+    assert!(cache.is_disabled(), "cache must take itself out of service");
+    assert!(session.reuse_stats().unwrap().disabled);
+
+    // Out of service means *neither* serving nor filling — and still
+    // correct. The disabled state is visible per query in the log.
+    let after = session.execute(REUSE_SQL).unwrap();
+    assert_eq!(after.rows, reference.rows);
+    assert_eq!(after.metrics.reuse_hits, 0);
+    assert_eq!(after.metrics.reuse_fills, 0);
+
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    let statuses: Vec<String> = log
+        .lines()
+        .map(|l| {
+            maxson_json::parse(l)
+                .expect("log line parses")
+                .get("reuse")
+                .and_then(|v| v.as_str().map(str::to_owned))
+                .expect("reuse field present")
+        })
+        .collect();
+    assert_eq!(
+        statuses,
+        vec!["poisoned".to_string(), "disabled".to_string()],
+        "query log must narrate the failure"
+    );
+    std::fs::remove_file(&log_path).ok();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A zero-byte budget rejects every entry (the oversize guard): results
+/// stay byte-identical and nothing ever becomes resident.
+#[test]
+fn oversized_reuse_entries_are_rejected_with_identical_results() {
+    let root = reuse_table("reuse-oversize");
+    let reference = Session::open(&root).unwrap().execute(REUSE_SQL).unwrap();
+
+    let mut session = Session::open(&root).unwrap();
+    session.set_result_cache(Some(0));
+    for round in 0..3 {
+        let run = session.execute(REUSE_SQL).unwrap();
+        assert_eq!(
+            run.to_display_string(),
+            reference.to_display_string(),
+            "round {round} diverged under an always-rejecting cache"
+        );
+        assert_eq!(
+            run.metrics.reuse_hits, 0,
+            "nothing admitted, nothing served"
+        );
+    }
+    let stats = session.reuse_stats().unwrap();
+    assert_eq!(stats.fills, 0, "zero budget must admit nothing");
+    assert_eq!(stats.bytes_resident, 0);
+    assert_eq!(stats.misses, 3, "every probe is an honest miss");
     std::fs::remove_dir_all(&root).ok();
 }
 

@@ -139,6 +139,7 @@ fn assert_served_identical(
         ServerConfig {
             threads: Some(threads),
             permits: Some(4),
+            result_cache_mb: None,
         },
     )
     .unwrap();

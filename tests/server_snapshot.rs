@@ -103,6 +103,7 @@ fn midnight_cycle_is_an_atomic_epoch_swap_under_load() {
         ServerConfig {
             threads: Some(2),
             permits: Some(4),
+            result_cache_mb: None,
         },
     )
     .unwrap();
@@ -197,6 +198,142 @@ fn midnight_cycle_is_an_atomic_epoch_swap_under_load() {
     // New connections see the new epoch immediately.
     let stats = Client::connect(addr).unwrap().stats().unwrap();
     assert_eq!(stats.epoch, e1);
+    server.stop();
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Epoch swaps with the reuse cache on, and with *detectably different*
+/// data on each side of the swap: the table grows and its values change
+/// before the admin bumps the epoch, so any reuse entry leaking across
+/// the swap would serve a visibly wrong answer. Every new-epoch result
+/// must reflect the new data, and post-swap repeats must still be served
+/// from the cache (the swap invalidates, it does not disable).
+#[test]
+fn reuse_cache_never_serves_stale_results_across_an_epoch_swap() {
+    const COUNT_SQL: &str =
+        "select count(*) as n, max(get_json_object(payload, '$.v')) as vmax from db.t";
+
+    let root = temp_root("reuse-swap");
+    let mut admin = Session::open(&root).unwrap();
+    let schema = Schema::new(vec![
+        Field::new("id", ColumnType::Int64),
+        Field::new("payload", ColumnType::Utf8),
+    ])
+    .unwrap();
+    {
+        let mut catalog = admin.catalog_mut();
+        let t = catalog.create_table("db", "t", schema, 0).unwrap();
+        let rows: Vec<Vec<Cell>> = (0..40)
+            .map(|i| vec![Cell::Int(i), Cell::from(format!(r#"{{"v": 1, "a": {i}}}"#))])
+            .collect();
+        t.append_file(
+            &rows,
+            WriteOptions {
+                row_group_size: 10,
+                ..Default::default()
+            },
+            1,
+        )
+        .unwrap();
+    }
+    let old_reference = admin.execute(COUNT_SQL).unwrap().to_display_string();
+
+    let mut server = Server::serve(
+        admin.clone(),
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: Some(2),
+            permits: Some(4),
+            result_cache_mb: Some(16),
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let e0 = admin.epoch();
+
+    let cycle_done = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let cycle_done = cycle_done.clone();
+            std::thread::spawn(move || -> Vec<(u64, String)> {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut seen = Vec::new();
+                let mut post_cycle = 0;
+                while post_cycle < 2 {
+                    if cycle_done.load(Ordering::SeqCst) {
+                        post_cycle += 1;
+                    }
+                    let result = client.query(COUNT_SQL).expect("query");
+                    seen.push((result.epoch, result.to_display_string()));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // Let the clients warm the cache on the old epoch first.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Change the world, then swap: more rows, different values. The swap
+    // is what publishes the change — old-epoch reuse entries must die
+    // with it.
+    {
+        let mut catalog = admin.catalog_mut();
+        let t = catalog.table_mut("db", "t").unwrap();
+        let rows: Vec<Vec<Cell>> = (40..50)
+            .map(|i| vec![Cell::Int(i), Cell::from(format!(r#"{{"v": 2, "a": {i}}}"#))])
+            .collect();
+        t.append_file(&rows, WriteOptions::default(), 2).unwrap();
+    }
+    let e1 = admin.swap_warehouse_epoch(None).unwrap();
+    assert_eq!(e1, e0 + 1);
+    cycle_done.store(true, Ordering::SeqCst);
+
+    let new_reference = admin.execute(COUNT_SQL).unwrap().to_display_string();
+    assert_ne!(
+        new_reference, old_reference,
+        "the swap must be detectable, or this test proves nothing"
+    );
+
+    let mut old_seen = 0u64;
+    let mut new_seen = 0u64;
+    for worker in workers {
+        for (epoch, display) in worker.join().expect("client worker") {
+            assert!(epoch == e0 || epoch == e1, "impossible epoch {epoch}");
+            if epoch == e1 {
+                new_seen += 1;
+                // The stale-hit smoking gun would be a new-epoch result
+                // rendering the old data.
+                assert_eq!(
+                    display, new_reference,
+                    "stale reuse entry crossed the epoch swap"
+                );
+            } else {
+                old_seen += 1;
+            }
+        }
+    }
+    assert!(old_seen > 0, "no query observed the pre-swap warehouse");
+    assert!(
+        new_seen >= (CLIENTS * 2) as u64,
+        "post-swap samples missing"
+    );
+
+    // Non-vacuous: post-swap repeats are still cache-served — the swap
+    // invalidated the old entries without taking the cache out of service.
+    let mut prober = Client::connect(addr).unwrap();
+    let hits_before = prober.stats().unwrap().reuse_hits;
+    for _ in 0..3 {
+        let result = prober.query(COUNT_SQL).unwrap();
+        assert_eq!(result.epoch, e1);
+        assert_eq!(result.to_display_string(), new_reference);
+    }
+    let after = prober.stats().unwrap();
+    assert!(
+        after.reuse_hits > hits_before,
+        "post-swap repeats must hit the refilled cache"
+    );
+    assert!(after.reuse_bytes > 0, "refilled entries must be resident");
     server.stop();
     std::fs::remove_dir_all(&root).ok();
 }

@@ -163,6 +163,7 @@ fn randomized_client_mix_preserves_server_invariants() {
                 ServerConfig {
                     threads: Some(2),
                     permits: Some(4),
+                    result_cache_mb: None,
                 },
             )
             .map_err(|e| e.to_string())?;
