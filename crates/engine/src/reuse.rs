@@ -29,6 +29,16 @@
 //! whole cache in O(1) by generation check (plus an eager clear to release
 //! memory). Per-table dependency tracking invalidates finer-grained when
 //! a single table is rewritten through the catalog write lock.
+//!
+//! Data writes do **not** bump the epoch, so epoch matching alone cannot
+//! stop a fill that races a catalog write: a query planned before the
+//! write executes against its pre-write table snapshot and would fill
+//! *after* the writer's invalidation, at the unchanged epoch, leaving a
+//! persistently stale entry. Every invalidation therefore also bumps a
+//! *write generation*; callers capture [`ReuseCache::generation`] at
+//! planning time (under the same warehouse read lock that pins their
+//! table snapshot) and [`ReuseCache::fill`] rejects any offer whose
+//! planning-time generation is no longer current.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -82,6 +92,9 @@ pub struct ReuseStats {
     pub fills: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
+    /// Fill offers rejected because an invalidation ran between the
+    /// offering query's planning and its fill (the stale-fill guard).
+    pub stale_rejects: u64,
     /// Resident entry bytes.
     pub bytes_resident: u64,
     /// Configured byte budget.
@@ -125,6 +138,10 @@ struct Inner {
     /// EWMA recompute wall per fingerprint, kept even for keys that were
     /// never admitted (history informs the *next* admission decision).
     cost: HashMap<u64, u64>,
+    /// Write generation: bumped by every invalidation. A fill whose
+    /// planning-time generation no longer matches raced a catalog write —
+    /// its rows come from a pre-write snapshot and must not be admitted.
+    write_gen: u64,
 }
 
 /// The process-wide reuse cache. See the module docs for policy details.
@@ -140,6 +157,7 @@ pub struct ReuseCache {
     fragment_hits: AtomicU64,
     fills: AtomicU64,
     evictions: AtomicU64,
+    stale_rejects: AtomicU64,
     /// Test hook: the next fill panics inside the cache, exercising the
     /// containment path end to end.
     inject_fill_panic: AtomicBool,
@@ -157,6 +175,7 @@ impl ReuseCache {
             fragment_hits: AtomicU64::new(0),
             fills: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            stale_rejects: AtomicU64::new(0),
             inject_fill_panic: AtomicBool::new(false),
         }
     }
@@ -213,18 +232,21 @@ impl ReuseCache {
         }
     }
 
-    /// Record an observed recompute wall for `key` (EWMA, alpha = 1/2).
-    /// Called on every miss-then-execute so history accumulates even for
-    /// keys the admission policy has so far rejected.
-    pub fn record_cost(&self, key: u64, wall_ns: u64) {
-        let mut inner = self.lock();
-        let slot = inner.cost.entry(key).or_insert(wall_ns);
-        *slot = (*slot + wall_ns) / 2;
+    /// The current write generation. Capture it at planning time, under
+    /// the same warehouse read lock that pins the plan's table snapshots,
+    /// and hand it back to [`ReuseCache::fill`] — any invalidation in
+    /// between makes the fill a stale offer and it is rejected.
+    pub fn generation(&self) -> u64 {
+        self.lock().write_gen
     }
 
     /// Offer an entry for admission. The caller has already executed the
     /// query; `rows` are the finished output (shared, so admission never
-    /// copies them).
+    /// copies them). `planned_gen` is the [`ReuseCache::generation`]
+    /// observed when the query planned: a mismatch means an invalidation
+    /// (catalog write, table append, epoch swap) ran while the query was
+    /// executing, so its rows come from a pre-invalidation snapshot and
+    /// admitting them would serve stale results persistently.
     pub fn fill(
         &self,
         key: u64,
@@ -233,6 +255,7 @@ impl ReuseCache {
         epoch: u64,
         tables: Vec<String>,
         wall_ns: u64,
+        planned_gen: u64,
     ) -> FillOutcome {
         if self.disabled.load(Ordering::Relaxed) {
             return FillOutcome::Disabled;
@@ -243,6 +266,13 @@ impl ReuseCache {
         let bytes = rows_bytes(&rows);
         let budget = self.budget_bytes.load(Ordering::Relaxed);
         let mut inner = self.lock();
+        if inner.write_gen != planned_gen {
+            // Stale-fill guard: the snapshot these rows were computed
+            // from has been invalidated since planning.
+            drop(inner);
+            self.stale_rejects.fetch_add(1, Ordering::Relaxed);
+            return FillOutcome::Rejected;
+        }
         // Cost history accumulates before any admission decision, so even
         // keys rejected today inform tomorrow's estimate.
         let slot = inner.cost.entry(key).or_insert(wall_ns);
@@ -261,26 +291,41 @@ impl ReuseCache {
             inner.bytes -= old.bytes;
         }
         let candidate_score = (est_wall_ns as f64) / (bytes.max(1) as f64);
+        // Choose victims by least (freq, last_used) until the candidate
+        // fits, but commit nothing until admission is certain: meeting a
+        // resident worth more per byte than the candidate rejects the
+        // candidate with every resident intact (evict-then-reject would
+        // lose entries without gaining one).
+        let mut victims: Vec<u64> = Vec::new();
         let mut evicted = 0u64;
-        while inner.bytes + bytes > budget {
-            let victim = inner
+        if inner.bytes + bytes > budget {
+            let mut order: Vec<(u64, u64, u64, f64, u64)> = inner
                 .map
                 .iter()
-                .min_by_key(|(_, e)| (e.freq, e.last_used))
-                .map(|(k, e)| (*k, e.score()));
-            match victim {
+                .map(|(k, e)| (e.freq, e.last_used, *k, e.score(), e.bytes))
+                .collect();
+            order.sort_unstable_by_key(|&(freq, last_used, ..)| (freq, last_used));
+            let mut freed = 0u64;
+            for (_, _, vkey, vscore, vbytes) in order {
+                if inner.bytes - freed + bytes <= budget {
+                    break;
+                }
                 // Never displace a resident worth more per byte than the
                 // candidate — reject the candidate instead.
-                Some((_, vscore)) if vscore > candidate_score => {
-                    self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                if vscore > candidate_score {
                     return FillOutcome::Rejected;
                 }
-                Some((vkey, _)) => {
-                    let e = inner.map.remove(&vkey).expect("victim present");
-                    inner.bytes -= e.bytes;
-                    evicted += 1;
-                }
-                None => return FillOutcome::Rejected, // bytes > budget with empty map
+                victims.push(vkey);
+                freed += vbytes;
+            }
+            if inner.bytes - freed + bytes > budget {
+                // Even a full sweep cannot make room.
+                return FillOutcome::Rejected;
+            }
+            for vkey in victims {
+                let e = inner.map.remove(&vkey).expect("victim present");
+                inner.bytes -= e.bytes;
+                evicted += 1;
             }
         }
         inner.clock += 1;
@@ -319,6 +364,11 @@ impl ReuseCache {
             let e = inner.map.remove(&k).expect("key listed");
             inner.bytes -= e.bytes;
         }
+        // Kill in-flight fills too: a query planned before this table was
+        // appended to must not install its pre-append rows afterwards.
+        // (Conservative for queries over unrelated tables — they re-offer
+        // on their next execution.)
+        inner.write_gen += 1;
     }
 
     /// Drop every entry (catalog-wide change or epoch swap). Cost history
@@ -327,6 +377,9 @@ impl ReuseCache {
         let mut inner = self.lock();
         inner.map.clear();
         inner.bytes = 0;
+        // In-flight fills were planned against pre-invalidation snapshots;
+        // the generation bump makes their offers dead on arrival.
+        inner.write_gen += 1;
     }
 
     /// Disable the cache after a contained failure. It stops serving and
@@ -362,6 +415,7 @@ impl ReuseCache {
             fragment_hits: self.fragment_hits.load(Ordering::Relaxed),
             fills: self.fills.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
             bytes_resident: inner.bytes,
             budget_bytes: self.budget_bytes.load(Ordering::Relaxed),
             disabled: self.disabled.load(Ordering::Relaxed),
@@ -440,7 +494,15 @@ mod tests {
         let c = ReuseCache::new(16);
         assert!(c.lookup(1, 0, false).is_none());
         assert_eq!(
-            c.fill(1, rows(4), schema(), 0, vec!["db.t".into()], EXPENSIVE),
+            c.fill(
+                1,
+                rows(4),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                EXPENSIVE,
+                c.generation()
+            ),
             FillOutcome::Admitted
         );
         let hit = c.lookup(1, 0, false).expect("filled key hits");
@@ -453,7 +515,15 @@ mod tests {
     #[test]
     fn epoch_mismatch_never_serves_and_drops_the_entry() {
         let c = ReuseCache::new(16);
-        c.fill(1, rows(4), schema(), 7, vec!["db.t".into()], EXPENSIVE);
+        c.fill(
+            1,
+            rows(4),
+            schema(),
+            7,
+            vec!["db.t".into()],
+            EXPENSIVE,
+            c.generation(),
+        );
         assert!(c.lookup(1, 8, false).is_none(), "stale epoch must miss");
         assert_eq!(c.stats().bytes_resident, 0, "stale entry dropped eagerly");
         assert!(c.lookup(1, 7, false).is_none(), "entry is gone for good");
@@ -462,8 +532,24 @@ mod tests {
     #[test]
     fn table_invalidation_is_selective() {
         let c = ReuseCache::new(16);
-        c.fill(1, rows(2), schema(), 0, vec!["db.a".into()], EXPENSIVE);
-        c.fill(2, rows(2), schema(), 0, vec!["db.b".into()], EXPENSIVE);
+        c.fill(
+            1,
+            rows(2),
+            schema(),
+            0,
+            vec!["db.a".into()],
+            EXPENSIVE,
+            c.generation(),
+        );
+        c.fill(
+            2,
+            rows(2),
+            schema(),
+            0,
+            vec!["db.b".into()],
+            EXPENSIVE,
+            c.generation(),
+        );
         c.invalidate_table("db.a");
         assert!(c.lookup(1, 0, false).is_none());
         assert!(c.lookup(2, 0, false).is_some());
@@ -472,7 +558,15 @@ mod tests {
     #[test]
     fn invalidate_all_empties_but_keeps_cost_history() {
         let c = ReuseCache::new(16);
-        c.fill(1, rows(2), schema(), 0, vec!["db.t".into()], EXPENSIVE);
+        c.fill(
+            1,
+            rows(2),
+            schema(),
+            0,
+            vec!["db.t".into()],
+            EXPENSIVE,
+            c.generation(),
+        );
         c.invalidate_all();
         assert!(c.lookup(1, 0, false).is_none());
         assert_eq!(c.stats().bytes_resident, 0);
@@ -487,7 +581,15 @@ mod tests {
                 .collect(),
         );
         assert_eq!(
-            c.fill(1, big, schema(), 0, vec!["db.t".into()], EXPENSIVE),
+            c.fill(
+                1,
+                big,
+                schema(),
+                0,
+                vec!["db.t".into()],
+                EXPENSIVE,
+                c.generation()
+            ),
             FillOutcome::Rejected
         );
         assert_eq!(c.stats().bytes_resident, 0);
@@ -503,12 +605,28 @@ mod tests {
         );
         // ~160 KB entry, 1000 ns to recompute: far below 1 ns/byte.
         assert_eq!(
-            c.fill(1, large, schema(), 0, vec!["db.t".into()], 1000),
+            c.fill(
+                1,
+                large,
+                schema(),
+                0,
+                vec!["db.t".into()],
+                1000,
+                c.generation()
+            ),
             FillOutcome::Rejected
         );
         // Small entries skip the cost model entirely.
         assert_eq!(
-            c.fill(2, rows(1), schema(), 0, vec!["db.t".into()], 1),
+            c.fill(
+                2,
+                rows(1),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                1,
+                c.generation()
+            ),
             FillOutcome::Admitted
         );
     }
@@ -525,7 +643,15 @@ mod tests {
             )
         };
         for key in 0..30u64 {
-            c.fill(key, make(), schema(), 0, vec!["db.t".into()], EXPENSIVE);
+            c.fill(
+                key,
+                make(),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                EXPENSIVE,
+                c.generation(),
+            );
         }
         let s = c.stats();
         assert!(s.evictions > 0, "filling past budget must evict");
@@ -542,7 +668,15 @@ mod tests {
         let c = ReuseCache::new(1);
         for key in 0..200u64 {
             let n = 50 + (key as usize % 300);
-            c.fill(key, rows(n), schema(), 0, vec!["db.t".into()], EXPENSIVE);
+            c.fill(
+                key,
+                rows(n),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                EXPENSIVE,
+                c.generation(),
+            );
             if key % 3 == 0 {
                 c.lookup(key / 2, 0, false);
             }
@@ -554,11 +688,27 @@ mod tests {
     #[test]
     fn disabled_cache_neither_serves_nor_fills() {
         let c = ReuseCache::new(16);
-        c.fill(1, rows(2), schema(), 0, vec!["db.t".into()], EXPENSIVE);
+        c.fill(
+            1,
+            rows(2),
+            schema(),
+            0,
+            vec!["db.t".into()],
+            EXPENSIVE,
+            c.generation(),
+        );
         c.disable();
         assert!(c.lookup(1, 0, false).is_none());
         assert_eq!(
-            c.fill(2, rows(2), schema(), 0, vec!["db.t".into()], EXPENSIVE),
+            c.fill(
+                2,
+                rows(2),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                EXPENSIVE,
+                c.generation()
+            ),
             FillOutcome::Disabled
         );
         assert!(c.stats().disabled);
@@ -569,20 +719,164 @@ mod tests {
         let c = ReuseCache::new(16);
         c.inject_fill_panic();
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            c.fill(1, rows(2), schema(), 0, vec!["db.t".into()], EXPENSIVE)
+            c.fill(
+                1,
+                rows(2),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                EXPENSIVE,
+                c.generation(),
+            )
         }));
         assert!(r.is_err(), "armed hook must panic");
         // Hook disarms itself; the next fill succeeds.
         assert_eq!(
-            c.fill(1, rows(2), schema(), 0, vec!["db.t".into()], EXPENSIVE),
+            c.fill(
+                1,
+                rows(2),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                EXPENSIVE,
+                c.generation()
+            ),
             FillOutcome::Admitted
+        );
+    }
+
+    #[test]
+    fn fill_racing_an_invalidation_is_rejected() {
+        let c = ReuseCache::new(16);
+        // "Plan" before the write...
+        let planned_gen = c.generation();
+        // ...a concurrent writer invalidates (catalog write / append)...
+        c.invalidate_table("db.t");
+        // ...and the in-flight query's fill arrives late: dead on arrival,
+        // because its rows were computed from the pre-write snapshot.
+        assert_eq!(
+            c.fill(
+                1,
+                rows(4),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                EXPENSIVE,
+                planned_gen
+            ),
+            FillOutcome::Rejected
+        );
+        assert!(
+            c.lookup(1, 0, false).is_none(),
+            "stale rows must not be admitted"
+        );
+        assert_eq!(c.stats().stale_rejects, 1);
+        // A fill planned after the invalidation is admitted normally.
+        assert_eq!(
+            c.fill(
+                1,
+                rows(4),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                EXPENSIVE,
+                c.generation()
+            ),
+            FillOutcome::Admitted
+        );
+    }
+
+    #[test]
+    fn every_invalidation_path_bumps_the_write_generation() {
+        let c = ReuseCache::new(16);
+        let g0 = c.generation();
+        c.invalidate_table("db.t");
+        let g1 = c.generation();
+        assert!(g1 > g0, "table invalidation must bump the generation");
+        c.invalidate_all();
+        assert!(c.generation() > g1, "full invalidation must bump it too");
+    }
+
+    #[test]
+    fn protected_victim_rejects_candidate_without_collateral_evictions() {
+        let c = ReuseCache::new(1); // 1 MiB budget
+        let gen = c.generation();
+        let strs = |n: usize| -> Arc<Vec<Vec<Cell>>> {
+            Arc::new(
+                (0..n)
+                    .map(|_| vec![Cell::Str(Arc::from("x".repeat(100)))])
+                    .collect(),
+            )
+        };
+        // ~140 bytes per row. Fill order fixes the (freq, last_used) scan
+        // order: a tiny, cheap entry first (the evictable head of the
+        // victim scan)...
+        c.fill(1, strs(70), schema(), 0, vec!["db.t".into()], 1_000, gen);
+        // ...then a same-freq but high-value resident the policy protects...
+        c.fill(
+            2,
+            strs(1800),
+            schema(),
+            0,
+            vec!["db.t".into()],
+            EXPENSIVE,
+            gen,
+        );
+        // ...then hotter residents that fill the budget.
+        for key in 3..6u64 {
+            c.fill(
+                key,
+                strs(1800),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                EXPENSIVE,
+                gen,
+            );
+            c.lookup(key, 0, false);
+            c.lookup(key, 0, false);
+        }
+        let before = c.stats();
+        // Candidate (~98 KiB, mid score): evicting key 1 is not enough
+        // room, and the next victim in scan order — key 2 — scores higher
+        // than the candidate, so the offer must be rejected with *nothing*
+        // displaced (not evict-key-1-then-reject).
+        assert_eq!(
+            c.fill(
+                9,
+                strs(700),
+                schema(),
+                0,
+                vec!["db.t".into()],
+                1_000_000_000,
+                gen
+            ),
+            FillOutcome::Rejected
+        );
+        let after = c.stats();
+        assert_eq!(
+            after.bytes_resident, before.bytes_resident,
+            "a rejected candidate must not cost residents"
+        );
+        assert_eq!(after.evictions, before.evictions);
+        assert!(
+            c.lookup(1, 0, false).is_some(),
+            "the low-score resident survives the rejected offer"
         );
     }
 
     #[test]
     fn cached_rows_provider_replays_without_charging() {
         let c = ReuseCache::new(16);
-        c.fill(1, rows(3), schema(), 0, vec!["db.t".into()], EXPENSIVE);
+        c.fill(
+            1,
+            rows(3),
+            schema(),
+            0,
+            vec!["db.t".into()],
+            EXPENSIVE,
+            c.generation(),
+        );
         let entry = c.lookup(1, 0, true).unwrap();
         assert_eq!(c.stats().fragment_hits, 1);
         let provider = CachedRowsProvider::new(entry);

@@ -212,6 +212,12 @@ struct PlannedQuery {
     stmt: SelectStatement,
     /// The warehouse's reuse cache at planning time (`None` = off).
     reuse: Option<Arc<ReuseCache>>,
+    /// The cache's write generation at planning time, captured under the
+    /// same warehouse read lock that pins this plan's table snapshots. A
+    /// fill is only honoured while the generation is unchanged — any
+    /// invalidation in between means the executed rows came from a
+    /// pre-invalidation snapshot and must not be cached.
+    reuse_gen: u64,
 }
 
 /// The shared, swappable state every session cloned from one warehouse
@@ -264,6 +270,14 @@ impl Drop for CatalogWrite<'_> {
         // reuse cache drops everything. Callers that know the single table
         // they touched can use `Session::invalidate_reuse_table` for
         // finer-grained invalidation instead of holding this guard.
+        //
+        // `invalidate_all` also bumps the cache's write generation, which
+        // closes the fill-after-invalidate race: a query planned before
+        // this write executes against its pre-write table snapshot, and
+        // without the generation check it could fill the cache *after*
+        // this invalidation — at the unchanged warehouse epoch — leaving a
+        // persistently stale entry. Its fill carries the planning-time
+        // generation and is rejected instead.
         if let Some(reuse) = &self.0.reuse {
             reuse.invalidate_all();
         }
@@ -594,7 +608,9 @@ impl Session {
     /// Drop every reuse entry computed from `database.table` — the
     /// finer-grained alternative to the coarse invalidate-everything the
     /// catalog write guard performs, for callers that appended to exactly
-    /// one table.
+    /// one table. Also bumps the cache's write generation, so queries
+    /// already executing against the pre-append snapshot cannot fill the
+    /// cache with stale rows afterwards.
     pub fn invalidate_reuse_table(&self, database: &str, table: &str) {
         if let Some(reuse) = &self.wh_read().reuse {
             reuse.invalidate_table(&table_key(database, table));
@@ -687,6 +703,7 @@ impl Session {
             planned_paths,
             tables,
             stmt,
+            reuse_gen: wh.reuse.as_ref().map_or(0, |c| c.generation()),
             reuse: wh.reuse.clone(),
         })
     }
@@ -737,6 +754,7 @@ impl Session {
             tables,
             stmt,
             reuse,
+            reuse_gen,
         } = {
             let _planning_span = tracer.child("planning", root.id());
             self.plan_snapshot(sql)?
@@ -873,6 +891,7 @@ impl Session {
                                             epoch,
                                             tables.clone(),
                                             wall_ns,
+                                            reuse_gen,
                                         );
                                     }
                                     let out_schema = match output_schema(&names) {
@@ -886,6 +905,7 @@ impl Session {
                                         epoch,
                                         tables.clone(),
                                         wall_ns,
+                                        reuse_gen,
                                     )
                                 }));
                             match fill {
@@ -1015,6 +1035,8 @@ impl Session {
                 .add(metrics.reuse_fills);
             let stats = cache.stats();
             r.gauge("maxson_reuse_evictions", &[]).max(stats.evictions);
+            r.gauge("maxson_reuse_stale_rejects", &[])
+                .max(stats.stale_rejects);
             r.gauge("maxson_reuse_bytes_resident", &[])
                 .set(stats.bytes_resident);
             if metrics.reuse_hits > 0 {

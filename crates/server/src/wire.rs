@@ -22,8 +22,12 @@ use maxson_storage::Cell;
 
 use crate::{Result, ServerError};
 
-/// Protocol magic: first byte of every request payload.
-pub const MAGIC: u8 = 0xA7;
+/// Protocol magic: first byte of every request payload. Doubles as the
+/// protocol version — it is bumped whenever any frame layout changes, so
+/// a mismatched client/server pair fails with a clean "bad magic" error
+/// instead of misparsing mid-frame. History: `0xA7` = initial protocol;
+/// `0xA8` = STATS response gained the four reuse-cache fields.
+pub const MAGIC: u8 = 0xA8;
 
 /// Hard cap on one frame's payload (16 MiB). Query text going up and
 /// result sets coming back both fit comfortably; anything bigger is a
